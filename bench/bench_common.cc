@@ -1,0 +1,200 @@
+#include "bench_common.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+#include "gen/hosp_gen.h"
+#include "gen/tax_gen.h"
+
+namespace ftrepair {
+namespace bench {
+
+const Scale& GetScale() {
+  static const Scale* kScale = [] {
+    auto* scale = new Scale();
+    const char* env = std::getenv("FTR_SCALE");
+    if (env != nullptr && std::strcmp(env, "paper") == 0) {
+      scale->paper_scale = true;
+      scale->hosp = {{4000, 8000, 12000, 16000, 20000}, 8000};
+      scale->tax = {{2000, 4000, 6000, 8000, 10000}, 4000};
+    } else {
+      scale->hosp = {{400, 800, 1200, 1600, 2000}, 1200};
+      scale->tax = {{200, 400, 600, 800, 1000}, 600};
+    }
+    scale->error_percents = {2, 4, 6, 8, 10};
+    scale->fd_counts = {1, 3, 5, 7, 9};
+    return scale;
+  }();
+  return *kScale;
+}
+
+const Dataset& HospDataset() {
+  static const Dataset* kDataset = [] {
+    int max_rows = GetScale().hosp.rows_sweep.back();
+    return new Dataset(
+        std::move(GenerateHosp({.num_rows = max_rows, .seed = 7}))
+            .ValueOrDie());
+  }();
+  return *kDataset;
+}
+
+const Dataset& TaxDataset() {
+  static const Dataset* kDataset = [] {
+    int max_rows = GetScale().tax.rows_sweep.back();
+    return new Dataset(
+        std::move(GenerateTax({.num_rows = max_rows, .seed = 11}))
+            .ValueOrDie());
+  }();
+  return *kDataset;
+}
+
+const Dataset& DatasetFor(bool hosp) {
+  return hosp ? HospDataset() : TaxDataset();
+}
+
+ExperimentConfig BaseConfig(int rows, int num_fds, double error_percent) {
+  ExperimentConfig config;
+  config.num_rows = rows;
+  config.num_fds = num_fds;
+  config.noise.error_rate = error_percent / 100.0;
+  config.noise.seed = 42;
+  config.repair.compute_violation_stats = false;
+  return config;
+}
+
+ExperimentRow RunOrWarn(const Dataset& dataset, SystemUnderTest system,
+                        const ExperimentConfig& config) {
+  auto row = RunExperiment(dataset, system, config);
+  if (row.ok()) return std::move(row).value();
+  std::fprintf(stderr, "[bench] %s on %s failed: %s\n", SystemName(system),
+               dataset.name.c_str(), row.status().ToString().c_str());
+  ExperimentRow bad;
+  bad.quality.precision = std::nan("");
+  bad.quality.recall = std::nan("");
+  bad.quality.f1 = std::nan("");
+  bad.seconds = std::nan("");
+  return bad;
+}
+
+std::string Cell(double value, int decimals) {
+  if (std::isnan(value)) return "n/a";
+  return Report::Num(value, decimals);
+}
+
+namespace {
+
+struct AxisPoint {
+  std::string label;
+  int rows;
+  int num_fds;       // 0 = all
+  double error_pct;
+};
+
+std::vector<AxisPoint> AxisPoints(SweepAxis axis, bool hosp) {
+  const Scale& scale = GetScale();
+  const DatasetScale& ds = hosp ? scale.hosp : scale.tax;
+  std::vector<AxisPoint> points;
+  switch (axis) {
+    case SweepAxis::kRows:
+      for (int rows : ds.rows_sweep) {
+        points.push_back({std::to_string(rows), rows, 0,
+                          scale.fixed_error_percent});
+      }
+      break;
+    case SweepAxis::kFds:
+      for (int fds : scale.fd_counts) {
+        points.push_back({std::to_string(fds), ds.fixed_rows, fds,
+                          scale.fixed_error_percent});
+      }
+      break;
+    case SweepAxis::kErrorRate:
+      for (double pct : scale.error_percents) {
+        points.push_back({Report::Num(pct, 0) + "%", ds.fixed_rows, 0, pct});
+      }
+      break;
+  }
+  return points;
+}
+
+const char* AxisName(SweepAxis axis) {
+  switch (axis) {
+    case SweepAxis::kRows:
+      return "#tuples";
+    case SweepAxis::kFds:
+      return "#FDs";
+    case SweepAxis::kErrorRate:
+      return "e%";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void PrintSweep(const std::string& figure, SweepAxis axis,
+                const std::vector<Variant>& variants, bool show_quality,
+                bool show_time) {
+  for (bool hosp : {true, false}) {
+    const Dataset& dataset = DatasetFor(hosp);
+    std::vector<std::string> header = {AxisName(axis)};
+    for (const Variant& v : variants) header.push_back(v.label);
+
+    Report precision(figure + " — " + dataset.name + " precision");
+    Report recall(figure + " — " + dataset.name + " recall");
+    Report time(figure + " — " + dataset.name + " runtime (s)");
+    precision.SetHeader(header);
+    recall.SetHeader(header);
+    time.SetHeader(header);
+
+    for (const AxisPoint& point : AxisPoints(axis, hosp)) {
+      std::vector<std::string> p_row = {point.label};
+      std::vector<std::string> r_row = {point.label};
+      std::vector<std::string> t_row = {point.label};
+      for (const Variant& variant : variants) {
+        int num_fds = variant.num_fds > 0 ? variant.num_fds : point.num_fds;
+        ExperimentConfig config =
+            BaseConfig(point.rows, num_fds, point.error_pct);
+        config.repair.use_target_tree = variant.use_target_tree;
+        ExperimentRow row = RunOrWarn(dataset, variant.system, config);
+        p_row.push_back(Cell(row.quality.precision));
+        r_row.push_back(Cell(row.quality.recall));
+        t_row.push_back(Cell(row.seconds, 3));
+      }
+      precision.AddRow(std::move(p_row));
+      recall.AddRow(std::move(r_row));
+      time.AddRow(std::move(t_row));
+    }
+    if (show_quality) {
+      precision.Print(std::cout);
+      recall.Print(std::cout);
+    }
+    if (show_time) time.Print(std::cout);
+  }
+}
+
+std::vector<Variant> OurVariants() {
+  return {{"Expansion", SystemUnderTest::kExpansion},
+          {"Greedy", SystemUnderTest::kGreedy},
+          {"Appro", SystemUnderTest::kAppro}};
+}
+
+std::vector<Variant> SingleFDComparisonVariants() {
+  return {{"Greedy-S", SystemUnderTest::kGreedy, 1},
+          {"Expansion-S", SystemUnderTest::kExpansion, 1},
+          {"URM-S", SystemUnderTest::kUrm, 1},
+          {"Nadeef-S", SystemUnderTest::kNadeef, 1},
+          {"Llunatic-S", SystemUnderTest::kLlunatic, 1}};
+}
+
+std::vector<Variant> MultiFDComparisonVariants() {
+  return {{"Greedy-M", SystemUnderTest::kGreedy},
+          {"Appro-M", SystemUnderTest::kAppro},
+          {"URM-M", SystemUnderTest::kUrm},
+          {"Nadeef-M", SystemUnderTest::kNadeef},
+          {"Llunatic-M", SystemUnderTest::kLlunatic}};
+}
+
+}  // namespace bench
+}  // namespace ftrepair

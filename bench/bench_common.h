@@ -1,0 +1,93 @@
+#ifndef FTREPAIR_BENCH_BENCH_COMMON_H_
+#define FTREPAIR_BENCH_BENCH_COMMON_H_
+
+// Shared plumbing for the per-figure bench harnesses. Every binary in
+// bench/ regenerates one table or figure of the paper's evaluation
+// (§6): it prints the same series the paper plots, at a CI-friendly
+// scale by default. Set FTR_SCALE=paper for paper-sized inputs.
+
+#include <string>
+#include <vector>
+
+#include "eval/experiment.h"
+#include "eval/report.h"
+#include "gen/dataset.h"
+
+namespace ftrepair {
+namespace bench {
+
+/// Sweep parameters for one dataset.
+struct DatasetScale {
+  /// #-tuples sweep (Figs. 5, 8, 11, 14).
+  std::vector<int> rows_sweep;
+  /// Fixed #-tuples for the #-FDs and error-rate sweeps.
+  int fixed_rows;
+};
+
+struct Scale {
+  DatasetScale hosp;
+  DatasetScale tax;
+  /// Error-rate sweep in percent (Figs. 7, 10, 13, 16).
+  std::vector<double> error_percents;
+  /// #-FDs sweep (Figs. 6, 9, 12, 15).
+  std::vector<int> fd_counts;
+  /// Fixed error rate for the other sweeps (the paper uses 4%).
+  double fixed_error_percent = 4.0;
+  bool paper_scale = false;
+};
+
+/// Reads FTR_SCALE ("ci" default, "paper" for the paper's sizes).
+const Scale& GetScale();
+
+/// Cached dataset generation: generated once at the sweep's maximum
+/// size; slices come from Dataset.clean.Head().
+const Dataset& HospDataset();
+const Dataset& TaxDataset();
+const Dataset& DatasetFor(bool hosp);
+
+/// Builds the experiment config shared by every figure: recommended
+/// taus/weights, violation stats off (pure repair timing).
+ExperimentConfig BaseConfig(int rows, int num_fds, double error_percent);
+
+/// Runs `system`; on error prints a warning and returns a row with
+/// NaN quality (rendered "n/a").
+ExperimentRow RunOrWarn(const Dataset& dataset, SystemUnderTest system,
+                        const ExperimentConfig& config);
+
+/// Formats a metric, rendering NaN as "n/a".
+std::string Cell(double value, int decimals = 3);
+
+/// One plotted series: a system plus config tweaks.
+struct Variant {
+  std::string label;
+  SystemUnderTest system;
+  /// 0 = all FDs; 1 reproduces the paper's "-S" (single-FD) series.
+  int num_fds = 0;
+  /// false = the no-target-tree ablation (materialize + linear scan).
+  bool use_target_tree = true;
+};
+
+/// The swept x-axis of a figure.
+enum class SweepAxis { kRows, kFds, kErrorRate };
+
+/// Runs the sweep over both datasets and prints the paper-style series:
+/// one precision and one recall table per dataset when `show_quality`,
+/// one runtime table per dataset when `show_time`. `figure` prefixes
+/// the table titles (e.g. "Figure 5").
+void PrintSweep(const std::string& figure, SweepAxis axis,
+                const std::vector<Variant>& variants, bool show_quality,
+                bool show_time);
+
+/// The paper's own algorithms (Figs. 5-10).
+std::vector<Variant> OurVariants();
+
+/// Single-FD comparison series (URM-S / Nadeef-S / Llunatic-S vs ours).
+std::vector<Variant> SingleFDComparisonVariants();
+
+/// Multi-FD comparison series.
+std::vector<Variant> MultiFDComparisonVariants();
+
+}  // namespace bench
+}  // namespace ftrepair
+
+#endif  // FTREPAIR_BENCH_BENCH_COMMON_H_

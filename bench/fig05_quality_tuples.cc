@@ -1,0 +1,11 @@
+// Figure 5: precision/recall of our algorithms, varying #tuples (e%=4, all FDs)
+// Prints the series the paper plots; FTR_SCALE=paper for paper sizes.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace ftrepair::bench;
+  PrintSweep("Figure 5", ftrepair::bench::SweepAxis::kRows,
+             OurVariants(), true, false);
+  return 0;
+}

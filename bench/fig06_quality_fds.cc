@@ -1,0 +1,11 @@
+// Figure 6: precision/recall of our algorithms, varying #FDs
+// Prints the series the paper plots; FTR_SCALE=paper for paper sizes.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace ftrepair::bench;
+  PrintSweep("Figure 6", ftrepair::bench::SweepAxis::kFds,
+             OurVariants(), true, false);
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Figure 7: precision/recall of our algorithms, varying error rate
+// Prints the series the paper plots; FTR_SCALE=paper for paper sizes.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace ftrepair::bench;
+  PrintSweep("Figure 7", ftrepair::bench::SweepAxis::kErrorRate,
+             OurVariants(), true, false);
+  return 0;
+}

@@ -1,0 +1,20 @@
+// Figure 9: runtime with vs without the target tree, varying #FDs.
+// "-Tree" uses the §5 target tree (lazy fallback past the eager cap);
+// "-NoTree" materializes every target and scans linearly — the ablation
+// the paper plots, which stops scaling quickly ("n/a" = exhausted).
+
+#include "bench_common.h"
+
+int main() {
+  using namespace ftrepair::bench;
+  std::vector<Variant> variants = {
+      {"Expansion-Tree", ftrepair::SystemUnderTest::kExpansion, 0, true},
+      {"Greedy-Tree", ftrepair::SystemUnderTest::kGreedy, 0, true},
+      {"Greedy-NoTree", ftrepair::SystemUnderTest::kGreedy, 0, false},
+      {"Appro-Tree", ftrepair::SystemUnderTest::kAppro, 0, true},
+      {"Appro-NoTree", ftrepair::SystemUnderTest::kAppro, 0, false},
+  };
+  PrintSweep("Figure 9", ftrepair::bench::SweepAxis::kFds, variants,
+             /*show_quality=*/false, /*show_time=*/true);
+  return 0;
+}

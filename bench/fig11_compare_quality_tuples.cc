@@ -1,0 +1,14 @@
+// Figure 11: quality vs URM/NADEEF/Llunatic, varying #tuples.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace ftrepair::bench;
+  PrintSweep("Figure 11 (single FD)", ftrepair::bench::SweepAxis::kRows,
+             SingleFDComparisonVariants(), /*show_quality=*/true,
+             /*show_time=*/false);
+  PrintSweep("Figure 11 (multi FD)", ftrepair::bench::SweepAxis::kRows,
+             MultiFDComparisonVariants(), /*show_quality=*/true,
+             /*show_time=*/false);
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Figure 12: quality vs URM/NADEEF/Llunatic, varying #FDs.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace ftrepair::bench;
+  PrintSweep("Figure 12 (multi FD)", ftrepair::bench::SweepAxis::kFds,
+             MultiFDComparisonVariants(), /*show_quality=*/true,
+             /*show_time=*/false);
+  return 0;
+}

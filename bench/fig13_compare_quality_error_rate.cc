@@ -1,0 +1,14 @@
+// Figure 13: quality vs URM/NADEEF/Llunatic, varying error rate.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace ftrepair::bench;
+  PrintSweep("Figure 13 (single FD)", ftrepair::bench::SweepAxis::kErrorRate,
+             SingleFDComparisonVariants(), /*show_quality=*/true,
+             /*show_time=*/false);
+  PrintSweep("Figure 13 (multi FD)", ftrepair::bench::SweepAxis::kErrorRate,
+             MultiFDComparisonVariants(), /*show_quality=*/true,
+             /*show_time=*/false);
+  return 0;
+}

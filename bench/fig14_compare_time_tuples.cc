@@ -1,0 +1,11 @@
+// Figure 14: runtime vs URM/NADEEF/Llunatic, varying #tuples.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace ftrepair::bench;
+  PrintSweep("Figure 14", ftrepair::bench::SweepAxis::kRows,
+             MultiFDComparisonVariants(), /*show_quality=*/false,
+             /*show_time=*/true);
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Figure 15: runtime vs URM/NADEEF/Llunatic, varying #FDs.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace ftrepair::bench;
+  PrintSweep("Figure 15", ftrepair::bench::SweepAxis::kFds,
+             MultiFDComparisonVariants(), /*show_quality=*/false,
+             /*show_time=*/true);
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Figure 16: runtime vs URM/NADEEF/Llunatic, varying error rate.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace ftrepair::bench;
+  PrintSweep("Figure 16", ftrepair::bench::SweepAxis::kErrorRate,
+             MultiFDComparisonVariants(), /*show_quality=*/false,
+             /*show_time=*/true);
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Micro-benchmarks of the detection pipeline: tuple grouping, violation
+// graph construction (the similarity self-join) and threshold
+// suggestion, on HOSP slices.
+
+#include <benchmark/benchmark.h>
+
+#include "detect/pattern.h"
+#include "detect/threshold.h"
+#include "detect/violation_graph.h"
+#include "gen/error_injector.h"
+#include "gen/hosp_gen.h"
+
+namespace {
+
+using namespace ftrepair;
+
+const Dataset& SharedDataset() {
+  static const Dataset* kDataset = new Dataset(
+      std::move(GenerateHosp({.num_rows = 4000, .seed = 7})).ValueOrDie());
+  return *kDataset;
+}
+
+const Table& DirtyTable() {
+  static const Table* kTable = [] {
+    NoiseOptions noise;
+    noise.error_rate = 0.04;
+    return new Table(std::move(InjectErrors(SharedDataset().clean,
+                                            SharedDataset().fds, noise,
+                                            nullptr))
+                         .ValueOrDie());
+  }();
+  return *kTable;
+}
+
+void BM_BuildPatterns(benchmark::State& state) {
+  const Dataset& ds = SharedDataset();
+  const Table& dirty = DirtyTable();
+  Table slice = dirty.Head(static_cast<int>(state.range(0)));
+  const FD& fd = ds.fds[2];  // ZipCode -> City
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BuildPatterns(slice, fd.attrs()));
+  }
+}
+BENCHMARK(BM_BuildPatterns)->Arg(1000)->Arg(4000);
+
+void BM_ViolationGraphBuild(benchmark::State& state) {
+  const Dataset& ds = SharedDataset();
+  const Table& dirty = DirtyTable();
+  Table slice = dirty.Head(static_cast<int>(state.range(0)));
+  const FD& fd = ds.fds[2];
+  DistanceModel model(slice);
+  FTOptions opts{ds.recommended_w_l, ds.recommended_w_r,
+                 ds.recommended_tau.at(fd.name())};
+  std::vector<Pattern> patterns = BuildPatterns(slice, fd.attrs());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ViolationGraph::Build(patterns, fd, model, opts));
+  }
+}
+BENCHMARK(BM_ViolationGraphBuild)->Arg(1000)->Arg(4000);
+
+void BM_SuggestThreshold(benchmark::State& state) {
+  const Dataset& ds = SharedDataset();
+  const Table& dirty = DirtyTable();
+  Table slice = dirty.Head(1000);
+  const FD& fd = ds.fds[2];
+  DistanceModel model(slice);
+  ThresholdOptions topt;
+  topt.w_l = ds.recommended_w_l;
+  topt.w_r = ds.recommended_w_r;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SuggestThreshold(slice, fd, model, topt));
+  }
+}
+BENCHMARK(BM_SuggestThreshold);
+
+}  // namespace
+
+BENCHMARK_MAIN();

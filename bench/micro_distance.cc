@@ -1,0 +1,64 @@
+// Micro-benchmarks of the distance kernels everything else is built on
+// (google-benchmark).
+
+#include <string>
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "metric/distance.h"
+
+namespace {
+
+std::string RandomString(ftrepair::Rng* rng, size_t len) {
+  std::string s;
+  for (size_t i = 0; i < len; ++i) {
+    s += static_cast<char>('a' + rng->Index(26));
+  }
+  return s;
+}
+
+void BM_EditDistance(benchmark::State& state) {
+  ftrepair::Rng rng(1);
+  size_t len = static_cast<size_t>(state.range(0));
+  std::string a = RandomString(&rng, len);
+  std::string b = RandomString(&rng, len);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ftrepair::EditDistance(a, b));
+  }
+}
+BENCHMARK(BM_EditDistance)->Arg(8)->Arg(16)->Arg(64);
+
+void BM_BoundedEditDistance(benchmark::State& state) {
+  ftrepair::Rng rng(1);
+  size_t len = static_cast<size_t>(state.range(0));
+  std::string a = RandomString(&rng, len);
+  std::string b = RandomString(&rng, len);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ftrepair::BoundedEditDistance(a, b, 3));
+  }
+}
+BENCHMARK(BM_BoundedEditDistance)->Arg(8)->Arg(16)->Arg(64);
+
+void BM_NormalizedEditDistance(benchmark::State& state) {
+  ftrepair::Rng rng(2);
+  std::string a = RandomString(&rng, 12);
+  std::string b = RandomString(&rng, 12);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ftrepair::NormalizedEditDistance(a, b));
+  }
+}
+BENCHMARK(BM_NormalizedEditDistance);
+
+void BM_TokenJaccard(benchmark::State& state) {
+  std::string a = "aspirin prescribed at discharge for patients";
+  std::string b = "statin prescribed at discharge for all patients";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ftrepair::TokenJaccardDistance(a, b));
+  }
+}
+BENCHMARK(BM_TokenJaccard);
+
+}  // namespace
+
+BENCHMARK_MAIN();

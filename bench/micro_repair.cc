@@ -1,0 +1,107 @@
+// Micro-benchmarks of the repair kernels (google-benchmark): Greedy-S,
+// Expansion-S and the target-tree search on fixed HOSP-derived inputs.
+
+#include <benchmark/benchmark.h>
+
+#include "core/expansion_single.h"
+#include "core/greedy_single.h"
+#include "core/multi_common.h"
+#include "core/target_tree.h"
+#include "gen/error_injector.h"
+#include "gen/hosp_gen.h"
+
+namespace {
+
+using namespace ftrepair;
+
+struct Fixture {
+  Dataset dataset;
+  Table dirty;
+  DistanceModel model;
+  ViolationGraph graph;
+
+  Fixture()
+      : dataset(std::move(GenerateHosp({.num_rows = 2000, .seed = 7}))
+                    .ValueOrDie()),
+        dirty(MakeDirty()),
+        model(dirty),
+        graph(MakeGraph()) {}
+
+  Table MakeDirty() {
+    NoiseOptions noise;
+    noise.error_rate = 0.04;
+    noise.seed = 42;
+    return std::move(InjectErrors(dataset.clean, dataset.fds, noise,
+                                  nullptr))
+        .ValueOrDie();
+  }
+
+  ViolationGraph MakeGraph() {
+    const FD& fd = dataset.fds[2];  // ZipCode -> City
+    FTOptions ft{dataset.recommended_w_l, dataset.recommended_w_r,
+                 dataset.recommended_tau.at(fd.name())};
+    return ViolationGraph::Build(BuildPatterns(dirty, fd.attrs()), fd,
+                                 model, ft);
+  }
+};
+
+Fixture& SharedFixture() {
+  static Fixture* kFixture = new Fixture();
+  return *kFixture;
+}
+
+void BM_GreedySingle(benchmark::State& state) {
+  Fixture& fixture = SharedFixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SolveGreedySingle(fixture.graph));
+  }
+}
+BENCHMARK(BM_GreedySingle);
+
+void BM_ExpansionSingle(benchmark::State& state) {
+  Fixture& fixture = SharedFixture();
+  for (auto _ : state) {
+    auto solution = SolveExpansionSingle(fixture.graph, ExpansionConfig{});
+    benchmark::DoNotOptimize(solution);
+  }
+}
+BENCHMARK(BM_ExpansionSingle);
+
+void BM_TargetTreeSearch(benchmark::State& state) {
+  Fixture& fixture = SharedFixture();
+  // Measure component: the measure FDs h7-h9 joined through MeasureCode.
+  RepairOptions options;
+  options.w_l = fixture.dataset.recommended_w_l;
+  options.w_r = fixture.dataset.recommended_w_r;
+  for (const auto& [name, tau] : fixture.dataset.recommended_tau) {
+    options.tau_by_fd[name] = tau;
+  }
+  std::vector<const FD*> fds = {&fixture.dataset.fds[6],
+                                &fixture.dataset.fds[7],
+                                &fixture.dataset.fds[8]};
+  ComponentContext context =
+      BuildComponentContext(fixture.dirty, fds, fixture.model, options);
+  std::vector<TargetTree::LevelInput> inputs(fds.size());
+  for (size_t k = 0; k < fds.size(); ++k) {
+    inputs[k].fd = fds[k];
+    for (int j : SolveGreedySingle(context.graphs[k]).chosen_set) {
+      inputs[k].elements.push_back(context.graphs[k].pattern(j).values);
+    }
+  }
+  TargetTree tree = std::move(TargetTree::Build(
+                                  inputs, context.component_cols, 1000000))
+                        .ValueOrDie();
+  size_t i = 0;
+  for (auto _ : state) {
+    const Pattern& sigma =
+        context.sigma_patterns[i++ % context.sigma_patterns.size()];
+    double cost = 0;
+    benchmark::DoNotOptimize(
+        tree.FindBest(sigma.values, fixture.model, &cost, nullptr));
+  }
+}
+BENCHMARK(BM_TargetTreeSearch);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,51 @@
+// Table 3: the paper's algorithm-comparison summary. One row per
+// system and mode (-S = single FD, -M = all 9 FDs), at the fixed
+// configuration (HOSP/Tax at the scale's fixed #tuples, e% = 4).
+
+#include <iostream>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace ftrepair;
+  using namespace ftrepair::bench;
+
+  struct Entry {
+    const char* label;
+    SystemUnderTest system;
+    int num_fds;
+  };
+  const Entry kEntries[] = {
+      {"Expansion-S", SystemUnderTest::kExpansion, 1},
+      {"Greedy-S", SystemUnderTest::kGreedy, 1},
+      {"URM-S", SystemUnderTest::kUrm, 1},
+      {"Nadeef-S", SystemUnderTest::kNadeef, 1},
+      {"Llunatic-S", SystemUnderTest::kLlunatic, 1},
+      {"Expansion-M", SystemUnderTest::kExpansion, 0},
+      {"Greedy-M", SystemUnderTest::kGreedy, 0},
+      {"Appro-M", SystemUnderTest::kAppro, 0},
+      {"URM-M", SystemUnderTest::kUrm, 0},
+      {"Nadeef-M", SystemUnderTest::kNadeef, 0},
+      {"Llunatic-M", SystemUnderTest::kLlunatic, 0},
+  };
+
+  Report report("Table 3: algorithm comparison (P / R / time)");
+  report.SetHeader({"system", "HOSP P", "HOSP R", "HOSP t(s)", "Tax P",
+                    "Tax R", "Tax t(s)"});
+  for (const Entry& entry : kEntries) {
+    std::vector<std::string> row = {entry.label};
+    for (bool hosp : {true, false}) {
+      const Dataset& dataset = DatasetFor(hosp);
+      int rows = hosp ? GetScale().hosp.fixed_rows : GetScale().tax.fixed_rows;
+      ExperimentConfig config =
+          BaseConfig(rows, entry.num_fds, GetScale().fixed_error_percent);
+      ExperimentRow result = RunOrWarn(dataset, entry.system, config);
+      row.push_back(Cell(result.quality.precision));
+      row.push_back(Cell(result.quality.recall));
+      row.push_back(Cell(result.seconds, 3));
+    }
+    report.AddRow(std::move(row));
+  }
+  report.Print(std::cout);
+  return 0;
+}

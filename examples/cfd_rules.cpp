@@ -1,0 +1,57 @@
+// Conditional FDs: the §2 extension. A constant CFD pins New York
+// citizens to State = NY; a variable tableau row applies fault-tolerant
+// FD semantics to everything else.
+//
+//   ./build/examples/cfd_rules
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "constraint/cfd.h"
+#include "core/repairer.h"
+#include "data/csv.h"
+
+namespace {
+
+constexpr const char* kCitizensCsv =
+    "Name,Education,Level,City,Street,District,State\n"
+    "Janaina,Bachelors,3,New York,Main,Manhattan,NY\n"
+    "Aloke,Bachelors,3,New York,Main,Manhattan,NY\n"
+    "Paulo,Masters,4,New York,Western,Queens,MA\n"
+    "Gara,Masters,4,Boston,Main,Financial,MA\n"
+    "Mitchell,HS-grad,9,Boston,Main,Financial,MA\n"
+    "Pavol,Masters,4,Boton,Main,Financial,MA\n";
+
+}  // namespace
+
+int main() {
+  using namespace ftrepair;
+  Table dirty = std::move(ReadCsvString(kCitizensCsv)).ValueOrDie();
+  const Schema& schema = dirty.schema();
+
+  FD fd = std::move(FD::Make({schema.IndexOf("City")},
+                             {schema.IndexOf("State")}, "phi2"))
+              .ValueOrDie();
+  std::vector<PatternRow> tableau;
+  tableau.push_back({Value("New York"), Value("NY")});   // constant rule
+  tableau.push_back({std::nullopt, std::nullopt});       // variable rule
+  CFD cfd = std::move(CFD::Make(std::move(fd), std::move(tableau),
+                                "ny_rule"))
+                .ValueOrDie();
+
+  RepairOptions options;
+  options.tau_by_fd = {{"phi2", 0.5}};
+  Repairer repairer(options);
+  RepairResult result =
+      std::move(repairer.RepairCFDs(dirty, {cfd})).ValueOrDie();
+
+  std::printf("CFD repair changed %d cells:\n", result.stats.cells_changed);
+  for (const CellChange& change : result.changes) {
+    std::printf("  row %d %-8s %-10s -> %s\n", change.row,
+                schema.column(change.col).name.c_str(),
+                change.old_value.ToString().c_str(),
+                change.new_value.ToString().c_str());
+  }
+  std::printf("\n%s", WriteCsvString(result.repaired).c_str());
+  return EXIT_SUCCESS;
+}

@@ -1,0 +1,80 @@
+// Tax-record audit: demonstrates joint multi-constraint repair on the
+// Tax workload's 8-FD connected component (zip / city / state / area
+// code / exemptions), comparing the per-FD heuristic (Appro-M) against
+// the synchronization-aware joint greedy (Greedy-M).
+//
+//   ./build/examples/tax_audit [rows]
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "constraint/fd_graph.h"
+#include "core/repairer.h"
+#include "detect/detector.h"
+#include "eval/quality.h"
+#include "eval/report.h"
+#include "gen/error_injector.h"
+#include "gen/tax_gen.h"
+
+int main(int argc, char** argv) {
+  using namespace ftrepair;
+  int rows = argc > 1 ? std::atoi(argv[1]) : 1500;
+
+  Dataset dataset =
+      std::move(GenerateTax({.num_rows = rows, .seed = 11})).ValueOrDie();
+
+  // Show the FD graph decomposition (§4.1).
+  FDGraph fd_graph(dataset.fds);
+  std::printf("Tax FD graph components:\n");
+  for (const auto& component : fd_graph.Components()) {
+    std::printf("  {");
+    for (size_t i = 0; i < component.size(); ++i) {
+      std::printf("%s%s", i ? ", " : "",
+                  dataset.fds[static_cast<size_t>(component[i])].name()
+                      .c_str());
+    }
+    std::printf("}\n");
+  }
+  std::printf("\n");
+
+  NoiseOptions noise;
+  noise.error_rate = 0.04;
+  noise.seed = 23;
+  NoiseReport noise_report;
+  Table dirty =
+      std::move(InjectErrors(dataset.clean, dataset.fds, noise,
+                             &noise_report))
+          .ValueOrDie();
+  std::printf("Injected %d dirty cells (%d LHS swaps, %d RHS swaps, "
+              "%d typos)\n\n",
+              noise_report.cells_dirtied, noise_report.lhs_errors,
+              noise_report.rhs_errors, noise_report.typos);
+
+  RepairOptions base;
+  base.w_l = dataset.recommended_w_l;
+  base.w_r = dataset.recommended_w_r;
+  for (const auto& [name, tau] : dataset.recommended_tau) {
+    base.tau_by_fd[name] = tau;
+  }
+  base.compute_violation_stats = true;
+
+  Report report("Tax audit: per-FD vs joint repair");
+  report.SetHeader({"algorithm", "precision", "recall", "f1",
+                    "violations left", "cells changed"});
+  for (RepairAlgorithm algorithm :
+       {RepairAlgorithm::kApproJoin, RepairAlgorithm::kGreedy}) {
+    RepairOptions options = base;
+    options.algorithm = algorithm;
+    Repairer repairer(options);
+    RepairResult result =
+        std::move(repairer.Repair(dirty, dataset.fds)).ValueOrDie();
+    Quality q = EvaluateRepair(dirty, result.repaired, dataset.clean);
+    report.AddRow({RepairAlgorithmName(algorithm), Report::Num(q.precision),
+                   Report::Num(q.recall), Report::Num(q.f1),
+                   std::to_string(result.stats.ft_violations_after),
+                   std::to_string(result.stats.cells_changed)});
+  }
+  report.Print(std::cout);
+  return EXIT_SUCCESS;
+}

@@ -1,0 +1,50 @@
+// Threshold tuning: the §2.1 heuristic in action. For each FD of the
+// HOSP workload, suggest a fault-tolerance threshold from the sorted
+// pairwise-distance gap and compare it against the hand-tuned value the
+// generator ships.
+//
+//   ./build/examples/threshold_tuning [rows]
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "detect/detector.h"
+#include "detect/threshold.h"
+#include "eval/report.h"
+#include "gen/error_injector.h"
+#include "gen/hosp_gen.h"
+
+int main(int argc, char** argv) {
+  using namespace ftrepair;
+  int rows = argc > 1 ? std::atoi(argv[1]) : 1000;
+
+  Dataset dataset =
+      std::move(GenerateHosp({.num_rows = rows, .seed = 7})).ValueOrDie();
+  NoiseOptions noise;
+  noise.error_rate = 0.04;
+  Table dirty =
+      std::move(InjectErrors(dataset.clean, dataset.fds, noise, nullptr))
+          .ValueOrDie();
+  DistanceModel model(dirty);
+
+  ThresholdOptions topt;
+  topt.w_l = dataset.recommended_w_l;
+  topt.w_r = dataset.recommended_w_r;
+
+  Report report("Suggested vs recommended tau (HOSP, 4% noise)");
+  report.SetHeader({"FD", "suggested", "recommended",
+                    "FT-violations@suggested"});
+  for (const FD& fd : dataset.fds) {
+    double suggested = SuggestThreshold(dirty, fd, model, topt);
+    FTOptions opts{topt.w_l, topt.w_r, suggested};
+    report.AddRow({fd.ToString(dirty.schema()), Report::Num(suggested, 3),
+                   Report::Num(dataset.recommended_tau.at(fd.name()), 2),
+                   std::to_string(CountFTViolations(dirty, fd, model, opts))});
+  }
+  report.Print(std::cout);
+  std::printf(
+      "The heuristic finds the sorted-distance gap; conservative users\n"
+      "can lower the value further to favor precision (see §2.1).\n");
+  return EXIT_SUCCESS;
+}

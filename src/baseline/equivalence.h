@@ -1,0 +1,31 @@
+#ifndef FTREPAIR_BASELINE_EQUIVALENCE_H_
+#define FTREPAIR_BASELINE_EQUIVALENCE_H_
+
+#include <vector>
+
+#include "constraint/fd.h"
+#include "data/table.h"
+
+namespace ftrepair {
+
+/// An equivalence class of rows sharing one LHS projection.
+struct LhsClass {
+  std::vector<Value> lhs_values;
+  std::vector<int> rows;
+  /// Distinct RHS projections observed in the class and their rows.
+  std::vector<std::vector<Value>> rhs_values;
+  std::vector<std::vector<int>> rhs_rows;
+
+  bool conflicted() const { return rhs_values.size() > 1; }
+};
+
+/// Groups rows of `table` by `fd`'s LHS, splitting each class by RHS.
+std::vector<LhsClass> BuildLhsClasses(const Table& table, const FD& fd);
+
+/// Index (into lhs_class.rhs_values) of the most frequent RHS
+/// projection; ties break toward the lexicographically smaller value.
+size_t MajorityRhs(const LhsClass& lhs_class);
+
+}  // namespace ftrepair
+
+#endif  // FTREPAIR_BASELINE_EQUIVALENCE_H_

@@ -1,0 +1,75 @@
+#include "baseline/llunatic.h"
+
+#include "baseline/equivalence.h"
+#include "core/repairer.h"
+#include "metric/projection.h"
+
+namespace ftrepair {
+
+const Value& LlunValue() {
+  static const Value* kLlun = new Value("__LLUN__");
+  return *kLlun;
+}
+
+bool IsLlun(const Value& v) { return v == LlunValue(); }
+
+Result<RepairResult> LlunaticRepair(const Table& table,
+                                    const std::vector<FD>& fds,
+                                    const LlunaticOptions& options) {
+  FTR_RETURN_NOT_OK(ValidateFDs(table.schema(), fds));
+  RepairResult result;
+  result.repaired = table;
+
+  for (int pass = 0; pass < options.max_passes; ++pass) {
+    bool changed = false;
+    for (const FD& fd : fds) {
+      for (const LhsClass& cls : BuildLhsClasses(result.repaired, fd)) {
+        // Llun variables are unknowns: they neither conflict nor vote.
+        std::vector<size_t> concrete;
+        for (size_t g = 0; g < cls.rhs_values.size(); ++g) {
+          bool has_llun = false;
+          for (const Value& v : cls.rhs_values[g]) has_llun |= IsLlun(v);
+          if (!has_llun) concrete.push_back(g);
+        }
+        if (concrete.size() < 2) continue;  // no concrete conflict
+        size_t majority = concrete[0];
+        for (size_t g : concrete) {
+          if (cls.rhs_rows[g].size() > cls.rhs_rows[majority].size() ||
+              (cls.rhs_rows[g].size() == cls.rhs_rows[majority].size() &&
+               cls.rhs_values[g] < cls.rhs_values[majority])) {
+            majority = g;
+          }
+        }
+        size_t majority_count = cls.rhs_rows[majority].size();
+        bool dominant =
+            static_cast<double>(majority_count) >=
+            options.dominance_ratio * static_cast<double>(cls.rows.size());
+        for (size_t g : concrete) {
+          if (g == majority) continue;
+          for (int row : cls.rhs_rows[g]) {
+            for (int p = 0; p < fd.rhs_size(); ++p) {
+              int col = fd.rhs()[static_cast<size_t>(p)];
+              Value* cell = result.repaired.mutable_cell(row, col);
+              const Value& target =
+                  dominant ? cls.rhs_values[majority][static_cast<size_t>(p)]
+                           : LlunValue();
+              if (*cell != target) {
+                result.changes.push_back(CellChange{row, col, *cell, target});
+                *cell = target;
+                changed = true;
+              }
+            }
+          }
+        }
+      }
+    }
+    if (!changed) break;
+  }
+
+  DistanceModel model(table);
+  result.stats.repair_cost = TableRepairCost(table, result.repaired, model);
+  result.stats.cells_changed = static_cast<int>(result.changes.size());
+  return result;
+}
+
+}  // namespace ftrepair

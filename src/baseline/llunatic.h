@@ -1,0 +1,43 @@
+#ifndef FTREPAIR_BASELINE_LLUNATIC_H_
+#define FTREPAIR_BASELINE_LLUNATIC_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "constraint/fd.h"
+#include "core/repair_types.h"
+#include "data/table.h"
+
+namespace ftrepair {
+
+/// The "llun" variable marker: a cell whose value the cost manager left
+/// undetermined ("to be resolved by asking users"). The evaluation
+/// harness scores such cells with partial credit (the paper's
+/// Metric 0.5).
+const Value& LlunValue();
+
+/// True iff `v` is the llun marker.
+bool IsLlun(const Value& v);
+
+struct LlunaticOptions {
+  /// An LHS class repairs to its dominant RHS when the most frequent
+  /// projection covers at least this fraction of the class; otherwise
+  /// the conflicting RHS cells become llun variables.
+  double dominance_ratio = 0.6;
+  /// Fixpoint passes over the FD list.
+  int max_passes = 5;
+};
+
+/// \brief Llunatic-style baseline (Geerts et al., PVLDB'13) with the
+/// frequency cost-manager.
+///
+/// Equality-detected conflicts whose class has a dominant RHS value are
+/// repaired to it; classes without a dominant value get llun variables
+/// — partially repaired cells that Metric 0.5 counts half-correct.
+Result<RepairResult> LlunaticRepair(const Table& table,
+                                    const std::vector<FD>& fds,
+                                    const LlunaticOptions& options = {});
+
+}  // namespace ftrepair
+
+#endif  // FTREPAIR_BASELINE_LLUNATIC_H_

@@ -1,0 +1,49 @@
+#include "baseline/nadeef.h"
+
+#include "baseline/equivalence.h"
+#include "core/repairer.h"
+#include "metric/projection.h"
+
+namespace ftrepair {
+
+Result<RepairResult> NadeefRepair(const Table& table,
+                                  const std::vector<FD>& fds,
+                                  const NadeefOptions& options) {
+  FTR_RETURN_NOT_OK(ValidateFDs(table.schema(), fds));
+  RepairResult result;
+  result.repaired = table;
+
+  for (int pass = 0; pass < options.max_passes; ++pass) {
+    bool changed = false;
+    for (const FD& fd : fds) {
+      for (const LhsClass& cls : BuildLhsClasses(result.repaired, fd)) {
+        if (!cls.conflicted()) continue;
+        size_t majority = MajorityRhs(cls);
+        const std::vector<Value>& target = cls.rhs_values[majority];
+        for (size_t g = 0; g < cls.rhs_values.size(); ++g) {
+          if (g == majority) continue;
+          for (int row : cls.rhs_rows[g]) {
+            for (int p = 0; p < fd.rhs_size(); ++p) {
+              int col = fd.rhs()[static_cast<size_t>(p)];
+              Value* cell = result.repaired.mutable_cell(row, col);
+              if (*cell != target[static_cast<size_t>(p)]) {
+                result.changes.push_back(CellChange{
+                    row, col, *cell, target[static_cast<size_t>(p)]});
+                *cell = target[static_cast<size_t>(p)];
+                changed = true;
+              }
+            }
+          }
+        }
+      }
+    }
+    if (!changed) break;
+  }
+
+  DistanceModel model(table);
+  result.stats.repair_cost = TableRepairCost(table, result.repaired, model);
+  result.stats.cells_changed = static_cast<int>(result.changes.size());
+  return result;
+}
+
+}  // namespace ftrepair

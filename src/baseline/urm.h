@@ -1,0 +1,37 @@
+#ifndef FTREPAIR_BASELINE_URM_H_
+#define FTREPAIR_BASELINE_URM_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "constraint/fd.h"
+#include "core/repair_types.h"
+#include "data/table.h"
+
+namespace ftrepair {
+
+struct UrmOptions {
+  /// A pattern (projection over X ∪ Y) with frequency >= this is *core*;
+  /// below it is *deviant*.
+  int core_frequency = 2;
+  /// A deviant pattern is repaired to its nearest core pattern only if
+  /// the change touches at most this fraction of the pattern's
+  /// attributes (the description-length test: a cheap modification
+  /// shortens the encoding, an expensive one does not).
+  double max_change_ratio = 0.5;
+};
+
+/// \brief URM-style baseline (Chiang & Miller, ICDE'11 "A unified model
+/// for data and constraint repair"), data-repair option only.
+///
+/// Per FD, in the given order: patterns over X ∪ Y are split into core
+/// (frequent) and deviant (rare); each deviant pattern moves to its
+/// nearest core pattern when that shortens the description length. The
+/// same deviant pattern is modified identically in every tuple, and
+/// FDs are processed one by one — the two weaknesses §6.4 discusses.
+Result<RepairResult> UrmRepair(const Table& table, const std::vector<FD>& fds,
+                               const UrmOptions& options = {});
+
+}  // namespace ftrepair
+
+#endif  // FTREPAIR_BASELINE_URM_H_

@@ -1,0 +1,327 @@
+#include "cli/cli.h"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "common/strings.h"
+#include "common/timer.h"
+#include "constraint/fd_parser.h"
+#include "core/repairer.h"
+#include "data/csv.h"
+#include "detect/detector.h"
+#include "detect/threshold.h"
+#include "eval/profile.h"
+#include "eval/quality.h"
+#include "eval/report.h"
+
+namespace ftrepair {
+
+std::string CliUsage() {
+  return R"(ftrepair — cost-based data repairing with fault-tolerant FD violations
+
+Usage:
+  ftrepair --input DIRTY.csv --fds FDS.txt [options]
+
+Required:
+  --input PATH        dirty relation (CSV with header)
+  --fds PATH          FD list, one per line: "name: A, B -> C"
+
+Options:
+  --output PATH       write the repaired relation as CSV
+  --changes PATH      write the cell changes as CSV (row, column, old, new)
+  --truth PATH        ground-truth CSV; prints precision/recall
+  --algorithm NAME    exact | greedy | appro        (default: greedy)
+  --tau VALUE         fault-tolerance threshold     (default: 0.4)
+  --tau-fd NAME=V     per-FD threshold override (repeatable)
+  --wl VALUE          Eq. 2 LHS weight              (default: 0.7)
+  --wr VALUE          Eq. 2 RHS weight              (default: 0.3)
+  --trusted-rows LIST comma-separated 0-based row indices known correct
+                      (master data): never modified, anchor the repair
+  --auto-threshold    pick tau per FD from the distance-gap heuristic
+  --verbose           print every cell change
+  --summary           print changes aggregated by (column, old, new)
+  --help              this text
+
+Modes (no repair performed):
+  --profile           print per-column profiles of --input
+  --discover          discover FDs on --input, vet their thresholds and
+                      print a spec usable as a --fds file
+  --max-lhs N         discovery: max LHS arity            (default: 1)
+  --g3 VALUE          discovery: max g3 error             (default: 0.05)
+)";
+}
+
+namespace {
+
+Result<double> ParsePositiveDouble(const std::string& flag,
+                                   const std::string& text) {
+  double value = 0;
+  if (!ParseDouble(text, &value) || value < 0) {
+    return Status::InvalidArgument(flag + " expects a non-negative number, got '" +
+                                   text + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+Result<CliOptions> ParseCliArgs(const std::vector<std::string>& args) {
+  CliOptions options;
+  options.repair.w_l = 0.7;
+  options.repair.w_r = 0.3;
+  options.repair.default_tau = 0.4;
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    auto next = [&]() -> Result<std::string> {
+      if (i + 1 >= args.size()) {
+        return Status::InvalidArgument(arg + " expects a value");
+      }
+      return args[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      return Status::InvalidArgument(CliUsage());
+    } else if (arg == "--input") {
+      FTR_ASSIGN_OR_RETURN(options.input_path, next());
+    } else if (arg == "--fds") {
+      FTR_ASSIGN_OR_RETURN(options.fds_path, next());
+    } else if (arg == "--output") {
+      FTR_ASSIGN_OR_RETURN(options.output_path, next());
+    } else if (arg == "--changes") {
+      FTR_ASSIGN_OR_RETURN(options.changes_path, next());
+    } else if (arg == "--truth") {
+      FTR_ASSIGN_OR_RETURN(options.truth_path, next());
+    } else if (arg == "--algorithm") {
+      FTR_ASSIGN_OR_RETURN(std::string name, next());
+      if (name == "exact") {
+        options.repair.algorithm = RepairAlgorithm::kExact;
+      } else if (name == "greedy") {
+        options.repair.algorithm = RepairAlgorithm::kGreedy;
+      } else if (name == "appro") {
+        options.repair.algorithm = RepairAlgorithm::kApproJoin;
+      } else {
+        return Status::InvalidArgument("unknown --algorithm '" + name +
+                                       "' (exact | greedy | appro)");
+      }
+    } else if (arg == "--tau") {
+      FTR_ASSIGN_OR_RETURN(std::string text, next());
+      FTR_ASSIGN_OR_RETURN(options.repair.default_tau,
+                           ParsePositiveDouble(arg, text));
+    } else if (arg == "--tau-fd") {
+      FTR_ASSIGN_OR_RETURN(std::string text, next());
+      size_t eq = text.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        return Status::InvalidArgument("--tau-fd expects NAME=VALUE");
+      }
+      FTR_ASSIGN_OR_RETURN(double tau,
+                           ParsePositiveDouble(arg, text.substr(eq + 1)));
+      options.repair.tau_by_fd[text.substr(0, eq)] = tau;
+    } else if (arg == "--wl") {
+      FTR_ASSIGN_OR_RETURN(std::string text, next());
+      FTR_ASSIGN_OR_RETURN(options.repair.w_l,
+                           ParsePositiveDouble(arg, text));
+    } else if (arg == "--wr") {
+      FTR_ASSIGN_OR_RETURN(std::string text, next());
+      FTR_ASSIGN_OR_RETURN(options.repair.w_r,
+                           ParsePositiveDouble(arg, text));
+    } else if (arg == "--profile") {
+      options.profile = true;
+    } else if (arg == "--discover") {
+      options.discover = true;
+    } else if (arg == "--summary") {
+      options.summary = true;
+    } else if (arg == "--max-lhs") {
+      FTR_ASSIGN_OR_RETURN(std::string text, next());
+      double v = 0;
+      if (!ParseDouble(text, &v) || v < 1 || v != static_cast<int>(v)) {
+        return Status::InvalidArgument("--max-lhs expects a positive integer");
+      }
+      options.discovery.max_lhs_size = static_cast<int>(v);
+    } else if (arg == "--g3") {
+      FTR_ASSIGN_OR_RETURN(std::string text, next());
+      FTR_ASSIGN_OR_RETURN(options.discovery.max_g3_error,
+                           ParsePositiveDouble(arg, text));
+    } else if (arg == "--trusted-rows") {
+      FTR_ASSIGN_OR_RETURN(std::string text, next());
+      for (const std::string& part : Split(text, ',')) {
+        double row = 0;
+        if (!ParseDouble(part, &row) || row < 0 ||
+            row != static_cast<int>(row)) {
+          return Status::InvalidArgument(
+              "--trusted-rows expects comma-separated row indices, got '" +
+              part + "'");
+        }
+        options.repair.trusted_rows.insert(static_cast<int>(row));
+      }
+    } else if (arg == "--auto-threshold") {
+      options.repair.auto_threshold = true;
+    } else if (arg == "--verbose") {
+      options.verbose = true;
+    } else {
+      return Status::InvalidArgument("unknown flag '" + arg + "'\n" +
+                                     CliUsage());
+    }
+  }
+  if (options.input_path.empty()) {
+    return Status::InvalidArgument("--input is required\n" + CliUsage());
+  }
+  if (options.fds_path.empty() && !options.discover && !options.profile) {
+    return Status::InvalidArgument("--fds is required\n" + CliUsage());
+  }
+  return options;
+}
+
+namespace {
+
+Status RunProfile(const Table& table, std::ostream& out) {
+  Report report("column profiles");
+  report.SetHeader({"column", "type", "non-null", "distinct", "ratio",
+                    "top values", "range"});
+  for (const ColumnProfile& p : ProfileTable(table)) {
+    std::string tops;
+    for (const auto& [value, count] : p.top_values) {
+      if (!tops.empty()) tops += ", ";
+      tops += value.ToString() + " x" + std::to_string(count);
+    }
+    std::string range = p.has_numeric_range
+                            ? "[" + FormatDouble(p.min) + ", " +
+                                  FormatDouble(p.max) + "]"
+                            : "-";
+    report.AddRow({p.name, p.type == ValueType::kNumber ? "number" : "string",
+                   std::to_string(p.non_null), std::to_string(p.distinct),
+                   Report::Num(p.distinct_ratio, 3), tops, range});
+  }
+  report.Print(out);
+  return Status::OK();
+}
+
+Status RunDiscover(const Table& table, const CliOptions& options,
+                   std::ostream& out) {
+  DiscoveryOptions discovery = options.discovery;
+  if (discovery.max_g3_error == 0) discovery.max_g3_error = 0.05;
+  FTR_ASSIGN_OR_RETURN(std::vector<DiscoveredFD> discovered,
+                       DiscoverFDs(table, discovery));
+  DistanceModel model(table);
+  ThresholdOptions threshold_options;
+  threshold_options.w_l = options.repair.w_l;
+  threshold_options.w_r = options.repair.w_r;
+  uint64_t budget = static_cast<uint64_t>(table.num_rows()) * 2;
+  out << "# FDs discovered on " << options.input_path << " (g3 <= "
+      << discovery.max_g3_error << "); rejected candidates commented out\n";
+  for (const DiscoveredFD& d : discovered) {
+    double tau = SuggestThreshold(table, d.fd, model, threshold_options);
+    uint64_t violations =
+        CountFTViolations(table, d.fd, model,
+                          FTOptions{options.repair.w_l, options.repair.w_r,
+                                    tau});
+    bool keep = violations <= budget;
+    if (!keep) out << "# rejected (too many FT-violations at tau):  ";
+    out << d.fd.ToSpec(table.schema()) << "    # g3="
+        << Report::Num(d.g3_error) << " tau=" << Report::Num(tau) << "\n";
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status RunCli(const CliOptions& options, std::ostream& out) {
+  FTR_ASSIGN_OR_RETURN(Table dirty, ReadCsvFile(options.input_path));
+
+  if (options.profile) return RunProfile(dirty, out);
+  if (options.discover) return RunDiscover(dirty, options, out);
+
+  std::ifstream fd_stream(options.fds_path);
+  if (!fd_stream) {
+    return Status::IOError("cannot open '" + options.fds_path + "'");
+  }
+  std::ostringstream fd_text;
+  fd_text << fd_stream.rdbuf();
+  FTR_ASSIGN_OR_RETURN(std::vector<FD> fds,
+                       ParseFDList(fd_text.str(), dirty.schema()));
+  if (fds.empty()) {
+    return Status::InvalidArgument("'" + options.fds_path +
+                                   "' contains no FDs");
+  }
+
+  out << "ftrepair: " << dirty.num_rows() << " rows, "
+      << dirty.num_columns() << " columns, " << fds.size() << " FDs ("
+      << RepairAlgorithmName(options.repair.algorithm) << ")\n";
+
+  Timer timer;
+  Repairer repairer(options.repair);
+  FTR_ASSIGN_OR_RETURN(RepairResult result, repairer.Repair(dirty, fds));
+  out << "repaired " << result.stats.cells_changed << " cells in "
+      << result.stats.tuples_changed << " tuples (" << timer.Seconds()
+      << "s)\n";
+  out << "FT-violations: " << result.stats.ft_violations_before << " -> "
+      << result.stats.ft_violations_after << "\n";
+  out << "repair cost (Eq. 4): " << result.stats.repair_cost << "\n";
+  if (result.stats.fell_back_to_greedy) {
+    out << "note: exact search hit a safety valve; greedy family "
+           "finished the repair\n";
+  }
+  if (result.stats.join_empty) {
+    out << "warning: a target join was empty; some tuples were left "
+           "unrepaired\n";
+  }
+  if (result.stats.trusted_conflicts > 0) {
+    out << "warning: " << result.stats.trusted_conflicts
+        << " trusted pattern(s) conflict with each other; check the "
+           "thresholds or the trusted rows\n";
+  }
+
+  if (options.summary) {
+    Report report("changes by (column, old, new)");
+    report.SetHeader({"column", "old", "new", "count"});
+    for (const ChangeSummaryLine& line :
+         SummarizeChanges(result.changes, dirty.schema())) {
+      report.AddRow({line.column, line.old_value.ToString(),
+                     line.new_value.ToString(),
+                     std::to_string(line.count)});
+    }
+    report.Print(out);
+  }
+  if (options.verbose) {
+    for (const CellChange& change : result.changes) {
+      out << "  row " << change.row << "  "
+          << dirty.schema().column(change.col).name << ": '"
+          << change.old_value.ToString() << "' -> '"
+          << change.new_value.ToString() << "'\n";
+    }
+  }
+
+  if (!options.output_path.empty()) {
+    FTR_RETURN_NOT_OK(WriteCsvFile(result.repaired, options.output_path));
+    out << "wrote " << options.output_path << "\n";
+  }
+  if (!options.changes_path.empty()) {
+    Table changes(Schema({{"row", ValueType::kNumber},
+                          {"column", ValueType::kString},
+                          {"old", ValueType::kString},
+                          {"new", ValueType::kString}}));
+    for (const CellChange& change : result.changes) {
+      FTR_RETURN_NOT_OK(changes.AppendRow(
+          {Value(static_cast<double>(change.row)),
+           Value(dirty.schema().column(change.col).name),
+           Value(change.old_value.ToString()),
+           Value(change.new_value.ToString())}));
+    }
+    FTR_RETURN_NOT_OK(WriteCsvFile(changes, options.changes_path));
+    out << "wrote " << options.changes_path << "\n";
+  }
+  if (!options.truth_path.empty()) {
+    FTR_ASSIGN_OR_RETURN(Table truth, ReadCsvFile(options.truth_path));
+    if (truth.num_rows() != dirty.num_rows() ||
+        !(truth.schema() == dirty.schema())) {
+      return Status::InvalidArgument(
+          "--truth must have the same schema and row count as --input");
+    }
+    Quality quality = EvaluateRepair(dirty, result.repaired, truth);
+    out << "precision: " << quality.precision
+        << "  recall: " << quality.recall << "  f1: " << quality.f1
+        << "\n";
+  }
+  return Status::OK();
+}
+
+}  // namespace ftrepair

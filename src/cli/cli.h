@@ -1,0 +1,41 @@
+#ifndef FTREPAIR_CLI_CLI_H_
+#define FTREPAIR_CLI_CLI_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/repair_types.h"
+#include "discovery/fd_discovery.h"
+
+namespace ftrepair {
+
+/// Parsed command-line configuration of the `ftrepair` tool.
+struct CliOptions {
+  std::string input_path;       // --input (required)
+  std::string fds_path;         // --fds (required unless --discover/--profile)
+  bool discover = false;        // --discover: print vetted FDs, no repair
+  bool profile = false;         // --profile: print column profiles, no repair
+  bool summary = false;         // --summary: aggregate the cell changes
+  DiscoveryOptions discovery;   // --max-lhs / --g3
+  std::string output_path;      // --output (optional: stdout summary only)
+  std::string changes_path;     // --changes (optional CSV of cell changes)
+  std::string truth_path;       // --truth (optional: score P/R)
+  RepairOptions repair;
+  bool verbose = false;         // --verbose
+};
+
+/// Usage text for --help / errors.
+std::string CliUsage();
+
+/// Parses argv (excluding argv[0]). Errors carry a user-facing message.
+Result<CliOptions> ParseCliArgs(const std::vector<std::string>& args);
+
+/// Loads input + FDs, repairs, writes outputs and a human summary to
+/// `out`. Returns the first error encountered.
+Status RunCli(const CliOptions& options, std::ostream& out);
+
+}  // namespace ftrepair
+
+#endif  // FTREPAIR_CLI_CLI_H_

@@ -1,0 +1,54 @@
+#ifndef FTREPAIR_COMMON_LOGGING_H_
+#define FTREPAIR_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace ftrepair {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum level emitted to stderr (default: kWarning, so the
+/// library is silent in normal operation).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-collecting helper behind the FTR_LOG macro.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+/// Usage: FTR_LOG(kInfo) << "expanded " << n << " nodes";
+#define FTR_LOG(severity)                                             \
+  ::ftrepair::internal::LogMessage(::ftrepair::LogLevel::severity, \
+                                   __FILE__, __LINE__)
+
+/// Internal-invariant check that aborts with a message; used for
+/// conditions that indicate library bugs, never for user input.
+#define FTR_DCHECK(cond)                                              \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      FTR_LOG(kError) << "DCHECK failed: " #cond;                     \
+      std::abort();                                                   \
+    }                                                                 \
+  } while (false)
+
+}  // namespace ftrepair
+
+#endif  // FTREPAIR_COMMON_LOGGING_H_

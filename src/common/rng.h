@@ -1,0 +1,57 @@
+#ifndef FTREPAIR_COMMON_RNG_H_
+#define FTREPAIR_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace ftrepair {
+
+/// \brief Deterministic pseudo-random generator (splitmix64 + xoshiro256**).
+///
+/// We own the implementation (rather than std::mt19937) so generated
+/// datasets are bit-identical across standard libraries and platforms.
+class Rng {
+ public:
+  /// Seeds the state from `seed` via splitmix64 expansion.
+  explicit Rng(uint64_t seed);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound) (bound > 0); unbiased via rejection.
+  uint64_t Uniform(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Bernoulli draw with probability `p`.
+  bool Bernoulli(double p);
+
+  /// Uniformly chosen index into a non-empty container of size `n`.
+  size_t Index(size_t n) { return static_cast<size_t>(Uniform(n)); }
+
+  /// Zipf-like skewed index in [0, n): rank r chosen with weight 1/(r+1).
+  /// Used by the generators to give value pools realistic frequency skew.
+  size_t SkewedIndex(size_t n);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = Index(i);
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace ftrepair
+
+#endif  // FTREPAIR_COMMON_RNG_H_

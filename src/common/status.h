@@ -1,0 +1,137 @@
+#ifndef FTREPAIR_COMMON_STATUS_H_
+#define FTREPAIR_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace ftrepair {
+
+/// Error categories used across the library. The library never throws;
+/// every fallible operation returns a Status or a Result<T>.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kIOError,
+  kResourceExhausted,
+  kInternal,
+};
+
+/// \brief Outcome of a fallible operation (Arrow/RocksDB idiom).
+///
+/// A Status is cheap to copy in the OK case. Construct error states via
+/// the named factory functions, e.g. `Status::InvalidArgument("bad tau")`.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+
+  /// Human-readable rendering, e.g. "InvalidArgument: bad tau".
+  std::string ToString() const;
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// \brief A value-or-error union: holds either a T or a non-OK Status.
+///
+/// Access the value only after checking `ok()`. `ValueOrDie()` aborts on
+/// error states, which is appropriate in tests and examples.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value — enables `return some_t;`.
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : status_(Status::OK()), value_(std::move(value)) {}
+  /// Implicit from error status — enables `return Status::...(...)`.
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+  /// Returns the value, aborting the process if this Result holds an error.
+  T ValueOrDie() &&;
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+namespace internal {
+[[noreturn]] void DieOnBadResult(const Status& status);
+}  // namespace internal
+
+template <typename T>
+T Result<T>::ValueOrDie() && {
+  if (!ok()) internal::DieOnBadResult(status_);
+  return std::move(*value_);
+}
+
+/// Propagates a non-OK Status out of the current function.
+#define FTR_RETURN_NOT_OK(expr)                \
+  do {                                         \
+    ::ftrepair::Status _ftr_st = (expr);       \
+    if (!_ftr_st.ok()) return _ftr_st;         \
+  } while (false)
+
+#define FTR_CONCAT_IMPL(a, b) a##b
+#define FTR_CONCAT(a, b) FTR_CONCAT_IMPL(a, b)
+
+/// Evaluates a Result-returning expression, propagating errors and
+/// binding the unwrapped value otherwise:
+///   FTR_ASSIGN_OR_RETURN(auto table, ReadCsv(path));
+#define FTR_ASSIGN_OR_RETURN(lhs, rexpr)                            \
+  auto FTR_CONCAT(_ftr_result_, __LINE__) = (rexpr);                \
+  if (!FTR_CONCAT(_ftr_result_, __LINE__).ok())                     \
+    return FTR_CONCAT(_ftr_result_, __LINE__).status();             \
+  lhs = std::move(FTR_CONCAT(_ftr_result_, __LINE__)).value()
+
+}  // namespace ftrepair
+
+#endif  // FTREPAIR_COMMON_STATUS_H_

@@ -1,0 +1,31 @@
+#ifndef FTREPAIR_COMMON_STRINGS_H_
+#define FTREPAIR_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ftrepair {
+
+/// Splits `input` on `delim`, keeping empty fields.
+std::vector<std::string> Split(std::string_view input, char delim);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Lower-cases ASCII characters.
+std::string ToLower(std::string_view s);
+
+/// True iff `s` parses fully as a finite double.
+bool ParseDouble(std::string_view s, double* out);
+
+/// Formats a double compactly: integers without trailing ".0",
+/// otherwise up to 6 significant decimals with trailing zeros removed.
+std::string FormatDouble(double v);
+
+}  // namespace ftrepair
+
+#endif  // FTREPAIR_COMMON_STRINGS_H_

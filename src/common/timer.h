@@ -1,0 +1,30 @@
+#ifndef FTREPAIR_COMMON_TIMER_H_
+#define FTREPAIR_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace ftrepair {
+
+/// Wall-clock stopwatch used by the experiment harness.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time in seconds since construction or last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  double Millis() const { return Seconds() * 1000.0; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace ftrepair
+
+#endif  // FTREPAIR_COMMON_TIMER_H_

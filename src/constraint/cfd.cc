@@ -1,0 +1,67 @@
+#include "constraint/cfd.h"
+
+namespace ftrepair {
+
+Result<CFD> CFD::Make(FD fd, std::vector<PatternRow> tableau,
+                      std::string name) {
+  for (const PatternRow& row : tableau) {
+    if (static_cast<int>(row.size()) != fd.num_attrs()) {
+      return Status::InvalidArgument(
+          "CFD tableau row arity " + std::to_string(row.size()) +
+          " != FD attr count " + std::to_string(fd.num_attrs()));
+    }
+  }
+  if (tableau.empty()) {
+    return Status::InvalidArgument("CFD tableau must have >= 1 row");
+  }
+  CFD cfd;
+  cfd.fd_ = std::move(fd);
+  cfd.tableau_ = std::move(tableau);
+  cfd.name_ = std::move(name);
+  return cfd;
+}
+
+bool CFD::MatchesLhs(const Row& row, int p) const {
+  const PatternRow& pat = tableau_[static_cast<size_t>(p)];
+  for (int i = 0; i < fd_.lhs_size(); ++i) {
+    const auto& cell = pat[static_cast<size_t>(i)];
+    if (!cell.has_value()) continue;
+    if (row[static_cast<size_t>(fd_.attrs()[static_cast<size_t>(i)])] !=
+        *cell) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool CFD::MatchesRhs(const Row& row, int p) const {
+  const PatternRow& pat = tableau_[static_cast<size_t>(p)];
+  for (int i = fd_.lhs_size(); i < fd_.num_attrs(); ++i) {
+    const auto& cell = pat[static_cast<size_t>(i)];
+    if (!cell.has_value()) continue;
+    if (row[static_cast<size_t>(fd_.attrs()[static_cast<size_t>(i)])] !=
+        *cell) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<int> CFD::ApplicableRows(const Table& table, int p) const {
+  std::vector<int> out;
+  for (int r = 0; r < table.num_rows(); ++r) {
+    if (MatchesLhs(table.row(r), p)) out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<int> CFD::ConstantViolations(const Table& table, int p) const {
+  std::vector<int> out;
+  for (int r = 0; r < table.num_rows(); ++r) {
+    const Row& row = table.row(r);
+    if (MatchesLhs(row, p) && !MatchesRhs(row, p)) out.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace ftrepair

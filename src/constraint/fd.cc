@@ -1,0 +1,86 @@
+#include "constraint/fd.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace ftrepair {
+
+Result<FD> FD::Make(std::vector<int> lhs, std::vector<int> rhs,
+                    std::string name) {
+  if (lhs.empty()) return Status::InvalidArgument("FD has empty LHS");
+  if (rhs.empty()) return Status::InvalidArgument("FD has empty RHS");
+  std::unordered_set<int> seen;
+  for (int c : lhs) {
+    if (c < 0) return Status::InvalidArgument("negative column index in FD");
+    if (!seen.insert(c).second) {
+      return Status::InvalidArgument("duplicate column in FD LHS");
+    }
+  }
+  for (int c : rhs) {
+    if (c < 0) return Status::InvalidArgument("negative column index in FD");
+    if (!seen.insert(c).second) {
+      return Status::InvalidArgument(
+          "column appears twice in FD (LHS/RHS must be disjoint)");
+    }
+  }
+  FD fd;
+  fd.lhs_ = std::move(lhs);
+  fd.rhs_ = std::move(rhs);
+  fd.attrs_ = fd.lhs_;
+  fd.attrs_.insert(fd.attrs_.end(), fd.rhs_.begin(), fd.rhs_.end());
+  fd.name_ = std::move(name);
+  return fd;
+}
+
+int FD::AttrPosition(int col) const {
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    if (attrs_[i] == col) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+bool FD::IsLhsColumn(int col) const {
+  return std::find(lhs_.begin(), lhs_.end(), col) != lhs_.end();
+}
+
+std::vector<int> FD::SharedColumns(const FD& other) const {
+  std::vector<int> shared;
+  for (int c : attrs_) {
+    if (other.UsesColumn(c)) shared.push_back(c);
+  }
+  return shared;
+}
+
+std::string FD::ToString(const Schema& schema) const {
+  std::string out;
+  if (!name_.empty()) out += name_ + ": ";
+  out += "[";
+  for (size_t i = 0; i < lhs_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += schema.column(lhs_[i]).name;
+  }
+  out += "] -> [";
+  for (size_t i = 0; i < rhs_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += schema.column(rhs_[i]).name;
+  }
+  out += "]";
+  return out;
+}
+
+std::string FD::ToSpec(const Schema& schema) const {
+  std::string out;
+  if (!name_.empty()) out += name_ + ": ";
+  for (size_t i = 0; i < lhs_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += schema.column(lhs_[i]).name;
+  }
+  out += " -> ";
+  for (size_t i = 0; i < rhs_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += schema.column(rhs_[i]).name;
+  }
+  return out;
+}
+
+}  // namespace ftrepair

@@ -1,0 +1,61 @@
+#ifndef FTREPAIR_CONSTRAINT_FD_H_
+#define FTREPAIR_CONSTRAINT_FD_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/schema.h"
+
+namespace ftrepair {
+
+/// \brief A functional dependency X -> Y over column indices of a Schema.
+///
+/// `attrs()` is the concatenation X then Y — the projection order used
+/// everywhere (patterns, distances, targets): `t^phi = t[X ∪ Y]`.
+class FD {
+ public:
+  FD() = default;
+  /// Validated constructor: lhs/rhs must be non-empty, disjoint and
+  /// duplicate-free.
+  static Result<FD> Make(std::vector<int> lhs, std::vector<int> rhs,
+                         std::string name = "");
+
+  const std::vector<int>& lhs() const { return lhs_; }
+  const std::vector<int>& rhs() const { return rhs_; }
+  /// X ∪ Y in projection order (X first).
+  const std::vector<int>& attrs() const { return attrs_; }
+  const std::string& name() const { return name_; }
+
+  int lhs_size() const { return static_cast<int>(lhs_.size()); }
+  int rhs_size() const { return static_cast<int>(rhs_.size()); }
+  int num_attrs() const { return static_cast<int>(attrs_.size()); }
+
+  /// Position of column `col` within attrs(), or -1.
+  int AttrPosition(int col) const;
+  bool UsesColumn(int col) const { return AttrPosition(col) >= 0; }
+  /// True iff `col` is in X.
+  bool IsLhsColumn(int col) const;
+
+  /// Columns shared with `other` (in this->attrs() order); two FDs with
+  /// a non-empty overlap must be repaired jointly (§4.1).
+  std::vector<int> SharedColumns(const FD& other) const;
+  bool Overlaps(const FD& other) const { return !SharedColumns(other).empty(); }
+
+  /// Renders as "Name: [A, B] -> [C]" using `schema` for column names.
+  std::string ToString(const Schema& schema) const;
+
+  /// Renders in the parser's grammar ("name: A, B -> C"), so
+  /// ParseFD(ToSpec(schema), schema) round-trips.
+  std::string ToSpec(const Schema& schema) const;
+
+ private:
+  std::vector<int> lhs_;
+  std::vector<int> rhs_;
+  std::vector<int> attrs_;
+  std::string name_;
+};
+
+}  // namespace ftrepair
+
+#endif  // FTREPAIR_CONSTRAINT_FD_H_

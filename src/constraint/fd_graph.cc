@@ -1,0 +1,46 @@
+#include "constraint/fd_graph.h"
+
+#include <algorithm>
+
+namespace ftrepair {
+
+FDGraph::FDGraph(const std::vector<FD>& fds) {
+  int n = static_cast<int>(fds.size());
+  adjacency_.resize(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      if (fds[static_cast<size_t>(i)].Overlaps(fds[static_cast<size_t>(j)])) {
+        adjacency_[static_cast<size_t>(i)].push_back(j);
+        adjacency_[static_cast<size_t>(j)].push_back(i);
+      }
+    }
+  }
+  // Union via DFS in index order => components sorted by smallest member.
+  std::vector<bool> visited(static_cast<size_t>(n), false);
+  for (int i = 0; i < n; ++i) {
+    if (visited[static_cast<size_t>(i)]) continue;
+    std::vector<int> comp;
+    std::vector<int> stack = {i};
+    visited[static_cast<size_t>(i)] = true;
+    while (!stack.empty()) {
+      int u = stack.back();
+      stack.pop_back();
+      comp.push_back(u);
+      for (int v : adjacency_[static_cast<size_t>(u)]) {
+        if (!visited[static_cast<size_t>(v)]) {
+          visited[static_cast<size_t>(v)] = true;
+          stack.push_back(v);
+        }
+      }
+    }
+    std::sort(comp.begin(), comp.end());
+    components_.push_back(std::move(comp));
+  }
+}
+
+bool FDGraph::Connected(int a, int b) const {
+  const auto& adj = adjacency_[static_cast<size_t>(a)];
+  return std::find(adj.begin(), adj.end(), b) != adj.end();
+}
+
+}  // namespace ftrepair

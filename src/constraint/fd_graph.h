@@ -1,0 +1,43 @@
+#ifndef FTREPAIR_CONSTRAINT_FD_GRAPH_H_
+#define FTREPAIR_CONSTRAINT_FD_GRAPH_H_
+
+#include <vector>
+
+#include "constraint/fd.h"
+
+namespace ftrepair {
+
+/// \brief The FD graph of §4.1: vertices are FDs, edges join FDs that
+/// share at least one attribute.
+///
+/// Connected components can be repaired independently (Theorem 5);
+/// the Repairer facade uses this decomposition to choose between
+/// single-FD and joint multi-FD algorithms.
+class FDGraph {
+ public:
+  explicit FDGraph(const std::vector<FD>& fds);
+
+  int num_fds() const { return static_cast<int>(adjacency_.size()); }
+
+  /// FDs adjacent to `fd_index` (sharing >= 1 attribute).
+  const std::vector<int>& Neighbors(int fd_index) const {
+    return adjacency_[static_cast<size_t>(fd_index)];
+  }
+
+  /// Connected components, each a sorted list of FD indices; components
+  /// are ordered by their smallest member.
+  const std::vector<std::vector<int>>& Components() const {
+    return components_;
+  }
+
+  /// True iff FDs `a` and `b` are directly connected.
+  bool Connected(int a, int b) const;
+
+ private:
+  std::vector<std::vector<int>> adjacency_;
+  std::vector<std::vector<int>> components_;
+};
+
+}  // namespace ftrepair
+
+#endif  // FTREPAIR_CONSTRAINT_FD_GRAPH_H_

@@ -1,0 +1,65 @@
+#include "constraint/fd_parser.h"
+
+#include "common/strings.h"
+
+namespace ftrepair {
+
+namespace {
+
+Result<std::vector<int>> ParseAttrList(std::string_view text,
+                                       const Schema& schema) {
+  std::vector<int> cols;
+  for (const std::string& part : Split(text, ',')) {
+    std::string_view name = Trim(part);
+    if (name.empty()) {
+      return Status::InvalidArgument("empty attribute name in FD: '" +
+                                     std::string(text) + "'");
+    }
+    FTR_ASSIGN_OR_RETURN(int idx, schema.RequireIndex(name));
+    cols.push_back(idx);
+  }
+  return cols;
+}
+
+}  // namespace
+
+Result<FD> ParseFD(std::string_view text, const Schema& schema) {
+  std::string_view body = Trim(text);
+  std::string name;
+  // Optional leading "name:"; careful not to confuse with "A->B" parts.
+  size_t colon = body.find(':');
+  size_t arrow_probe = body.find("->");
+  if (colon != std::string_view::npos &&
+      (arrow_probe == std::string_view::npos || colon < arrow_probe)) {
+    name = std::string(Trim(body.substr(0, colon)));
+    body = Trim(body.substr(colon + 1));
+  }
+  size_t arrow = body.find("->");
+  if (arrow == std::string_view::npos) {
+    return Status::InvalidArgument("FD '" + std::string(text) +
+                                   "' has no '->'");
+  }
+  FTR_ASSIGN_OR_RETURN(std::vector<int> lhs,
+                       ParseAttrList(body.substr(0, arrow), schema));
+  FTR_ASSIGN_OR_RETURN(std::vector<int> rhs,
+                       ParseAttrList(body.substr(arrow + 2), schema));
+  return FD::Make(std::move(lhs), std::move(rhs), std::move(name));
+}
+
+Result<std::vector<FD>> ParseFDList(std::string_view text,
+                                    const Schema& schema) {
+  std::vector<FD> fds;
+  for (const std::string& line : Split(text, '\n')) {
+    // Strip trailing comments ("Zip -> City   # g3=0.01").
+    std::string_view body = line;
+    size_t hash = body.find('#');
+    if (hash != std::string_view::npos) body = body.substr(0, hash);
+    body = Trim(body);
+    if (body.empty()) continue;
+    FTR_ASSIGN_OR_RETURN(FD fd, ParseFD(body, schema));
+    fds.push_back(std::move(fd));
+  }
+  return fds;
+}
+
+}  // namespace ftrepair

@@ -1,0 +1,27 @@
+#ifndef FTREPAIR_CONSTRAINT_FD_PARSER_H_
+#define FTREPAIR_CONSTRAINT_FD_PARSER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "constraint/fd.h"
+#include "data/schema.h"
+
+namespace ftrepair {
+
+/// Parses a textual FD against `schema`.
+///
+/// Grammar: `[name ':'] attr (',' attr)* '->' attr (',' attr)*`
+/// e.g. "phi2: City -> State" or "City, Street -> District".
+Result<FD> ParseFD(std::string_view text, const Schema& schema);
+
+/// Parses one FD per non-empty line; everything from '#' to the end of
+/// a line is a comment.
+Result<std::vector<FD>> ParseFDList(std::string_view text,
+                                    const Schema& schema);
+
+}  // namespace ftrepair
+
+#endif  // FTREPAIR_CONSTRAINT_FD_PARSER_H_

@@ -1,0 +1,28 @@
+#include "core/appro_multi.h"
+
+#include "core/greedy_single.h"
+
+namespace ftrepair {
+
+Result<MultiFDSolution> SolveApproMulti(const ComponentContext& context,
+                                        const DistanceModel& model,
+                                        const RepairOptions& options,
+                                        RepairStats* stats) {
+  std::vector<std::vector<int>> chosen;
+  chosen.reserve(context.fds.size());
+  for (const ViolationGraph& graph : context.graphs) {
+    if (options.trusted_rows.empty()) {
+      chosen.push_back(SolveGreedySingle(graph).chosen_set);
+    } else {
+      std::vector<bool> forced =
+          TrustedPatternMask(graph.patterns(), options.trusted_rows);
+      uint64_t conflicts = 0;
+      chosen.push_back(
+          SolveGreedySingle(graph, &forced, &conflicts).chosen_set);
+      if (stats != nullptr) stats->trusted_conflicts += conflicts;
+    }
+  }
+  return AssignTargets(context, chosen, model, options, stats);
+}
+
+}  // namespace ftrepair

@@ -1,0 +1,267 @@
+#include "core/greedy_multi.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace ftrepair {
+
+namespace {
+
+constexpr double kInf = ViolationGraph::kInfinity;
+
+struct GreedyMultiState {
+  const ComponentContext* ctx;
+  const RepairOptions* options;
+
+  size_t num_fds;
+  // Per FD: chosen membership, conflict counts against the chosen set.
+  std::vector<std::vector<bool>> chosen;
+  std::vector<std::vector<int>> blocked;
+  std::vector<std::vector<int>> chosen_list;
+  // Per FD: cheapest unit cost from each pattern to the chosen set.
+  std::vector<std::vector<double>> best_unit;
+  size_t remaining = 0;  // candidates not yet chosen nor blocked
+
+  // Per FD: lookup from phi projection values to phi-pattern id.
+  std::vector<std::unordered_map<std::vector<Value>, int, ProjectionHash>>
+      phi_index;
+  // Per FD: component position of each of its attrs.
+  std::vector<std::vector<int>> attr_pos;
+  // Per FD pair (k, j): shared component positions, empty if disjoint.
+  std::vector<std::vector<std::vector<int>>> shared_pos;
+
+  void Init(const ComponentContext& context, const RepairOptions& opts) {
+    ctx = &context;
+    options = &opts;
+    num_fds = context.fds.size();
+    chosen.resize(num_fds);
+    blocked.resize(num_fds);
+    chosen_list.resize(num_fds);
+    best_unit.resize(num_fds);
+    phi_index.resize(num_fds);
+    attr_pos.resize(num_fds);
+    shared_pos.assign(num_fds, std::vector<std::vector<int>>(num_fds));
+
+    std::unordered_map<int, int> col_to_pos;
+    for (size_t p = 0; p < context.component_cols.size(); ++p) {
+      col_to_pos.emplace(context.component_cols[p], static_cast<int>(p));
+    }
+    for (size_t k = 0; k < num_fds; ++k) {
+      int n = context.graphs[k].num_patterns();
+      chosen[k].assign(static_cast<size_t>(n), false);
+      blocked[k].assign(static_cast<size_t>(n), 0);
+      best_unit[k].assign(static_cast<size_t>(n), kInf);
+      remaining += static_cast<size_t>(n);
+      for (int j = 0; j < n; ++j) {
+        phi_index[k].emplace(context.graphs[k].pattern(j).values, j);
+      }
+      for (int c : context.fds[k]->attrs()) {
+        attr_pos[k].push_back(col_to_pos.at(c));
+      }
+    }
+    for (size_t k = 0; k < num_fds; ++k) {
+      for (size_t j = 0; j < num_fds; ++j) {
+        if (j == k) continue;
+        for (int pk : attr_pos[k]) {
+          if (std::find(attr_pos[j].begin(), attr_pos[j].end(), pk) !=
+              attr_pos[j].end()) {
+            shared_pos[k][j].push_back(pk);
+          }
+        }
+      }
+    }
+  }
+
+  bool IsCandidate(size_t k, int v) const {
+    return !chosen[k][static_cast<size_t>(v)] &&
+           blocked[k][static_cast<size_t>(v)] == 0;
+  }
+
+  // At most this many underlying Sigma-patterns (resp. candidate
+  // targets) are cross-scored per neighbor — a bounded approximation
+  // that keeps Eq. 12 evaluation within the paper's O(Sigma * V^2).
+  static constexpr size_t kMaxCrossSigmas = 8;
+  static constexpr size_t kMaxCrossTargets = 3;
+
+  // Conflict indicator of sigma-pattern s against FD j's chosen set,
+  // after hypothetically rewriting the shared positions with the values
+  // of phi-pattern `u` of FD k (u < 0 means "no rewrite").
+  int ConflictAfter(size_t k, int u, size_t j, int sigma) const {
+    int cur_phi = ctx->phi_of_sigma[j][static_cast<size_t>(sigma)];
+    if (u < 0 || shared_pos[k][j].empty()) {
+      return blocked[j][static_cast<size_t>(cur_phi)] > 0 ? 1 : 0;
+    }
+    const std::vector<Value>& cur_values =
+        ctx->graphs[j].pattern(cur_phi).values;
+    const std::vector<Value>& u_values =
+        ctx->graphs[k].pattern(u).values;
+    // Check for a change before paying for a projection copy.
+    bool changed = false;
+    for (size_t a = 0; a < attr_pos[k].size() && !changed; ++a) {
+      int pos = attr_pos[k][a];
+      auto it = std::find(attr_pos[j].begin(), attr_pos[j].end(), pos);
+      if (it == attr_pos[j].end()) continue;
+      size_t jp = static_cast<size_t>(it - attr_pos[j].begin());
+      changed = cur_values[jp] != u_values[a];
+    }
+    if (!changed) {
+      return blocked[j][static_cast<size_t>(cur_phi)] > 0 ? 1 : 0;
+    }
+    std::vector<Value> proj = cur_values;
+    for (size_t a = 0; a < attr_pos[k].size(); ++a) {
+      int pos = attr_pos[k][a];
+      auto it = std::find(attr_pos[j].begin(), attr_pos[j].end(), pos);
+      if (it == attr_pos[j].end()) continue;
+      proj[static_cast<size_t>(it - attr_pos[j].begin())] = u_values[a];
+    }
+    auto found = phi_index[j].find(proj);
+    // A projection that exists nowhere in the data would be *created*
+    // by this modification — count it as a triggered violation ("trigger
+    // less violations for phi_j", §4.4): the close-world model would
+    // have to invent the combination.
+    if (found == phi_index[j].end()) return 1;
+    return blocked[j][static_cast<size_t>(found->second)] > 0 ? 1 : 0;
+  }
+
+  // Synchronization-aware score of repairing neighbor v (of FD k) to
+  // target u, per underlying tuple (Eq. 12's inner choice).
+  double TargetScore(size_t k, int v, int u, double edge_cost) const {
+    double score = edge_cost;
+    double w = options->cross_weight;
+    if (w <= 0) return score;
+    const std::vector<int>& sigmas =
+        ctx->sigma_of_phi[k][static_cast<size_t>(v)];
+    size_t limit = std::min(sigmas.size(), kMaxCrossSigmas);
+    for (size_t j = 0; j < num_fds; ++j) {
+      if (j == k || shared_pos[k][j].empty()) continue;
+      double delta = 0;
+      int total = 0;
+      for (size_t si = 0; si < limit; ++si) {
+        int sigma = sigmas[si];
+        int cnt = ctx->sigma_patterns[static_cast<size_t>(sigma)].count();
+        delta += cnt * (ConflictAfter(k, u, j, sigma) -
+                        ConflictAfter(k, -1, j, sigma));
+        total += cnt;
+      }
+      if (total > 0) score += w * delta / total;
+    }
+    return score;
+  }
+
+  // Eq. 12 with marginal accounting and exclusion regret: grouped tuple
+  // cost of adding candidate phi-pattern c to FD k's chosen set. Every
+  // conflicting neighbor is priced at its best eligible modification
+  // (only the cheapest few targets by edge cost are cross-scored);
+  // neighbors already covered by the chosen set contribute only their
+  // improvement, and the candidate's own exclusion cost is netted out
+  // (see greedy_single.cc for the rationale).
+  double CandidateCost(size_t k, int c) const {
+    const ViolationGraph& graph = ctx->graphs[k];
+    double cost = 0;
+    std::vector<std::pair<double, int>> eligible;
+    for (const ViolationGraph::Edge& e : graph.Neighbors(c)) {
+      int v = e.to;
+      if (chosen[k][static_cast<size_t>(v)]) continue;  // cannot happen
+      // Eligible targets for v: the candidate itself plus realized
+      // members of the chosen set among v's neighbors.
+      eligible.clear();
+      for (const ViolationGraph::Edge& t : graph.Neighbors(v)) {
+        if (t.to == c || chosen[k][static_cast<size_t>(t.to)]) {
+          eligible.emplace_back(t.unit_cost, t.to);
+        }
+      }
+      double best;
+      if (eligible.empty()) {
+        best = e.unit_cost;  // v's only anchor is c itself
+      } else {
+        std::sort(eligible.begin(), eligible.end());
+        size_t limit = std::min(eligible.size(), kMaxCrossTargets);
+        best = kInf;
+        for (size_t t = 0; t < limit; ++t) {
+          best = std::min(best, TargetScore(k, v, eligible[t].second,
+                                            eligible[t].first));
+        }
+      }
+      double covered = best_unit[k][static_cast<size_t>(v)];
+      double contribution =
+          covered == kInf ? best : std::min(best, covered) - covered;
+      cost += graph.pattern(v).count() * contribution;
+    }
+    double mec = graph.MinEdgeCost(c);
+    if (mec != kInf) cost -= graph.pattern(c).count() * mec;
+    return cost;
+  }
+
+  void Add(size_t k, int c) {
+    bool was_candidate = IsCandidate(k, c);
+    chosen[k][static_cast<size_t>(c)] = true;
+    chosen_list[k].push_back(c);
+    if (was_candidate) --remaining;
+    for (const ViolationGraph::Edge& e : ctx->graphs[k].Neighbors(c)) {
+      best_unit[k][static_cast<size_t>(e.to)] = std::min(
+          best_unit[k][static_cast<size_t>(e.to)], e.unit_cost);
+      if (blocked[k][static_cast<size_t>(e.to)]++ == 0 &&
+          !chosen[k][static_cast<size_t>(e.to)]) {
+        --remaining;  // freshly blocked
+      }
+    }
+  }
+};
+
+}  // namespace
+
+Result<MultiFDSolution> SolveGreedyMulti(const ComponentContext& context,
+                                         const DistanceModel& model,
+                                         const RepairOptions& options,
+                                         RepairStats* stats) {
+  GreedyMultiState state;
+  state.Init(context, options);
+
+  // Trusted phi-patterns are pinned first (other tuples repair toward
+  // them), then isolated phi-patterns join unconditionally.
+  for (size_t k = 0; k < state.num_fds; ++k) {
+    if (options.trusted_rows.empty()) break;
+    std::vector<bool> forced = TrustedPatternMask(
+        context.graphs[k].patterns(), options.trusted_rows);
+    for (int v = 0; v < context.graphs[k].num_patterns(); ++v) {
+      if (!forced[static_cast<size_t>(v)]) continue;
+      if (state.blocked[k][static_cast<size_t>(v)] > 0 && stats != nullptr) {
+        ++stats->trusted_conflicts;
+      }
+      state.Add(k, v);
+    }
+  }
+  for (size_t k = 0; k < state.num_fds; ++k) {
+    for (int v = 0; v < context.graphs[k].num_patterns(); ++v) {
+      if (context.graphs[k].degree(v) == 0 &&
+          !state.chosen[k][static_cast<size_t>(v)]) {
+        state.Add(k, v);
+      }
+    }
+  }
+
+  while (state.remaining > 0) {
+    size_t best_fd = 0;
+    int best_pattern = -1;
+    double best_cost = kInf;
+    for (size_t k = 0; k < state.num_fds; ++k) {
+      for (int v = 0; v < context.graphs[k].num_patterns(); ++v) {
+        if (!state.IsCandidate(k, v)) continue;
+        double cost = state.CandidateCost(k, v);
+        if (cost < best_cost) {
+          best_cost = cost;
+          best_fd = k;
+          best_pattern = v;
+        }
+      }
+    }
+    if (best_pattern < 0) break;  // everything chosen or blocked
+    state.Add(best_fd, best_pattern);
+  }
+
+  return AssignTargets(context, state.chosen_list, model, options, stats);
+}
+
+}  // namespace ftrepair

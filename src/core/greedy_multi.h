@@ -1,0 +1,29 @@
+#ifndef FTREPAIR_CORE_GREEDY_MULTI_H_
+#define FTREPAIR_CORE_GREEDY_MULTI_H_
+
+#include "core/multi_common.h"
+
+namespace ftrepair {
+
+/// \brief Greedy-M (§4.4, Algorithm 4): joint greedy over all FDs of a
+/// connected component.
+///
+/// Repeatedly adds the (FD, phi-pattern) candidate with the smallest
+/// *tuple cost* (Eq. 12) to that FD's independent set. The tuple cost
+/// prices every conflicting neighbor at its best modification, where
+/// "best" is synchronization-aware: a candidate modification is scored
+/// by its repair cost plus `options.cross_weight` per violation it
+/// triggers (minus per violation it eliminates) against the chosen sets
+/// of connected FDs. Substituted projections that do not exist as
+/// patterns score neutrally (a documented approximation — exact
+/// re-detection would need a fresh similarity join per candidate).
+/// Terminates when every phi-pattern is chosen or blocked, then joins
+/// the sets into targets and repairs (lines 7-9).
+Result<MultiFDSolution> SolveGreedyMulti(const ComponentContext& context,
+                                         const DistanceModel& model,
+                                         const RepairOptions& options,
+                                         RepairStats* stats);
+
+}  // namespace ftrepair
+
+#endif  // FTREPAIR_CORE_GREEDY_MULTI_H_

@@ -1,0 +1,145 @@
+#include "core/greedy_single.h"
+
+#include <algorithm>
+
+namespace ftrepair {
+
+SingleFDSolution SolveGreedySingle(const ViolationGraph& graph,
+                                   const std::vector<bool>* forced,
+                                   uint64_t* trusted_conflicts) {
+  SingleFDSolution solution;
+  int n = graph.num_patterns();
+  solution.repair_target.assign(static_cast<size_t>(n), -1);
+  if (n == 0) return solution;
+
+  constexpr double kInf = ViolationGraph::kInfinity;
+  std::vector<bool> in_set(static_cast<size_t>(n), false);
+  // blocked[v] = number of chosen members v conflicts with.
+  std::vector<int> blocked(static_cast<size_t>(n), 0);
+  // best[v] / best_to[v]: cheapest repair of v into the current set
+  // (unit cost; the grouped cost is count(v) * best[v]).
+  std::vector<double> best(static_cast<size_t>(n), kInf);
+  std::vector<int> best_to(static_cast<size_t>(n), -1);
+
+  // Isolated patterns join the set unconditionally (they are members of
+  // every maximal independent set).
+  int pending = 0;
+  for (int v = 0; v < n; ++v) {
+    if (graph.degree(v) == 0) {
+      in_set[static_cast<size_t>(v)] = true;
+      solution.chosen_set.push_back(v);
+    } else {
+      ++pending;
+    }
+  }
+
+  auto add_member = [&](int t) {
+    in_set[static_cast<size_t>(t)] = true;
+    solution.chosen_set.push_back(t);
+    --pending;
+    for (const ViolationGraph::Edge& e : graph.Neighbors(t)) {
+      ++blocked[static_cast<size_t>(e.to)];
+      if (e.unit_cost < best[static_cast<size_t>(e.to)]) {
+        best[static_cast<size_t>(e.to)] = e.unit_cost;
+        best_to[static_cast<size_t>(e.to)] = t;
+      }
+    }
+  };
+
+  // Trusted patterns are pinned first: other tuples repair toward
+  // them. A forced pattern conflicting with an earlier forced member is
+  // kept regardless (trusted rows are never modified) and the conflict
+  // is surfaced to the caller.
+  if (forced != nullptr) {
+    for (int t = 0; t < n; ++t) {
+      if (!(*forced)[static_cast<size_t>(t)] ||
+          in_set[static_cast<size_t>(t)]) {
+        continue;
+      }
+      if (blocked[static_cast<size_t>(t)] > 0 &&
+          trusted_conflicts != nullptr) {
+        ++*trusted_conflicts;
+      }
+      add_member(t);
+    }
+  }
+
+  // The exclusion regret of a pattern: the grouped cost it pays if it
+  // ends up outside the set (repaired to its cheapest neighbor). The
+  // Eq. 7/8 costs alone charge a candidate the full repair bill of its
+  // neighbors — which a low-frequency near-duplicate of a frequent
+  // pattern wins by a landslide, anchoring the set on the typo. Netting
+  // out the candidate's own exclusion cost restores the MIS objective's
+  // frequency preference (cf. §3.1 "the maximal independent set with
+  // the highest frequent tuples is likely to have small repair cost").
+  auto regret = [&graph](int t) {
+    double mec = graph.MinEdgeCost(t);
+    return mec == kInf ? 0.0 : graph.pattern(t).count() * mec;
+  };
+
+  // Initial member: smallest net initial cost, S(t) of Eq. 7 minus the
+  // exclusion regret.
+  if (pending > 0) {
+    int first = -1;
+    double first_cost = kInf;
+    for (int t = 0; t < n; ++t) {
+      if (in_set[static_cast<size_t>(t)] ||
+          blocked[static_cast<size_t>(t)] != 0) {
+        continue;  // forced members may already block candidates
+      }
+      double s = 0;
+      for (const ViolationGraph::Edge& e : graph.Neighbors(t)) {
+        s += graph.pattern(e.to).count() * e.unit_cost;
+      }
+      s -= regret(t);
+      if (s < first_cost) {
+        first_cost = s;
+        first = t;
+      }
+    }
+    if (first >= 0) add_member(first);
+  }
+
+  // Grow: repeatedly add the FT-consistent pattern with the smallest
+  // net incremental cost (Eq. 8 minus the exclusion regret).
+  while (pending > 0) {
+    int pick = -1;
+    double pick_cost = kInf;
+    for (int t = 0; t < n; ++t) {
+      if (in_set[static_cast<size_t>(t)] ||
+          blocked[static_cast<size_t>(t)] != 0) {
+        continue;
+      }
+      double s = 0;
+      for (const ViolationGraph::Edge& e : graph.Neighbors(t)) {
+        int v = e.to;
+        double m = graph.pattern(v).count();
+        if (best[static_cast<size_t>(v)] == kInf) {
+          s += m * e.unit_cost;  // newly covered neighbor
+        } else if (e.unit_cost < best[static_cast<size_t>(v)]) {
+          s += m * (e.unit_cost - best[static_cast<size_t>(v)]);  // <= 0
+        }
+      }
+      s -= regret(t);
+      if (s < pick_cost) {
+        pick_cost = s;
+        pick = t;
+      }
+    }
+    if (pick < 0) break;  // every remaining pattern is blocked
+    add_member(pick);
+  }
+
+  // Repair: every excluded pattern goes to its cheapest chosen neighbor.
+  solution.cost = 0;
+  for (int v = 0; v < n; ++v) {
+    if (in_set[static_cast<size_t>(v)]) continue;
+    solution.repair_target[static_cast<size_t>(v)] =
+        best_to[static_cast<size_t>(v)];
+    solution.cost += graph.pattern(v).count() * best[static_cast<size_t>(v)];
+  }
+  std::sort(solution.chosen_set.begin(), solution.chosen_set.end());
+  return solution;
+}
+
+}  // namespace ftrepair

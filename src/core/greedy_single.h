@@ -1,0 +1,30 @@
+#ifndef FTREPAIR_CORE_GREEDY_SINGLE_H_
+#define FTREPAIR_CORE_GREEDY_SINGLE_H_
+
+#include "core/repair_types.h"
+#include "detect/violation_graph.h"
+
+namespace ftrepair {
+
+/// \brief Greedy-S (§3.2, Algorithm 2): grows an expected-best
+/// independent set.
+///
+/// The first member is the pattern with the smallest *initial cost*
+/// (Eq. 7: the grouped cost of repairing all its neighbors to it); each
+/// following member is the FT-consistent pattern with the smallest
+/// *incremental cost* (Eq. 8: improvement for already-covered neighbors
+/// plus fresh cost for newly covered ones). Excluded patterns are then
+/// repaired to their cheapest neighbor in the set. O(|I| * V) with the
+/// grouped graph. Ties break toward the smaller pattern id.
+///
+/// `forced` (optional, one flag per pattern) pins trusted patterns into
+/// the set before anything else; a forced pattern conflicting with an
+/// earlier forced member is still kept (trust beats independence) and
+/// counted into `trusted_conflicts` when non-null.
+SingleFDSolution SolveGreedySingle(const ViolationGraph& graph,
+                                   const std::vector<bool>* forced = nullptr,
+                                   uint64_t* trusted_conflicts = nullptr);
+
+}  // namespace ftrepair
+
+#endif  // FTREPAIR_CORE_GREEDY_SINGLE_H_

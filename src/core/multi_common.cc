@@ -1,0 +1,206 @@
+#include "core/multi_common.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "core/lazy_targets.h"
+
+namespace ftrepair {
+
+ComponentContext BuildComponentContext(const Table& table,
+                                       const std::vector<const FD*>& fds,
+                                       const DistanceModel& model,
+                                       const RepairOptions& options) {
+  ComponentContext ctx;
+  ctx.fds = fds;
+  ctx.component_cols = ComponentColumns(fds);
+  ctx.sigma_patterns = options.group_tuples
+                           ? BuildPatterns(table, ctx.component_cols)
+                           : std::vector<Pattern>{};
+  if (!options.group_tuples) {
+    // Ablation: one pattern per row.
+    for (int r = 0; r < table.num_rows(); ++r) {
+      std::vector<Value> proj;
+      proj.reserve(ctx.component_cols.size());
+      for (int c : ctx.component_cols) proj.push_back(table.cell(r, c));
+      ctx.sigma_patterns.push_back(Pattern{std::move(proj), {r}});
+    }
+  }
+
+  std::unordered_map<int, int> col_to_pos;
+  for (size_t p = 0; p < ctx.component_cols.size(); ++p) {
+    col_to_pos.emplace(ctx.component_cols[p], static_cast<int>(p));
+  }
+
+  size_t num_fds = fds.size();
+  ctx.graphs.reserve(num_fds);
+  ctx.phi_of_sigma.resize(num_fds);
+  ctx.sigma_of_phi.resize(num_fds);
+  ctx.ft.reserve(num_fds);
+  for (size_t k = 0; k < num_fds; ++k) {
+    const FD& fd = *fds[k];
+    ctx.ft.push_back(options.FTFor(fd));
+    // Group Sigma-patterns by their phi-projection.
+    std::vector<Pattern> phi_patterns;
+    std::unordered_map<std::vector<Value>, int, ProjectionHash> index;
+    ctx.phi_of_sigma[k].resize(ctx.sigma_patterns.size());
+    for (size_t i = 0; i < ctx.sigma_patterns.size(); ++i) {
+      std::vector<Value> proj;
+      proj.reserve(fd.attrs().size());
+      for (int c : fd.attrs()) {
+        proj.push_back(
+            ctx.sigma_patterns[i]
+                .values[static_cast<size_t>(col_to_pos.at(c))]);
+      }
+      auto it = index.find(proj);
+      int phi_id;
+      if (it == index.end()) {
+        phi_id = static_cast<int>(phi_patterns.size());
+        index.emplace(proj, phi_id);
+        phi_patterns.push_back(Pattern{std::move(proj), {}});
+        ctx.sigma_of_phi[k].emplace_back();
+      } else {
+        phi_id = it->second;
+      }
+      ctx.phi_of_sigma[k][i] = phi_id;
+      ctx.sigma_of_phi[k][static_cast<size_t>(phi_id)].push_back(
+          static_cast<int>(i));
+      // phi-pattern multiplicity = sum of underlying row counts.
+      for (int row : ctx.sigma_patterns[i].rows) {
+        phi_patterns[static_cast<size_t>(phi_id)].rows.push_back(row);
+      }
+    }
+    ctx.graphs.push_back(ViolationGraph::Build(std::move(phi_patterns), fd,
+                                               model, ctx.ft[k]));
+  }
+  return ctx;
+}
+
+size_t FindBestTargetLinear(const std::vector<std::vector<Value>>& targets,
+                            const std::vector<Value>& tuple_proj,
+                            const std::vector<int>& cols,
+                            const DistanceModel& model, double* cost) {
+  double best = ViolationGraph::kInfinity;
+  size_t best_idx = 0;
+  for (size_t t = 0; t < targets.size(); ++t) {
+    double c = 0;
+    for (size_t p = 0; p < cols.size() && c < best; ++p) {
+      c += model.CellDistance(cols[p], tuple_proj[p], targets[t][p]);
+    }
+    if (c < best) {
+      best = c;
+      best_idx = t;
+    }
+  }
+  *cost = best;
+  return best_idx;
+}
+
+Result<MultiFDSolution> AssignTargets(
+    const ComponentContext& context,
+    const std::vector<std::vector<int>>& chosen, const DistanceModel& model,
+    const RepairOptions& options, RepairStats* stats) {
+  MultiFDSolution solution;
+  solution.component_cols = context.component_cols;
+  solution.sigma_patterns = context.sigma_patterns;
+  solution.targets.assign(context.sigma_patterns.size(), {});
+  solution.chosen = chosen;
+  solution.cost = 0;
+
+  size_t num_fds = context.fds.size();
+  // Membership masks per FD.
+  std::vector<std::vector<bool>> member(num_fds);
+  std::vector<TargetTree::LevelInput> inputs(num_fds);
+  for (size_t k = 0; k < num_fds; ++k) {
+    member[k].assign(
+        static_cast<size_t>(context.graphs[k].num_patterns()), false);
+    for (int j : chosen[k]) member[k][static_cast<size_t>(j)] = true;
+    inputs[k].fd = context.fds[k];
+    for (int j : chosen[k]) {
+      inputs[k].elements.push_back(context.graphs[k].pattern(j).values);
+    }
+  }
+
+  // Which Sigma-patterns need repair?
+  std::vector<size_t> dirty;
+  for (size_t i = 0; i < context.sigma_patterns.size(); ++i) {
+    bool all_member = true;
+    for (size_t k = 0; k < num_fds && all_member; ++k) {
+      int phi = context.phi_of_sigma[k][i];
+      all_member = member[k][static_cast<size_t>(phi)];
+    }
+    if (!all_member) dirty.push_back(i);
+  }
+  if (dirty.empty()) return solution;
+
+  auto tree_result = TargetTree::Build(inputs, context.component_cols,
+                                       options.max_tree_nodes);
+  if (!tree_result.ok()) {
+    if (tree_result.status().IsNotFound()) {
+      // Empty join: leave tuples unrepaired, surface the flag.
+      if (stats != nullptr) stats->join_empty = true;
+      return solution;
+    }
+    if (tree_result.status().IsResourceExhausted() &&
+        options.use_target_tree) {
+      // The eager tree exploded; fall back to lazy materialization.
+      auto lazy_result = LazyTargetSearch::Build(std::move(inputs),
+                                                 context.component_cols);
+      if (!lazy_result.ok()) {
+        if (lazy_result.status().IsNotFound()) {
+          if (stats != nullptr) stats->join_empty = true;
+          return solution;
+        }
+        return lazy_result.status();
+      }
+      LazyTargetSearch lazy = std::move(lazy_result).value();
+      for (size_t i : dirty) {
+        TargetTree::SearchStats search_stats;
+        LazyTargetSearch::QueryResult query =
+            lazy.FindBest(context.sigma_patterns[i].values, model,
+                          options.max_target_visits, &search_stats);
+        if (stats != nullptr) {
+          stats->target_nodes_visited += search_stats.nodes_visited;
+          stats->target_nodes_pruned += search_stats.nodes_pruned;
+        }
+        if (query.target.empty()) {
+          if (stats != nullptr) stats->join_empty = true;
+          continue;  // leave this pattern unrepaired
+        }
+        solution.targets[i] = std::move(query.target);
+        solution.cost += context.sigma_patterns[i].count() * query.cost;
+      }
+      return solution;
+    }
+    return tree_result.status();
+  }
+  TargetTree tree = std::move(tree_result).value();
+
+  if (options.use_target_tree) {
+    for (size_t i : dirty) {
+      double cost = 0;
+      TargetTree::SearchStats search_stats;
+      solution.targets[i] = tree.FindBest(context.sigma_patterns[i].values,
+                                          model, &cost, &search_stats);
+      solution.cost += context.sigma_patterns[i].count() * cost;
+      if (stats != nullptr) {
+        stats->target_nodes_visited += search_stats.nodes_visited;
+        stats->target_nodes_pruned += search_stats.nodes_pruned;
+      }
+    }
+  } else {
+    std::vector<std::vector<Value>> targets = tree.EnumerateTargets();
+    if (stats != nullptr) stats->targets_materialized += targets.size();
+    for (size_t i : dirty) {
+      double cost = 0;
+      size_t t = FindBestTargetLinear(targets,
+                                      context.sigma_patterns[i].values,
+                                      context.component_cols, model, &cost);
+      solution.targets[i] = targets[t];
+      solution.cost += context.sigma_patterns[i].count() * cost;
+    }
+  }
+  return solution;
+}
+
+}  // namespace ftrepair

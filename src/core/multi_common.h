@@ -1,0 +1,70 @@
+#ifndef FTREPAIR_CORE_MULTI_COMMON_H_
+#define FTREPAIR_CORE_MULTI_COMMON_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "constraint/fd.h"
+#include "core/repair_types.h"
+#include "core/target_tree.h"
+#include "data/table.h"
+#include "detect/pattern.h"
+#include "detect/violation_graph.h"
+#include "metric/projection.h"
+
+namespace ftrepair {
+
+/// \brief Shared state for one connected FD component (§4).
+///
+/// Tuples are grouped into *Sigma-patterns* (distinct projections over
+/// the component's column union); per FD, Sigma-patterns are further
+/// grouped into phi-patterns (distinct FD projections) over which the
+/// per-FD violation graphs are built. This double grouping is exact:
+/// tuples with identical Sigma-projections are interchangeable in every
+/// multi-FD algorithm.
+struct ComponentContext {
+  std::vector<const FD*> fds;
+  std::vector<int> component_cols;
+  std::vector<Pattern> sigma_patterns;
+
+  /// Per FD: the violation graph over its phi-patterns.
+  std::vector<ViolationGraph> graphs;
+  /// phi_of_sigma[k][i] = phi-pattern id (in graphs[k]) of Sigma-pattern i.
+  std::vector<std::vector<int>> phi_of_sigma;
+  /// sigma_of_phi[k][j] = Sigma-pattern ids projecting to phi-pattern j.
+  std::vector<std::vector<std::vector<int>>> sigma_of_phi;
+  /// Effective FTOptions per FD.
+  std::vector<FTOptions> ft;
+};
+
+/// Builds the context for `fds` over `table`.
+ComponentContext BuildComponentContext(const Table& table,
+                                       const std::vector<const FD*>& fds,
+                                       const DistanceModel& model,
+                                       const RepairOptions& options);
+
+/// \brief Joins one chosen independent set per FD into targets and
+/// assigns every Sigma-pattern its cheapest repair (§4.2/§4.3 final
+/// phase; Algorithm 3 lines 13-21, Algorithm 4 lines 7-9).
+///
+/// `chosen[k]` holds phi-pattern ids of graphs[k]. Sigma-patterns whose
+/// every phi-projection is chosen keep their values. Uses the target
+/// tree (§5) or, when `options.use_target_tree` is false, materializes
+/// targets and scans them linearly. A NotFound join sets
+/// `stats->join_empty` and leaves all tuples unrepaired.
+Result<MultiFDSolution> AssignTargets(const ComponentContext& context,
+                                      const std::vector<std::vector<int>>& chosen,
+                                      const DistanceModel& model,
+                                      const RepairOptions& options,
+                                      RepairStats* stats);
+
+/// Linear-scan counterpart of TargetTree::FindBest over materialized
+/// targets; returns the index of the cheapest target.
+size_t FindBestTargetLinear(const std::vector<std::vector<Value>>& targets,
+                            const std::vector<Value>& tuple_proj,
+                            const std::vector<int>& cols,
+                            const DistanceModel& model, double* cost);
+
+}  // namespace ftrepair
+
+#endif  // FTREPAIR_CORE_MULTI_COMMON_H_

@@ -1,0 +1,134 @@
+#include "core/repair_types.h"
+
+#include <algorithm>
+#include <set>
+
+namespace ftrepair {
+
+const char* RepairAlgorithmName(RepairAlgorithm algorithm) {
+  switch (algorithm) {
+    case RepairAlgorithm::kExact:
+      return "Exact";
+    case RepairAlgorithm::kGreedy:
+      return "Greedy";
+    case RepairAlgorithm::kApproJoin:
+      return "ApproJoin";
+  }
+  return "?";
+}
+
+double RepairOptions::TauFor(const FD& fd) const {
+  if (!fd.name().empty()) {
+    auto it = tau_by_fd.find(fd.name());
+    if (it != tau_by_fd.end()) return it->second;
+  }
+  return default_tau;
+}
+
+FTOptions RepairOptions::FTFor(const FD& fd) const {
+  return FTOptions{w_l, w_r, TauFor(fd)};
+}
+
+void RepairStats::Merge(const RepairStats& other) {
+  ft_violations_before += other.ft_violations_before;
+  ft_violations_after += other.ft_violations_after;
+  repair_cost += other.repair_cost;
+  cells_changed += other.cells_changed;
+  tuples_changed += other.tuples_changed;
+  expansion_nodes += other.expansion_nodes;
+  expansion_pruned += other.expansion_pruned;
+  combinations_examined += other.combinations_examined;
+  combinations_pruned += other.combinations_pruned;
+  target_nodes_visited += other.target_nodes_visited;
+  target_nodes_pruned += other.target_nodes_pruned;
+  targets_materialized += other.targets_materialized;
+  fell_back_to_greedy = fell_back_to_greedy || other.fell_back_to_greedy;
+  join_empty = join_empty || other.join_empty;
+  trusted_conflicts += other.trusted_conflicts;
+}
+
+void ApplySingleFDSolution(const ViolationGraph& graph, const FD& fd,
+                           const SingleFDSolution& solution, Table* table,
+                           std::vector<CellChange>* changes,
+                           const std::unordered_set<int>* trusted) {
+  for (int i = 0; i < graph.num_patterns(); ++i) {
+    int target = solution.repair_target[static_cast<size_t>(i)];
+    if (target < 0) continue;
+    const Pattern& src = graph.pattern(i);
+    const Pattern& dst = graph.pattern(target);
+    for (int row : src.rows) {
+      if (trusted != nullptr && trusted->count(row)) continue;
+      for (int p = 0; p < fd.num_attrs(); ++p) {
+        int col = fd.attrs()[static_cast<size_t>(p)];
+        Value* cell = table->mutable_cell(row, col);
+        const Value& new_value = dst.values[static_cast<size_t>(p)];
+        if (*cell != new_value) {
+          if (changes != nullptr) {
+            changes->push_back(CellChange{row, col, *cell, new_value});
+          }
+          *cell = new_value;
+        }
+      }
+    }
+  }
+}
+
+void ApplyMultiFDSolution(const MultiFDSolution& solution, Table* table,
+                          std::vector<CellChange>* changes,
+                          const std::unordered_set<int>* trusted) {
+  for (size_t i = 0; i < solution.sigma_patterns.size(); ++i) {
+    const std::vector<Value>& target = solution.targets[i];
+    if (target.empty()) continue;
+    const Pattern& src = solution.sigma_patterns[i];
+    for (int row : src.rows) {
+      if (trusted != nullptr && trusted->count(row)) continue;
+      for (size_t p = 0; p < solution.component_cols.size(); ++p) {
+        int col = solution.component_cols[p];
+        Value* cell = table->mutable_cell(row, col);
+        if (*cell != target[p]) {
+          if (changes != nullptr) {
+            changes->push_back(CellChange{row, col, *cell, target[p]});
+          }
+          *cell = target[p];
+        }
+      }
+    }
+  }
+}
+
+std::vector<bool> TrustedPatternMask(
+    const std::vector<Pattern>& patterns,
+    const std::unordered_set<int>& trusted_rows) {
+  std::vector<bool> mask(patterns.size(), false);
+  if (trusted_rows.empty()) return mask;
+  for (size_t i = 0; i < patterns.size(); ++i) {
+    for (int row : patterns[i].rows) {
+      if (trusted_rows.count(row)) {
+        mask[i] = true;
+        break;
+      }
+    }
+  }
+  return mask;
+}
+
+std::vector<int> ComponentColumns(const std::vector<const FD*>& fds) {
+  std::set<int> cols;
+  for (const FD* fd : fds) {
+    cols.insert(fd->attrs().begin(), fd->attrs().end());
+  }
+  return std::vector<int>(cols.begin(), cols.end());
+}
+
+double TableRepairCost(const Table& original, const Table& repaired,
+                       const DistanceModel& model) {
+  double cost = 0;
+  for (int r = 0; r < original.num_rows(); ++r) {
+    for (int c = 0; c < original.num_columns(); ++c) {
+      cost += model.CellDistance(c, original.cell(r, c), repaired.cell(r, c));
+    }
+  }
+  return cost;
+}
+
+}  // namespace ftrepair

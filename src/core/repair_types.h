@@ -1,0 +1,198 @@
+#ifndef FTREPAIR_CORE_REPAIR_TYPES_H_
+#define FTREPAIR_CORE_REPAIR_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "constraint/fd.h"
+#include "data/table.h"
+#include "detect/pattern.h"
+#include "detect/violation_graph.h"
+#include "metric/projection.h"
+
+namespace ftrepair {
+
+/// Which repair algorithm family the Repairer facade dispatches to.
+/// Single-FD components always use the single-FD variant of the family
+/// (Expansion-S / Greedy-S); connected components of >= 2 FDs use the
+/// multi-FD variant (Expansion-M / Greedy-M / Appro-M).
+enum class RepairAlgorithm {
+  /// Optimal: Expansion-S (§3.1) / Expansion-M (§4.2).
+  kExact,
+  /// Joint greedy: Greedy-S (§3.2) / Greedy-M (§4.4).
+  kGreedy,
+  /// Per-FD greedy + join: Greedy-S / Appro-M (§4.3).
+  kApproJoin,
+};
+
+const char* RepairAlgorithmName(RepairAlgorithm algorithm);
+
+/// Tunables of the cost-based repair model.
+struct RepairOptions {
+  /// Eq. 2 weights; the paper's default is w_l = w_r = 0.5.
+  double w_l = 0.5;
+  double w_r = 0.5;
+  /// FT threshold tau used for every FD without an override.
+  double default_tau = 0.2;
+  /// Per-FD tau overrides, keyed by FD name.
+  std::unordered_map<std::string, double> tau_by_fd;
+  /// When true, tau is chosen per FD by SuggestThreshold (§2.1 heuristic)
+  /// and default_tau/tau_by_fd are ignored.
+  bool auto_threshold = false;
+
+  RepairAlgorithm algorithm = RepairAlgorithm::kGreedy;
+
+  /// Use the target tree (§5) to search multi-FD targets. When false,
+  /// targets are materialized and scanned linearly (ablation baseline).
+  bool use_target_tree = true;
+
+  /// §3 "Tuple grouping". Disable only for ablation measurements.
+  bool group_tuples = true;
+
+  /// Expansion safety valves: the exact algorithms stop with
+  /// ResourceExhausted when the MIS frontier or the number of per-FD
+  /// set combinations exceeds these.
+  size_t max_frontier = 20000;
+  size_t max_sets_per_fd = 4000;
+  size_t max_combinations = 200000;
+  /// Eager target-tree size cap; past it, AssignTargets switches to the
+  /// lazy-materialization search (core/lazy_targets.h).
+  size_t max_tree_nodes = 100'000;
+  /// Per-tuple visit budget of the lazy target search.
+  uint64_t max_target_visits = 200'000;
+
+  /// When the exact algorithm exhausts a safety valve, silently fall
+  /// back to the greedy family instead of failing.
+  bool fall_back_to_greedy = true;
+
+  /// Greedy-M cross-constraint synchronization weight: cost added per
+  /// violation triggered (and subtracted per violation eliminated) in a
+  /// connected FD when scoring candidate modifications (§4.4).
+  double cross_weight = 0.5;
+
+  /// Count FT-violations before/after into RepairStats. Disable for
+  /// pure repair-time measurements (it re-runs detection).
+  bool compute_violation_stats = true;
+
+  /// Rows known to be correct (verified against master data, say).
+  /// Their cells are never modified, and the patterns they carry are
+  /// forced into every chosen independent set, so other tuples repair
+  /// *toward* them. Two conflicting trusted patterns are both kept
+  /// (trust beats independence) and surfaced via
+  /// RepairStats::trusted_conflicts.
+  std::unordered_set<int> trusted_rows;
+
+  /// Effective tau for `fd`.
+  double TauFor(const FD& fd) const;
+  /// FTOptions (weights + effective tau) for `fd`.
+  FTOptions FTFor(const FD& fd) const;
+};
+
+/// One repaired cell.
+struct CellChange {
+  int row = 0;
+  int col = 0;
+  Value old_value;
+  Value new_value;
+};
+
+/// Counters reported alongside a repair.
+struct RepairStats {
+  uint64_t ft_violations_before = 0;
+  uint64_t ft_violations_after = 0;
+  /// Total repair cost, Eq. 4 (sum of normalized cell distances between
+  /// the input and the repaired table, over all columns).
+  double repair_cost = 0;
+  int cells_changed = 0;
+  int tuples_changed = 0;
+  /// Exact-algorithm accounting.
+  uint64_t expansion_nodes = 0;
+  uint64_t expansion_pruned = 0;
+  uint64_t combinations_examined = 0;
+  uint64_t combinations_pruned = 0;
+  /// Target search accounting.
+  uint64_t target_nodes_visited = 0;
+  uint64_t target_nodes_pruned = 0;
+  uint64_t targets_materialized = 0;
+  /// True when an exact run hit a safety valve and the greedy family
+  /// finished the component.
+  bool fell_back_to_greedy = false;
+  /// True when some multi-FD component produced an empty target join
+  /// and its tuples were left unrepaired.
+  bool join_empty = false;
+  /// Pairs of trusted patterns that FT-conflict with each other (the
+  /// thresholds disagree with the master data).
+  uint64_t trusted_conflicts = 0;
+
+  void Merge(const RepairStats& other);
+};
+
+/// Output of Repairer::Repair.
+struct RepairResult {
+  Table repaired;
+  std::vector<CellChange> changes;
+  RepairStats stats;
+};
+
+/// \brief Solution of a single-FD instance over a ViolationGraph.
+///
+/// `repair_target[i]` is the pattern id pattern `i` is modified to, or
+/// -1 when pattern `i` keeps its values (member of the chosen set or
+/// isolated). `cost` is the grouped repair cost over the FD's
+/// attributes (sum over repaired patterns of count * unit_cost).
+struct SingleFDSolution {
+  std::vector<int> chosen_set;
+  std::vector<int> repair_target;
+  double cost = 0;
+  uint64_t nodes_expanded = 0;
+  uint64_t nodes_pruned = 0;
+};
+
+/// Writes `solution` into `table`: every row of a repaired pattern gets
+/// the target pattern's values on `fd.attrs()`. Appends the individual
+/// cell changes to `changes` when non-null. Rows in `trusted` (may be
+/// null) are never written.
+void ApplySingleFDSolution(const ViolationGraph& graph, const FD& fd,
+                           const SingleFDSolution& solution, Table* table,
+                           std::vector<CellChange>* changes,
+                           const std::unordered_set<int>* trusted = nullptr);
+
+/// Marks the patterns that carry at least one row from `trusted_rows`.
+std::vector<bool> TrustedPatternMask(
+    const std::vector<Pattern>& patterns,
+    const std::unordered_set<int>& trusted_rows);
+
+/// \brief Solution of a multi-FD component over Sigma-patterns.
+///
+/// `targets[i]` is empty when Sigma-pattern `i` keeps its values,
+/// otherwise it holds the assignment over `component_cols`.
+struct MultiFDSolution {
+  std::vector<int> component_cols;
+  std::vector<Pattern> sigma_patterns;
+  std::vector<std::vector<Value>> targets;
+  /// The independent set realized per FD (phi-pattern ids of the
+  /// component context's graphs), for inspection and tests.
+  std::vector<std::vector<int>> chosen;
+  double cost = 0;
+};
+
+/// Writes `solution` into `table`, appending cell changes. Rows in
+/// `trusted` (may be null) are never written.
+void ApplyMultiFDSolution(const MultiFDSolution& solution, Table* table,
+                          std::vector<CellChange>* changes,
+                          const std::unordered_set<int>* trusted = nullptr);
+
+/// Sorted union of the attrs() of the given FDs.
+std::vector<int> ComponentColumns(const std::vector<const FD*>& fds);
+
+/// Eq. 4: total repair cost between two same-schema tables.
+double TableRepairCost(const Table& original, const Table& repaired,
+                       const DistanceModel& model);
+
+}  // namespace ftrepair
+
+#endif  // FTREPAIR_CORE_REPAIR_TYPES_H_

@@ -1,0 +1,272 @@
+#include "core/repairer.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "constraint/fd_graph.h"
+#include "core/appro_multi.h"
+#include "core/expansion_multi.h"
+#include "core/expansion_single.h"
+#include "core/greedy_multi.h"
+#include "core/greedy_single.h"
+#include "core/multi_common.h"
+#include "detect/detector.h"
+#include "detect/threshold.h"
+
+namespace ftrepair {
+
+namespace {
+
+std::vector<Pattern> PatternsFor(const Table& table, const FD& fd,
+                                 bool group_tuples) {
+  if (group_tuples) return BuildPatterns(table, fd.attrs());
+  std::vector<Pattern> out;
+  out.reserve(static_cast<size_t>(table.num_rows()));
+  for (int r = 0; r < table.num_rows(); ++r) {
+    std::vector<Value> proj;
+    proj.reserve(fd.attrs().size());
+    for (int c : fd.attrs()) proj.push_back(table.cell(r, c));
+    out.push_back(Pattern{std::move(proj), {r}});
+  }
+  return out;
+}
+
+}  // namespace
+
+Status ValidateFDs(const Schema& schema, const std::vector<FD>& fds) {
+  for (const FD& fd : fds) {
+    for (int c : fd.attrs()) {
+      if (c < 0 || c >= schema.num_columns()) {
+        return Status::InvalidArgument(
+            "FD references column " + std::to_string(c) +
+            " outside the schema (" + std::to_string(schema.num_columns()) +
+            " columns)");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<RepairResult> Repairer::Repair(const Table& table,
+                                      const std::vector<FD>& fds) const {
+  FTR_RETURN_NOT_OK(ValidateFDs(table.schema(), fds));
+
+  // Internal FD copies with guaranteed-unique names so per-FD taus can
+  // be resolved by name.
+  std::vector<FD> named;
+  named.reserve(fds.size());
+  for (size_t i = 0; i < fds.size(); ++i) {
+    if (fds[i].name().empty()) {
+      FTR_ASSIGN_OR_RETURN(
+          FD fd, FD::Make(fds[i].lhs(), fds[i].rhs(),
+                          "__fd" + std::to_string(i)));
+      named.push_back(std::move(fd));
+    } else {
+      named.push_back(fds[i]);
+    }
+  }
+
+  DistanceModel model(table);
+  RepairOptions opts = options_;
+  if (opts.auto_threshold) {
+    ThresholdOptions topt;
+    topt.w_l = opts.w_l;
+    topt.w_r = opts.w_r;
+    topt.fallback = opts.default_tau;
+    for (const FD& fd : named) {
+      opts.tau_by_fd[fd.name()] = SuggestThreshold(table, fd, model, topt);
+    }
+  }
+
+  RepairResult result;
+  result.repaired = table;
+
+  if (opts.compute_violation_stats) {
+    for (const FD& fd : named) {
+      result.stats.ft_violations_before +=
+          CountFTViolations(table, fd, model, opts.FTFor(fd));
+    }
+  }
+
+  FDGraph fd_graph(named);
+  for (const std::vector<int>& component : fd_graph.Components()) {
+    if (component.size() == 1) {
+      const FD& fd = named[static_cast<size_t>(component[0])];
+      ViolationGraph graph = ViolationGraph::Build(
+          PatternsFor(table, fd, opts.group_tuples), fd, model,
+          opts.FTFor(fd));
+      std::vector<bool> forced_storage;
+      const std::vector<bool>* forced = nullptr;
+      if (!opts.trusted_rows.empty()) {
+        forced_storage =
+            TrustedPatternMask(graph.patterns(), opts.trusted_rows);
+        forced = &forced_storage;
+      }
+      SingleFDSolution solution;
+      if (opts.algorithm == RepairAlgorithm::kExact) {
+        ExpansionConfig config;
+        config.max_frontier = opts.max_frontier;
+        config.forced = forced;
+        auto exact = SolveExpansionSingle(graph, config);
+        if (exact.ok()) {
+          solution = std::move(exact).value();
+          result.stats.expansion_nodes += solution.nodes_expanded;
+          result.stats.expansion_pruned += solution.nodes_pruned;
+        } else if (exact.status().IsResourceExhausted() &&
+                   opts.fall_back_to_greedy) {
+          FTR_LOG(kInfo) << "Expansion-S fell back to Greedy-S on "
+                         << fd.name() << ": " << exact.status().ToString();
+          result.stats.fell_back_to_greedy = true;
+          solution = SolveGreedySingle(graph, forced,
+                                       &result.stats.trusted_conflicts);
+        } else {
+          return exact.status();
+        }
+      } else {
+        solution = SolveGreedySingle(graph, forced,
+                                     &result.stats.trusted_conflicts);
+      }
+      ApplySingleFDSolution(graph, fd, solution, &result.repaired,
+                            &result.changes,
+                            opts.trusted_rows.empty()
+                                ? nullptr
+                                : &opts.trusted_rows);
+    } else {
+      std::vector<const FD*> component_fds;
+      component_fds.reserve(component.size());
+      for (int idx : component) {
+        component_fds.push_back(&named[static_cast<size_t>(idx)]);
+      }
+      ComponentContext context =
+          BuildComponentContext(table, component_fds, model, opts);
+      Result<MultiFDSolution> solved = Status::Internal("unreachable");
+      switch (opts.algorithm) {
+        case RepairAlgorithm::kExact: {
+          solved = SolveExpansionMulti(context, model, opts, &result.stats);
+          if (!solved.ok() && solved.status().IsResourceExhausted() &&
+              opts.fall_back_to_greedy) {
+            // Anytime behavior: when the exact search trips a safety
+            // valve, return the cheaper of the two heuristics.
+            FTR_LOG(kInfo) << "Expansion-M fell back to heuristics: "
+                           << solved.status().ToString();
+            result.stats.fell_back_to_greedy = true;
+            auto greedy = SolveGreedyMulti(context, model, opts,
+                                           &result.stats);
+            auto appro = SolveApproMulti(context, model, opts,
+                                         &result.stats);
+            if (greedy.ok() && appro.ok()) {
+              solved = greedy.value().cost <= appro.value().cost
+                           ? std::move(greedy)
+                           : std::move(appro);
+            } else {
+              solved = greedy.ok() ? std::move(greedy) : std::move(appro);
+            }
+          }
+          break;
+        }
+        case RepairAlgorithm::kGreedy:
+          solved = SolveGreedyMulti(context, model, opts, &result.stats);
+          break;
+        case RepairAlgorithm::kApproJoin:
+          solved = SolveApproMulti(context, model, opts, &result.stats);
+          break;
+      }
+      if (!solved.ok()) return solved.status();
+      ApplyMultiFDSolution(solved.value(), &result.repaired,
+                           &result.changes,
+                           opts.trusted_rows.empty() ? nullptr
+                                                     : &opts.trusted_rows);
+    }
+  }
+
+  if (opts.compute_violation_stats) {
+    for (const FD& fd : named) {
+      result.stats.ft_violations_after +=
+          CountFTViolations(result.repaired, fd, model, opts.FTFor(fd));
+    }
+  }
+  result.stats.repair_cost = TableRepairCost(table, result.repaired, model);
+  result.stats.cells_changed = static_cast<int>(result.changes.size());
+  std::unordered_set<int> touched;
+  for (const CellChange& change : result.changes) touched.insert(change.row);
+  result.stats.tuples_changed = static_cast<int>(touched.size());
+  return result;
+}
+
+Result<RepairResult> Repairer::RepairAppended(
+    const Table& table, int first_new_row,
+    const std::vector<FD>& fds) const {
+  if (first_new_row < 0 || first_new_row > table.num_rows()) {
+    return Status::InvalidArgument(
+        "first_new_row " + std::to_string(first_new_row) +
+        " outside [0, " + std::to_string(table.num_rows()) + "]");
+  }
+  Repairer incremental(options_);
+  for (int r = 0; r < first_new_row; ++r) {
+    incremental.options_.trusted_rows.insert(r);
+  }
+  return incremental.Repair(table, fds);
+}
+
+Result<RepairResult> Repairer::RepairCFDs(const Table& table,
+                                          const std::vector<CFD>& cfds) const {
+  RepairResult result;
+  result.repaired = table;
+  DistanceModel model(table);
+
+  for (const CFD& cfd : cfds) {
+    const FD& fd = cfd.fd();
+    FTR_RETURN_NOT_OK(ValidateFDs(table.schema(), {fd}));
+    for (int p = 0; p < static_cast<int>(cfd.tableau().size()); ++p) {
+      // 1. Constant violations: pin the RHS constants directly.
+      for (int r : cfd.ConstantViolations(result.repaired, p)) {
+        const PatternRow& pat = cfd.tableau()[static_cast<size_t>(p)];
+        for (int i = fd.lhs_size(); i < fd.num_attrs(); ++i) {
+          const auto& constant = pat[static_cast<size_t>(i)];
+          if (!constant.has_value()) continue;
+          int col = fd.attrs()[static_cast<size_t>(i)];
+          Value* cell = result.repaired.mutable_cell(r, col);
+          if (*cell != *constant) {
+            result.changes.push_back(CellChange{r, col, *cell, *constant});
+            *cell = *constant;
+          }
+        }
+      }
+      // 2. Variable part: FT repair restricted to the matching tuples.
+      std::vector<int> scope = cfd.ApplicableRows(result.repaired, p);
+      if (scope.size() < 2) continue;
+      ViolationGraph graph = ViolationGraph::Build(
+          BuildPatternsForRows(result.repaired, fd.attrs(), scope), fd,
+          model, options_.FTFor(fd));
+      SingleFDSolution solution;
+      if (options_.algorithm == RepairAlgorithm::kExact) {
+        ExpansionConfig config;
+        config.max_frontier = options_.max_frontier;
+        auto exact = SolveExpansionSingle(graph, config);
+        if (exact.ok()) {
+          solution = std::move(exact).value();
+        } else if (exact.status().IsResourceExhausted() &&
+                   options_.fall_back_to_greedy) {
+          result.stats.fell_back_to_greedy = true;
+          solution = SolveGreedySingle(graph);
+        } else {
+          return exact.status();
+        }
+      } else {
+        solution = SolveGreedySingle(graph);
+      }
+      ApplySingleFDSolution(graph, fd, solution, &result.repaired,
+                            &result.changes);
+    }
+  }
+
+  result.stats.repair_cost = TableRepairCost(table, result.repaired, model);
+  result.stats.cells_changed = static_cast<int>(result.changes.size());
+  std::unordered_set<int> touched;
+  for (const CellChange& change : result.changes) touched.insert(change.row);
+  result.stats.tuples_changed = static_cast<int>(touched.size());
+  return result;
+}
+
+}  // namespace ftrepair

@@ -1,0 +1,69 @@
+#ifndef FTREPAIR_CORE_REPAIRER_H_
+#define FTREPAIR_CORE_REPAIRER_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "constraint/cfd.h"
+#include "constraint/fd.h"
+#include "core/repair_types.h"
+#include "data/table.h"
+
+namespace ftrepair {
+
+/// \brief The library facade: cost-based fault-tolerant data repairing.
+///
+/// Decomposes the FD set into connected components of the FD graph
+/// (repaired independently and w.l.o.g. optimally per Theorem 5) and
+/// dispatches each component to the configured algorithm family:
+///
+///   component size 1:  Expansion-S (kExact) or Greedy-S
+///   component size >1: Expansion-M (kExact), Greedy-M (kGreedy) or
+///                      Appro-M (kApproJoin)
+///
+/// All repairs are close-world valid: every repaired projection already
+/// occurs in the input table. The output is FT-consistent w.r.t. the
+/// given FDs except when a multi-FD target join is empty (flagged in
+/// RepairStats::join_empty).
+///
+/// Example:
+/// \code
+///   RepairOptions options;
+///   options.algorithm = RepairAlgorithm::kGreedy;
+///   options.default_tau = 0.3;
+///   Repairer repairer(options);
+///   FTR_ASSIGN_OR_RETURN(RepairResult result, repairer.Repair(table, fds));
+/// \endcode
+class Repairer {
+ public:
+  explicit Repairer(RepairOptions options = {}) : options_(options) {}
+
+  const RepairOptions& options() const { return options_; }
+
+  /// Repairs `table` to FT-consistency w.r.t. `fds`.
+  Result<RepairResult> Repair(const Table& table,
+                              const std::vector<FD>& fds) const;
+
+  /// Incremental repair: rows [0, first_new_row) are an already-clean
+  /// (previously repaired) prefix and are never modified; appended rows
+  /// [first_new_row, num_rows) are repaired *toward* the prefix's
+  /// patterns. Equivalent to Repair() with the prefix as trusted rows.
+  Result<RepairResult> RepairAppended(const Table& table, int first_new_row,
+                                      const std::vector<FD>& fds) const;
+
+  /// CFD extension: constant tableau violations are fixed directly;
+  /// the variable part of each tableau row is repaired with the
+  /// single-FD algorithms restricted to the matching tuples.
+  Result<RepairResult> RepairCFDs(const Table& table,
+                                  const std::vector<CFD>& cfds) const;
+
+ private:
+  RepairOptions options_;
+};
+
+/// Validates that every FD references only columns of `schema`.
+Status ValidateFDs(const Schema& schema, const std::vector<FD>& fds);
+
+}  // namespace ftrepair
+
+#endif  // FTREPAIR_CORE_REPAIRER_H_

@@ -1,0 +1,94 @@
+#ifndef FTREPAIR_CORE_TARGET_TREE_H_
+#define FTREPAIR_CORE_TARGET_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "constraint/fd.h"
+#include "data/table.h"
+#include "metric/projection.h"
+
+namespace ftrepair {
+
+/// \brief The target tree of §5: a trie over one independent set per FD
+/// whose root-to-leaf paths are the joinable *targets* of a multi-FD
+/// component.
+///
+/// Levels are ordered by independent-set size ascending (§5.1, smaller
+/// fan-out near the root). A node at level l fixes the values of FD_l's
+/// attributes; a child is attached only when it agrees with every value
+/// already fixed on the path. Paths that cannot reach the last level
+/// are discarded ("if a path has less than |Sigma|+1 nodes, this path
+/// is not a target"). Each node stores the distinct attribute values
+/// appearing in its subtree for the not-yet-fixed columns, enabling the
+/// EDIST lower bound of the best-first search (§5.2, Algorithm 5).
+class TargetTree {
+ public:
+  /// One per-FD independent set: `elements[i]` is laid out over
+  /// `fd->attrs()`.
+  struct LevelInput {
+    const FD* fd;
+    std::vector<std::vector<Value>> elements;
+  };
+
+  struct SearchStats {
+    uint64_t nodes_visited = 0;
+    uint64_t nodes_pruned = 0;
+  };
+
+  /// Builds the tree over `component_cols` (sorted union of the FDs'
+  /// attributes). Fails with NotFound when the join is empty and with
+  /// ResourceExhausted when more than `max_nodes` trie nodes would be
+  /// created.
+  static Result<TargetTree> Build(std::vector<LevelInput> inputs,
+                                  std::vector<int> component_cols,
+                                  size_t max_nodes);
+
+  /// Number of targets (root-to-leaf paths).
+  size_t num_targets() const { return num_targets_; }
+
+  const std::vector<int>& component_cols() const { return component_cols_; }
+
+  /// Best-first search (Algorithm 5) for the target minimizing the
+  /// repair cost of `tuple_proj` (values over component_cols order).
+  /// Returns the winning assignment; `cost` receives its exact cost.
+  std::vector<Value> FindBest(const std::vector<Value>& tuple_proj,
+                              const DistanceModel& model, double* cost,
+                              SearchStats* stats) const;
+
+  /// Materializes every target (the no-tree ablation uses this plus a
+  /// linear scan).
+  std::vector<std::vector<Value>> EnumerateTargets() const;
+
+ private:
+  struct Node {
+    int level = -1;  // -1 for the virtual root
+    int parent = -1;
+    std::vector<int> children;
+    /// Partial assignment over component positions; positions fixed at
+    /// levels <= `level` are meaningful.
+    std::vector<Value> assign;
+    /// For each future position (see future_positions_[level + 1]):
+    /// distinct values in this node's subtree.
+    std::vector<std::vector<Value>> below;
+    bool alive = false;
+  };
+
+  double Edist(const Node& node, const std::vector<Value>& tuple_proj,
+               const DistanceModel& model) const;
+
+  std::vector<int> component_cols_;
+  /// fixed_positions_[l]: component positions first fixed at level l.
+  std::vector<std::vector<int>> fixed_positions_;
+  /// future_positions_[l]: positions fixed at level >= l (so a node at
+  /// level l-1 stores `below` for future_positions_[l]).
+  std::vector<std::vector<int>> future_positions_;
+  std::vector<Node> nodes_;
+  int num_levels_ = 0;
+  size_t num_targets_ = 0;
+};
+
+}  // namespace ftrepair
+
+#endif  // FTREPAIR_CORE_TARGET_TREE_H_

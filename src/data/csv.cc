@@ -1,0 +1,167 @@
+#include "data/csv.h"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace ftrepair {
+
+namespace {
+
+// Splits CSV text into records of raw fields, honoring quotes.
+Status ParseRecords(const std::string& text,
+                    std::vector<std::vector<std::string>>* records) {
+  std::vector<std::string> current;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;
+  size_t i = 0;
+  auto end_field = [&]() {
+    current.push_back(field);
+    field.clear();
+    field_started = false;
+  };
+  auto end_record = [&]() {
+    end_field();
+    records->push_back(std::move(current));
+    current.clear();
+  };
+  while (i < text.size()) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          i += 2;
+        } else {
+          in_quotes = false;
+          ++i;
+        }
+      } else {
+        field += c;
+        ++i;
+      }
+    } else {
+      if (c == '"' && !field_started && field.empty()) {
+        in_quotes = true;
+        field_started = true;
+        ++i;
+      } else if (c == ',') {
+        end_field();
+        ++i;
+      } else if (c == '\r') {
+        ++i;  // tolerate CRLF
+      } else if (c == '\n') {
+        end_record();
+        ++i;
+      } else {
+        field += c;
+        field_started = true;
+        ++i;
+      }
+    }
+  }
+  if (in_quotes) return Status::IOError("unterminated quoted CSV field");
+  if (field_started || !field.empty() || !current.empty()) end_record();
+  return Status::OK();
+}
+
+bool NeedsQuoting(const std::string& s) {
+  return s.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+std::string QuoteField(const std::string& s) {
+  if (!NeedsQuoting(s)) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+Result<Table> ReadCsvString(const std::string& text) {
+  std::vector<std::vector<std::string>> records;
+  FTR_RETURN_NOT_OK(ParseRecords(text, &records));
+  if (records.empty()) return Status::IOError("CSV input has no header row");
+  const std::vector<std::string>& header = records[0];
+  size_t width = header.size();
+
+  // Infer per-column types: numeric iff every non-empty cell parses.
+  std::vector<bool> numeric(width, true);
+  std::vector<bool> any_value(width, false);
+  for (size_t r = 1; r < records.size(); ++r) {
+    if (records[r].size() != width) {
+      return Status::IOError("CSV row " + std::to_string(r) + " has " +
+                             std::to_string(records[r].size()) +
+                             " fields, expected " + std::to_string(width));
+    }
+    for (size_t c = 0; c < width; ++c) {
+      std::string_view cell = Trim(records[r][c]);
+      if (cell.empty()) continue;
+      any_value[c] = true;
+      double d;
+      if (!ParseDouble(cell, &d)) numeric[c] = false;
+    }
+  }
+
+  std::vector<Column> columns;
+  columns.reserve(width);
+  for (size_t c = 0; c < width; ++c) {
+    ValueType type = (any_value[c] && numeric[c]) ? ValueType::kNumber
+                                                  : ValueType::kString;
+    columns.push_back(Column{std::string(Trim(header[c])), type});
+  }
+  Table table{Schema(std::move(columns))};
+  for (size_t r = 1; r < records.size(); ++r) {
+    Row row;
+    row.reserve(width);
+    for (size_t c = 0; c < width; ++c) {
+      row.push_back(Value::Parse(records[r][c], table.schema().column(
+                                                    static_cast<int>(c)).type));
+    }
+    FTR_RETURN_NOT_OK(table.AppendRow(std::move(row)));
+  }
+  return table;
+}
+
+Result<Table> ReadCsvFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open '" + path + "' for reading");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ReadCsvString(buf.str());
+}
+
+std::string WriteCsvString(const Table& table) {
+  std::string out;
+  const Schema& schema = table.schema();
+  for (int c = 0; c < schema.num_columns(); ++c) {
+    if (c > 0) out += ',';
+    out += QuoteField(schema.column(c).name);
+  }
+  out += '\n';
+  for (int r = 0; r < table.num_rows(); ++r) {
+    for (int c = 0; c < schema.num_columns(); ++c) {
+      if (c > 0) out += ',';
+      out += QuoteField(table.cell(r, c).ToString());
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Status WriteCsvFile(const Table& table, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
+  out << WriteCsvString(table);
+  if (!out) return Status::IOError("short write to '" + path + "'");
+  return Status::OK();
+}
+
+}  // namespace ftrepair

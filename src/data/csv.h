@@ -1,0 +1,32 @@
+#ifndef FTREPAIR_DATA_CSV_H_
+#define FTREPAIR_DATA_CSV_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/status.h"
+#include "data/table.h"
+
+namespace ftrepair {
+
+/// \brief RFC-4180-style CSV I/O for Table.
+///
+/// Reading infers schema from a header row: columns whose every
+/// non-empty cell parses as a number become kNumber, others kString.
+/// Quoted fields with embedded commas/quotes/newlines are supported.
+
+/// Parses CSV text (with header) into a Table.
+Result<Table> ReadCsvString(const std::string& text);
+
+/// Reads a CSV file (with header) into a Table.
+Result<Table> ReadCsvFile(const std::string& path);
+
+/// Serializes `table` (with header) to CSV text.
+std::string WriteCsvString(const Table& table);
+
+/// Writes `table` to `path` as CSV.
+Status WriteCsvFile(const Table& table, const std::string& path);
+
+}  // namespace ftrepair
+
+#endif  // FTREPAIR_DATA_CSV_H_

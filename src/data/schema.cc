@@ -1,0 +1,35 @@
+#include "data/schema.h"
+
+namespace ftrepair {
+
+Schema::Schema(std::vector<Column> columns) : columns_(std::move(columns)) {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    index_.emplace(columns_[i].name, static_cast<int>(i));
+  }
+}
+
+int Schema::IndexOf(std::string_view name) const {
+  auto it = index_.find(std::string(name));
+  return it == index_.end() ? -1 : it->second;
+}
+
+Result<int> Schema::RequireIndex(std::string_view name) const {
+  int idx = IndexOf(name);
+  if (idx < 0) {
+    return Status::NotFound("no column named '" + std::string(name) + "'");
+  }
+  return idx;
+}
+
+bool operator==(const Schema& a, const Schema& b) {
+  if (a.columns_.size() != b.columns_.size()) return false;
+  for (size_t i = 0; i < a.columns_.size(); ++i) {
+    if (a.columns_[i].name != b.columns_[i].name ||
+        a.columns_[i].type != b.columns_[i].type) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace ftrepair

@@ -1,0 +1,45 @@
+#ifndef FTREPAIR_DATA_SCHEMA_H_
+#define FTREPAIR_DATA_SCHEMA_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "data/value.h"
+
+namespace ftrepair {
+
+/// A named, typed column.
+struct Column {
+  std::string name;
+  ValueType type = ValueType::kString;
+};
+
+/// \brief Ordered set of columns with by-name lookup.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns);
+
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+  const Column& column(int i) const { return columns_[static_cast<size_t>(i)]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Index of the column named `name`, or -1 if absent.
+  int IndexOf(std::string_view name) const;
+
+  /// Index of `name` or an error naming the missing column.
+  Result<int> RequireIndex(std::string_view name) const;
+
+  friend bool operator==(const Schema& a, const Schema& b);
+
+ private:
+  std::vector<Column> columns_;
+  std::unordered_map<std::string, int> index_;
+};
+
+}  // namespace ftrepair
+
+#endif  // FTREPAIR_DATA_SCHEMA_H_

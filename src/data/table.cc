@@ -1,0 +1,60 @@
+#include "data/table.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace ftrepair {
+
+Status Table::AppendRow(Row row) {
+  if (static_cast<int>(row.size()) != schema_.num_columns()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) + " != schema arity " +
+        std::to_string(schema_.num_columns()));
+  }
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+std::vector<Value> Table::ActiveDomain(int col) const {
+  std::unordered_set<Value, ValueHash> seen;
+  std::vector<Value> out;
+  for (const Row& r : rows_) {
+    const Value& v = r[static_cast<size_t>(col)];
+    if (v.is_null()) continue;
+    if (seen.insert(v).second) out.push_back(v);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool Table::NumericRange(int col, double* min_out, double* max_out) const {
+  bool any = false;
+  double mn = 0, mx = 0;
+  for (const Row& r : rows_) {
+    const Value& v = r[static_cast<size_t>(col)];
+    if (!v.is_number()) continue;
+    if (!any) {
+      mn = mx = v.num();
+      any = true;
+    } else {
+      mn = std::min(mn, v.num());
+      mx = std::max(mx, v.num());
+    }
+  }
+  if (any) {
+    *min_out = mn;
+    *max_out = mx;
+  }
+  return any;
+}
+
+Table Table::Head(int n) const {
+  Table out(schema_);
+  int limit = std::min(n, num_rows());
+  for (int i = 0; i < limit; ++i) {
+    out.rows_.push_back(rows_[static_cast<size_t>(i)]);
+  }
+  return out;
+}
+
+}  // namespace ftrepair

@@ -1,0 +1,61 @@
+#ifndef FTREPAIR_DATA_TABLE_H_
+#define FTREPAIR_DATA_TABLE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "data/schema.h"
+#include "data/value.h"
+
+namespace ftrepair {
+
+/// A row is an ordered vector of cells matching the table schema.
+using Row = std::vector<Value>;
+
+/// \brief In-memory row-oriented relation instance.
+///
+/// The repair algorithms read tables and produce modified copies; a
+/// Table never aliases another Table's storage.
+class Table {
+ public:
+  Table() = default;
+  explicit Table(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+  int num_rows() const { return static_cast<int>(rows_.size()); }
+  int num_columns() const { return schema_.num_columns(); }
+
+  /// Appends a row; errors if the arity does not match the schema.
+  Status AppendRow(Row row);
+
+  const Row& row(int i) const { return rows_[static_cast<size_t>(i)]; }
+  const Value& cell(int row, int col) const {
+    return rows_[static_cast<size_t>(row)][static_cast<size_t>(col)];
+  }
+  /// Mutable cell access (used when applying repairs).
+  Value* mutable_cell(int row, int col) {
+    return &rows_[static_cast<size_t>(row)][static_cast<size_t>(col)];
+  }
+
+  const std::vector<Row>& rows() const { return rows_; }
+
+  /// Distinct non-null values of column `col` (the *active domain*,
+  /// §2.2 close-world model), in deterministic order.
+  std::vector<Value> ActiveDomain(int col) const;
+
+  /// Min/max over numeric cells of `col`; false if the column holds no
+  /// numbers. Used to normalize Euclidean distances.
+  bool NumericRange(int col, double* min_out, double* max_out) const;
+
+  /// Returns a copy restricted to the first `n` rows (n >= num_rows()
+  /// returns a full copy). Used by the experiment harness to sweep N.
+  Table Head(int n) const;
+
+ private:
+  Schema schema_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace ftrepair
+
+#endif  // FTREPAIR_DATA_TABLE_H_

@@ -1,0 +1,61 @@
+#include "data/value.h"
+
+#include <cstring>
+#include <functional>
+
+#include "common/strings.h"
+
+namespace ftrepair {
+
+std::string Value::ToString() const {
+  switch (type_) {
+    case ValueType::kNull:
+      return "";
+    case ValueType::kString:
+      return string_;
+    case ValueType::kNumber:
+      return FormatDouble(number_);
+  }
+  return "";
+}
+
+Value Value::Parse(std::string_view text, ValueType hint) {
+  std::string_view trimmed = Trim(text);
+  if (trimmed.empty()) return Value();
+  if (hint == ValueType::kNumber) {
+    double d = 0;
+    if (ParseDouble(trimmed, &d)) return Value(d);
+    // Typos may corrupt numeric cells into non-numeric text; keep them
+    // as strings so distances still treat them as maximally dirty.
+    return Value(std::string(trimmed));
+  }
+  return Value(std::string(trimmed));
+}
+
+size_t Value::Hash() const {
+  size_t h = 1469598103934665603ULL;
+  auto mix = [&h](const void* data, size_t n) {
+    const unsigned char* p = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < n; ++i) {
+      h ^= p[i];
+      h *= 1099511628211ULL;
+    }
+  };
+  unsigned char t = static_cast<unsigned char>(type_);
+  mix(&t, 1);
+  switch (type_) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kString:
+      mix(string_.data(), string_.size());
+      break;
+    case ValueType::kNumber: {
+      double d = number_;
+      mix(&d, sizeof(d));
+      break;
+    }
+  }
+  return h;
+}
+
+}  // namespace ftrepair

@@ -1,0 +1,91 @@
+#ifndef FTREPAIR_DATA_VALUE_H_
+#define FTREPAIR_DATA_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace ftrepair {
+
+/// Dynamic type of a cell value.
+enum class ValueType : uint8_t { kNull = 0, kString = 1, kNumber = 2 };
+
+/// \brief A single cell: null, a string, or a numeric (double).
+///
+/// Values are small, regular (copyable/movable/hashable/comparable) and
+/// compare by (type, content). Numbers compare by exact double equality —
+/// the generators and parsers only produce round-trippable numerics.
+class Value {
+ public:
+  /// Null value.
+  Value() : type_(ValueType::kNull), number_(0) {}
+  /// String value.
+  explicit Value(std::string s)
+      : type_(ValueType::kString), number_(0), string_(std::move(s)) {}
+  explicit Value(const char* s) : Value(std::string(s)) {}
+  /// Numeric value.
+  explicit Value(double v) : type_(ValueType::kNumber), number_(v) {}
+  explicit Value(int v) : Value(static_cast<double>(v)) {}
+
+  ValueType type() const { return type_; }
+  bool is_null() const { return type_ == ValueType::kNull; }
+  bool is_string() const { return type_ == ValueType::kString; }
+  bool is_number() const { return type_ == ValueType::kNumber; }
+
+  /// String content; only valid when is_string().
+  const std::string& str() const { return string_; }
+  /// Numeric content; only valid when is_number().
+  double num() const { return number_; }
+
+  /// Renders the value for display/CSV. Null renders as "".
+  std::string ToString() const;
+
+  /// Parses `text` as a value of the requested type. For kNumber,
+  /// non-numeric text falls back to a string value (dirty data is
+  /// expected to contain typos inside numeric columns).
+  static Value Parse(std::string_view text, ValueType hint);
+
+  friend bool operator==(const Value& a, const Value& b) {
+    if (a.type_ != b.type_) return false;
+    switch (a.type_) {
+      case ValueType::kNull:
+        return true;
+      case ValueType::kString:
+        return a.string_ == b.string_;
+      case ValueType::kNumber:
+        return a.number_ == b.number_;
+    }
+    return false;
+  }
+  friend bool operator!=(const Value& a, const Value& b) { return !(a == b); }
+
+  /// Total order used for deterministic tie-breaking: by type, then content.
+  friend bool operator<(const Value& a, const Value& b) {
+    if (a.type_ != b.type_) return a.type_ < b.type_;
+    switch (a.type_) {
+      case ValueType::kNull:
+        return false;
+      case ValueType::kString:
+        return a.string_ < b.string_;
+      case ValueType::kNumber:
+        return a.number_ < b.number_;
+    }
+    return false;
+  }
+
+  /// FNV-1a style hash over (type, content).
+  size_t Hash() const;
+
+ private:
+  ValueType type_;
+  double number_;
+  std::string string_;
+};
+
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace ftrepair
+
+#endif  // FTREPAIR_DATA_VALUE_H_

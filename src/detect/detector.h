@@ -1,0 +1,61 @@
+#ifndef FTREPAIR_DETECT_DETECTOR_H_
+#define FTREPAIR_DETECT_DETECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "constraint/fd.h"
+#include "data/table.h"
+#include "detect/violation_graph.h"
+#include "metric/projection.h"
+
+namespace ftrepair {
+
+/// A detected violating tuple pair (row1 < row2).
+struct Violation {
+  int row1 = 0;
+  int row2 = 0;
+  /// Weighted projection distance of the pair (0 for classical
+  /// violations, which have identical LHS).
+  double distance = 0;
+};
+
+/// Classical violations of `fd`: equal X, different Y (§2.1).
+/// Pairs are emitted in row order, at most `max_pairs` of them.
+std::vector<Violation> FindExactViolations(
+    const Table& table, const FD& fd,
+    size_t max_pairs = SIZE_MAX);
+
+/// Fault-tolerant violations of `fd` under `opts` (§2.1): differing
+/// projections within weighted distance tau.
+std::vector<Violation> FindFTViolations(
+    const Table& table, const FD& fd, const DistanceModel& model,
+    const FTOptions& opts, size_t max_pairs = SIZE_MAX);
+
+/// D |= fd in the classical semantics.
+bool IsConsistent(const Table& table, const FD& fd);
+
+/// D |= fd for every fd in `fds`.
+bool IsConsistent(const Table& table, const std::vector<FD>& fds);
+
+/// D |=_FT fd (no FT-violations) under `opts`.
+bool IsFTConsistent(const Table& table, const FD& fd,
+                    const DistanceModel& model, const FTOptions& opts);
+
+/// D |=_FT every fd in `fds`.
+bool IsFTConsistent(const Table& table, const std::vector<FD>& fds,
+                    const DistanceModel& model, const FTOptions& opts);
+
+/// Number of classical violating pairs (exact count, computed from
+/// equivalence-class sizes, never materializing pairs).
+uint64_t CountExactViolations(const Table& table, const FD& fd);
+
+/// Number of FT-violating tuple pairs (computed from the grouped graph
+/// as sum over edges of count(u) * count(v), plus pairs of tuples whose
+/// projections tie... identical projections are never violations).
+uint64_t CountFTViolations(const Table& table, const FD& fd,
+                           const DistanceModel& model, const FTOptions& opts);
+
+}  // namespace ftrepair
+
+#endif  // FTREPAIR_DETECT_DETECTOR_H_

@@ -1,0 +1,56 @@
+#include "detect/pattern.h"
+
+#include <unordered_map>
+
+namespace ftrepair {
+
+std::string Pattern::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += values[i].ToString();
+  }
+  out += ") x" + std::to_string(count());
+  return out;
+}
+
+size_t ProjectionHash::operator()(const std::vector<Value>& v) const {
+  size_t h = 14695981039346656037ULL;
+  for (const Value& val : v) {
+    h ^= val.Hash();
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::vector<Pattern> BuildPatterns(const Table& table,
+                                   const std::vector<int>& cols) {
+  std::vector<int> all_rows(static_cast<size_t>(table.num_rows()));
+  for (int i = 0; i < table.num_rows(); ++i) {
+    all_rows[static_cast<size_t>(i)] = i;
+  }
+  return BuildPatternsForRows(table, cols, all_rows);
+}
+
+std::vector<Pattern> BuildPatternsForRows(const Table& table,
+                                          const std::vector<int>& cols,
+                                          const std::vector<int>& row_ids) {
+  std::vector<Pattern> patterns;
+  std::unordered_map<std::vector<Value>, int, ProjectionHash> index;
+  for (int r : row_ids) {
+    std::vector<Value> proj;
+    proj.reserve(cols.size());
+    for (int c : cols) proj.push_back(table.cell(r, c));
+    auto it = index.find(proj);
+    if (it == index.end()) {
+      int id = static_cast<int>(patterns.size());
+      index.emplace(proj, id);
+      patterns.push_back(Pattern{std::move(proj), {r}});
+    } else {
+      patterns[static_cast<size_t>(it->second)].rows.push_back(r);
+    }
+  }
+  return patterns;
+}
+
+}  // namespace ftrepair

@@ -1,0 +1,48 @@
+#ifndef FTREPAIR_DETECT_PATTERN_H_
+#define FTREPAIR_DETECT_PATTERN_H_
+
+#include <string>
+#include <vector>
+
+#include "constraint/fd.h"
+#include "data/table.h"
+
+namespace ftrepair {
+
+/// \brief A distinct projection `t^phi` (or `t^Sigma`) together with the
+/// rows carrying it — §3 "Tuple grouping".
+///
+/// Grouping is an exact transformation: rows with identical projections
+/// have identical neighborhoods, so all algorithms operate on patterns
+/// and weight edges by multiplicity.
+struct Pattern {
+  /// Projected values, one per projection column (in projection order).
+  std::vector<Value> values;
+  /// Ids of the table rows carrying this projection.
+  std::vector<int> rows;
+
+  /// Multiplicity m of the grouped vertex.
+  int count() const { return static_cast<int>(rows.size()); }
+
+  /// Debug rendering "(v1, v2, ...) x count".
+  std::string ToString() const;
+};
+
+/// Groups all rows of `table` by their projection onto `cols`.
+/// Patterns are ordered by first row occurrence (deterministic).
+std::vector<Pattern> BuildPatterns(const Table& table,
+                                   const std::vector<int>& cols);
+
+/// Same, restricted to `row_ids` (used by CFD scopes).
+std::vector<Pattern> BuildPatternsForRows(const Table& table,
+                                          const std::vector<int>& cols,
+                                          const std::vector<int>& row_ids);
+
+/// Hash key for a projection value vector.
+struct ProjectionHash {
+  size_t operator()(const std::vector<Value>& v) const;
+};
+
+}  // namespace ftrepair
+
+#endif  // FTREPAIR_DETECT_PATTERN_H_

@@ -1,0 +1,37 @@
+#ifndef FTREPAIR_DETECT_THRESHOLD_H_
+#define FTREPAIR_DETECT_THRESHOLD_H_
+
+#include "constraint/fd.h"
+#include "data/table.h"
+#include "metric/projection.h"
+
+namespace ftrepair {
+
+/// Controls for the automatic tau selection heuristic.
+struct ThresholdOptions {
+  double w_l = 0.5;
+  double w_r = 0.5;
+  /// At most this many pattern pairs are measured (deterministic
+  /// stride subsampling beyond that).
+  size_t max_pairs = 2'000'000;
+  /// Distances above this are ignored when looking for the gap — pairs
+  /// that dissimilar are never violation candidates.
+  double ceiling = 1.0;
+  /// Fallback when fewer than two distinct distances are observed.
+  double fallback = 0.2;
+};
+
+/// \brief Suggests a fault-tolerance threshold tau for `fd` (§2.1).
+///
+/// Implements the paper's heuristic: compute the projection distance of
+/// tuple (pattern) pairs, sort ascending, and find where the difference
+/// between adjacent values "suddenly becomes large"; tau is the smaller
+/// value at that largest gap. Callers wanting precision over recall can
+/// conservatively decrease the returned value.
+double SuggestThreshold(const Table& table, const FD& fd,
+                        const DistanceModel& model,
+                        const ThresholdOptions& opts = {});
+
+}  // namespace ftrepair
+
+#endif  // FTREPAIR_DETECT_THRESHOLD_H_

@@ -1,0 +1,152 @@
+#include "detect/violation_graph.h"
+
+#include <algorithm>
+
+#include "metric/distance.h"
+
+namespace ftrepair {
+
+namespace {
+
+// Cheap per-pair lower bound on the weighted projection distance using
+// only string lengths (numbers and nulls contribute 0).
+double LengthLowerBound(const Pattern& a, const Pattern& b, const FD& fd,
+                        double w_l, double w_r) {
+  double lb = 0;
+  int lhs = fd.lhs_size();
+  for (int p = 0; p < fd.num_attrs(); ++p) {
+    const Value& va = a.values[static_cast<size_t>(p)];
+    const Value& vb = b.values[static_cast<size_t>(p)];
+    if (!va.is_string() || !vb.is_string()) continue;
+    double w = p < lhs ? w_l : w_r;
+    lb += w * EditDistanceLengthLowerBound(va.str().size(), vb.str().size());
+  }
+  return lb;
+}
+
+}  // namespace
+
+double ViolationGraph::ProjDistance(const std::vector<Value>& a,
+                                    const std::vector<Value>& b, const FD& fd,
+                                    const DistanceModel& model, double w_l,
+                                    double w_r) {
+  double sum = 0;
+  int lhs = fd.lhs_size();
+  for (int p = 0; p < fd.num_attrs(); ++p) {
+    int col = fd.attrs()[static_cast<size_t>(p)];
+    double w = p < lhs ? w_l : w_r;
+    sum += w * model.CellDistance(col, a[static_cast<size_t>(p)],
+                                  b[static_cast<size_t>(p)]);
+  }
+  return sum;
+}
+
+double ViolationGraph::UnitCost(const std::vector<Value>& a,
+                                const std::vector<Value>& b, const FD& fd,
+                                const DistanceModel& model) {
+  double sum = 0;
+  for (int p = 0; p < fd.num_attrs(); ++p) {
+    int col = fd.attrs()[static_cast<size_t>(p)];
+    sum += model.CellDistance(col, a[static_cast<size_t>(p)],
+                              b[static_cast<size_t>(p)]);
+  }
+  return sum;
+}
+
+ViolationGraph ViolationGraph::Build(std::vector<Pattern> patterns,
+                                     const FD& fd, const DistanceModel& model,
+                                     const FTOptions& opts) {
+  ViolationGraph g;
+  g.patterns_ = std::move(patterns);
+  int n = g.num_patterns();
+  g.adj_.assign(static_cast<size_t>(n), {});
+  g.min_edge_cost_.assign(static_cast<size_t>(n), kInfinity);
+
+  for (int i = 0; i < n; ++i) {
+    const Pattern& pi = g.patterns_[static_cast<size_t>(i)];
+    for (int j = i + 1; j < n; ++j) {
+      const Pattern& pj = g.patterns_[static_cast<size_t>(j)];
+      if (pi.values == pj.values) continue;  // identical projections
+      if (LengthLowerBound(pi, pj, fd, opts.w_l, opts.w_r) > opts.tau) {
+        ++g.pairs_length_filtered_;
+        continue;
+      }
+      ++g.pairs_evaluated_;
+      double proj =
+          ProjDistance(pi.values, pj.values, fd, model, opts.w_l, opts.w_r);
+      if (proj > opts.tau) continue;
+      double unit = UnitCost(pi.values, pj.values, fd, model);
+      g.adj_[static_cast<size_t>(i)].push_back(Edge{j, proj, unit});
+      g.adj_[static_cast<size_t>(j)].push_back(Edge{i, proj, unit});
+      ++g.num_edges_;
+      g.min_edge_cost_[static_cast<size_t>(i)] =
+          std::min(g.min_edge_cost_[static_cast<size_t>(i)], unit);
+      g.min_edge_cost_[static_cast<size_t>(j)] =
+          std::min(g.min_edge_cost_[static_cast<size_t>(j)], unit);
+    }
+  }
+  g.total_min_edge_cost_ = 0;
+  for (int i = 0; i < n; ++i) {
+    if (g.min_edge_cost_[static_cast<size_t>(i)] != kInfinity) {
+      g.total_min_edge_cost_ += g.pattern(i).count() *
+                                g.min_edge_cost_[static_cast<size_t>(i)];
+    }
+  }
+  return g;
+}
+
+std::vector<std::vector<int>> ViolationGraph::ConnectedComponents() const {
+  int n = num_patterns();
+  std::vector<bool> visited(static_cast<size_t>(n), false);
+  std::vector<std::vector<int>> components;
+  for (int i = 0; i < n; ++i) {
+    if (visited[static_cast<size_t>(i)]) continue;
+    std::vector<int> comp;
+    std::vector<int> stack = {i};
+    visited[static_cast<size_t>(i)] = true;
+    while (!stack.empty()) {
+      int u = stack.back();
+      stack.pop_back();
+      comp.push_back(u);
+      for (const Edge& e : Neighbors(u)) {
+        if (!visited[static_cast<size_t>(e.to)]) {
+          visited[static_cast<size_t>(e.to)] = true;
+          stack.push_back(e.to);
+        }
+      }
+    }
+    std::sort(comp.begin(), comp.end());
+    components.push_back(std::move(comp));
+  }
+  return components;
+}
+
+ViolationGraph ViolationGraph::InducedSubgraph(
+    const std::vector<int>& vertices) const {
+  ViolationGraph g;
+  std::vector<int> local(static_cast<size_t>(num_patterns()), -1);
+  for (size_t i = 0; i < vertices.size(); ++i) {
+    local[static_cast<size_t>(vertices[i])] = static_cast<int>(i);
+    g.patterns_.push_back(patterns_[static_cast<size_t>(vertices[i])]);
+  }
+  g.adj_.resize(vertices.size());
+  g.min_edge_cost_.assign(vertices.size(), kInfinity);
+  for (size_t i = 0; i < vertices.size(); ++i) {
+    for (const Edge& e : Neighbors(vertices[i])) {
+      int to = local[static_cast<size_t>(e.to)];
+      if (to < 0) continue;
+      g.adj_[i].push_back(Edge{to, e.proj_dist, e.unit_cost});
+      if (vertices[i] < e.to) ++g.num_edges_;
+      g.min_edge_cost_[i] = std::min(g.min_edge_cost_[i], e.unit_cost);
+    }
+  }
+  for (size_t i = 0; i < vertices.size(); ++i) {
+    if (g.min_edge_cost_[i] != kInfinity) {
+      g.total_min_edge_cost_ +=
+          g.patterns_[i].count() * g.min_edge_cost_[i];
+    }
+  }
+  return g;
+}
+
+}  // namespace ftrepair

@@ -1,0 +1,116 @@
+#ifndef FTREPAIR_DETECT_VIOLATION_GRAPH_H_
+#define FTREPAIR_DETECT_VIOLATION_GRAPH_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "constraint/fd.h"
+#include "detect/pattern.h"
+#include "metric/projection.h"
+
+namespace ftrepair {
+
+/// Parameters of the fault-tolerant violation semantics (§2.1).
+struct FTOptions {
+  /// Weight of the LHS attribute distances in Eq. 2.
+  double w_l = 0.5;
+  /// Weight of the RHS attribute distances in Eq. 2.
+  double w_r = 0.5;
+  /// FT-violation threshold tau. Two differing projections with
+  /// weighted distance <= tau are an FT-violation.
+  double tau = 0.2;
+};
+
+/// Classical FD semantics expressed in FT terms (w_l=1, w_r=0, tau=0):
+/// equal LHS + different RHS, see §2.1 "Remark".
+inline FTOptions ClassicalFTOptions() { return FTOptions{1.0, 0.0, 0.0}; }
+
+/// \brief The grouped violation graph G'(V', E') of §3.
+///
+/// Vertices are patterns (distinct projections with multiplicity);
+/// an undirected edge joins two patterns in FT-violation. Repairing
+/// pattern u to pattern v costs `u.count() * edge.unit_cost`
+/// (the grouped directed-graph weights of §3 "Tuple grouping").
+class ViolationGraph {
+ public:
+  struct Edge {
+    int to;
+    /// Weighted projection distance (Eq. 2); always <= tau.
+    double proj_dist;
+    /// omega(u, v) for a single tuple: unweighted sum of attribute
+    /// distances over X ∪ Y (the repair cost of the projection, Eq. 3).
+    double unit_cost;
+  };
+
+  static constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+  /// Builds the graph over `patterns`, whose value vectors are laid out
+  /// over `fd.attrs()`. Patterns with identical projections never form
+  /// an edge (FT-violations require differing projections).
+  static ViolationGraph Build(std::vector<Pattern> patterns, const FD& fd,
+                              const DistanceModel& model,
+                              const FTOptions& opts);
+
+  const std::vector<Pattern>& patterns() const { return patterns_; }
+  int num_patterns() const { return static_cast<int>(patterns_.size()); }
+  const Pattern& pattern(int i) const {
+    return patterns_[static_cast<size_t>(i)];
+  }
+
+  const std::vector<Edge>& Neighbors(int i) const {
+    return adj_[static_cast<size_t>(i)];
+  }
+  int degree(int i) const {
+    return static_cast<int>(adj_[static_cast<size_t>(i)].size());
+  }
+  size_t num_edges() const { return num_edges_; }
+
+  /// Minimum unit_cost among `i`'s edges; kInfinity for isolated vertices.
+  double MinEdgeCost(int i) const {
+    return min_edge_cost_[static_cast<size_t>(i)];
+  }
+
+  /// Sum over all patterns of count * MinEdgeCost (isolated vertices
+  /// contribute 0) — used by LB computations.
+  double TotalMinEdgeCost() const { return total_min_edge_cost_; }
+
+  /// Number of candidate pairs skipped by the cheap length filter
+  /// before any edit-distance evaluation (similarity-join stat).
+  size_t pairs_length_filtered() const { return pairs_length_filtered_; }
+  size_t pairs_evaluated() const { return pairs_evaluated_; }
+
+  /// Vertex sets of the connected components (singletons included),
+  /// ordered by smallest member.
+  std::vector<std::vector<int>> ConnectedComponents() const;
+
+  /// The vertex-induced subgraph on `vertices`; vertex i of the result
+  /// corresponds to `vertices[i]`. Only edges with both endpoints in
+  /// `vertices` survive (for a full component this is lossless).
+  ViolationGraph InducedSubgraph(const std::vector<int>& vertices) const;
+
+  /// Distance between two pattern value-vectors (Eq. 2 weighting).
+  static double ProjDistance(const std::vector<Value>& a,
+                             const std::vector<Value>& b, const FD& fd,
+                             const DistanceModel& model, double w_l,
+                             double w_r);
+
+  /// Unweighted repair cost between two pattern value-vectors (Eq. 3
+  /// over the FD's attributes).
+  static double UnitCost(const std::vector<Value>& a,
+                         const std::vector<Value>& b, const FD& fd,
+                         const DistanceModel& model);
+
+ private:
+  std::vector<Pattern> patterns_;
+  std::vector<std::vector<Edge>> adj_;
+  std::vector<double> min_edge_cost_;
+  double total_min_edge_cost_ = 0;
+  size_t num_edges_ = 0;
+  size_t pairs_length_filtered_ = 0;
+  size_t pairs_evaluated_ = 0;
+};
+
+}  // namespace ftrepair
+
+#endif  // FTREPAIR_DETECT_VIOLATION_GRAPH_H_

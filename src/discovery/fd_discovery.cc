@@ -1,0 +1,167 @@
+#include "discovery/fd_discovery.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "detect/pattern.h"
+
+namespace ftrepair {
+
+namespace {
+
+// Partition of the rows by their projection onto `cols`.
+std::vector<std::vector<int>> PartitionBy(const Table& table,
+                                          const std::vector<int>& cols) {
+  std::vector<std::vector<int>> classes;
+  for (Pattern& p : BuildPatterns(table, cols)) {
+    classes.push_back(std::move(p.rows));
+  }
+  return classes;
+}
+
+// g3 error of lhs -> rhs_col given the LHS partition: one minus the
+// fraction of rows kept when every LHS class retains only its most
+// frequent RHS value.
+double G3FromPartition(const Table& table,
+                       const std::vector<std::vector<int>>& lhs_classes,
+                       int rhs_col) {
+  int kept = 0;
+  std::unordered_map<Value, int, ValueHash> counts;
+  for (const std::vector<int>& cls : lhs_classes) {
+    if (cls.size() == 1) {
+      ++kept;  // singleton classes are trivially consistent
+      continue;
+    }
+    counts.clear();
+    int best = 0;
+    for (int row : cls) {
+      int c = ++counts[table.cell(row, rhs_col)];
+      best = std::max(best, c);
+    }
+    kept += best;
+  }
+  if (table.num_rows() == 0) return 0;
+  return 1.0 - static_cast<double>(kept) /
+                   static_cast<double>(table.num_rows());
+}
+
+// True iff some accepted LHS for this RHS is a subset of `candidate`.
+bool HasMinimalSubset(const std::vector<std::vector<int>>& accepted,
+                      const std::vector<int>& candidate) {
+  for (const std::vector<int>& lhs : accepted) {
+    bool subset = true;
+    for (int c : lhs) {
+      if (!std::binary_search(candidate.begin(), candidate.end(), c)) {
+        subset = false;
+        break;
+      }
+    }
+    if (subset) return true;
+  }
+  return false;
+}
+
+// All sorted column subsets of size `k` from `columns`.
+void Subsets(const std::vector<int>& columns, int k,
+             std::vector<std::vector<int>>* out) {
+  std::vector<int> current;
+  std::vector<size_t> stack;
+  // Iterative k-combinations.
+  std::vector<size_t> idx(static_cast<size_t>(k));
+  (void)stack;
+  if (k > static_cast<int>(columns.size())) return;
+  for (int i = 0; i < k; ++i) idx[static_cast<size_t>(i)] = static_cast<size_t>(i);
+  while (true) {
+    std::vector<int> subset;
+    subset.reserve(static_cast<size_t>(k));
+    for (int i = 0; i < k; ++i) subset.push_back(columns[idx[static_cast<size_t>(i)]]);
+    out->push_back(std::move(subset));
+    int i = k - 1;
+    while (i >= 0 &&
+           idx[static_cast<size_t>(i)] ==
+               columns.size() - static_cast<size_t>(k - i)) {
+      --i;
+    }
+    if (i < 0) break;
+    ++idx[static_cast<size_t>(i)];
+    for (int j = i + 1; j < k; ++j) {
+      idx[static_cast<size_t>(j)] = idx[static_cast<size_t>(j - 1)] + 1;
+    }
+  }
+}
+
+}  // namespace
+
+double G3Error(const Table& table, const FD& fd) {
+  std::vector<std::vector<int>> classes = PartitionBy(table, fd.lhs());
+  // Multi-attribute RHS: treat the RHS projection as one value by
+  // partitioning each class by the full RHS.
+  if (fd.rhs_size() == 1) {
+    return G3FromPartition(table, classes, fd.rhs()[0]);
+  }
+  int kept = 0;
+  for (const std::vector<int>& cls : classes) {
+    std::vector<Pattern> sub = BuildPatternsForRows(table, fd.rhs(), cls);
+    int best = 0;
+    for (const Pattern& p : sub) best = std::max(best, p.count());
+    kept += best;
+  }
+  if (table.num_rows() == 0) return 0;
+  return 1.0 - static_cast<double>(kept) /
+                   static_cast<double>(table.num_rows());
+}
+
+Result<std::vector<DiscoveredFD>> DiscoverFDs(const Table& table,
+                                              const DiscoveryOptions& options) {
+  if (options.max_lhs_size < 1) {
+    return Status::InvalidArgument("max_lhs_size must be >= 1");
+  }
+  if (options.max_g3_error < 0 || options.max_g3_error >= 1) {
+    return Status::InvalidArgument("max_g3_error must be in [0, 1)");
+  }
+  std::unordered_set<int> excluded(options.excluded_columns.begin(),
+                                   options.excluded_columns.end());
+  for (int c : options.excluded_columns) {
+    if (c < 0 || c >= table.num_columns()) {
+      return Status::InvalidArgument("excluded column out of range");
+    }
+  }
+  std::vector<int> columns;
+  for (int c = 0; c < table.num_columns(); ++c) {
+    if (!excluded.count(c)) columns.push_back(c);
+  }
+
+  std::vector<DiscoveredFD> discovered;
+  // accepted[rhs] = minimal LHS sets already emitted for that RHS.
+  std::unordered_map<int, std::vector<std::vector<int>>> accepted;
+  int rows = table.num_rows();
+  int name_counter = 0;
+
+  for (int level = 1; level <= options.max_lhs_size; ++level) {
+    std::vector<std::vector<int>> lhs_sets;
+    Subsets(columns, level, &lhs_sets);
+    for (const std::vector<int>& lhs : lhs_sets) {
+      std::vector<std::vector<int>> classes = PartitionBy(table, lhs);
+      double distinct_ratio =
+          rows == 0 ? 0
+                    : static_cast<double>(classes.size()) /
+                          static_cast<double>(rows);
+      if (distinct_ratio > options.max_lhs_distinct_ratio) continue;
+      for (int rhs : columns) {
+        if (std::binary_search(lhs.begin(), lhs.end(), rhs)) continue;
+        if (HasMinimalSubset(accepted[rhs], lhs)) continue;  // minimality
+        double g3 = G3FromPartition(table, classes, rhs);
+        if (g3 > options.max_g3_error) continue;
+        auto fd = FD::Make(lhs, {rhs}, "d" + std::to_string(++name_counter));
+        if (!fd.ok()) return fd.status();
+        accepted[rhs].push_back(lhs);
+        discovered.push_back(DiscoveredFD{std::move(fd).value(), g3,
+                                          distinct_ratio});
+      }
+    }
+  }
+  return discovered;
+}
+
+}  // namespace ftrepair

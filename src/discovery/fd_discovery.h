@@ -1,0 +1,59 @@
+#ifndef FTREPAIR_DISCOVERY_FD_DISCOVERY_H_
+#define FTREPAIR_DISCOVERY_FD_DISCOVERY_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "constraint/fd.h"
+#include "data/table.h"
+
+namespace ftrepair {
+
+/// Controls for FD discovery.
+struct DiscoveryOptions {
+  /// Maximum LHS arity explored (levelwise lattice; cost grows
+  /// combinatorially with this).
+  int max_lhs_size = 2;
+  /// Maximum tolerated g3 error: the fraction of tuples that must be
+  /// removed for the FD to hold exactly. 0 discovers exact FDs only;
+  /// a small positive value (e.g. 0.05) finds FDs that hold on dirty
+  /// data up to noise ("approximate FDs", Kivinen & Mannila g3).
+  double max_g3_error = 0.0;
+  /// Skip candidate LHS column sets whose distinct-value count exceeds
+  /// this fraction of the rows (near-keys determine everything and make
+  /// useless repair constraints).
+  double max_lhs_distinct_ratio = 0.9;
+  /// Columns to exclude entirely (free-text ids, measures, ...).
+  std::vector<int> excluded_columns;
+};
+
+/// A discovered dependency with its quality measures.
+struct DiscoveredFD {
+  FD fd;
+  /// g3 error on the input: min fraction of rows to delete for exact
+  /// satisfaction.
+  double g3_error = 0;
+  /// Distinct LHS projections / rows — low support means near-key LHS.
+  double lhs_distinct_ratio = 0;
+};
+
+/// \brief Discovers minimal functional dependencies of `table` with a
+/// levelwise (TANE-style) search over stripped partitions.
+///
+/// A candidate X -> A is emitted when its g3 error is within
+/// `options.max_g3_error` and no proper subset of X already determines
+/// A within the same tolerance (minimality). Discovered FDs are named
+/// "d1", "d2", ... in lattice order. The intended workflow is
+/// discovery on (mostly clean or lightly dirty) data followed by
+/// fault-tolerant repair with the returned constraints — see
+/// examples/discover_and_repair.cpp.
+Result<std::vector<DiscoveredFD>> DiscoverFDs(
+    const Table& table, const DiscoveryOptions& options = {});
+
+/// g3 error of X -> Y on `table`: 1 - (sum over X-classes of the
+/// largest Y-subclass) / rows. 0 iff the FD holds exactly.
+double G3Error(const Table& table, const FD& fd);
+
+}  // namespace ftrepair
+
+#endif  // FTREPAIR_DISCOVERY_FD_DISCOVERY_H_

@@ -1,0 +1,93 @@
+#include "eval/experiment.h"
+
+#include "baseline/llunatic.h"
+#include "baseline/nadeef.h"
+#include "baseline/urm.h"
+#include "common/timer.h"
+#include "core/repairer.h"
+
+namespace ftrepair {
+
+const char* SystemName(SystemUnderTest system) {
+  switch (system) {
+    case SystemUnderTest::kExpansion:
+      return "Expansion";
+    case SystemUnderTest::kGreedy:
+      return "Greedy";
+    case SystemUnderTest::kAppro:
+      return "Appro";
+    case SystemUnderTest::kNadeef:
+      return "Nadeef";
+    case SystemUnderTest::kUrm:
+      return "URM";
+    case SystemUnderTest::kLlunatic:
+      return "Llunatic";
+  }
+  return "?";
+}
+
+Result<ExperimentRow> RunExperiment(const Dataset& dataset,
+                                    SystemUnderTest system,
+                                    const ExperimentConfig& config) {
+  Table truth = config.num_rows > 0 ? dataset.clean.Head(config.num_rows)
+                                    : dataset.clean;
+  std::vector<FD> fds = dataset.fds;
+  if (config.num_fds > 0 &&
+      config.num_fds < static_cast<int>(fds.size())) {
+    fds.resize(static_cast<size_t>(config.num_fds));
+  }
+  FTR_ASSIGN_OR_RETURN(Table dirty,
+                       InjectErrors(truth, fds, config.noise, nullptr));
+
+  RepairOptions repair = config.repair;
+  if (config.use_recommended_tau) {
+    for (const auto& [name, tau] : dataset.recommended_tau) {
+      repair.tau_by_fd[name] = tau;
+    }
+    repair.w_l = dataset.recommended_w_l;
+    repair.w_r = dataset.recommended_w_r;
+  }
+
+  ExperimentRow row;
+  Timer timer;
+  Table repaired;
+  switch (system) {
+    case SystemUnderTest::kExpansion:
+    case SystemUnderTest::kGreedy:
+    case SystemUnderTest::kAppro: {
+      repair.algorithm = system == SystemUnderTest::kExpansion
+                             ? RepairAlgorithm::kExact
+                             : system == SystemUnderTest::kGreedy
+                                   ? RepairAlgorithm::kGreedy
+                                   : RepairAlgorithm::kApproJoin;
+      Repairer repairer(repair);
+      FTR_ASSIGN_OR_RETURN(RepairResult result, repairer.Repair(dirty, fds));
+      row.stats = result.stats;
+      repaired = std::move(result.repaired);
+      break;
+    }
+    case SystemUnderTest::kNadeef: {
+      FTR_ASSIGN_OR_RETURN(RepairResult result, NadeefRepair(dirty, fds));
+      row.stats = result.stats;
+      repaired = std::move(result.repaired);
+      break;
+    }
+    case SystemUnderTest::kUrm: {
+      FTR_ASSIGN_OR_RETURN(RepairResult result, UrmRepair(dirty, fds));
+      row.stats = result.stats;
+      repaired = std::move(result.repaired);
+      break;
+    }
+    case SystemUnderTest::kLlunatic: {
+      FTR_ASSIGN_OR_RETURN(RepairResult result, LlunaticRepair(dirty, fds));
+      row.stats = result.stats;
+      repaired = std::move(result.repaired);
+      break;
+    }
+  }
+  row.seconds = timer.Seconds();
+  row.quality = EvaluateRepair(dirty, repaired, truth);
+  return row;
+}
+
+}  // namespace ftrepair

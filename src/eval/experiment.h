@@ -1,0 +1,57 @@
+#ifndef FTREPAIR_EVAL_EXPERIMENT_H_
+#define FTREPAIR_EVAL_EXPERIMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/repair_types.h"
+#include "eval/quality.h"
+#include "gen/dataset.h"
+#include "gen/error_injector.h"
+
+namespace ftrepair {
+
+/// The systems §6 compares. The first three are this paper's
+/// algorithms; the rest are the reimplemented comparators.
+enum class SystemUnderTest {
+  kExpansion,  // Expansion-S / Expansion-M
+  kGreedy,     // Greedy-S / Greedy-M
+  kAppro,      // Greedy-S / Appro-M
+  kNadeef,
+  kUrm,
+  kLlunatic,
+};
+
+const char* SystemName(SystemUnderTest system);
+
+/// One experiment cell: a dataset slice + noise + one system.
+struct ExperimentConfig {
+  /// Rows taken from the front of the dataset.
+  int num_rows = 0;  // 0 = all
+  /// FDs taken from the front of the dataset FD list (paper's #-FDs
+  /// factor). 0 = all.
+  int num_fds = 0;
+  NoiseOptions noise;
+  RepairOptions repair;
+  /// Use the dataset's recommended per-FD taus (default) or the
+  /// repair.default_tau for every FD.
+  bool use_recommended_tau = true;
+};
+
+/// Outcome of one run.
+struct ExperimentRow {
+  Quality quality;
+  double seconds = 0;
+  RepairStats stats;
+};
+
+/// Runs `system` on a dirty slice of `dataset` and scores it against
+/// the clean slice. Deterministic given config.noise.seed.
+Result<ExperimentRow> RunExperiment(const Dataset& dataset,
+                                    SystemUnderTest system,
+                                    const ExperimentConfig& config);
+
+}  // namespace ftrepair
+
+#endif  // FTREPAIR_EVAL_EXPERIMENT_H_

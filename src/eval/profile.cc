@@ -1,0 +1,70 @@
+#include "eval/profile.h"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+#include <unordered_map>
+
+namespace ftrepair {
+
+std::vector<ColumnProfile> ProfileTable(const Table& table, int top_k) {
+  std::vector<ColumnProfile> profiles;
+  profiles.reserve(static_cast<size_t>(table.num_columns()));
+  for (int c = 0; c < table.num_columns(); ++c) {
+    ColumnProfile profile;
+    profile.name = table.schema().column(c).name;
+    profile.type = table.schema().column(c).type;
+    std::unordered_map<Value, int, ValueHash> counts;
+    for (int r = 0; r < table.num_rows(); ++r) {
+      const Value& v = table.cell(r, c);
+      if (v.is_null()) {
+        ++profile.nulls;
+        continue;
+      }
+      ++profile.non_null;
+      ++counts[v];
+    }
+    profile.distinct = static_cast<int>(counts.size());
+    profile.distinct_ratio =
+        profile.non_null > 0
+            ? static_cast<double>(profile.distinct) / profile.non_null
+            : 0;
+    std::vector<std::pair<Value, int>> sorted(counts.begin(), counts.end());
+    std::sort(sorted.begin(), sorted.end(),
+              [](const auto& a, const auto& b) {
+                if (a.second != b.second) return a.second > b.second;
+                return a.first < b.first;
+              });
+    if (static_cast<int>(sorted.size()) > top_k) {
+      sorted.resize(static_cast<size_t>(top_k));
+    }
+    profile.top_values = std::move(sorted);
+    profile.has_numeric_range =
+        table.NumericRange(c, &profile.min, &profile.max);
+    profiles.push_back(std::move(profile));
+  }
+  return profiles;
+}
+
+std::vector<ChangeSummaryLine> SummarizeChanges(
+    const std::vector<CellChange>& changes, const Schema& schema) {
+  // (col, old, new) -> count; std::map gives the deterministic tie order.
+  std::map<std::tuple<int, Value, Value>, int> grouped;
+  for (const CellChange& change : changes) {
+    ++grouped[{change.col, change.old_value, change.new_value}];
+  }
+  std::vector<ChangeSummaryLine> lines;
+  lines.reserve(grouped.size());
+  for (const auto& [key, count] : grouped) {
+    lines.push_back(ChangeSummaryLine{
+        schema.column(std::get<0>(key)).name, std::get<1>(key),
+        std::get<2>(key), count});
+  }
+  std::stable_sort(lines.begin(), lines.end(),
+                   [](const ChangeSummaryLine& a, const ChangeSummaryLine& b) {
+                     return a.count > b.count;
+                   });
+  return lines;
+}
+
+}  // namespace ftrepair

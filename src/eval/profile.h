@@ -1,0 +1,50 @@
+#ifndef FTREPAIR_EVAL_PROFILE_H_
+#define FTREPAIR_EVAL_PROFILE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/repair_types.h"
+#include "data/table.h"
+
+namespace ftrepair {
+
+/// Per-column profile of a relation instance — the quick look a
+/// practitioner takes before choosing constraints and thresholds.
+struct ColumnProfile {
+  std::string name;
+  ValueType type = ValueType::kString;
+  int non_null = 0;
+  int nulls = 0;
+  int distinct = 0;
+  /// distinct / non_null; 1.0 marks a key column.
+  double distinct_ratio = 0;
+  /// Most frequent values with their counts, most frequent first
+  /// (ties by value order), at most `top_k` of them.
+  std::vector<std::pair<Value, int>> top_values;
+  /// Numeric columns only.
+  bool has_numeric_range = false;
+  double min = 0;
+  double max = 0;
+};
+
+/// Profiles every column of `table`.
+std::vector<ColumnProfile> ProfileTable(const Table& table, int top_k = 3);
+
+/// One aggregated line per (column, old value, new value) repair,
+/// most frequent first — the human-readable digest of a RepairResult.
+struct ChangeSummaryLine {
+  std::string column;
+  Value old_value;
+  Value new_value;
+  int count = 0;
+};
+
+/// Groups a repair's cell changes by (column, old, new) and orders them
+/// by descending count (ties: column name, then old value).
+std::vector<ChangeSummaryLine> SummarizeChanges(
+    const std::vector<CellChange>& changes, const Schema& schema);
+
+}  // namespace ftrepair
+
+#endif  // FTREPAIR_EVAL_PROFILE_H_

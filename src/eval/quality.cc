@@ -1,0 +1,44 @@
+#include "eval/quality.h"
+
+#include "baseline/llunatic.h"
+#include "common/logging.h"
+
+namespace ftrepair {
+
+Quality EvaluateRepair(const Table& dirty, const Table& repaired,
+                       const Table& truth, const QualityOptions& options) {
+  FTR_DCHECK(dirty.num_rows() == repaired.num_rows());
+  FTR_DCHECK(dirty.num_rows() == truth.num_rows());
+  FTR_DCHECK(dirty.num_columns() == repaired.num_columns());
+
+  Quality q;
+  double correct_of_errors = 0;
+  for (int r = 0; r < dirty.num_rows(); ++r) {
+    for (int c = 0; c < dirty.num_columns(); ++c) {
+      const Value& dirty_cell = dirty.cell(r, c);
+      const Value& repaired_cell = repaired.cell(r, c);
+      const Value& truth_cell = truth.cell(r, c);
+      bool was_error = dirty_cell != truth_cell;
+      bool was_repaired = repaired_cell != dirty_cell;
+      if (was_error) q.errors += 1;
+      if (!was_repaired) continue;
+      q.repaired += 1;
+      double credit = 0;
+      if (repaired_cell == truth_cell) {
+        credit = 1;
+      } else if (IsLlun(repaired_cell) && was_error) {
+        credit = options.partial_credit;
+      }
+      q.correct += credit;
+      if (was_error) correct_of_errors += credit;
+    }
+  }
+  q.precision = q.repaired > 0 ? q.correct / q.repaired : 1.0;
+  q.recall = q.errors > 0 ? correct_of_errors / q.errors : 1.0;
+  q.f1 = (q.precision + q.recall) > 0
+             ? 2 * q.precision * q.recall / (q.precision + q.recall)
+             : 0.0;
+  return q;
+}
+
+}  // namespace ftrepair

@@ -1,0 +1,40 @@
+#ifndef FTREPAIR_EVAL_QUALITY_H_
+#define FTREPAIR_EVAL_QUALITY_H_
+
+#include "data/table.h"
+
+namespace ftrepair {
+
+struct QualityOptions {
+  /// Credit for a cell repaired to the llun variable (Llunatic's
+  /// "partially correct change", Metric 0.5 in §6.4).
+  double partial_credit = 0.5;
+};
+
+/// Cell-level repair quality (§6.1 "Measuring quality").
+struct Quality {
+  /// Correctly repaired cells (partial-credit weighted).
+  double correct = 0;
+  /// Cells changed by the repair.
+  double repaired = 0;
+  /// Erroneous cells in the dirty table.
+  double errors = 0;
+
+  /// correct / repaired (1 when nothing was repaired).
+  double precision = 1;
+  /// correct-of-erroneous / errors (1 when nothing was erroneous).
+  double recall = 1;
+  double f1 = 1;
+};
+
+/// Scores `repaired` against ground `truth`, both relative to `dirty`:
+///   precision = (repairs that restored the true value) / (all repairs)
+///   recall    = (errors whose true value was restored) / (all errors)
+/// A cell repaired to LlunValue() earns `partial_credit` toward both
+/// numerators (and a full unit in the precision denominator).
+Quality EvaluateRepair(const Table& dirty, const Table& repaired,
+                       const Table& truth, const QualityOptions& options = {});
+
+}  // namespace ftrepair
+
+#endif  // FTREPAIR_EVAL_QUALITY_H_

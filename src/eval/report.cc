@@ -1,0 +1,47 @@
+#include "eval/report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+namespace ftrepair {
+
+void Report::SetHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void Report::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+std::string Report::Num(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+void Report::Print(std::ostream& os) const {
+  os << "== " << title_ << " ==\n";
+  std::vector<size_t> widths(header_.size(), 0);
+  for (size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      os << cell;
+      for (size_t pad = cell.size(); pad < widths[c] + 2; ++pad) os << ' ';
+    }
+    os << '\n';
+  };
+  print_row(header_);
+  for (const auto& row : rows_) print_row(row);
+  os << '\n';
+}
+
+}  // namespace ftrepair

@@ -1,0 +1,34 @@
+#ifndef FTREPAIR_EVAL_REPORT_H_
+#define FTREPAIR_EVAL_REPORT_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ftrepair {
+
+/// \brief Fixed-width text table printer for bench output — every bench
+/// binary prints its figure/table as one of these.
+class Report {
+ public:
+  /// `title` is printed above the table (e.g. "Figure 5(a): HOSP
+  /// precision, varying #tuples").
+  explicit Report(std::string title) : title_(std::move(title)) {}
+
+  void SetHeader(std::vector<std::string> header);
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles to 3 decimals.
+  static std::string Num(double v, int decimals = 3);
+
+  void Print(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ftrepair
+
+#endif  // FTREPAIR_EVAL_REPORT_H_

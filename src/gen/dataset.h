@@ -1,0 +1,34 @@
+#ifndef FTREPAIR_GEN_DATASET_H_
+#define FTREPAIR_GEN_DATASET_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "constraint/fd.h"
+#include "data/table.h"
+
+namespace ftrepair {
+
+/// \brief A generated benchmark workload: a clean relation instance,
+/// its FDs and per-FD fault-tolerance thresholds tuned to the value
+/// pools' separation structure (the paper "set[s] different distance
+/// thresholds tau for different constraints", §6.1).
+struct Dataset {
+  std::string name;
+  Table clean;
+  std::vector<FD> fds;
+  /// Recommended tau per FD name.
+  std::unordered_map<std::string, double> recommended_tau;
+  /// Recommended Eq. 2 weights. The generators weight the LHS heavier
+  /// (the paper: "we can control the percentage of right hand distance
+  /// through weight w_r"): active-domain swaps keep the LHS intact and
+  /// land at w_r * d(Y) <= w_r, while legitimate pattern pairs always
+  /// differ on the LHS key and stay above w_l * d_min(X) > tau.
+  double recommended_w_l = 0.7;
+  double recommended_w_r = 0.3;
+};
+
+}  // namespace ftrepair
+
+#endif  // FTREPAIR_GEN_DATASET_H_

@@ -1,0 +1,177 @@
+#include "gen/error_injector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <unordered_set>
+
+namespace ftrepair {
+
+namespace {
+
+// Distinct (row, col) sample without replacement.
+struct CellKey {
+  int row;
+  int col;
+  bool operator<(const CellKey& other) const {
+    if (row != other.row) return row < other.row;
+    return col < other.col;
+  }
+};
+
+std::string RandomCharEdit(const std::string& s, Rng* rng) {
+  static const char kLetters[] = "abcdefghijklmnopqrstuvwxyz0123456789";
+  std::string out = s;
+  int op = static_cast<int>(rng->Index(out.empty() ? 1 : 4));
+  if (out.empty()) op = 2;  // only insertion is possible
+  switch (op) {
+    case 0: {  // substitute
+      size_t pos = rng->Index(out.size());
+      char c = kLetters[rng->Index(sizeof(kLetters) - 1)];
+      out[pos] = c;
+      break;
+    }
+    case 1: {  // delete
+      out.erase(rng->Index(out.size()), 1);
+      break;
+    }
+    case 2: {  // insert
+      size_t pos = rng->Index(out.size() + 1);
+      char c = kLetters[rng->Index(sizeof(kLetters) - 1)];
+      out.insert(out.begin() + static_cast<long>(pos), c);
+      break;
+    }
+    default: {  // transpose
+      if (out.size() >= 2) {
+        size_t pos = rng->Index(out.size() - 1);
+        std::swap(out[pos], out[pos + 1]);
+      } else {
+        out += kLetters[rng->Index(sizeof(kLetters) - 1)];
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Value MakeTypo(const Value& value, Rng* rng) {
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    if (value.is_number()) {
+      double v = value.num();
+      double magnitude = std::max(1.0, std::fabs(v) * 0.1);
+      double delta = static_cast<double>(rng->UniformInt(1, 9)) / 9.0 *
+                     magnitude * (rng->Bernoulli(0.5) ? 1.0 : -1.0);
+      Value out(std::round(v + delta));
+      if (out != value) return out;
+    } else {
+      Value out(RandomCharEdit(value.ToString(), rng));
+      if (out != value) return out;
+    }
+  }
+  // Degenerate inputs: force a change.
+  return Value(value.ToString() + "x");
+}
+
+Result<Table> InjectErrors(const Table& clean, const std::vector<FD>& fds,
+                           const NoiseOptions& options,
+                           NoiseReport* report) {
+  if (options.error_rate < 0 || options.error_rate > 1) {
+    return Status::InvalidArgument("error_rate must be in [0, 1]");
+  }
+  double mix = options.lhs_fraction + options.rhs_fraction +
+               options.typo_fraction;
+  if (mix <= 0) {
+    return Status::InvalidArgument("error-type fractions must sum > 0");
+  }
+
+  std::set<int> lhs_cols_set;
+  std::set<int> rhs_cols_set;
+  for (const FD& fd : fds) {
+    lhs_cols_set.insert(fd.lhs().begin(), fd.lhs().end());
+    rhs_cols_set.insert(fd.rhs().begin(), fd.rhs().end());
+  }
+  std::vector<int> lhs_cols(lhs_cols_set.begin(), lhs_cols_set.end());
+  std::vector<int> rhs_cols(rhs_cols_set.begin(), rhs_cols_set.end());
+  std::set<int> all_cols_set = lhs_cols_set;
+  all_cols_set.insert(rhs_cols_set.begin(), rhs_cols_set.end());
+  std::vector<int> all_cols(all_cols_set.begin(), all_cols_set.end());
+  if (all_cols.empty()) return Status::InvalidArgument("no FD columns");
+
+  int total_cells = clean.num_rows() * static_cast<int>(all_cols.size());
+  int budget = static_cast<int>(
+      std::llround(options.error_rate * total_cells));
+  int lhs_budget = static_cast<int>(
+      std::llround(budget * options.lhs_fraction / mix));
+  int rhs_budget = static_cast<int>(
+      std::llround(budget * options.rhs_fraction / mix));
+  int typo_budget = budget - lhs_budget - rhs_budget;
+
+  // Active domains of the clean data (close-world error model).
+  std::vector<std::vector<Value>> domains(
+      static_cast<size_t>(clean.num_columns()));
+  for (int c : all_cols) {
+    domains[static_cast<size_t>(c)] = clean.ActiveDomain(c);
+  }
+
+  Rng rng(options.seed * 0x9e3779b97f4a7c15ULL + 1);
+  Table dirty = clean;
+  std::set<CellKey> used;
+  NoiseReport local;
+
+  auto pick_cell = [&](const std::vector<int>& cols, CellKey* out) {
+    for (int attempt = 0; attempt < 1000; ++attempt) {
+      CellKey key{static_cast<int>(rng.Index(
+                      static_cast<size_t>(clean.num_rows()))),
+                  cols[rng.Index(cols.size())]};
+      if (used.insert(key).second) {
+        *out = key;
+        return true;
+      }
+    }
+    return false;
+  };
+
+  auto domain_swap = [&](const CellKey& key) {
+    const std::vector<Value>& domain =
+        domains[static_cast<size_t>(key.col)];
+    const Value& current = dirty.cell(key.row, key.col);
+    if (domain.size() < 2) {
+      *dirty.mutable_cell(key.row, key.col) = MakeTypo(current, &rng);
+      return;
+    }
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      const Value& candidate = domain[rng.Index(domain.size())];
+      if (candidate != current) {
+        *dirty.mutable_cell(key.row, key.col) = candidate;
+        return;
+      }
+    }
+  };
+
+  for (int i = 0; i < lhs_budget && !lhs_cols.empty(); ++i) {
+    CellKey key;
+    if (!pick_cell(lhs_cols, &key)) break;
+    domain_swap(key);
+    ++local.lhs_errors;
+  }
+  for (int i = 0; i < rhs_budget && !rhs_cols.empty(); ++i) {
+    CellKey key;
+    if (!pick_cell(rhs_cols, &key)) break;
+    domain_swap(key);
+    ++local.rhs_errors;
+  }
+  for (int i = 0; i < typo_budget; ++i) {
+    CellKey key;
+    if (!pick_cell(all_cols, &key)) break;
+    const Value& current = dirty.cell(key.row, key.col);
+    *dirty.mutable_cell(key.row, key.col) = MakeTypo(current, &rng);
+    ++local.typos;
+  }
+  local.cells_dirtied = local.lhs_errors + local.rhs_errors + local.typos;
+  if (report != nullptr) *report = local;
+  return dirty;
+}
+
+}  // namespace ftrepair

@@ -1,0 +1,54 @@
+#ifndef FTREPAIR_GEN_ERROR_INJECTOR_H_
+#define FTREPAIR_GEN_ERROR_INJECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "constraint/fd.h"
+#include "data/table.h"
+
+namespace ftrepair {
+
+/// Error-injection parameters (§6.1 "Noise").
+struct NoiseOptions {
+  /// Fraction of FD-relevant cells to dirty (e% in the paper).
+  double error_rate = 0.04;
+  /// Error-type mix; the paper uses equal thirds. Normalized if the
+  /// fractions do not sum to 1.
+  double lhs_fraction = 1.0 / 3;
+  double rhs_fraction = 1.0 / 3;
+  double typo_fraction = 1.0 / 3;
+  uint64_t seed = 42;
+};
+
+/// Injection accounting.
+struct NoiseReport {
+  int cells_dirtied = 0;
+  int lhs_errors = 0;
+  int rhs_errors = 0;
+  int typos = 0;
+};
+
+/// \brief Dirties a copy of `clean` (§6.1): e% of the cells in
+/// FD-relevant columns, split among
+///   * LHS errors  — an LHS-column cell swapped to another active-domain
+///     value of that column,
+///   * RHS errors  — the same on an RHS column,
+///   * typos       — a random character edit (strings) or small numeric
+///     perturbation, on any FD column.
+/// Each cell is dirtied at most once and always ends up different from
+/// its clean value.
+Result<Table> InjectErrors(const Table& clean, const std::vector<FD>& fds,
+                           const NoiseOptions& options,
+                           NoiseReport* report = nullptr);
+
+/// Applies one random typo to `value` (shared with tests): substitute,
+/// delete, insert, or transpose a character; numbers get a +/- bounded
+/// perturbation. Guaranteed to differ from the input.
+Value MakeTypo(const Value& value, Rng* rng);
+
+}  // namespace ftrepair
+
+#endif  // FTREPAIR_GEN_ERROR_INJECTOR_H_

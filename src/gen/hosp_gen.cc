@@ -1,0 +1,197 @@
+#include "gen/hosp_gen.h"
+
+#include <algorithm>
+#include <string>
+
+#include "constraint/fd_parser.h"
+#include "gen/pools.h"
+
+namespace ftrepair {
+
+namespace {
+
+struct CityInfo {
+  std::string city;
+  std::string state;
+  std::string county;
+  std::string zip;
+};
+
+struct ProviderInfo {
+  std::string number;
+  std::string name;
+  std::string phone;
+  std::string address1;
+  std::string address2;
+  std::string address3;
+  int city_index;
+};
+
+struct MeasureInfo {
+  std::string code;
+  std::string name;
+  std::string condition;
+  double state_avg;
+};
+
+}  // namespace
+
+Result<Dataset> GenerateHosp(const HospOptions& options) {
+  if (options.num_rows < 1) {
+    return Status::InvalidArgument("num_rows must be >= 1");
+  }
+  Rng rng(options.seed * 0x9e3779b97f4a7c15ULL + 0x243f6a8885a308d3ULL);
+
+  int num_providers = options.num_providers > 0
+                          ? options.num_providers
+                          : std::max(24, options.num_rows / 64);
+  int num_measures = std::max(
+      4, std::min<int>(options.num_measures,
+                       static_cast<int>(MeasureNamePool().size())));
+
+  // --- Location pool: city -> (state, county, zip), all 1:1. ---
+  const auto& cities = CityNamePool();
+  const auto& counties = CountyNamePool();
+  const auto& states = StateNamePool();
+  size_t num_cities = cities.size();
+  // 6-digit zips with pairwise edit distance >= 4: legitimate
+  // same-state zip pairs then sit at >= w_l * 4/6 = 0.467, above
+  // tau(h3, h4) = 0.40 under the recommended Eq. 2 weights.
+  std::vector<std::string> zips =
+      MakeDistinctDigitCodes(&rng, num_cities, 6, 4);
+  std::vector<CityInfo> city_pool(num_cities);
+  for (size_t i = 0; i < num_cities; ++i) {
+    city_pool[i].city = cities[i];
+    city_pool[i].state = states[i % states.size()];
+    city_pool[i].county = counties[i];
+    city_pool[i].zip = zips[i];
+  }
+
+  // --- Provider pool. ---
+  // Provider numbers separated by >= 5/8 = 0.625 (floor 0.4375 >
+  // tau(h1, h2) = 0.40); phone digit strings by >= 6/10, i.e.
+  // >= 6/12 = 0.5 once formatted (floor 0.35 > tau(h6) = 0.33).
+  std::vector<std::string> provider_numbers = MakeDistinctDigitCodes(
+      &rng, static_cast<size_t>(num_providers), 8, 5);
+  std::vector<std::string> phones = MakeDistinctDigitCodes(
+      &rng, static_cast<size_t>(num_providers), 10, 6);
+  const auto& words = HospitalWordPool();
+  const auto& streets = StreetNamePool();
+  std::vector<ProviderInfo> providers(static_cast<size_t>(num_providers));
+  for (int p = 0; p < num_providers; ++p) {
+    ProviderInfo& info = providers[static_cast<size_t>(p)];
+    info.number = provider_numbers[static_cast<size_t>(p)];
+    info.city_index = static_cast<int>(rng.Index(num_cities));
+    const std::string& w1 = words[rng.Index(words.size())];
+    const std::string& w2 = words[rng.Index(words.size())];
+    info.name = w1 + " " + w2 + " MEDICAL CENTER " +
+                std::to_string(100 + p);
+    const std::string& phone = phones[static_cast<size_t>(p)];
+    info.phone = phone.substr(0, 3) + "-" + phone.substr(3, 3) + "-" +
+                 phone.substr(6, 4);
+    info.address1 = std::to_string(100 + rng.UniformInt(0, 899)) + " " +
+                    streets[rng.Index(streets.size())];
+    info.address2 = "Suite " + std::to_string(rng.UniformInt(1, 40));
+    info.address3 = "Building " + std::string(1, static_cast<char>(
+                                                     'A' + rng.Index(6)));
+  }
+
+  // --- Measure pool. ---
+  std::vector<std::string> measure_codes = MakeDistinctCodes(
+      &rng, static_cast<size_t>(num_measures), 6,
+      "ABCDEFGHJKLMNPQRSTUVWXYZ23456789", 4);
+  const auto& measure_names = MeasureNamePool();
+  const auto& conditions = ConditionPool();
+  std::vector<MeasureInfo> measures(static_cast<size_t>(num_measures));
+  for (int m = 0; m < num_measures; ++m) {
+    MeasureInfo& info = measures[static_cast<size_t>(m)];
+    info.code = measure_codes[static_cast<size_t>(m)];
+    info.name = measure_names[static_cast<size_t>(m)];
+    info.condition = conditions[static_cast<size_t>(m) % conditions.size()];
+    info.state_avg = 40.0 + 2.5 * m;
+  }
+
+  // --- Schema (19 attributes, as in the real HOSP extract). ---
+  Schema schema({{"ProviderNumber", ValueType::kString},
+                 {"HospitalName", ValueType::kString},
+                 {"Address1", ValueType::kString},
+                 {"Address2", ValueType::kString},
+                 {"Address3", ValueType::kString},
+                 {"City", ValueType::kString},
+                 {"State", ValueType::kString},
+                 {"ZipCode", ValueType::kString},
+                 {"CountyName", ValueType::kString},
+                 {"PhoneNumber", ValueType::kString},
+                 {"HospitalType", ValueType::kString},
+                 {"HospitalOwner", ValueType::kString},
+                 {"EmergencyService", ValueType::kString},
+                 {"Condition", ValueType::kString},
+                 {"MeasureCode", ValueType::kString},
+                 {"MeasureName", ValueType::kString},
+                 {"Score", ValueType::kNumber},
+                 {"Sample", ValueType::kNumber},
+                 {"StateAvg", ValueType::kNumber}});
+
+  static const char* kTypes[] = {"Acute Care Hospital",
+                                 "Critical Access Hospital",
+                                 "Childrens Hospital"};
+  static const char* kOwners[] = {"Government Federal", "Voluntary Nonprofit",
+                                  "Proprietary", "Government State"};
+
+  Table table(schema);
+  for (int r = 0; r < options.num_rows; ++r) {
+    const ProviderInfo& provider =
+        providers[rng.SkewedIndex(providers.size())];
+    const CityInfo& location =
+        city_pool[static_cast<size_t>(provider.city_index)];
+    const MeasureInfo& measure = measures[rng.Index(measures.size())];
+    Row row;
+    row.reserve(19);
+    row.emplace_back(provider.number);
+    row.emplace_back(provider.name);
+    row.emplace_back(provider.address1);
+    row.emplace_back(provider.address2);
+    row.emplace_back(provider.address3);
+    row.emplace_back(location.city);
+    row.emplace_back(location.state);
+    row.emplace_back(location.zip);
+    row.emplace_back(location.county);
+    row.emplace_back(provider.phone);
+    row.emplace_back(kTypes[rng.Index(3)]);
+    row.emplace_back(kOwners[rng.Index(4)]);
+    row.emplace_back(rng.Bernoulli(0.7) ? "Yes" : "No");
+    row.emplace_back(measure.condition);
+    row.emplace_back(measure.code);
+    row.emplace_back(measure.name);
+    row.emplace_back(static_cast<double>(rng.UniformInt(0, 100)));
+    row.emplace_back(static_cast<double>(rng.UniformInt(10, 1000)));
+    row.emplace_back(measure.state_avg);
+    FTR_RETURN_NOT_OK(table.AppendRow(std::move(row)));
+  }
+
+  static const char* kFdSpec =
+      "h1: ProviderNumber -> HospitalName\n"
+      "h2: ProviderNumber -> PhoneNumber\n"
+      "h3: ZipCode -> City\n"
+      "h4: ZipCode -> State\n"
+      "h5: City -> CountyName\n"
+      "h6: PhoneNumber -> ZipCode\n"
+      "h7: MeasureCode -> MeasureName\n"
+      "h8: MeasureCode -> Condition\n"
+      "h9: MeasureCode -> StateAvg\n";
+  FTR_ASSIGN_OR_RETURN(std::vector<FD> fds, ParseFDList(kFdSpec, schema));
+
+  Dataset dataset;
+  dataset.name = "HOSP";
+  dataset.clean = std::move(table);
+  dataset.fds = std::move(fds);
+  // Per-FD taus sit just below each LHS key space's separation floor
+  // (w_l * min pairwise distance), so clean data has zero FT-violations
+  // while typos and active-domain swaps (<= w_r) stay detectable.
+  dataset.recommended_tau = {{"h1", 0.40}, {"h2", 0.40}, {"h3", 0.40},
+                             {"h4", 0.40}, {"h5", 0.40}, {"h6", 0.33},
+                             {"h7", 0.40}, {"h8", 0.40}, {"h9", 0.40}};
+  return dataset;
+}
+
+}  // namespace ftrepair

@@ -1,0 +1,38 @@
+#ifndef FTREPAIR_GEN_HOSP_GEN_H_
+#define FTREPAIR_GEN_HOSP_GEN_H_
+
+#include "common/status.h"
+#include "gen/dataset.h"
+
+namespace ftrepair {
+
+/// Parameters for the synthetic HOSP workload.
+struct HospOptions {
+  int num_rows = 10000;
+  uint64_t seed = 7;
+  /// 0 = auto (about one provider per 64 rows, minimum 24).
+  int num_providers = 0;
+  int num_measures = 24;
+};
+
+/// \brief Synthesizes the HOSP workload (US hospital quality data;
+/// §6.1): 19 attributes and 9 FDs in two connected components.
+///
+/// The real dataset (US Dept. of Health) is not redistributable; this
+/// generator reproduces its FD topology with realistic value pools:
+///
+///   h1: ProviderNumber -> HospitalName    h6: PhoneNumber -> ZipCode
+///   h2: ProviderNumber -> PhoneNumber     h7: MeasureCode -> MeasureName
+///   h3: ZipCode -> City                   h8: MeasureCode -> Condition
+///   h4: ZipCode -> State                  h9: MeasureCode -> StateAvg
+///   h5: City -> CountyName
+///
+/// {h1,h2,h3,h4,h5,h6} form one connected component (provider/location
+/// chain), {h7,h8,h9} another (measure chain). Distinct key values are
+/// kept mutually well separated (edit distance floors) so legitimate
+/// pattern pairs stay above the recommended per-FD taus.
+Result<Dataset> GenerateHosp(const HospOptions& options = {});
+
+}  // namespace ftrepair
+
+#endif  // FTREPAIR_GEN_HOSP_GEN_H_

@@ -1,0 +1,185 @@
+#include "gen/pools.h"
+
+#include "metric/distance.h"
+
+namespace ftrepair {
+
+std::vector<std::string> MakeDistinctCodes(Rng* rng, size_t count,
+                                           size_t length,
+                                           const std::string& alphabet,
+                                           size_t min_distance) {
+  std::vector<std::string> out;
+  out.reserve(count);
+  size_t attempts = 0;
+  const size_t kMaxAttempts = count * 4000 + 10000;
+  while (out.size() < count && attempts < kMaxAttempts) {
+    ++attempts;
+    std::string code(length, '0');
+    for (char& c : code) c = alphabet[rng->Index(alphabet.size())];
+    bool ok = true;
+    for (const std::string& existing : out) {
+      if (BoundedEditDistance(existing, code, min_distance - 1) <
+          min_distance) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) out.push_back(std::move(code));
+  }
+  // If rejection sampling stalls (distance demanded too high for the
+  // code space), pad with unconstrained codes; generators choose
+  // parameters so this never triggers in practice.
+  while (out.size() < count) {
+    std::string code(length, '0');
+    for (char& c : code) c = alphabet[rng->Index(alphabet.size())];
+    out.push_back(std::move(code));
+  }
+  return out;
+}
+
+std::vector<std::string> MakeDistinctDigitCodes(Rng* rng, size_t count,
+                                                size_t length,
+                                                size_t min_distance) {
+  return MakeDistinctCodes(rng, count, length, "0123456789", min_distance);
+}
+
+// Pool curation: every pool that serves as an FD's LHS key space is
+// selected so its pairwise normalized edit distance stays above the
+// floor that the recommended per-FD taus assume (see gen/hosp_gen.h,
+// gen/tax_gen.h). tests/gen_test.cc asserts the floors.
+
+const std::vector<std::string>& StateNamePool() {
+  // Pairwise normalized edit distance >= 0.61.
+  static const auto* kPool = new std::vector<std::string>{
+      "California", "Texas",       "Pennsylvania", "Ohio",
+      "Michigan",   "Kentucky",    "Oklahoma",     "Nebraska",
+      "Vermont",    "Minnesota",   "Wisconsin",    "Maryland",
+      "Oregon",     "Connecticut", "Delaware",     "Louisiana",
+      "Mississippi", "Arkansas",   "Wyoming",      "Idaho"};
+  return *kPool;
+}
+
+const std::vector<std::string>& CityNamePool() {
+  // Pairwise normalized edit distance >= 0.62.
+  static const auto* kPool = new std::vector<std::string>{
+      "Sacramento", "Houston",    "Jacksonville", "Pittsburgh",
+      "Chicago",    "Detroit",    "Denver",       "Seattle",
+      "Richmond",   "Phoenix",    "Memphis",      "Milwaukee",
+      "Baltimore",  "Portland",   "Tulsa",        "Omaha",
+      "Bakersfield", "Pensacola", "Flagstaff",    "Chattanooga",
+      "Frederick",  "Owensboro",  "Fresno",       "Lubbock",
+      "Allentown",  "Lansing",    "Boulder",      "Spokane",
+      "Norfolk",    "Columbia",   "Madison",      "Annapolis",
+      "Lexington",  "Eugene",     "Bridgeport",   "Pueblo",
+      "Roanoke",    "Joplin",     "Oshkosh",      "Muskogee",
+      "Cheyenne",   "Billings",   "Fargo",        "Wichita",
+      "Topeka",     "Mobile",     "Biloxi",       "Duluth",
+      "Provo",      "Amarillo",   "Elpaso",       "Syracuse",
+      "Albany",     "Rochester",  "Camden",       "Newark",
+      "Stamford",   "Concord",    "Nashua",       "Auburn"};
+  return *kPool;
+}
+
+const std::vector<std::string>& CountyNamePool() {
+  static const auto* kPool = new std::vector<std::string>{
+      "Yolo",       "Merced",     "Harris",      "Travis",     "Hockley",
+      "Duval",      "Hillsboro",  "Orange",      "Allegheny",  "Lehigh",
+      "Cook",       "Tazewell",   "Chatham",     "Burke",      "Wayne",
+      "Ingham",     "Arapahoe",   "Gilpin",      "Kitsap",     "Stevens",
+      "Henrico",    "Accomack",   "Maricopa",    "Pima",       "Shelby",
+      "Blount",     "Greene",     "Boone",       "Ozaukee",    "Dane",
+      "Howard",     "Calvert",    "Jefferson",   "Fayette",    "Clackamas",
+      "Lane",       "Rogers",     "Cleveland",   "Tolland",    "Fairfield",
+      "Douglas",    "Lancaster",  "Kern",        "Brazoria",   "Escambia",
+      "Lackawanna", "Winnebago",  "Bibb",        "Kalkaska",   "Crowley",
+      "Pierce",     "Botetourt",  "Coconino",    "Hamilton",   "Jasper",
+      "Outagamie",  "Carroll",    "Daviess",     "Marion",     "Muskogee"};
+  return *kPool;
+}
+
+const std::vector<std::string>& FirstNamePoolMale() {
+  // Jointly with FirstNamePoolFemale: pairwise distance >= 0.70.
+  static const auto* kPool = new std::vector<std::string>{
+      "Alexander", "Benjamin",   "Christopher", "Dominic",
+      "Ethan",     "Frederick",  "Harrison",    "Kenneth",
+      "Lawrence",  "Matthew",    "Nicholas",    "Raymond",
+      "Theodore",  "Isaac",      "Zachary",     "Montgomery",
+      "Percival",  "Sylvester",  "Vladimir"};
+  return *kPool;
+}
+
+const std::vector<std::string>& FirstNamePoolFemale() {
+  static const auto* kPool = new std::vector<std::string>{
+      "Abigail",  "Daniela",  "Josephine", "Lillian",
+      "Natalie",  "Penelope", "Samantha",  "Winifred",
+      "Imogen",   "Kimberly", "Lucinda",   "Ophelia",
+      "Ursula"};
+  return *kPool;
+}
+
+const std::vector<std::string>& LastNamePool() {
+  static const auto* kPool = new std::vector<std::string>{
+      "Anderson",  "Blackwood", "Castellano", "Dunningham", "Eastwick",
+      "Fitzgerald", "Goldstein", "Harrington", "Ivanovich",  "Jankowski",
+      "Kowalczyk", "Lindqvist", "Montgomery", "Nakamura",   "Ostrowski",
+      "Pemberton", "Quarterman", "Rutherford", "Sorensen",   "Thornberry",
+      "Underwood", "Vasquez",   "Wexler",     "Yamaguchi",  "Zielinski"};
+  return *kPool;
+}
+
+const std::vector<std::string>& HospitalWordPool() {
+  static const auto* kPool = new std::vector<std::string>{
+      "SHELBY",    "BAPTIST",  "MERCY",    "LUTHERAN", "RIVERSIDE",
+      "HIGHLAND",  "PARKVIEW", "WESTGATE", "EASTLAKE", "NORTHSIDE",
+      "PIEDMONT",  "REGIONAL", "MEMORIAL", "PROVIDENCE", "SUMMIT",
+      "LAKELAND",  "CRESTVIEW", "FAIRFIELD", "GRANDVIEW", "OAKWOOD"};
+  return *kPool;
+}
+
+const std::vector<std::string>& MeasureNamePool() {
+  static const auto* kPool = new std::vector<std::string>{
+      "Aspirin prescribed at discharge",
+      "Fibrinolytic therapy within thirty minutes",
+      "Primary PCI received within ninety minutes",
+      "Statin prescribed at discharge",
+      "Evaluation of LVS function",
+      "ACEI or ARB for LVSD",
+      "Discharge instructions provided",
+      "Blood cultures before first antibiotic",
+      "Initial antibiotic selection for CAP",
+      "Influenza vaccination offered",
+      "Pneumococcal vaccination assessed",
+      "Prophylactic antibiotic within one hour",
+      "Prophylactic antibiotics discontinued",
+      "Cardiac surgery glucose control",
+      "Urinary catheter removed promptly",
+      "Venous thromboembolism prophylaxis",
+      "Surgery patients on beta blockers",
+      "Median time to ECG recorded",
+      "Aspirin given on arrival",
+      "Smoking cessation advice delivered",
+      "Heart failure education provided",
+      "Timely transfer for acute coronary",
+      "Appropriate hair removal performed",
+      "Median time to fibrinolysis"};
+  return *kPool;
+}
+
+const std::vector<std::string>& ConditionPool() {
+  static const auto* kPool = new std::vector<std::string>{
+      "Heart Attack",        "Heart Failure",       "Pneumonia",
+      "Surgical Infection",  "Emergency Medicine",  "Stroke Care",
+      "Blood Clot",          "Childbirth Safety"};
+  return *kPool;
+}
+
+const std::vector<std::string>& StreetNamePool() {
+  static const auto* kPool = new std::vector<std::string>{
+      "Maple Avenue",    "Oak Boulevard",   "Cedar Lane",
+      "Willow Drive",    "Magnolia Court",  "Juniper Street",
+      "Sycamore Road",   "Chestnut Circle", "Dogwood Terrace",
+      "Hawthorn Place",  "Cypress Parkway", "Redwood Crossing"};
+  return *kPool;
+}
+
+}  // namespace ftrepair

@@ -1,0 +1,40 @@
+#ifndef FTREPAIR_GEN_POOLS_H_
+#define FTREPAIR_GEN_POOLS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace ftrepair {
+
+/// Generates `count` distinct random codes of `length` characters drawn
+/// from `alphabet`, rejection-sampled so every pair has edit distance
+/// >= `min_distance`. Generators use this to keep distinct key values
+/// (zips, provider numbers, area codes) well separated, so legitimate
+/// pattern pairs stay above the fault-tolerance thresholds.
+std::vector<std::string> MakeDistinctCodes(Rng* rng, size_t count,
+                                           size_t length,
+                                           const std::string& alphabet,
+                                           size_t min_distance);
+
+/// Digit-only convenience wrapper.
+std::vector<std::string> MakeDistinctDigitCodes(Rng* rng, size_t count,
+                                                size_t length,
+                                                size_t min_distance);
+
+/// Curated pools of realistic, mutually well-separated names.
+const std::vector<std::string>& StateNamePool();   // 20 US states
+const std::vector<std::string>& CityNamePool();    // 60 US cities
+const std::vector<std::string>& CountyNamePool();  // 60 counties
+const std::vector<std::string>& FirstNamePoolMale();
+const std::vector<std::string>& FirstNamePoolFemale();
+const std::vector<std::string>& LastNamePool();
+const std::vector<std::string>& HospitalWordPool();  // name fragments
+const std::vector<std::string>& MeasureNamePool();
+const std::vector<std::string>& ConditionPool();
+const std::vector<std::string>& StreetNamePool();
+
+}  // namespace ftrepair
+
+#endif  // FTREPAIR_GEN_POOLS_H_

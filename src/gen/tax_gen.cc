@@ -1,0 +1,159 @@
+#include "gen/tax_gen.h"
+
+#include <algorithm>
+#include <string>
+
+#include "constraint/fd_parser.h"
+#include "gen/pools.h"
+
+namespace ftrepair {
+
+namespace {
+
+struct TaxCity {
+  std::string city;
+  std::string state;
+  std::string zip;
+  std::string area_code;
+  int state_index;
+};
+
+// Formats a 7-digit local number as "XXX-XXXX".
+std::string FormatLocal(const std::string& digits) {
+  return digits.substr(0, 3) + "-" + digits.substr(3);
+}
+
+}  // namespace
+
+Result<Dataset> GenerateTax(const TaxOptions& options) {
+  if (options.num_rows < 1) {
+    return Status::InvalidArgument("num_rows must be >= 1");
+  }
+  Rng rng(options.seed * 0x9e3779b97f4a7c15ULL + 0x13198a2e03707344ULL);
+
+  const auto& states = StateNamePool();
+  const auto& cities = CityNamePool();
+  size_t num_states = states.size();
+  size_t num_cities = cities.size();
+
+  // One area code per state; one zip per city; cities 1:1 with zips and
+  // unique per state (keeps City -> State a real FD). Key separation
+  // floors (see recommended taus below): area codes >= 3/4, zips >= 4/6.
+  std::vector<std::string> area_codes =
+      MakeDistinctDigitCodes(&rng, num_states, 4, 3);
+  std::vector<std::string> zips =
+      MakeDistinctDigitCodes(&rng, num_cities, 6, 4);
+  std::vector<TaxCity> city_pool(num_cities);
+  for (size_t i = 0; i < num_cities; ++i) {
+    size_t s = i % num_states;
+    city_pool[i].city = cities[i];
+    city_pool[i].state = states[s];
+    city_pool[i].zip = zips[i];
+    city_pool[i].area_code = area_codes[s];
+    city_pool[i].state_index = static_cast<int>(s);
+  }
+
+  // Household phone pool, per area code: local parts pairwise >= 5 edits
+  // so same-area phones stay >= 5/12 = 0.417 apart (tau(x4) = 0.18).
+  size_t phones_per_area =
+      std::max<size_t>(4, static_cast<size_t>(options.num_rows) /
+                              (num_states * 8));
+  std::vector<std::vector<std::string>> area_phones(num_states);
+  for (size_t s = 0; s < num_states; ++s) {
+    for (const std::string& local :
+         MakeDistinctDigitCodes(&rng, phones_per_area, 7, 5)) {
+      area_phones[s].push_back(area_codes[s] + "-" + FormatLocal(local));
+    }
+  }
+
+  // Per-state exemption schedules (distinct, coarsely separated).
+  std::vector<double> single_exemp(num_states);
+  std::vector<double> married_exemp(num_states);
+  std::vector<double> child_exemp(num_states);
+  for (size_t s = 0; s < num_states; ++s) {
+    single_exemp[s] = 1000.0 + 700.0 * static_cast<double>(s);
+    married_exemp[s] = 2000.0 + 900.0 * static_cast<double>(s);
+    child_exemp[s] = 300.0 + 350.0 * static_cast<double>(s);
+  }
+
+  Schema schema({{"FName", ValueType::kString},
+                 {"LName", ValueType::kString},
+                 {"Gender", ValueType::kString},
+                 {"AreaCode", ValueType::kString},
+                 {"Phone", ValueType::kString},
+                 {"City", ValueType::kString},
+                 {"State", ValueType::kString},
+                 {"Zip", ValueType::kString},
+                 {"MaritalStatus", ValueType::kString},
+                 {"HasChild", ValueType::kString},
+                 {"Salary", ValueType::kNumber},
+                 {"Rate", ValueType::kNumber},
+                 {"SingleExemp", ValueType::kNumber},
+                 {"MarriedExemp", ValueType::kNumber},
+                 {"ChildExemp", ValueType::kNumber}});
+
+  const auto& male = FirstNamePoolMale();
+  const auto& female = FirstNamePoolFemale();
+  const auto& last_names = LastNamePool();
+
+  Table table(schema);
+  for (int r = 0; r < options.num_rows; ++r) {
+    const TaxCity& location = city_pool[rng.SkewedIndex(num_cities)];
+    size_t s = static_cast<size_t>(location.state_index);
+    bool is_male = rng.Bernoulli(0.5);
+    const std::string& fname =
+        is_male ? male[rng.Index(male.size())] : female[rng.Index(female.size())];
+    bool married = rng.Bernoulli(0.5);
+    bool has_child = rng.Bernoulli(0.4);
+    double salary = 100.0 * static_cast<double>(rng.UniformInt(50, 2000));
+    // Progressive state rate (no FD declared on it; realism only).
+    double rate = 2.0 + static_cast<double>(s % 5) +
+                  (salary > 100000 ? 3.0 : salary > 50000 ? 1.5 : 0.0);
+    const std::string& phone = area_phones[s][rng.Index(area_phones[s].size())];
+    Row row;
+    row.reserve(15);
+    row.emplace_back(fname);
+    row.emplace_back(last_names[rng.Index(last_names.size())]);
+    row.emplace_back(is_male ? "Male" : "Female");
+    row.emplace_back(location.area_code);
+    row.emplace_back(phone);
+    row.emplace_back(location.city);
+    row.emplace_back(location.state);
+    row.emplace_back(location.zip);
+    row.emplace_back(married ? "Married" : "Single");
+    row.emplace_back(has_child ? "Yes" : "No");
+    row.emplace_back(salary);
+    row.emplace_back(rate);
+    row.emplace_back(single_exemp[s]);
+    row.emplace_back(married ? married_exemp[s] : 0.0);
+    row.emplace_back(has_child ? child_exemp[s] : 0.0);
+    FTR_RETURN_NOT_OK(table.AppendRow(std::move(row)));
+  }
+
+  static const char* kFdSpec =
+      "x1: Zip -> City\n"
+      "x2: Zip -> State\n"
+      "x3: AreaCode -> State\n"
+      "x4: Phone -> AreaCode\n"
+      "x5: City -> State\n"
+      "x6: State -> SingleExemp\n"
+      "x7: State, MaritalStatus -> MarriedExemp\n"
+      "x8: State, HasChild -> ChildExemp\n"
+      "x9: FName -> Gender\n";
+  FTR_ASSIGN_OR_RETURN(std::vector<FD> fds, ParseFDList(kFdSpec, schema));
+
+  Dataset dataset;
+  dataset.name = "Tax";
+  dataset.clean = std::move(table);
+  dataset.fds = std::move(fds);
+  // Taus sit just below each LHS key space's separation floor
+  // (w_l * min pairwise distance): zips 0.467, area codes 0.525,
+  // cities 0.434, states 0.427, first names 0.49, same-area
+  // phones 0.269.
+  dataset.recommended_tau = {{"x1", 0.40}, {"x2", 0.40}, {"x3", 0.40},
+                             {"x4", 0.25}, {"x5", 0.40}, {"x6", 0.40},
+                             {"x7", 0.40}, {"x8", 0.40}, {"x9", 0.40}};
+  return dataset;
+}
+
+}  // namespace ftrepair

@@ -1,0 +1,30 @@
+#ifndef FTREPAIR_GEN_TAX_GEN_H_
+#define FTREPAIR_GEN_TAX_GEN_H_
+
+#include "common/status.h"
+#include "gen/dataset.h"
+
+namespace ftrepair {
+
+/// Parameters for the synthetic Tax workload.
+struct TaxOptions {
+  int num_rows = 10000;
+  uint64_t seed = 11;
+};
+
+/// \brief Synthesizes the Tax workload (§6.1): the classic synthetic
+/// personal address/tax relation — 15 attributes, 9 FDs.
+///
+///   x1: Zip -> City                  x6: State -> SingleExemp
+///   x2: Zip -> State                 x7: State, MaritalStatus -> MarriedExemp
+///   x3: AreaCode -> State            x8: State, HasChild -> ChildExemp
+///   x4: Phone -> AreaCode            x9: FName -> Gender
+///   x5: City -> State
+///
+/// {x1..x8} form one 8-FD connected component (zip/city/state/area-code/
+/// exemption chain); {x9} is a singleton component.
+Result<Dataset> GenerateTax(const TaxOptions& options = {});
+
+}  // namespace ftrepair
+
+#endif  // FTREPAIR_GEN_TAX_GEN_H_

@@ -1,0 +1,186 @@
+#include "metric/distance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace ftrepair {
+
+size_t EditDistance(std::string_view a, std::string_view b) {
+  if (a.size() < b.size()) std::swap(a, b);  // b is the shorter
+  if (b.empty()) return a.size();
+  std::vector<size_t> row(b.size() + 1);
+  for (size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (size_t i = 1; i <= a.size(); ++i) {
+    size_t diag = row[0];
+    row[0] = i;
+    for (size_t j = 1; j <= b.size(); ++j) {
+      size_t above = row[j];
+      size_t sub = diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+      row[j] = std::min({above + 1, row[j - 1] + 1, sub});
+      diag = above;
+    }
+  }
+  return row[b.size()];
+}
+
+size_t BoundedEditDistance(std::string_view a, std::string_view b,
+                           size_t cap) {
+  if (a.size() < b.size()) std::swap(a, b);
+  if (a.size() - b.size() > cap) return cap + 1;
+  if (b.empty()) return a.size();
+  const size_t kInf = cap + 1;
+  std::vector<size_t> row(b.size() + 1, kInf);
+  for (size_t j = 0; j <= std::min(b.size(), cap); ++j) row[j] = j;
+  for (size_t i = 1; i <= a.size(); ++i) {
+    // Band: only columns with |i - j| <= cap can stay <= cap.
+    size_t lo = (i > cap) ? i - cap : 1;
+    size_t hi = std::min(b.size(), i + cap);
+    size_t diag = (lo >= 2) ? row[lo - 1] : ((lo == 1) ? row[0] : 0);
+    if (lo == 1) diag = row[0];
+    size_t prev_left = (lo >= 2) ? kInf : i;  // row[lo-1] of the new row
+    if (lo == 1) row[0] = i <= cap ? i : kInf;
+    size_t best = kInf;
+    for (size_t j = lo; j <= hi; ++j) {
+      size_t above = row[j];
+      size_t sub = diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+      size_t ins = prev_left == kInf ? kInf : prev_left + 1;
+      size_t del = above == kInf ? kInf : above + 1;
+      size_t cell = std::min({ins, del, sub});
+      if (cell > kInf) cell = kInf;
+      row[j] = cell;
+      prev_left = cell;
+      diag = above;
+      best = std::min(best, cell);
+    }
+    if (lo >= 2) row[lo - 1] = kInf;  // cells left of the band are dead
+    if (best > cap) return cap + 1;
+  }
+  return std::min(row[b.size()], kInf);
+}
+
+double NormalizedEditDistance(std::string_view a, std::string_view b) {
+  size_t max_len = std::max(a.size(), b.size());
+  if (max_len == 0) return 0.0;
+  return static_cast<double>(EditDistance(a, b)) /
+         static_cast<double>(max_len);
+}
+
+double EditDistanceLengthLowerBound(size_t len_a, size_t len_b) {
+  size_t max_len = std::max(len_a, len_b);
+  if (max_len == 0) return 0.0;
+  size_t diff = len_a > len_b ? len_a - len_b : len_b - len_a;
+  return static_cast<double>(diff) / static_cast<double>(max_len);
+}
+
+double TokenJaccardDistance(std::string_view a, std::string_view b) {
+  auto tokenize = [](std::string_view s) {
+    std::unordered_set<std::string> tokens;
+    size_t i = 0;
+    while (i < s.size()) {
+      while (i < s.size() && s[i] == ' ') ++i;
+      size_t start = i;
+      while (i < s.size() && s[i] != ' ') ++i;
+      if (i > start) tokens.emplace(s.substr(start, i - start));
+    }
+    return tokens;
+  };
+  auto ta = tokenize(a);
+  auto tb = tokenize(b);
+  if (ta.empty() && tb.empty()) return 0.0;
+  size_t inter = 0;
+  for (const auto& t : ta) inter += tb.count(t);
+  size_t uni = ta.size() + tb.size() - inter;
+  return 1.0 - static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+double JaroDistance(std::string_view a, std::string_view b) {
+  if (a == b) return 0.0;
+  if (a.empty() || b.empty()) return 1.0;
+  size_t window = std::max(a.size(), b.size()) / 2;
+  window = window > 0 ? window - 1 : 0;
+  std::vector<bool> a_matched(a.size(), false);
+  std::vector<bool> b_matched(b.size(), false);
+  size_t matches = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    size_t lo = i > window ? i - window : 0;
+    size_t hi = std::min(b.size(), i + window + 1);
+    for (size_t j = lo; j < hi; ++j) {
+      if (b_matched[j] || a[i] != b[j]) continue;
+      a_matched[i] = true;
+      b_matched[j] = true;
+      ++matches;
+      break;
+    }
+  }
+  if (matches == 0) return 1.0;
+  // Transpositions: matched characters out of order, halved.
+  size_t transpositions = 0;
+  size_t j = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!a_matched[i]) continue;
+    while (!b_matched[j]) ++j;
+    if (a[i] != b[j]) ++transpositions;
+    ++j;
+  }
+  double m = static_cast<double>(matches);
+  double jaro = (m / static_cast<double>(a.size()) +
+                 m / static_cast<double>(b.size()) +
+                 (m - static_cast<double>(transpositions) / 2.0) / m) /
+                3.0;
+  return 1.0 - jaro;
+}
+
+double JaroWinklerDistance(std::string_view a, std::string_view b) {
+  double jaro_sim = 1.0 - JaroDistance(a, b);
+  size_t prefix = 0;
+  size_t cap = std::min({a.size(), b.size(), size_t{4}});
+  while (prefix < cap && a[prefix] == b[prefix]) ++prefix;
+  double sim = jaro_sim + static_cast<double>(prefix) * 0.1 * (1 - jaro_sim);
+  return 1.0 - sim;
+}
+
+double QGramCosineDistance(std::string_view a, std::string_view b,
+                           size_t q) {
+  if (a == b) return 0.0;
+  if (q == 0) q = 1;
+  auto profile = [q](std::string_view s) {
+    std::unordered_map<std::string, double> grams;
+    if (s.size() < q) {
+      if (!s.empty()) grams[std::string(s)] += 1;
+      return grams;
+    }
+    for (size_t i = 0; i + q <= s.size(); ++i) {
+      grams[std::string(s.substr(i, q))] += 1;
+    }
+    return grams;
+  };
+  auto pa = profile(a);
+  auto pb = profile(b);
+  if (pa.empty() || pb.empty()) return 1.0;
+  double dot = 0;
+  double norm_a = 0;
+  double norm_b = 0;
+  for (const auto& [gram, count] : pa) {
+    norm_a += count * count;
+    auto it = pb.find(gram);
+    if (it != pb.end()) dot += count * it->second;
+  }
+  for (const auto& [gram, count] : pb) norm_b += count * count;
+  double denom = std::sqrt(norm_a) * std::sqrt(norm_b);
+  if (denom == 0) return 1.0;
+  double d = 1.0 - dot / denom;
+  return std::min(std::max(d, 0.0), 1.0);
+}
+
+double NormalizedEuclideanDistance(double a, double b, double range) {
+  if (a == b) return 0.0;
+  if (range <= 0) return 1.0;
+  double d = std::fabs(a - b) / range;
+  return std::min(d, 1.0);
+}
+
+}  // namespace ftrepair

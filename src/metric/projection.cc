@@ -1,0 +1,82 @@
+#include "metric/projection.h"
+
+#include "metric/distance.h"
+
+namespace ftrepair {
+
+DistanceModel::DistanceModel(const Table& table) {
+  int n = table.num_columns();
+  ranges_.assign(static_cast<size_t>(n), 0.0);
+  metrics_.assign(static_cast<size_t>(n), ColumnMetric::kAuto);
+  for (int c = 0; c < n; ++c) {
+    double mn = 0, mx = 0;
+    if (table.NumericRange(c, &mn, &mx)) {
+      ranges_[static_cast<size_t>(c)] = mx - mn;
+    }
+  }
+}
+
+void DistanceModel::SetColumnMetric(int col, ColumnMetric metric) {
+  metrics_[static_cast<size_t>(col)] = metric;
+}
+
+double DistanceModel::CellDistance(int col, const Value& a,
+                                   const Value& b) const {
+  if (a == b) return 0.0;
+  if (a.is_null() || b.is_null()) return 1.0;
+
+  ColumnMetric metric = metrics_[static_cast<size_t>(col)];
+  if (metric == ColumnMetric::kAuto) {
+    metric = (a.is_number() && b.is_number()) ? ColumnMetric::kEuclidean
+                                              : ColumnMetric::kEdit;
+  }
+  switch (metric) {
+    case ColumnMetric::kDiscrete:
+      return 1.0;
+    case ColumnMetric::kEuclidean:
+      if (a.is_number() && b.is_number()) {
+        return NormalizedEuclideanDistance(a.num(), b.num(),
+                                           ranges_[static_cast<size_t>(col)]);
+      }
+      // A typo turned a numeric cell into text: maximally dirty.
+      return 1.0;
+    case ColumnMetric::kJaccard:
+      return TokenJaccardDistance(a.ToString(), b.ToString());
+    case ColumnMetric::kJaroWinkler:
+      return JaroWinklerDistance(a.ToString(), b.ToString());
+    case ColumnMetric::kQGramCosine:
+      return QGramCosineDistance(a.ToString(), b.ToString());
+    case ColumnMetric::kEdit:
+    case ColumnMetric::kAuto:
+      return NormalizedEditDistance(a.ToString(), b.ToString());
+  }
+  return 1.0;
+}
+
+double DistanceModel::ProjectionDistance(const FD& fd, const Row& t1,
+                                         const Row& t2, double w_l,
+                                         double w_r) const {
+  double lhs = 0;
+  for (int c : fd.lhs()) {
+    lhs += CellDistance(c, t1[static_cast<size_t>(c)],
+                        t2[static_cast<size_t>(c)]);
+  }
+  double rhs = 0;
+  for (int c : fd.rhs()) {
+    rhs += CellDistance(c, t1[static_cast<size_t>(c)],
+                        t2[static_cast<size_t>(c)]);
+  }
+  return w_l * lhs + w_r * rhs;
+}
+
+double DistanceModel::RepairCost(const std::vector<int>& cols, const Row& t1,
+                                 const Row& t2) const {
+  double cost = 0;
+  for (int c : cols) {
+    cost += CellDistance(c, t1[static_cast<size_t>(c)],
+                         t2[static_cast<size_t>(c)]);
+  }
+  return cost;
+}
+
+}  // namespace ftrepair

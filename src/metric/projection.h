@@ -1,0 +1,65 @@
+#ifndef FTREPAIR_METRIC_PROJECTION_H_
+#define FTREPAIR_METRIC_PROJECTION_H_
+
+#include <vector>
+
+#include "constraint/fd.h"
+#include "data/table.h"
+
+namespace ftrepair {
+
+/// Per-column distance function choice. kAuto resolves to edit distance
+/// for string columns and range-normalized Euclidean for numeric ones,
+/// the paper's defaults (Eq. 1).
+enum class ColumnMetric {
+  kAuto,
+  kEdit,
+  kEuclidean,
+  kJaccard,
+  kJaroWinkler,
+  kQGramCosine,
+  kDiscrete,
+};
+
+/// \brief Normalized per-attribute distances over a fixed table schema.
+///
+/// A DistanceModel snapshots the numeric range of every column of the
+/// *original dirty* table (used to normalize Euclidean distances) and
+/// evaluates:
+///   * `CellDistance`       — dist(t1[A], t2[A]) in [0, 1]   (Eq. 1)
+///   * `ProjectionDistance` — weighted FD-projection distance  (Eq. 2)
+///   * `RepairCost`         — unweighted sum over attributes   (Eq. 3)
+///
+/// The model is immutable after construction and shared by detection,
+/// repair and evaluation so every component prices a change identically.
+class DistanceModel {
+ public:
+  explicit DistanceModel(const Table& table);
+
+  /// Overrides the metric for one column (defaults are kAuto).
+  void SetColumnMetric(int col, ColumnMetric metric);
+
+  /// Normalized distance between two cell values of column `col`.
+  double CellDistance(int col, const Value& a, const Value& b) const;
+
+  /// Eq. 2: w_l * sum_{A in X} dist + w_r * sum_{A in Y} dist.
+  double ProjectionDistance(const FD& fd, const Row& t1, const Row& t2,
+                            double w_l, double w_r) const;
+
+  /// Eq. 3 restricted to `cols`: unweighted sum of cell distances.
+  /// With cols = all columns this is the tuple repair cost; with
+  /// cols = fd.attrs() it is the edge weight omega(u, v) of §3.
+  double RepairCost(const std::vector<int>& cols, const Row& t1,
+                    const Row& t2) const;
+
+  /// Numeric range (max - min) of column `col`; 0 when unknown.
+  double Range(int col) const { return ranges_[static_cast<size_t>(col)]; }
+
+ private:
+  std::vector<double> ranges_;
+  std::vector<ColumnMetric> metrics_;
+};
+
+}  // namespace ftrepair
+
+#endif  // FTREPAIR_METRIC_PROJECTION_H_

@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include "baseline/equivalence.h"
+#include "baseline/llunatic.h"
+#include "baseline/nadeef.h"
+#include "baseline/urm.h"
+#include "test_util.h"
+
+namespace ftrepair {
+namespace {
+
+using testing_util::CitizensDirty;
+using testing_util::CitizensFDs;
+
+// A table with one LHS class holding a 4-vs-1 RHS conflict plus an
+// unrelated clean class.
+Table MajorityTable() {
+  Table t(Schema({{"k", ValueType::kString}, {"v", ValueType::kString}}));
+  auto add = [&t](const char* k, const char* v) {
+    (void)t.AppendRow({Value(k), Value(v)});
+  };
+  for (int i = 0; i < 4; ++i) add("zip1", "Boston");
+  add("zip1", "Chicago");
+  add("zip2", "Denver");
+  return t;
+}
+
+TEST(EquivalenceTest, BuildsClassesWithRhsSplit) {
+  Table t = MajorityTable();
+  FD fd = std::move(FD::Make({0}, {1})).ValueOrDie();
+  std::vector<LhsClass> classes = BuildLhsClasses(t, fd);
+  ASSERT_EQ(classes.size(), 2u);
+  const LhsClass& zip1 = classes[0];
+  EXPECT_TRUE(zip1.conflicted());
+  ASSERT_EQ(zip1.rhs_values.size(), 2u);
+  EXPECT_FALSE(classes[1].conflicted());
+  size_t majority = MajorityRhs(zip1);
+  EXPECT_EQ(zip1.rhs_values[majority], (std::vector<Value>{Value("Boston")}));
+}
+
+TEST(EquivalenceTest, MajorityTieBreaksLexicographically) {
+  Table t(Schema({{"k", ValueType::kString}, {"v", ValueType::kString}}));
+  (void)t.AppendRow({Value("k"), Value("bbb")});
+  (void)t.AppendRow({Value("k"), Value("aaa")});
+  FD fd = std::move(FD::Make({0}, {1})).ValueOrDie();
+  std::vector<LhsClass> classes = BuildLhsClasses(t, fd);
+  ASSERT_EQ(classes.size(), 1u);
+  size_t majority = MajorityRhs(classes[0]);
+  EXPECT_EQ(classes[0].rhs_values[majority],
+            (std::vector<Value>{Value("aaa")}));
+}
+
+TEST(NadeefTest, RepairsRhsToMajority) {
+  Table t = MajorityTable();
+  FD fd = std::move(FD::Make({0}, {1})).ValueOrDie();
+  RepairResult result = std::move(NadeefRepair(t, {fd})).ValueOrDie();
+  EXPECT_EQ(result.repaired.cell(4, 1), Value("Boston"));
+  EXPECT_EQ(result.repaired.cell(5, 1), Value("Denver"));  // untouched
+  EXPECT_EQ(result.stats.cells_changed, 1);
+}
+
+TEST(NadeefTest, SinglePassLeavesLhsErrors) {
+  // The typo'd Education in t6 ("Masers") forms its own LHS class for
+  // phi1, so NADEEF cannot see it.
+  Table t = CitizensDirty();
+  std::vector<FD> fds = CitizensFDs(t.schema());
+  RepairResult result = std::move(NadeefRepair(t, fds)).ValueOrDie();
+  EXPECT_EQ(result.repaired.cell(5, 1), Value("Masers"));
+}
+
+TEST(NadeefTest, MultiPassCascades) {
+  // With a chain a->b, b->c a second pass can fix a b-error's
+  // consequences on c groups; at minimum more passes never undo work.
+  Table t = CitizensDirty();
+  std::vector<FD> fds = CitizensFDs(t.schema());
+  NadeefOptions more;
+  more.max_passes = 5;
+  RepairResult one = std::move(NadeefRepair(t, fds)).ValueOrDie();
+  RepairResult many = std::move(NadeefRepair(t, fds, more)).ValueOrDie();
+  EXPECT_GE(many.stats.cells_changed, one.stats.cells_changed);
+}
+
+TEST(UrmTest, MovesDeviantToNearestCore) {
+  Table t(Schema({{"k", ValueType::kString}, {"v", ValueType::kString}}));
+  for (int i = 0; i < 5; ++i) {
+    (void)t.AppendRow({Value("aaaaaa"), Value("right")});
+  }
+  (void)t.AppendRow({Value("aaaaab"), Value("right")});  // deviant typo
+  FD fd = std::move(FD::Make({0}, {1})).ValueOrDie();
+  RepairResult result = std::move(UrmRepair(t, {fd})).ValueOrDie();
+  EXPECT_EQ(result.repaired.cell(5, 0), Value("aaaaaa"));
+}
+
+TEST(UrmTest, DescriptionLengthTestBlocksExpensiveMoves) {
+  Table t(Schema({{"k", ValueType::kString}, {"v", ValueType::kString}}));
+  for (int i = 0; i < 5; ++i) {
+    (void)t.AppendRow({Value("aaaaaa"), Value("right")});
+  }
+  (void)t.AppendRow({Value("zzzzzz"), Value("other")});  // far deviant
+  FD fd = std::move(FD::Make({0}, {1})).ValueOrDie();
+  RepairResult result = std::move(UrmRepair(t, {fd})).ValueOrDie();
+  // Changing both attributes entirely exceeds max_change_ratio: no touch.
+  EXPECT_EQ(result.repaired.cell(5, 0), Value("zzzzzz"));
+  EXPECT_EQ(result.repaired.cell(5, 1), Value("other"));
+}
+
+TEST(UrmTest, SameDeviantPatternRepairedIdentically) {
+  Table t(Schema({{"k", ValueType::kString}, {"v", ValueType::kString}}));
+  for (int i = 0; i < 5; ++i) {
+    (void)t.AppendRow({Value("aaaaaa"), Value("right")});
+  }
+  (void)t.AppendRow({Value("aaaaab"), Value("right")});
+  (void)t.AppendRow({Value("aaaaab"), Value("right")});
+  UrmOptions options;
+  options.core_frequency = 3;
+  FD fd = std::move(FD::Make({0}, {1})).ValueOrDie();
+  RepairResult result = std::move(UrmRepair(t, {fd}, options)).ValueOrDie();
+  EXPECT_EQ(result.repaired.cell(5, 0), result.repaired.cell(6, 0));
+  EXPECT_EQ(result.repaired.cell(5, 0), Value("aaaaaa"));
+}
+
+TEST(LlunaticTest, DominantClassRepairsToWinner) {
+  Table t = MajorityTable();  // 4-vs-1: dominance 0.8 >= 0.6
+  FD fd = std::move(FD::Make({0}, {1})).ValueOrDie();
+  RepairResult result = std::move(LlunaticRepair(t, {fd})).ValueOrDie();
+  EXPECT_EQ(result.repaired.cell(4, 1), Value("Boston"));
+}
+
+TEST(LlunaticTest, NonDominantClassGetsLlun) {
+  Table t(Schema({{"k", ValueType::kString}, {"v", ValueType::kString}}));
+  (void)t.AppendRow({Value("k"), Value("a")});
+  (void)t.AppendRow({Value("k"), Value("b")});
+  FD fd = std::move(FD::Make({0}, {1})).ValueOrDie();
+  RepairResult result = std::move(LlunaticRepair(t, {fd})).ValueOrDie();
+  // 1-vs-1: no dominance; the loser cell becomes a llun variable.
+  int lluns = 0;
+  for (int r = 0; r < 2; ++r) {
+    if (IsLlun(result.repaired.cell(r, 1))) ++lluns;
+  }
+  EXPECT_EQ(lluns, 1);
+}
+
+TEST(LlunaticTest, LlunMarkerIdentity) {
+  EXPECT_TRUE(IsLlun(LlunValue()));
+  EXPECT_FALSE(IsLlun(Value("x")));
+  EXPECT_FALSE(IsLlun(Value()));
+}
+
+TEST(BaselineTest, AllBaselinesDeterministic) {
+  Table t = CitizensDirty();
+  std::vector<FD> fds = CitizensFDs(t.schema());
+  auto run_twice_same = [&](auto&& fn) {
+    RepairResult a = std::move(fn()).ValueOrDie();
+    RepairResult b = std::move(fn()).ValueOrDie();
+    ASSERT_EQ(a.repaired.num_rows(), b.repaired.num_rows());
+    for (int r = 0; r < a.repaired.num_rows(); ++r) {
+      for (int c = 0; c < a.repaired.num_columns(); ++c) {
+        ASSERT_EQ(a.repaired.cell(r, c), b.repaired.cell(r, c));
+      }
+    }
+  };
+  run_twice_same([&] { return NadeefRepair(t, fds); });
+  run_twice_same([&] { return UrmRepair(t, fds); });
+  run_twice_same([&] { return LlunaticRepair(t, fds); });
+}
+
+TEST(BaselineTest, BadFDsRejected) {
+  Table t = CitizensDirty();
+  FD bad = std::move(FD::Make({0}, {42})).ValueOrDie();
+  EXPECT_FALSE(NadeefRepair(t, {bad}).ok());
+  EXPECT_FALSE(UrmRepair(t, {bad}).ok());
+  EXPECT_FALSE(LlunaticRepair(t, {bad}).ok());
+}
+
+}  // namespace
+}  // namespace ftrepair

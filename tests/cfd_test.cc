@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "constraint/cfd.h"
+#include "test_util.h"
+
+namespace ftrepair {
+namespace {
+
+using testing_util::CitizensDirty;
+using testing_util::CitizensSchema;
+
+// CFD over phi2 (City -> State): tableau constrains tuples with
+// City = "New York" to State = "NY"; a second all-wildcard row keeps the
+// plain FD semantics on everything.
+CFD MakeCityStateCFD() {
+  Schema schema = CitizensSchema();
+  FD fd = std::move(FD::Make({schema.IndexOf("City")},
+                             {schema.IndexOf("State")}, "phi2"))
+              .ValueOrDie();
+  std::vector<PatternRow> tableau;
+  tableau.push_back({Value("New York"), Value("NY")});
+  tableau.push_back({std::nullopt, std::nullopt});
+  return std::move(CFD::Make(std::move(fd), std::move(tableau), "cfd2"))
+      .ValueOrDie();
+}
+
+TEST(CFDTest, MakeValidatesTableauArity) {
+  FD fd = std::move(FD::Make({0}, {1})).ValueOrDie();
+  EXPECT_FALSE(CFD::Make(fd, {{std::nullopt}}).ok());        // arity 1 != 2
+  EXPECT_FALSE(CFD::Make(fd, {}).ok());                      // empty tableau
+  EXPECT_TRUE(CFD::Make(fd, {{std::nullopt, std::nullopt}}).ok());
+}
+
+TEST(CFDTest, MatchesLhsRespectsConstantsAndWildcards) {
+  CFD cfd = MakeCityStateCFD();
+  Table t = CitizensDirty();
+  // Row 0 is a New York tuple, row 6 a Boston tuple.
+  EXPECT_TRUE(cfd.MatchesLhs(t.row(0), 0));
+  EXPECT_FALSE(cfd.MatchesLhs(t.row(6), 0));
+  // Wildcard row matches everything.
+  EXPECT_TRUE(cfd.MatchesLhs(t.row(0), 1));
+  EXPECT_TRUE(cfd.MatchesLhs(t.row(6), 1));
+}
+
+TEST(CFDTest, MatchesRhsChecksConstants) {
+  CFD cfd = MakeCityStateCFD();
+  Table t = CitizensDirty();
+  EXPECT_TRUE(cfd.MatchesRhs(t.row(0), 0));   // NY
+  EXPECT_FALSE(cfd.MatchesRhs(t.row(3), 0));  // t4 has State = MA
+  EXPECT_TRUE(cfd.MatchesRhs(t.row(3), 1));   // wildcard RHS
+}
+
+TEST(CFDTest, ApplicableRows) {
+  CFD cfd = MakeCityStateCFD();
+  Table t = CitizensDirty();
+  std::vector<int> ny = cfd.ApplicableRows(t, 0);
+  EXPECT_EQ(ny, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(cfd.ApplicableRows(t, 1).size(), 10u);
+}
+
+TEST(CFDTest, ConstantViolations) {
+  CFD cfd = MakeCityStateCFD();
+  Table t = CitizensDirty();
+  // t4 (row 3) is a New York tuple with State = MA: the one constant
+  // violation of tableau row 0.
+  EXPECT_EQ(cfd.ConstantViolations(t, 0), (std::vector<int>{3}));
+  // Wildcard row can never have constant violations.
+  EXPECT_TRUE(cfd.ConstantViolations(t, 1).empty());
+}
+
+}  // namespace
+}  // namespace ftrepair

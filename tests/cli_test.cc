@@ -1,0 +1,199 @@
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "cli/cli.h"
+#include "constraint/fd_parser.h"
+#include "data/csv.h"
+#include "test_util.h"
+
+namespace ftrepair {
+namespace {
+
+class CliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir();
+    // ctest runs each test case as its own process in parallel: paths
+    // must be unique per test to avoid collisions.
+    std::string tag =
+        ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    input_path_ = dir_ + "/cli_" + tag + "_dirty.csv";
+    fds_path_ = dir_ + "/cli_" + tag + "_fds.txt";
+    truth_path_ = dir_ + "/cli_" + tag + "_truth.csv";
+    output_path_ = dir_ + "/cli_" + tag + "_repaired.csv";
+    changes_path_ = dir_ + "/cli_" + tag + "_changes.csv";
+    ASSERT_TRUE(
+        WriteCsvFile(testing_util::CitizensDirty(), input_path_).ok());
+    ASSERT_TRUE(
+        WriteCsvFile(testing_util::CitizensTruth(), truth_path_).ok());
+    std::ofstream fds(fds_path_);
+    fds << "phi1: Education -> Level\n"
+           "phi2: City -> State\n"
+           "phi3: City, Street -> District\n";
+  }
+
+  void TearDown() override {
+    for (const std::string& path : {input_path_, fds_path_, truth_path_,
+                                    output_path_, changes_path_}) {
+      std::remove(path.c_str());
+    }
+  }
+
+  std::string dir_, input_path_, fds_path_, truth_path_, output_path_,
+      changes_path_;
+};
+
+TEST_F(CliTest, ParseRequiresInputAndFds) {
+  EXPECT_FALSE(ParseCliArgs({}).ok());
+  EXPECT_FALSE(ParseCliArgs({"--input", "x.csv"}).ok());
+  EXPECT_FALSE(ParseCliArgs({"--fds", "f.txt"}).ok());
+  auto ok = ParseCliArgs({"--input", "x.csv", "--fds", "f.txt"});
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value().input_path, "x.csv");
+  EXPECT_EQ(ok.value().repair.algorithm, RepairAlgorithm::kGreedy);
+}
+
+TEST_F(CliTest, ParseFlags) {
+  auto options = ParseCliArgs(
+      {"--input", "x.csv", "--fds", "f.txt", "--algorithm", "exact",
+       "--tau", "0.33", "--tau-fd", "phi2=0.5", "--wl", "0.6", "--wr",
+       "0.4", "--verbose", "--auto-threshold"});
+  ASSERT_TRUE(options.ok()) << options.status().ToString();
+  EXPECT_EQ(options.value().repair.algorithm, RepairAlgorithm::kExact);
+  EXPECT_DOUBLE_EQ(options.value().repair.default_tau, 0.33);
+  EXPECT_DOUBLE_EQ(options.value().repair.tau_by_fd.at("phi2"), 0.5);
+  EXPECT_DOUBLE_EQ(options.value().repair.w_l, 0.6);
+  EXPECT_TRUE(options.value().verbose);
+  EXPECT_TRUE(options.value().repair.auto_threshold);
+}
+
+TEST_F(CliTest, ParseTrustedRows) {
+  auto options = ParseCliArgs(
+      {"--input", "x", "--fds", "f", "--trusted-rows", "0,5,9"});
+  ASSERT_TRUE(options.ok()) << options.status().ToString();
+  EXPECT_EQ(options.value().repair.trusted_rows,
+            (std::unordered_set<int>{0, 5, 9}));
+  EXPECT_FALSE(
+      ParseCliArgs({"--input", "x", "--fds", "f", "--trusted-rows", "a,b"})
+          .ok());
+  EXPECT_FALSE(
+      ParseCliArgs({"--input", "x", "--fds", "f", "--trusted-rows", "1.5"})
+          .ok());
+}
+
+TEST_F(CliTest, ParseRejectsBadValues) {
+  EXPECT_FALSE(ParseCliArgs({"--input", "x", "--fds", "f", "--tau"}).ok());
+  EXPECT_FALSE(
+      ParseCliArgs({"--input", "x", "--fds", "f", "--tau", "abc"}).ok());
+  EXPECT_FALSE(
+      ParseCliArgs({"--input", "x", "--fds", "f", "--algorithm", "magic"})
+          .ok());
+  EXPECT_FALSE(
+      ParseCliArgs({"--input", "x", "--fds", "f", "--tau-fd", "phi2"}).ok());
+  EXPECT_FALSE(ParseCliArgs({"--bogus"}).ok());
+  // --help surfaces the usage text as the error message.
+  auto help = ParseCliArgs({"--help"});
+  ASSERT_FALSE(help.ok());
+  EXPECT_NE(help.status().message().find("Usage:"), std::string::npos);
+}
+
+TEST_F(CliTest, EndToEndRepairAndScore) {
+  auto parsed = ParseCliArgs(
+      {"--input", input_path_, "--fds", fds_path_, "--output", output_path_,
+       "--changes", changes_path_, "--truth", truth_path_, "--algorithm",
+       "exact", "--tau-fd", "phi1=0.30", "--tau-fd", "phi2=0.5", "--tau-fd",
+       "phi3=0.5", "--wl", "0.5", "--wr", "0.5"});
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  std::ostringstream out;
+  Status status = RunCli(parsed.value(), out);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  std::string text = out.str();
+  EXPECT_NE(text.find("repaired 8 cells"), std::string::npos) << text;
+  EXPECT_NE(text.find("precision: 1"), std::string::npos) << text;
+  EXPECT_NE(text.find("recall: 1"), std::string::npos) << text;
+  // Outputs round-trip.
+  Table repaired = std::move(ReadCsvFile(output_path_)).ValueOrDie();
+  EXPECT_EQ(repaired.num_rows(), 10);
+  Table changes = std::move(ReadCsvFile(changes_path_)).ValueOrDie();
+  EXPECT_EQ(changes.num_rows(), 8);
+}
+
+TEST_F(CliTest, VerbosePrintsChanges) {
+  auto parsed = ParseCliArgs(
+      {"--input", input_path_, "--fds", fds_path_, "--verbose", "--tau-fd",
+       "phi1=0.30", "--tau-fd", "phi2=0.5", "--tau-fd", "phi3=0.5", "--wl",
+       "0.5", "--wr", "0.5"});
+  ASSERT_TRUE(parsed.ok());
+  std::ostringstream out;
+  ASSERT_TRUE(RunCli(parsed.value(), out).ok());
+  EXPECT_NE(out.str().find("'Masers' -> 'Masters'"), std::string::npos)
+      << out.str();
+}
+
+TEST_F(CliTest, MissingFilesSurfaceIOErrors) {
+  auto parsed = ParseCliArgs({"--input", dir_ + "/nope.csv", "--fds",
+                              fds_path_});
+  ASSERT_TRUE(parsed.ok());
+  std::ostringstream out;
+  EXPECT_TRUE(RunCli(parsed.value(), out).IsIOError());
+
+  auto parsed2 =
+      ParseCliArgs({"--input", input_path_, "--fds", dir_ + "/nope.txt"});
+  ASSERT_TRUE(parsed2.ok());
+  EXPECT_TRUE(RunCli(parsed2.value(), out).IsIOError());
+}
+
+TEST_F(CliTest, TruthSchemaMismatchRejected) {
+  std::string bad_truth = dir_ + "/cli_bad_truth.csv";
+  Table small = testing_util::CitizensTruth().Head(3);
+  ASSERT_TRUE(WriteCsvFile(small, bad_truth).ok());
+  auto parsed = ParseCliArgs(
+      {"--input", input_path_, "--fds", fds_path_, "--truth", bad_truth});
+  ASSERT_TRUE(parsed.ok());
+  std::ostringstream out;
+  EXPECT_TRUE(RunCli(parsed.value(), out).IsInvalidArgument());
+  std::remove(bad_truth.c_str());
+}
+
+TEST_F(CliTest, ProfileMode) {
+  auto parsed = ParseCliArgs({"--input", input_path_, "--profile"});
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  std::ostringstream out;
+  ASSERT_TRUE(RunCli(parsed.value(), out).ok());
+  EXPECT_NE(out.str().find("column profiles"), std::string::npos);
+  EXPECT_NE(out.str().find("Education"), std::string::npos);
+}
+
+TEST_F(CliTest, DiscoverModePrintsParseableSpec) {
+  auto parsed = ParseCliArgs(
+      {"--input", input_path_, "--discover", "--max-lhs", "1", "--g3",
+       "0.25"});
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  std::ostringstream out;
+  ASSERT_TRUE(RunCli(parsed.value(), out).ok());
+  // The output must itself parse as an FD list against the schema.
+  Table dirty = std::move(ReadCsvFile(input_path_)).ValueOrDie();
+  auto fds = ParseFDList(out.str(), dirty.schema());
+  ASSERT_TRUE(fds.ok()) << fds.status().ToString() << "\n" << out.str();
+}
+
+TEST_F(CliTest, SummaryModeAggregates) {
+  auto parsed = ParseCliArgs(
+      {"--input", input_path_, "--fds", fds_path_, "--summary", "--tau-fd",
+       "phi1=0.30", "--tau-fd", "phi2=0.5", "--tau-fd", "phi3=0.5", "--wl",
+       "0.5", "--wr", "0.5"});
+  ASSERT_TRUE(parsed.ok());
+  std::ostringstream out;
+  ASSERT_TRUE(RunCli(parsed.value(), out).ok());
+  EXPECT_NE(out.str().find("changes by (column, old, new)"),
+            std::string::npos);
+  EXPECT_NE(out.str().find("Masers"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ftrepair

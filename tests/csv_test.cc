@@ -1,0 +1,120 @@
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "data/csv.h"
+#include "test_util.h"
+
+namespace ftrepair {
+namespace {
+
+TEST(CsvTest, ParsesSimpleTable) {
+  auto result = ReadCsvString("a,b\n1,x\n2,y\n");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const Table& t = result.value();
+  EXPECT_EQ(t.num_rows(), 2);
+  EXPECT_EQ(t.schema().column(0).type, ValueType::kNumber);
+  EXPECT_EQ(t.schema().column(1).type, ValueType::kString);
+  EXPECT_EQ(t.cell(0, 0), Value(1.0));
+  EXPECT_EQ(t.cell(1, 1), Value("y"));
+}
+
+TEST(CsvTest, TypeInferenceMixedColumnIsString) {
+  Table t = std::move(ReadCsvString("a\n1\nx\n")).ValueOrDie();
+  EXPECT_EQ(t.schema().column(0).type, ValueType::kString);
+  EXPECT_EQ(t.cell(0, 0), Value("1"));
+}
+
+TEST(CsvTest, EmptyCellsStayNullAndDontBreakInference) {
+  Table t = std::move(ReadCsvString("a,b\n1,\n2,z\n")).ValueOrDie();
+  EXPECT_EQ(t.schema().column(0).type, ValueType::kNumber);
+  EXPECT_TRUE(t.cell(0, 1).is_null());
+}
+
+TEST(CsvTest, QuotedFields) {
+  Table t = std::move(ReadCsvString(
+                          "name,notes\n\"Doe, John\",\"said \"\"hi\"\"\"\n"))
+                .ValueOrDie();
+  EXPECT_EQ(t.cell(0, 0), Value("Doe, John"));
+  EXPECT_EQ(t.cell(0, 1), Value("said \"hi\""));
+}
+
+TEST(CsvTest, QuotedNewline) {
+  Table t = std::move(ReadCsvString("a\n\"line1\nline2\"\n")).ValueOrDie();
+  EXPECT_EQ(t.num_rows(), 1);
+  EXPECT_EQ(t.cell(0, 0), Value("line1\nline2"));
+}
+
+TEST(CsvTest, ToleratesCrlfAndMissingTrailingNewline) {
+  Table t = std::move(ReadCsvString("a,b\r\n1,2\r\n3,4")).ValueOrDie();
+  EXPECT_EQ(t.num_rows(), 2);
+  EXPECT_EQ(t.cell(1, 1), Value(4.0));
+}
+
+TEST(CsvTest, RaggedRowIsError) {
+  auto result = ReadCsvString("a,b\n1\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsIOError());
+}
+
+TEST(CsvTest, UnterminatedQuoteIsError) {
+  auto result = ReadCsvString("a\n\"oops\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsIOError());
+}
+
+TEST(CsvTest, EmptyInputIsError) {
+  EXPECT_FALSE(ReadCsvString("").ok());
+}
+
+TEST(CsvTest, HeaderOnlyGivesEmptyTable) {
+  Table t = std::move(ReadCsvString("a,b\n")).ValueOrDie();
+  EXPECT_EQ(t.num_rows(), 0);
+  EXPECT_EQ(t.num_columns(), 2);
+}
+
+TEST(CsvTest, RoundTripPreservesData) {
+  Table original = testing_util::CitizensDirty();
+  std::string text = WriteCsvString(original);
+  Table parsed = std::move(ReadCsvString(text)).ValueOrDie();
+  ASSERT_EQ(parsed.num_rows(), original.num_rows());
+  ASSERT_TRUE(parsed.schema() == original.schema());
+  for (int r = 0; r < original.num_rows(); ++r) {
+    for (int c = 0; c < original.num_columns(); ++c) {
+      EXPECT_EQ(parsed.cell(r, c), original.cell(r, c))
+          << "r=" << r << " c=" << c;
+    }
+  }
+}
+
+TEST(CsvTest, WriterQuotesSpecialCharacters) {
+  Table t(Schema({{"a", ValueType::kString}}));
+  ASSERT_TRUE(t.AppendRow({Value("x,y")}).ok());
+  ASSERT_TRUE(t.AppendRow({Value("say \"hi\"")}).ok());
+  std::string text = WriteCsvString(t);
+  EXPECT_NE(text.find("\"x,y\""), std::string::npos);
+  EXPECT_NE(text.find("\"say \"\"hi\"\"\""), std::string::npos);
+  // And it still parses back.
+  Table parsed = std::move(ReadCsvString(text)).ValueOrDie();
+  EXPECT_EQ(parsed.cell(0, 0), Value("x,y"));
+  EXPECT_EQ(parsed.cell(1, 0), Value("say \"hi\""));
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  Table original = testing_util::CitizensDirty();
+  std::string path = ::testing::TempDir() + "/ftrepair_csv_test.csv";
+  ASSERT_TRUE(WriteCsvFile(original, path).ok());
+  Table parsed = std::move(ReadCsvFile(path)).ValueOrDie();
+  EXPECT_EQ(parsed.num_rows(), original.num_rows());
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, MissingFileIsIOError) {
+  auto result = ReadCsvFile("/nonexistent/dir/file.csv");
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsIOError());
+}
+
+}  // namespace
+}  // namespace ftrepair

@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include "detect/detector.h"
+#include "test_util.h"
+
+namespace ftrepair {
+namespace {
+
+using testing_util::CitizensDirty;
+using testing_util::CitizensFDs;
+using testing_util::CitizensTruth;
+using testing_util::RandomFDTable;
+
+// Brute-force FT-violation pair count, for cross-checking the grouped
+// implementation.
+uint64_t BruteForceFTCount(const Table& t, const FD& fd,
+                           const DistanceModel& model,
+                           const FTOptions& opts) {
+  uint64_t count = 0;
+  for (int i = 0; i < t.num_rows(); ++i) {
+    for (int j = i + 1; j < t.num_rows(); ++j) {
+      bool differ = false;
+      for (int c : fd.attrs()) {
+        if (t.cell(i, c) != t.cell(j, c)) {
+          differ = true;
+          break;
+        }
+      }
+      if (!differ) continue;
+      double d =
+          model.ProjectionDistance(fd, t.row(i), t.row(j), opts.w_l, opts.w_r);
+      if (d <= opts.tau) ++count;
+    }
+  }
+  return count;
+}
+
+TEST(DetectorTest, PaperExample4ClassicalViolation) {
+  // (t4, t8) violate phi1: same Education (Masters), different Level.
+  // (t4, t6) do not: Education differs.
+  Table t = CitizensDirty();
+  std::vector<FD> fds = CitizensFDs(t.schema());
+  std::vector<Violation> violations = FindExactViolations(t, fds[0]);
+  bool has_t4_t8 = false;
+  bool has_t4_t6 = false;
+  for (const Violation& v : violations) {
+    if (v.row1 == 3 && v.row2 == 7) has_t4_t8 = true;
+    if (v.row1 == 3 && v.row2 == 5) has_t4_t6 = true;
+  }
+  EXPECT_TRUE(has_t4_t8);
+  EXPECT_FALSE(has_t4_t6);
+  EXPECT_FALSE(IsConsistent(t, fds[0]));
+}
+
+TEST(DetectorTest, TruthIsClassicallyConsistent) {
+  Table truth = CitizensTruth();
+  std::vector<FD> fds = CitizensFDs(truth.schema());
+  EXPECT_TRUE(IsConsistent(truth, fds));
+}
+
+TEST(DetectorTest, PaperExample6FTViolation) {
+  // tau = 0.35: dist(t4^phi1, t6^phi1) ~= 0.07 < tau => FT-violation,
+  // so D is not FT-consistent and the typo in t6[Education] is caught.
+  Table t = CitizensDirty();
+  std::vector<FD> fds = CitizensFDs(t.schema());
+  DistanceModel model(t);
+  FTOptions opts{0.5, 0.5, 0.35};
+  std::vector<Violation> violations =
+      FindFTViolations(t, fds[0], model, opts);
+  bool has_t4_t6 = false;
+  for (const Violation& v : violations) {
+    if (v.row1 == 3 && v.row2 == 5) {
+      has_t4_t6 = true;
+      EXPECT_NEAR(v.distance, 0.5 / 7.0, 1e-9);
+    }
+  }
+  EXPECT_TRUE(has_t4_t6);
+  EXPECT_FALSE(IsFTConsistent(t, fds[0], model, opts));
+}
+
+TEST(DetectorTest, FTCapturesErrorsEqualityCannot) {
+  // t8[City] = "Boton" conflicts with no tuple under string equality
+  // w.r.t. phi2, but is an FT-violation with the Boston tuples (§1
+  // Example 3).
+  Table t = CitizensDirty();
+  std::vector<FD> fds = CitizensFDs(t.schema());
+  DistanceModel model(t);
+  bool exact_touches_t8 = false;
+  for (const Violation& v : FindExactViolations(t, fds[1])) {
+    if (v.row1 == 7 || v.row2 == 7) exact_touches_t8 = true;
+  }
+  EXPECT_FALSE(exact_touches_t8);
+  bool ft_touches_t8 = false;
+  FTOptions opts{0.5, 0.5, 0.35};
+  for (const Violation& v : FindFTViolations(t, fds[1], model, opts)) {
+    if (v.row1 == 7 || v.row2 == 7) ft_touches_t8 = true;
+  }
+  EXPECT_TRUE(ft_touches_t8);
+}
+
+TEST(DetectorTest, ClassicalDegenerationProperty) {
+  // With w_l = 1, w_r = 0, tau = 0 FT semantics equals classical
+  // semantics (§2.1 Remark) — on the running example and random tables.
+  Table citizens = CitizensDirty();
+  std::vector<FD> cfds = CitizensFDs(citizens.schema());
+  DistanceModel cmodel(citizens);
+  for (const FD& fd : cfds) {
+    EXPECT_EQ(CountFTViolations(citizens, fd, cmodel, ClassicalFTOptions()),
+              CountExactViolations(citizens, fd));
+  }
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    Table t = RandomFDTable(60, 3, 5, 12, seed);
+    FD fd = std::move(FD::Make({0}, {1})).ValueOrDie();
+    DistanceModel model(t);
+    EXPECT_EQ(CountFTViolations(t, fd, model, ClassicalFTOptions()),
+              CountExactViolations(t, fd))
+        << "seed " << seed;
+  }
+}
+
+class DetectorPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DetectorPropertyTest, GroupedCountMatchesBruteForce) {
+  Table t = RandomFDTable(50, 4, 6, 15, GetParam());
+  FD fd = std::move(FD::Make({0, 2}, {1})).ValueOrDie();
+  DistanceModel model(t);
+  for (double tau : {0.1, 0.3, 0.6}) {
+    FTOptions opts{0.5, 0.5, tau};
+    EXPECT_EQ(CountFTViolations(t, fd, model, opts),
+              BruteForceFTCount(t, fd, model, opts))
+        << "tau " << tau;
+  }
+}
+
+TEST_P(DetectorPropertyTest, Theorem1FTConsistencyImpliesConsistency) {
+  // tau >= w_r * |Y|: FT-consistent => classically consistent.
+  Table t = RandomFDTable(40, 3, 8, 6, GetParam() * 13 + 1);
+  FD fd = std::move(FD::Make({0}, {1, 2})).ValueOrDie();
+  DistanceModel model(t);
+  double w_r = 0.5;
+  FTOptions opts{0.5, w_r, w_r * fd.rhs_size()};
+  if (IsFTConsistent(t, fd, model, opts)) {
+    EXPECT_TRUE(IsConsistent(t, fd));
+  } else {
+    SUCCEED();  // implication vacuously holds
+  }
+  // Contrapositive check: classically inconsistent => FT-inconsistent.
+  if (!IsConsistent(t, fd)) {
+    EXPECT_FALSE(IsFTConsistent(t, fd, model, opts));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DetectorPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(DetectorTest, ExactCountFormulaMatchesPairList) {
+  Table t = CitizensDirty();
+  std::vector<FD> fds = CitizensFDs(t.schema());
+  for (const FD& fd : fds) {
+    EXPECT_EQ(CountExactViolations(t, fd),
+              FindExactViolations(t, fd).size());
+  }
+}
+
+TEST(DetectorTest, MaxPairsCapRespected) {
+  Table t = CitizensDirty();
+  std::vector<FD> fds = CitizensFDs(t.schema());
+  DistanceModel model(t);
+  EXPECT_LE(FindExactViolations(t, fds[1], 2).size(), 2u);
+  EXPECT_LE(
+      FindFTViolations(t, fds[1], model, FTOptions{0.5, 0.5, 0.5}, 3).size(),
+      3u);
+}
+
+TEST(DetectorTest, MultiFDConsistencyHelpers) {
+  Table truth = CitizensTruth();
+  Table dirty = CitizensDirty();
+  std::vector<FD> fds = CitizensFDs(truth.schema());
+  DistanceModel model(dirty);
+  FTOptions opts{0.5, 0.5, 0.3};
+  EXPECT_TRUE(IsConsistent(truth, fds));
+  EXPECT_FALSE(IsConsistent(dirty, fds));
+  EXPECT_FALSE(IsFTConsistent(dirty, fds, model, opts));
+}
+
+}  // namespace
+}  // namespace ftrepair

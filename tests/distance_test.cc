@@ -1,0 +1,196 @@
+#include <algorithm>
+#include <string>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "metric/distance.h"
+
+namespace ftrepair {
+namespace {
+
+TEST(EditDistanceTest, KnownValues) {
+  EXPECT_EQ(EditDistance("", ""), 0u);
+  EXPECT_EQ(EditDistance("abc", ""), 3u);
+  EXPECT_EQ(EditDistance("", "abc"), 3u);
+  EXPECT_EQ(EditDistance("abc", "abc"), 0u);
+  EXPECT_EQ(EditDistance("kitten", "sitting"), 3u);
+  EXPECT_EQ(EditDistance("flaw", "lawn"), 2u);
+  EXPECT_EQ(EditDistance("Masters", "Masers"), 1u);   // paper Table 1
+  EXPECT_EQ(EditDistance("Boston", "Boton"), 1u);     // paper Table 1
+  EXPECT_EQ(EditDistance("Bachelors", "Bachelers"), 1u);
+}
+
+TEST(EditDistanceTest, NormalizedKnownValues) {
+  EXPECT_DOUBLE_EQ(NormalizedEditDistance("", ""), 0.0);
+  EXPECT_DOUBLE_EQ(NormalizedEditDistance("abc", ""), 1.0);
+  EXPECT_DOUBLE_EQ(NormalizedEditDistance("abc", "abd"), 1.0 / 3.0);
+  // Example 5 ingredient: dist(Masters, Masers) = 1/7.
+  EXPECT_DOUBLE_EQ(NormalizedEditDistance("Masters", "Masers"), 1.0 / 7.0);
+}
+
+class EditDistancePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EditDistancePropertyTest, MetricAxiomsOnRandomStrings) {
+  Rng rng(GetParam());
+  auto random_string = [&rng]() {
+    std::string s;
+    size_t len = rng.Index(10);
+    for (size_t i = 0; i < len; ++i) {
+      s += static_cast<char>('a' + rng.Index(4));
+    }
+    return s;
+  };
+  for (int iter = 0; iter < 300; ++iter) {
+    std::string a = random_string();
+    std::string b = random_string();
+    std::string c = random_string();
+    size_t dab = EditDistance(a, b);
+    size_t dba = EditDistance(b, a);
+    EXPECT_EQ(dab, dba) << a << " / " << b;            // symmetry
+    EXPECT_EQ(EditDistance(a, a), 0u);                  // identity
+    if (a != b) {
+      EXPECT_GT(dab, 0u);
+    }
+    // Triangle inequality.
+    EXPECT_LE(EditDistance(a, c), dab + EditDistance(b, c));
+    // Length difference lower bound, max length upper bound.
+    size_t diff = a.size() > b.size() ? a.size() - b.size()
+                                      : b.size() - a.size();
+    EXPECT_GE(dab, diff);
+    EXPECT_LE(dab, std::max(a.size(), b.size()));
+    // Normalization in [0, 1].
+    double norm = NormalizedEditDistance(a, b);
+    EXPECT_GE(norm, 0.0);
+    EXPECT_LE(norm, 1.0);
+    EXPECT_LE(EditDistanceLengthLowerBound(a.size(), b.size()),
+              norm + 1e-12);
+  }
+}
+
+TEST_P(EditDistancePropertyTest, BoundedMatchesExact) {
+  Rng rng(GetParam() * 31 + 5);
+  auto random_string = [&rng]() {
+    std::string s;
+    size_t len = rng.Index(12);
+    for (size_t i = 0; i < len; ++i) {
+      s += static_cast<char>('a' + rng.Index(3));
+    }
+    return s;
+  };
+  for (int iter = 0; iter < 500; ++iter) {
+    std::string a = random_string();
+    std::string b = random_string();
+    size_t exact = EditDistance(a, b);
+    for (size_t cap = 0; cap <= 12; ++cap) {
+      size_t expected = exact <= cap ? exact : cap + 1;
+      EXPECT_EQ(BoundedEditDistance(a, b, cap), expected)
+          << "a='" << a << "' b='" << b << "' cap=" << cap;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EditDistancePropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(LengthLowerBoundTest, Values) {
+  EXPECT_DOUBLE_EQ(EditDistanceLengthLowerBound(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(EditDistanceLengthLowerBound(4, 4), 0.0);
+  EXPECT_DOUBLE_EQ(EditDistanceLengthLowerBound(2, 4), 0.5);
+  EXPECT_DOUBLE_EQ(EditDistanceLengthLowerBound(0, 4), 1.0);
+}
+
+TEST(JaccardTest, TokenSets) {
+  EXPECT_DOUBLE_EQ(TokenJaccardDistance("", ""), 0.0);
+  EXPECT_DOUBLE_EQ(TokenJaccardDistance("a b", "a b"), 0.0);
+  EXPECT_DOUBLE_EQ(TokenJaccardDistance("a b", "b a"), 0.0);  // set semantics
+  EXPECT_DOUBLE_EQ(TokenJaccardDistance("a b", "a c"), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(TokenJaccardDistance("a", "b"), 1.0);
+  EXPECT_DOUBLE_EQ(TokenJaccardDistance("  a   b ", "a b"), 0.0);
+}
+
+TEST(JaroTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(JaroDistance("abc", "abc"), 0.0);
+  EXPECT_DOUBLE_EQ(JaroDistance("", ""), 0.0);
+  EXPECT_DOUBLE_EQ(JaroDistance("abc", ""), 1.0);
+  EXPECT_DOUBLE_EQ(JaroDistance("abc", "xyz"), 1.0);
+  // Classic reference pair: jaro(MARTHA, MARHTA) = 0.944...
+  EXPECT_NEAR(1.0 - JaroDistance("MARTHA", "MARHTA"), 0.9444, 1e-3);
+  // jaro(DIXON, DICKSONX) = 0.7667.
+  EXPECT_NEAR(1.0 - JaroDistance("DIXON", "DICKSONX"), 0.7667, 1e-3);
+}
+
+TEST(JaroWinklerTest, PrefixBonus) {
+  // Winkler reference: jw(MARTHA, MARHTA) = 0.9611.
+  EXPECT_NEAR(1.0 - JaroWinklerDistance("MARTHA", "MARHTA"), 0.9611, 1e-3);
+  // A shared prefix strictly improves on plain Jaro.
+  EXPECT_LT(JaroWinklerDistance("prefix_aaa", "prefix_bbb"),
+            JaroDistance("prefix_aaa", "prefix_bbb"));
+  // No shared prefix: identical to Jaro.
+  EXPECT_DOUBLE_EQ(JaroWinklerDistance("abc", "xbc"),
+                   JaroDistance("abc", "xbc"));
+  EXPECT_DOUBLE_EQ(JaroWinklerDistance("same", "same"), 0.0);
+}
+
+TEST(QGramCosineTest, Behaviour) {
+  EXPECT_DOUBLE_EQ(QGramCosineDistance("abcd", "abcd"), 0.0);
+  EXPECT_DOUBLE_EQ(QGramCosineDistance("ab", "cd"), 1.0);
+  // Sharing most bigrams => small distance.
+  double near = QGramCosineDistance("database", "databose");
+  double far = QGramCosineDistance("database", "spreadsheet");
+  EXPECT_LT(near, far);
+  EXPECT_GT(near, 0.0);
+  // Short strings fall back to whole-string grams.
+  EXPECT_DOUBLE_EQ(QGramCosineDistance("a", "a"), 0.0);
+  EXPECT_DOUBLE_EQ(QGramCosineDistance("a", "b"), 1.0);
+  // Bounds.
+  EXPECT_GE(QGramCosineDistance("xy", "yx"), 0.0);
+  EXPECT_LE(QGramCosineDistance("xy", "yx"), 1.0);
+}
+
+class AltMetricPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AltMetricPropertyTest, SymmetryAndBounds) {
+  Rng rng(GetParam() * 97 + 11);
+  auto random_string = [&rng]() {
+    std::string s;
+    size_t len = rng.Index(12);
+    for (size_t i = 0; i < len; ++i) {
+      s += static_cast<char>('a' + rng.Index(5));
+    }
+    return s;
+  };
+  for (int iter = 0; iter < 200; ++iter) {
+    std::string a = random_string();
+    std::string b = random_string();
+    for (auto* fn : {&JaroDistance, &JaroWinklerDistance}) {
+      double ab = fn(a, b);
+      EXPECT_NEAR(ab, fn(b, a), 1e-12);
+      EXPECT_GE(ab, -1e-12);
+      EXPECT_LE(ab, 1.0 + 1e-12);
+      EXPECT_NEAR(fn(a, a), 0.0, 1e-12);
+    }
+    double q = QGramCosineDistance(a, b);
+    EXPECT_NEAR(q, QGramCosineDistance(b, a), 1e-12);
+    EXPECT_GE(q, 0.0);
+    EXPECT_LE(q, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AltMetricPropertyTest,
+                         ::testing::Values(1, 2, 3, 4));
+
+TEST(EuclideanTest, NormalizedByRange) {
+  EXPECT_DOUBLE_EQ(NormalizedEuclideanDistance(3, 3, 10), 0.0);
+  EXPECT_DOUBLE_EQ(NormalizedEuclideanDistance(3, 8, 10), 0.5);
+  EXPECT_DOUBLE_EQ(NormalizedEuclideanDistance(0, 100, 10), 1.0);  // clamped
+  // Degenerate range: discrete metric.
+  EXPECT_DOUBLE_EQ(NormalizedEuclideanDistance(1, 2, 0), 1.0);
+  EXPECT_DOUBLE_EQ(NormalizedEuclideanDistance(1, 1, 0), 0.0);
+  // Paper Example 7 ingredient: |3 - 1| / 8 = 0.25.
+  EXPECT_DOUBLE_EQ(NormalizedEuclideanDistance(3, 1, 8), 0.25);
+}
+
+}  // namespace
+}  // namespace ftrepair

@@ -1,0 +1,105 @@
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "eval/experiment.h"
+#include "eval/report.h"
+#include "gen/hosp_gen.h"
+#include "gen/tax_gen.h"
+
+namespace ftrepair {
+namespace {
+
+class ExperimentSystemTest
+    : public ::testing::TestWithParam<SystemUnderTest> {};
+
+TEST_P(ExperimentSystemTest, RunsEndToEndOnHosp) {
+  Dataset ds =
+      std::move(GenerateHosp({.num_rows = 400, .seed = 7})).ValueOrDie();
+  ExperimentConfig config;
+  config.num_rows = 400;
+  config.noise.error_rate = 0.04;
+  config.noise.seed = 5;
+  config.repair.compute_violation_stats = false;
+  auto row = RunExperiment(ds, GetParam(), config);
+  ASSERT_TRUE(row.ok()) << row.status().ToString();
+  EXPECT_GE(row.value().quality.precision, 0.0);
+  EXPECT_LE(row.value().quality.precision, 1.0);
+  EXPECT_GE(row.value().quality.recall, 0.0);
+  EXPECT_LE(row.value().quality.recall, 1.0);
+  EXPECT_GT(row.value().quality.errors, 0.0);
+  EXPECT_GE(row.value().seconds, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSystems, ExperimentSystemTest,
+    ::testing::Values(SystemUnderTest::kExpansion, SystemUnderTest::kGreedy,
+                      SystemUnderTest::kAppro, SystemUnderTest::kNadeef,
+                      SystemUnderTest::kUrm, SystemUnderTest::kLlunatic),
+    [](const ::testing::TestParamInfo<SystemUnderTest>& info) {
+      return SystemName(info.param);
+    });
+
+TEST(ExperimentTest, SystemNames) {
+  EXPECT_STREQ(SystemName(SystemUnderTest::kExpansion), "Expansion");
+  EXPECT_STREQ(SystemName(SystemUnderTest::kGreedy), "Greedy");
+  EXPECT_STREQ(SystemName(SystemUnderTest::kAppro), "Appro");
+  EXPECT_STREQ(SystemName(SystemUnderTest::kNadeef), "Nadeef");
+  EXPECT_STREQ(SystemName(SystemUnderTest::kUrm), "URM");
+  EXPECT_STREQ(SystemName(SystemUnderTest::kLlunatic), "Llunatic");
+}
+
+TEST(ExperimentTest, NumFdsSliceRestrictsConstraints) {
+  Dataset ds =
+      std::move(GenerateTax({.num_rows = 300, .seed = 7})).ValueOrDie();
+  ExperimentConfig config;
+  config.num_rows = 300;
+  config.num_fds = 1;  // only x1
+  config.noise.error_rate = 0.04;
+  config.repair.compute_violation_stats = false;
+  auto row = RunExperiment(ds, SystemUnderTest::kGreedy, config);
+  ASSERT_TRUE(row.ok()) << row.status().ToString();
+  // With one FD fewer errors are even detectable; recall below 1.
+  EXPECT_LT(row.value().quality.recall, 1.0);
+}
+
+TEST(ExperimentTest, DeterministicGivenSeed) {
+  Dataset ds =
+      std::move(GenerateTax({.num_rows = 300, .seed = 7})).ValueOrDie();
+  ExperimentConfig config;
+  config.num_rows = 300;
+  config.noise.error_rate = 0.04;
+  config.noise.seed = 13;
+  config.repair.compute_violation_stats = false;
+  auto a = RunExperiment(ds, SystemUnderTest::kGreedy, config);
+  auto b = RunExperiment(ds, SystemUnderTest::kGreedy, config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(a.value().quality.precision, b.value().quality.precision);
+  EXPECT_DOUBLE_EQ(a.value().quality.recall, b.value().quality.recall);
+}
+
+TEST(ReportTest, PrintsAlignedTable) {
+  Report report("Figure 0: demo");
+  report.SetHeader({"N", "Greedy", "Nadeef"});
+  report.AddRow({"1000", Report::Num(0.95), Report::Num(0.5)});
+  report.AddRow({"20000", Report::Num(1.0, 2), "n/a"});
+  std::ostringstream os;
+  report.Print(os);
+  std::string text = os.str();
+  EXPECT_NE(text.find("== Figure 0: demo =="), std::string::npos);
+  EXPECT_NE(text.find("0.950"), std::string::npos);
+  EXPECT_NE(text.find("1.00"), std::string::npos);
+  EXPECT_NE(text.find("20000"), std::string::npos);
+  // Header columns padded at least as wide as the widest cell.
+  EXPECT_NE(text.find("N      "), std::string::npos);
+}
+
+TEST(ReportTest, NumFormatsDecimals) {
+  EXPECT_EQ(Report::Num(0.5), "0.500");
+  EXPECT_EQ(Report::Num(1.0 / 3.0, 2), "0.33");
+  EXPECT_EQ(Report::Num(12, 0), "12");
+}
+
+}  // namespace
+}  // namespace ftrepair

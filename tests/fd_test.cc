@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "constraint/fd.h"
+#include "constraint/fd_graph.h"
+#include "constraint/fd_parser.h"
+#include "test_util.h"
+
+namespace ftrepair {
+namespace {
+
+using testing_util::CitizensSchema;
+
+TEST(FDTest, MakeValidates) {
+  EXPECT_TRUE(FD::Make({0}, {1}).ok());
+  EXPECT_TRUE(FD::Make({0, 2}, {1, 3}).ok());
+  EXPECT_FALSE(FD::Make({}, {1}).ok());
+  EXPECT_FALSE(FD::Make({0}, {}).ok());
+  EXPECT_FALSE(FD::Make({0, 0}, {1}).ok());   // duplicate LHS
+  EXPECT_FALSE(FD::Make({0}, {1, 1}).ok());   // duplicate RHS
+  EXPECT_FALSE(FD::Make({0}, {0}).ok());      // LHS/RHS overlap
+  EXPECT_FALSE(FD::Make({-1}, {1}).ok());
+}
+
+TEST(FDTest, AttrsAreLhsThenRhs) {
+  FD fd = std::move(FD::Make({3, 4}, {5}, "phi3")).ValueOrDie();
+  EXPECT_EQ(fd.attrs(), (std::vector<int>{3, 4, 5}));
+  EXPECT_EQ(fd.lhs_size(), 2);
+  EXPECT_EQ(fd.rhs_size(), 1);
+  EXPECT_EQ(fd.num_attrs(), 3);
+  EXPECT_EQ(fd.AttrPosition(4), 1);
+  EXPECT_EQ(fd.AttrPosition(5), 2);
+  EXPECT_EQ(fd.AttrPosition(9), -1);
+  EXPECT_TRUE(fd.IsLhsColumn(3));
+  EXPECT_FALSE(fd.IsLhsColumn(5));
+  EXPECT_TRUE(fd.UsesColumn(5));
+}
+
+TEST(FDTest, SharedColumnsAndOverlap) {
+  FD a = std::move(FD::Make({1}, {2})).ValueOrDie();
+  FD b = std::move(FD::Make({3}, {4})).ValueOrDie();
+  FD c = std::move(FD::Make({2}, {5})).ValueOrDie();
+  EXPECT_FALSE(a.Overlaps(b));
+  EXPECT_TRUE(a.Overlaps(c));
+  EXPECT_EQ(a.SharedColumns(c), (std::vector<int>{2}));
+}
+
+TEST(FDTest, ToStringUsesColumnNames) {
+  Schema schema = CitizensSchema();
+  FD fd = std::move(FD::Make({3, 4}, {5}, "phi3")).ValueOrDie();
+  EXPECT_EQ(fd.ToString(schema), "phi3: [City, Street] -> [District]");
+}
+
+TEST(FDParserTest, ParsesNamedAndUnnamed) {
+  Schema schema = CitizensSchema();
+  FD named = std::move(ParseFD("phi2: City -> State", schema)).ValueOrDie();
+  EXPECT_EQ(named.name(), "phi2");
+  EXPECT_EQ(named.lhs(), (std::vector<int>{3}));
+  EXPECT_EQ(named.rhs(), (std::vector<int>{6}));
+
+  FD unnamed = std::move(ParseFD("City, Street -> District", schema)).ValueOrDie();
+  EXPECT_TRUE(unnamed.name().empty());
+  EXPECT_EQ(unnamed.lhs(), (std::vector<int>{3, 4}));
+}
+
+TEST(FDParserTest, RejectsBadInput) {
+  Schema schema = CitizensSchema();
+  EXPECT_FALSE(ParseFD("City State", schema).ok());       // no arrow
+  EXPECT_FALSE(ParseFD("Nope -> State", schema).ok());    // unknown column
+  EXPECT_FALSE(ParseFD("City -> ", schema).ok());         // empty RHS
+  EXPECT_FALSE(ParseFD(" -> State", schema).ok());        // empty LHS
+  EXPECT_FALSE(ParseFD("City,,Street -> State", schema).ok());
+}
+
+TEST(FDParserTest, ParsesListSkippingCommentsAndBlanks) {
+  Schema schema = CitizensSchema();
+  auto fds = std::move(ParseFDList("# comment\n\nphi1: Education -> Level\n"
+                                   "phi2: City -> State   # inline note\n",
+                                   schema))
+                 .ValueOrDie();
+  ASSERT_EQ(fds.size(), 2u);
+  EXPECT_EQ(fds[0].name(), "phi1");
+  EXPECT_EQ(fds[1].name(), "phi2");
+}
+
+TEST(FDGraphTest, PaperComponentStructure) {
+  // phi1 (Education->Level) is independent; phi2 and phi3 share City.
+  Schema schema = CitizensSchema();
+  std::vector<FD> fds = testing_util::CitizensFDs(schema);
+  FDGraph graph(fds);
+  EXPECT_EQ(graph.num_fds(), 3);
+  EXPECT_FALSE(graph.Connected(0, 1));
+  EXPECT_FALSE(graph.Connected(0, 2));
+  EXPECT_TRUE(graph.Connected(1, 2));
+  ASSERT_EQ(graph.Components().size(), 2u);
+  EXPECT_EQ(graph.Components()[0], (std::vector<int>{0}));
+  EXPECT_EQ(graph.Components()[1], (std::vector<int>{1, 2}));
+}
+
+TEST(FDGraphTest, TransitiveConnectivity) {
+  // a-b share col 1, b-c share col 3; a and c land in one component.
+  std::vector<FD> fds;
+  fds.push_back(std::move(FD::Make({0}, {1})).ValueOrDie());
+  fds.push_back(std::move(FD::Make({1}, {3})).ValueOrDie());
+  fds.push_back(std::move(FD::Make({3}, {4})).ValueOrDie());
+  fds.push_back(std::move(FD::Make({7}, {8})).ValueOrDie());
+  FDGraph graph(fds);
+  ASSERT_EQ(graph.Components().size(), 2u);
+  EXPECT_EQ(graph.Components()[0], (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(graph.Components()[1], (std::vector<int>{3}));
+  EXPECT_FALSE(graph.Connected(0, 2));  // not directly adjacent
+}
+
+TEST(FDGraphTest, EmptyGraph) {
+  FDGraph graph({});
+  EXPECT_EQ(graph.num_fds(), 0);
+  EXPECT_TRUE(graph.Components().empty());
+}
+
+}  // namespace
+}  // namespace ftrepair

@@ -1,0 +1,153 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/expansion_single.h"
+#include "core/greedy_single.h"
+#include "test_util.h"
+
+namespace ftrepair {
+namespace {
+
+using testing_util::CitizensDirty;
+using testing_util::CitizensFDs;
+using testing_util::RandomFDTable;
+
+ViolationGraph Phi1Graph(const Table& t, const DistanceModel& model) {
+  std::vector<FD> fds = CitizensFDs(t.schema());
+  // tau = 0.30 reproduces the Fig. 2 graph exactly (see
+  // expansion_single_test.cc for the 0.34 cross-cluster pair).
+  return ViolationGraph::Build(BuildPatterns(t, fds[0].attrs()), fds[0],
+                               model, FTOptions{0.5, 0.5, 0.30});
+}
+
+int PatternOf(const ViolationGraph& g, const char* education, double level) {
+  for (int i = 0; i < g.num_patterns(); ++i) {
+    if (g.pattern(i).values[0] == Value(education) &&
+        g.pattern(i).values[1] == Value(level)) {
+      return i;
+    }
+  }
+  return -1;
+}
+
+TEST(GreedySingleTest, PaperExample9Outcome) {
+  // Greedy-S over phi1 ends with the correct anchors chosen and
+  // t9, t10 modified to t1's pattern, t6, t8 to t4's (Example 9).
+  Table t = CitizensDirty();
+  DistanceModel model(t);
+  ViolationGraph g = Phi1Graph(t, model);
+  SingleFDSolution solution = SolveGreedySingle(g);
+  std::set<int> chosen(solution.chosen_set.begin(),
+                       solution.chosen_set.end());
+  int bachelors3 = PatternOf(g, "Bachelors", 3);
+  int masters4 = PatternOf(g, "Masters", 4);
+  int hsgrad9 = PatternOf(g, "HS-grad", 9);
+  EXPECT_TRUE(chosen.count(bachelors3));
+  EXPECT_TRUE(chosen.count(masters4));
+  EXPECT_TRUE(chosen.count(hsgrad9));  // isolated: always kept
+  EXPECT_EQ(solution.repair_target[static_cast<size_t>(
+                PatternOf(g, "Masers", 4))],
+            masters4);
+  EXPECT_EQ(solution.repair_target[static_cast<size_t>(
+                PatternOf(g, "Masters", 3))],
+            masters4);
+  EXPECT_EQ(solution.repair_target[static_cast<size_t>(
+                PatternOf(g, "Bachelors", 1))],
+            bachelors3);
+  EXPECT_EQ(solution.repair_target[static_cast<size_t>(
+                PatternOf(g, "Bachelers", 3))],
+            bachelors3);
+}
+
+class GreedyPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GreedyPropertyTest, ChosenSetIsMaximalIndependent) {
+  Table t = RandomFDTable(50, 3, 6, 15, GetParam());
+  FD fd = std::move(FD::Make({0, 2}, {1})).ValueOrDie();
+  DistanceModel model(t);
+  ViolationGraph g = ViolationGraph::Build(
+      BuildPatterns(t, fd.attrs()), fd, model, FTOptions{0.5, 0.5, 0.5});
+  SingleFDSolution solution = SolveGreedySingle(g);
+  std::set<int> chosen(solution.chosen_set.begin(),
+                       solution.chosen_set.end());
+  // Independence.
+  for (int v : solution.chosen_set) {
+    for (const ViolationGraph::Edge& e : g.Neighbors(v)) {
+      EXPECT_FALSE(chosen.count(e.to))
+          << "edge inside chosen set: " << v << "-" << e.to;
+    }
+  }
+  // Maximality + targets are chosen neighbors.
+  for (int v = 0; v < g.num_patterns(); ++v) {
+    if (chosen.count(v)) {
+      EXPECT_EQ(solution.repair_target[static_cast<size_t>(v)], -1);
+      continue;
+    }
+    int target = solution.repair_target[static_cast<size_t>(v)];
+    ASSERT_GE(target, 0) << "excluded pattern without repair target";
+    EXPECT_TRUE(chosen.count(target));
+  }
+}
+
+TEST_P(GreedyPropertyTest, CostNeverBeatsExact) {
+  Table t = RandomFDTable(25, 2, 4, 6, GetParam() * 7 + 3);
+  FD fd = std::move(FD::Make({0}, {1})).ValueOrDie();
+  DistanceModel model(t);
+  ViolationGraph g = ViolationGraph::Build(
+      BuildPatterns(t, fd.attrs()), fd, model, FTOptions{0.5, 0.5, 0.6});
+  SingleFDSolution greedy = SolveGreedySingle(g);
+  auto exact = SolveExpansionSingle(g, ExpansionConfig{});
+  ASSERT_TRUE(exact.ok()) << exact.status().ToString();
+  EXPECT_GE(greedy.cost + 1e-9, exact.value().cost);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GreedyPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(GreedySingleTest, DeterministicAcrossRuns) {
+  Table t = RandomFDTable(60, 2, 8, 20, 5);
+  FD fd = std::move(FD::Make({0}, {1})).ValueOrDie();
+  DistanceModel model(t);
+  ViolationGraph g = ViolationGraph::Build(
+      BuildPatterns(t, fd.attrs()), fd, model, FTOptions{0.5, 0.5, 0.5});
+  SingleFDSolution a = SolveGreedySingle(g);
+  SingleFDSolution b = SolveGreedySingle(g);
+  EXPECT_EQ(a.chosen_set, b.chosen_set);
+  EXPECT_EQ(a.repair_target, b.repair_target);
+  EXPECT_DOUBLE_EQ(a.cost, b.cost);
+}
+
+TEST(GreedySingleTest, EmptyGraph) {
+  Table t(Schema({{"a", ValueType::kString}, {"b", ValueType::kString}}));
+  FD fd = std::move(FD::Make({0}, {1})).ValueOrDie();
+  DistanceModel model(t);
+  ViolationGraph g = ViolationGraph::Build({}, fd, model,
+                                           FTOptions{0.5, 0.5, 0.3});
+  SingleFDSolution solution = SolveGreedySingle(g);
+  EXPECT_TRUE(solution.chosen_set.empty());
+  EXPECT_DOUBLE_EQ(solution.cost, 0.0);
+}
+
+TEST(GreedySingleTest, HighFrequencyPatternWins) {
+  // One frequent correct pattern vs a singleton typo: greedy must keep
+  // the frequent one and repair the typo toward it.
+  Table t(Schema({{"k", ValueType::kString}, {"v", ValueType::kString}}));
+  for (int i = 0; i < 9; ++i) {
+    ASSERT_TRUE(t.AppendRow({Value("aaaaaa"), Value("right")}).ok());
+  }
+  ASSERT_TRUE(t.AppendRow({Value("aaaaab"), Value("right")}).ok());
+  FD fd = std::move(FD::Make({0}, {1})).ValueOrDie();
+  DistanceModel model(t);
+  ViolationGraph g = ViolationGraph::Build(
+      BuildPatterns(t, fd.attrs()), fd, model, FTOptions{0.5, 0.5, 0.3});
+  ASSERT_EQ(g.num_patterns(), 2);
+  SingleFDSolution solution = SolveGreedySingle(g);
+  ASSERT_EQ(solution.chosen_set.size(), 1u);
+  int kept = solution.chosen_set[0];
+  EXPECT_EQ(g.pattern(kept).values[0], Value("aaaaaa"));
+  EXPECT_EQ(solution.repair_target[static_cast<size_t>(1 - kept)], kept);
+}
+
+}  // namespace
+}  // namespace ftrepair

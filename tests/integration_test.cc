@@ -1,0 +1,171 @@
+// End-to-end property suite: generate -> inject -> repair -> verify,
+// across datasets, algorithms and seeds.
+
+#include <algorithm>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "core/repairer.h"
+#include "data/csv.h"
+#include "detect/detector.h"
+#include "eval/experiment.h"
+#include "eval/quality.h"
+#include "gen/error_injector.h"
+#include "gen/hosp_gen.h"
+#include "gen/tax_gen.h"
+
+namespace ftrepair {
+namespace {
+
+struct PipelineCase {
+  bool hosp;
+  RepairAlgorithm algorithm;
+  uint64_t seed;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<PipelineCase>& info) {
+  std::string name = info.param.hosp ? "Hosp" : "Tax";
+  name += RepairAlgorithmName(info.param.algorithm);
+  name += "Seed" + std::to_string(info.param.seed);
+  return name;
+}
+
+class PipelineTest : public ::testing::TestWithParam<PipelineCase> {};
+
+TEST_P(PipelineTest, RepairIsFTConsistentValidAndUseful) {
+  const PipelineCase& param = GetParam();
+  Dataset ds =
+      param.hosp
+          ? std::move(GenerateHosp({.num_rows = 400, .seed = 7}))
+                .ValueOrDie()
+          : std::move(GenerateTax({.num_rows = 400, .seed = 7})).ValueOrDie();
+  NoiseOptions noise;
+  noise.error_rate = 0.04;
+  noise.seed = param.seed;
+  auto dirty_result = InjectErrors(ds.clean, ds.fds, noise, nullptr);
+  ASSERT_TRUE(dirty_result.ok());
+  Table dirty = std::move(dirty_result).value();
+
+  RepairOptions options;
+  options.algorithm = param.algorithm;
+  options.w_l = ds.recommended_w_l;
+  options.w_r = ds.recommended_w_r;
+  for (const auto& [name, tau] : ds.recommended_tau) {
+    options.tau_by_fd[name] = tau;
+  }
+  Repairer repairer(options);
+  auto repair_result = repairer.Repair(dirty, ds.fds);
+  ASSERT_TRUE(repair_result.ok()) << repair_result.status().ToString();
+  const RepairResult& result = repair_result.value();
+
+  // (1) FT-consistency (unless a target join came up empty).
+  if (!result.stats.join_empty) {
+    EXPECT_EQ(result.stats.ft_violations_after, 0u);
+  }
+
+  // (2) Close-world validity: every new cell value existed in the dirty
+  //     table's column domain.
+  for (const CellChange& change : result.changes) {
+    std::vector<Value> domain = dirty.ActiveDomain(change.col);
+    EXPECT_TRUE(std::binary_search(domain.begin(), domain.end(),
+                                   change.new_value))
+        << "column " << change.col;
+  }
+
+  // (3) Usefulness: the repair recovers a meaningful share of the
+  //     injected errors with good precision (loose CI floors; the bench
+  //     harness tracks the real curves).
+  Quality q = EvaluateRepair(dirty, result.repaired, ds.clean);
+  EXPECT_GT(q.errors, 0.0);
+  EXPECT_GE(q.precision, 0.5) << "P=" << q.precision << " R=" << q.recall;
+  EXPECT_GE(q.recall, 0.45) << "P=" << q.precision << " R=" << q.recall;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pipelines, PipelineTest,
+    ::testing::Values(
+        PipelineCase{true, RepairAlgorithm::kGreedy, 1},
+        PipelineCase{true, RepairAlgorithm::kGreedy, 2},
+        PipelineCase{true, RepairAlgorithm::kApproJoin, 1},
+        PipelineCase{true, RepairAlgorithm::kExact, 1},
+        PipelineCase{false, RepairAlgorithm::kGreedy, 1},
+        PipelineCase{false, RepairAlgorithm::kGreedy, 2},
+        PipelineCase{false, RepairAlgorithm::kApproJoin, 1},
+        PipelineCase{false, RepairAlgorithm::kExact, 1}),
+    CaseName);
+
+TEST(IntegrationTest, OurMethodsBeatBaselinesOnF1) {
+  // The paper's headline claim (Figs. 11-13, Table 3): the cost-based
+  // FT repairs dominate NADEEF/URM/Llunatic on quality.
+  for (bool hosp : {true, false}) {
+    Dataset ds = hosp ? std::move(GenerateHosp({.num_rows = 800, .seed = 3}))
+                            .ValueOrDie()
+                      : std::move(GenerateTax({.num_rows = 800, .seed = 3}))
+                            .ValueOrDie();
+    ExperimentConfig config;
+    config.num_rows = 800;
+    config.noise.error_rate = 0.04;
+    config.noise.seed = 17;
+    config.repair.compute_violation_stats = false;
+    auto f1 = [&](SystemUnderTest system) {
+      auto row = RunExperiment(ds, system, config);
+      EXPECT_TRUE(row.ok()) << row.status().ToString();
+      return row.ok() ? row.value().quality.f1 : 0.0;
+    };
+    double greedy = f1(SystemUnderTest::kGreedy);
+    double nadeef = f1(SystemUnderTest::kNadeef);
+    double urm = f1(SystemUnderTest::kUrm);
+    double llunatic = f1(SystemUnderTest::kLlunatic);
+    EXPECT_GT(greedy, nadeef) << (hosp ? "HOSP" : "Tax");
+    EXPECT_GT(greedy, urm) << (hosp ? "HOSP" : "Tax");
+    EXPECT_GT(greedy, llunatic) << (hosp ? "HOSP" : "Tax");
+  }
+}
+
+TEST(IntegrationTest, RecallGrowsWithMoreFDs) {
+  // Fig. 6 shape: more constraints detect more errors.
+  Dataset ds =
+      std::move(GenerateHosp({.num_rows = 600, .seed = 5})).ValueOrDie();
+  ExperimentConfig config;
+  config.num_rows = 600;
+  config.noise.error_rate = 0.04;
+  config.noise.seed = 11;
+  config.repair.compute_violation_stats = false;
+  config.num_fds = 2;
+  double recall_few =
+      std::move(RunExperiment(ds, SystemUnderTest::kGreedy, config))
+          .ValueOrDie()
+          .quality.recall;
+  config.num_fds = 9;
+  double recall_all =
+      std::move(RunExperiment(ds, SystemUnderTest::kGreedy, config))
+          .ValueOrDie()
+          .quality.recall;
+  EXPECT_GT(recall_all, recall_few);
+}
+
+TEST(IntegrationTest, CsvRoundTripOfRepairedTable) {
+  Dataset ds =
+      std::move(GenerateTax({.num_rows = 200, .seed = 5})).ValueOrDie();
+  NoiseOptions noise;
+  noise.error_rate = 0.04;
+  Table dirty =
+      std::move(InjectErrors(ds.clean, ds.fds, noise, nullptr)).ValueOrDie();
+  RepairOptions options;
+  options.w_l = ds.recommended_w_l;
+  options.w_r = ds.recommended_w_r;
+  for (const auto& [name, tau] : ds.recommended_tau) {
+    options.tau_by_fd[name] = tau;
+  }
+  Repairer repairer(options);
+  RepairResult result =
+      std::move(repairer.Repair(dirty, ds.fds)).ValueOrDie();
+  // Serialize and re-parse; the repaired instance must survive.
+  std::string csv = WriteCsvString(result.repaired);
+  Table reparsed = std::move(ReadCsvString(csv)).ValueOrDie();
+  EXPECT_EQ(reparsed.num_rows(), result.repaired.num_rows());
+}
+
+}  // namespace
+}  // namespace ftrepair

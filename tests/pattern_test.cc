@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include "detect/pattern.h"
+#include "test_util.h"
+
+namespace ftrepair {
+namespace {
+
+using testing_util::CitizensDirty;
+using testing_util::CitizensFDs;
+
+TEST(PatternTest, GroupsIdenticalProjections) {
+  Table t = CitizensDirty();
+  std::vector<FD> fds = CitizensFDs(t.schema());
+  // phi1 (Education, Level): t1, t2, t3 share (Bachelors, 3).
+  std::vector<Pattern> patterns = BuildPatterns(t, fds[0].attrs());
+  ASSERT_FALSE(patterns.empty());
+  // First pattern by first-occurrence is (Bachelors, 3) carried by rows
+  // 0, 1, 2 and also t10's corrected... no: t10 is (Bachelers, 3).
+  EXPECT_EQ(patterns[0].values,
+            (std::vector<Value>{Value("Bachelors"), Value(3.0)}));
+  EXPECT_EQ(patterns[0].rows, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(patterns[0].count(), 3);
+  // Distinct projections in Table 1 under phi1:
+  // (Bachelors,3) (Masters,4) (Masers,4) (HS-grad,9) (Masters,3)
+  // (Bachelors,1) (Bachelers,3) = 7.
+  EXPECT_EQ(patterns.size(), 7u);
+}
+
+TEST(PatternTest, SingleColumnGrouping) {
+  Table t = CitizensDirty();
+  int city = t.schema().IndexOf("City");
+  std::vector<Pattern> patterns = BuildPatterns(t, {city});
+  ASSERT_EQ(patterns.size(), 3u);  // New York, Boston, Boton
+  int total = 0;
+  for (const Pattern& p : patterns) total += p.count();
+  EXPECT_EQ(total, t.num_rows());
+}
+
+TEST(PatternTest, RestrictedRows) {
+  Table t = CitizensDirty();
+  int city = t.schema().IndexOf("City");
+  std::vector<Pattern> patterns =
+      BuildPatternsForRows(t, {city}, {0, 1, 4, 5});
+  // Rows 0,1 New York; 4,5 Boston.
+  ASSERT_EQ(patterns.size(), 2u);
+  EXPECT_EQ(patterns[0].rows, (std::vector<int>{0, 1}));
+  EXPECT_EQ(patterns[1].rows, (std::vector<int>{4, 5}));
+}
+
+TEST(PatternTest, EmptyRowsGiveNoPatterns) {
+  Table t = CitizensDirty();
+  EXPECT_TRUE(BuildPatternsForRows(t, {0}, {}).empty());
+}
+
+TEST(PatternTest, ToStringShowsValuesAndCount) {
+  Pattern p{{Value("Boston"), Value("MA")}, {4, 7}};
+  EXPECT_EQ(p.ToString(), "(Boston, MA) x2");
+}
+
+TEST(PatternTest, ProjectionHashConsistent) {
+  ProjectionHash hash;
+  std::vector<Value> a{Value("x"), Value(1.0)};
+  std::vector<Value> b{Value("x"), Value(1.0)};
+  std::vector<Value> c{Value(1.0), Value("x")};  // order matters
+  EXPECT_EQ(hash(a), hash(b));
+  EXPECT_NE(hash(a), hash(c));
+}
+
+}  // namespace
+}  // namespace ftrepair

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "constraint/fd_parser.h"
+#include "core/repairer.h"
+#include "eval/profile.h"
+#include "test_util.h"
+
+namespace ftrepair {
+namespace {
+
+using testing_util::CitizensDirty;
+using testing_util::CitizensFDs;
+
+TEST(ProfileTest, CountsAndRatios) {
+  Table t = CitizensDirty();
+  std::vector<ColumnProfile> profiles = ProfileTable(t);
+  ASSERT_EQ(profiles.size(), 7u);
+  const ColumnProfile& name = profiles[0];
+  EXPECT_EQ(name.name, "Name");
+  EXPECT_EQ(name.non_null, 10);
+  EXPECT_EQ(name.nulls, 0);
+  EXPECT_EQ(name.distinct, 10);
+  EXPECT_DOUBLE_EQ(name.distinct_ratio, 1.0);  // key column
+  const ColumnProfile& city = profiles[3];
+  EXPECT_EQ(city.distinct, 3);  // New York, Boston, Boton
+  EXPECT_DOUBLE_EQ(city.distinct_ratio, 0.3);
+}
+
+TEST(ProfileTest, TopValuesOrderedByCount) {
+  Table t = CitizensDirty();
+  std::vector<ColumnProfile> profiles = ProfileTable(t, 2);
+  const ColumnProfile& city = profiles[3];
+  ASSERT_EQ(city.top_values.size(), 2u);
+  EXPECT_EQ(city.top_values[0].first, Value("Boston"));
+  EXPECT_EQ(city.top_values[0].second, 5);
+  EXPECT_EQ(city.top_values[1].first, Value("New York"));
+  EXPECT_EQ(city.top_values[1].second, 4);
+}
+
+TEST(ProfileTest, NumericRange) {
+  Table t = CitizensDirty();
+  const ColumnProfile& level = ProfileTable(t)[2];
+  EXPECT_TRUE(level.has_numeric_range);
+  EXPECT_DOUBLE_EQ(level.min, 1);
+  EXPECT_DOUBLE_EQ(level.max, 9);
+  EXPECT_FALSE(ProfileTable(t)[0].has_numeric_range);
+}
+
+TEST(ProfileTest, NullsCounted) {
+  Table t(Schema({{"a", ValueType::kString}}));
+  (void)t.AppendRow({Value("x")});
+  (void)t.AppendRow({Value()});
+  (void)t.AppendRow({Value()});
+  const ColumnProfile& p = ProfileTable(t)[0];
+  EXPECT_EQ(p.non_null, 1);
+  EXPECT_EQ(p.nulls, 2);
+}
+
+TEST(SummarizeChangesTest, GroupsAndOrders) {
+  Table dirty = CitizensDirty();
+  std::vector<FD> fds = CitizensFDs(dirty.schema());
+  RepairOptions options;
+  options.algorithm = RepairAlgorithm::kExact;
+  options.tau_by_fd = {{"phi1", 0.30}, {"phi2", 0.5}, {"phi3", 0.5}};
+  Repairer repairer(options);
+  RepairResult result = std::move(repairer.Repair(dirty, fds)).ValueOrDie();
+  std::vector<ChangeSummaryLine> lines =
+      SummarizeChanges(result.changes, dirty.schema());
+  // 8 individual changes, all distinct (column, old, new) triples here.
+  int total = 0;
+  for (const ChangeSummaryLine& line : lines) total += line.count;
+  EXPECT_EQ(total, 8);
+  // Ordered by descending count.
+  for (size_t i = 1; i < lines.size(); ++i) {
+    EXPECT_GE(lines[i - 1].count, lines[i].count);
+  }
+  bool found = false;
+  for (const ChangeSummaryLine& line : lines) {
+    if (line.column == "Education" && line.old_value == Value("Masers")) {
+      EXPECT_EQ(line.new_value, Value("Masters"));
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(SummarizeChangesTest, AggregatesRepeatedChanges) {
+  Schema schema({{"a", ValueType::kString}});
+  std::vector<CellChange> changes = {
+      {0, 0, Value("x"), Value("y")},
+      {1, 0, Value("x"), Value("y")},
+      {2, 0, Value("z"), Value("y")},
+  };
+  std::vector<ChangeSummaryLine> lines = SummarizeChanges(changes, schema);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0].count, 2);
+  EXPECT_EQ(lines[0].old_value, Value("x"));
+  EXPECT_EQ(lines[1].count, 1);
+}
+
+TEST(FDSpecTest, ToSpecRoundTrips) {
+  Table t = CitizensDirty();
+  for (const FD& fd : CitizensFDs(t.schema())) {
+    std::string spec = fd.ToSpec(t.schema());
+    FD reparsed = std::move(ParseFD(spec, t.schema())).ValueOrDie();
+    EXPECT_EQ(reparsed.lhs(), fd.lhs()) << spec;
+    EXPECT_EQ(reparsed.rhs(), fd.rhs()) << spec;
+    EXPECT_EQ(reparsed.name(), fd.name()) << spec;
+  }
+  // Unnamed FDs round-trip too.
+  FD unnamed = std::move(FD::Make({3, 4}, {5})).ValueOrDie();
+  FD reparsed =
+      std::move(ParseFD(unnamed.ToSpec(t.schema()), t.schema())).ValueOrDie();
+  EXPECT_EQ(reparsed.attrs(), unnamed.attrs());
+}
+
+}  // namespace
+}  // namespace ftrepair

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "constraint/fd_parser.h"
+#include "metric/projection.h"
+#include "test_util.h"
+
+namespace ftrepair {
+namespace {
+
+using testing_util::CitizensDirty;
+using testing_util::CitizensFDs;
+
+TEST(DistanceModelTest, EqualValuesAreZero) {
+  Table t = CitizensDirty();
+  DistanceModel model(t);
+  EXPECT_DOUBLE_EQ(model.CellDistance(0, Value("x"), Value("x")), 0.0);
+  EXPECT_DOUBLE_EQ(model.CellDistance(2, Value(3.0), Value(3.0)), 0.0);
+  EXPECT_DOUBLE_EQ(model.CellDistance(0, Value(), Value()), 0.0);
+}
+
+TEST(DistanceModelTest, NullVsValueIsOne) {
+  Table t = CitizensDirty();
+  DistanceModel model(t);
+  EXPECT_DOUBLE_EQ(model.CellDistance(0, Value(), Value("x")), 1.0);
+}
+
+TEST(DistanceModelTest, StringsUseNormalizedEdit) {
+  Table t = CitizensDirty();
+  DistanceModel model(t);
+  EXPECT_DOUBLE_EQ(
+      model.CellDistance(1, Value("Masters"), Value("Masers")), 1.0 / 7);
+}
+
+TEST(DistanceModelTest, NumbersUseRangeNormalizedEuclidean) {
+  Table t = CitizensDirty();
+  DistanceModel model(t);
+  int level = t.schema().IndexOf("Level");
+  // Level range in Table 1 is [1, 9] => range 8.
+  EXPECT_DOUBLE_EQ(model.Range(level), 8.0);
+  EXPECT_DOUBLE_EQ(model.CellDistance(level, Value(3.0), Value(1.0)), 0.25);
+}
+
+TEST(DistanceModelTest, MixedTypeUsesEditOnRenderings) {
+  // A typo'd numeric cell ("3x") stays *close* to its origin under the
+  // default metric, so FT-detection can still associate it; under an
+  // explicit Euclidean metric it is maximally dirty.
+  Table t = CitizensDirty();
+  DistanceModel model(t);
+  int level = t.schema().IndexOf("Level");
+  EXPECT_DOUBLE_EQ(model.CellDistance(level, Value(3.0), Value("3x")), 0.5);
+  model.SetColumnMetric(level, ColumnMetric::kEuclidean);
+  EXPECT_DOUBLE_EQ(model.CellDistance(level, Value(3.0), Value("3x")), 1.0);
+}
+
+TEST(DistanceModelTest, ColumnMetricOverrides) {
+  Table t = CitizensDirty();
+  DistanceModel model(t);
+  model.SetColumnMetric(0, ColumnMetric::kDiscrete);
+  EXPECT_DOUBLE_EQ(model.CellDistance(0, Value("ab"), Value("ac")), 1.0);
+  model.SetColumnMetric(0, ColumnMetric::kJaccard);
+  EXPECT_DOUBLE_EQ(
+      model.CellDistance(0, Value("a b"), Value("b a")), 0.0);
+  model.SetColumnMetric(0, ColumnMetric::kEdit);
+  EXPECT_DOUBLE_EQ(model.CellDistance(0, Value("ab"), Value("ac")), 0.5);
+}
+
+TEST(DistanceModelTest, JaroWinklerAndQGramOverrides) {
+  Table t = CitizensDirty();
+  DistanceModel model(t);
+  model.SetColumnMetric(0, ColumnMetric::kJaroWinkler);
+  EXPECT_NEAR(model.CellDistance(0, Value("MARTHA"), Value("MARHTA")),
+              1 - 0.9611, 1e-3);
+  model.SetColumnMetric(0, ColumnMetric::kQGramCosine);
+  EXPECT_DOUBLE_EQ(model.CellDistance(0, Value("abcd"), Value("abcd")), 0.0);
+  EXPECT_GT(model.CellDistance(0, Value("abcd"), Value("wxyz")), 0.9);
+}
+
+TEST(ProjectionDistanceTest, PaperExample5) {
+  // dist(t4^phi1, t6^phi1) = 0.5 * dist(Masters, Masers)
+  //                        + 0.5 * dist(4, 4) = 0.5 / 7 ~= 0.07.
+  Table t = CitizensDirty();
+  DistanceModel model(t);
+  std::vector<FD> fds = CitizensFDs(t.schema());
+  const FD& phi1 = fds[0];
+  double d = model.ProjectionDistance(phi1, t.row(3), t.row(5), 0.5, 0.5);
+  EXPECT_NEAR(d, 0.5 / 7.0, 1e-12);
+  EXPECT_NEAR(d, 0.07, 0.005);  // the paper rounds to .07
+}
+
+TEST(ProjectionDistanceTest, WeightsScaleSides) {
+  Table t = CitizensDirty();
+  DistanceModel model(t);
+  std::vector<FD> fds = CitizensFDs(t.schema());
+  const FD& phi2 = fds[1];  // City -> State
+  // t5 (Boston, NY) vs t1 (New York, NY): LHS-only difference.
+  double lhs_only = model.ProjectionDistance(phi2, t.row(4), t.row(0), 1.0, 0.0);
+  double rhs_only = model.ProjectionDistance(phi2, t.row(4), t.row(0), 0.0, 1.0);
+  EXPECT_GT(lhs_only, 0.0);
+  EXPECT_DOUBLE_EQ(rhs_only, 0.0);
+  double mixed = model.ProjectionDistance(phi2, t.row(4), t.row(0), 0.7, 0.3);
+  EXPECT_NEAR(mixed, 0.7 * lhs_only, 1e-12);
+}
+
+TEST(RepairCostTest, SumsUnweightedOverColumns) {
+  // Eq. 3 over chosen columns; weightless.
+  Table t = CitizensDirty();
+  DistanceModel model(t);
+  std::vector<FD> fds = CitizensFDs(t.schema());
+  const FD& phi1 = fds[0];
+  double cost = model.RepairCost(phi1.attrs(), t.row(3), t.row(5));
+  EXPECT_NEAR(cost, 1.0 / 7.0, 1e-12);  // Education differs, Level equal
+  // Restricting to one column.
+  double education_only =
+      model.RepairCost({t.schema().IndexOf("Education")}, t.row(3), t.row(5));
+  EXPECT_NEAR(education_only, 1.0 / 7.0, 1e-12);
+}
+
+TEST(RepairCostTest, ZeroForIdenticalRows) {
+  Table t = CitizensDirty();
+  DistanceModel model(t);
+  std::vector<int> all_cols;
+  for (int c = 0; c < t.num_columns(); ++c) all_cols.push_back(c);
+  EXPECT_DOUBLE_EQ(model.RepairCost(all_cols, t.row(0), t.row(0)), 0.0);
+}
+
+}  // namespace
+}  // namespace ftrepair

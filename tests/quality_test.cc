@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "baseline/llunatic.h"
+#include "eval/quality.h"
+
+namespace ftrepair {
+namespace {
+
+Table OneColumn(std::vector<const char*> values) {
+  Table t(Schema({{"a", ValueType::kString}}));
+  for (const char* v : values) (void)t.AppendRow({Value(v)});
+  return t;
+}
+
+TEST(QualityTest, PerfectRepair) {
+  Table truth = OneColumn({"x", "y", "z"});
+  Table dirty = OneColumn({"x", "BAD", "z"});
+  Table repaired = OneColumn({"x", "y", "z"});
+  Quality q = EvaluateRepair(dirty, repaired, truth);
+  EXPECT_DOUBLE_EQ(q.precision, 1.0);
+  EXPECT_DOUBLE_EQ(q.recall, 1.0);
+  EXPECT_DOUBLE_EQ(q.f1, 1.0);
+  EXPECT_DOUBLE_EQ(q.errors, 1.0);
+  EXPECT_DOUBLE_EQ(q.repaired, 1.0);
+}
+
+TEST(QualityTest, NoRepairsGivesPerfectPrecisionZeroRecall) {
+  Table truth = OneColumn({"x", "y"});
+  Table dirty = OneColumn({"x", "BAD"});
+  Quality q = EvaluateRepair(dirty, dirty, truth);
+  EXPECT_DOUBLE_EQ(q.precision, 1.0);  // vacuous
+  EXPECT_DOUBLE_EQ(q.recall, 0.0);
+}
+
+TEST(QualityTest, WrongRepairHurtsPrecision) {
+  Table truth = OneColumn({"x", "y"});
+  Table dirty = OneColumn({"x", "BAD"});
+  Table repaired = OneColumn({"x", "ALSO_BAD"});
+  Quality q = EvaluateRepair(dirty, repaired, truth);
+  EXPECT_DOUBLE_EQ(q.precision, 0.0);
+  EXPECT_DOUBLE_EQ(q.recall, 0.0);
+}
+
+TEST(QualityTest, FalsePositiveRepairOfCleanCell) {
+  Table truth = OneColumn({"x", "y"});
+  Table dirty = OneColumn({"x", "y"});  // no errors
+  Table repaired = OneColumn({"x", "CHANGED"});
+  Quality q = EvaluateRepair(dirty, repaired, truth);
+  EXPECT_DOUBLE_EQ(q.precision, 0.0);
+  EXPECT_DOUBLE_EQ(q.recall, 1.0);  // vacuous: no errors existed
+}
+
+TEST(QualityTest, MixedRepairs) {
+  Table truth = OneColumn({"a", "b", "c", "d"});
+  Table dirty = OneColumn({"a", "X", "Y", "d"});
+  // One fixed correctly, one fixed wrongly, one clean cell changed.
+  Table repaired = OneColumn({"a", "b", "Z", "W"});
+  Quality q = EvaluateRepair(dirty, repaired, truth);
+  EXPECT_DOUBLE_EQ(q.repaired, 3.0);
+  EXPECT_DOUBLE_EQ(q.errors, 2.0);
+  EXPECT_DOUBLE_EQ(q.precision, 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(q.recall, 0.5);
+}
+
+TEST(QualityTest, LlunGetsPartialCredit) {
+  Table truth = OneColumn({"a", "b"});
+  Table dirty = OneColumn({"a", "X"});
+  Table repaired(Schema({{"a", ValueType::kString}}));
+  (void)repaired.AppendRow({Value("a")});
+  (void)repaired.AppendRow({LlunValue()});
+  Quality q = EvaluateRepair(dirty, repaired, truth);
+  EXPECT_DOUBLE_EQ(q.precision, 0.5);  // Metric 0.5 (§6.4)
+  EXPECT_DOUBLE_EQ(q.recall, 0.5);
+}
+
+TEST(QualityTest, LlunOnCleanCellGetsNoCredit) {
+  Table truth = OneColumn({"a"});
+  Table dirty = OneColumn({"a"});
+  Table repaired(Schema({{"a", ValueType::kString}}));
+  (void)repaired.AppendRow({LlunValue()});
+  Quality q = EvaluateRepair(dirty, repaired, truth);
+  EXPECT_DOUBLE_EQ(q.precision, 0.0);
+}
+
+TEST(QualityTest, PartialCreditConfigurable) {
+  Table truth = OneColumn({"b"});
+  Table dirty = OneColumn({"X"});
+  Table repaired(Schema({{"a", ValueType::kString}}));
+  (void)repaired.AppendRow({LlunValue()});
+  QualityOptions options;
+  options.partial_credit = 0.25;
+  Quality q = EvaluateRepair(dirty, repaired, truth, options);
+  EXPECT_DOUBLE_EQ(q.precision, 0.25);
+  EXPECT_DOUBLE_EQ(q.recall, 0.25);
+}
+
+TEST(QualityTest, F1IsHarmonicMean) {
+  Table truth = OneColumn({"a", "b", "c", "d"});
+  Table dirty = OneColumn({"a", "X", "Y", "d"});
+  Table repaired = OneColumn({"a", "b", "Z", "W"});
+  Quality q = EvaluateRepair(dirty, repaired, truth);
+  double expected =
+      2 * q.precision * q.recall / (q.precision + q.recall);
+  EXPECT_DOUBLE_EQ(q.f1, expected);
+}
+
+TEST(QualityTest, CleanTableTrivially100) {
+  Table t = OneColumn({"a", "b"});
+  Quality q = EvaluateRepair(t, t, t);
+  EXPECT_DOUBLE_EQ(q.precision, 1.0);
+  EXPECT_DOUBLE_EQ(q.recall, 1.0);
+}
+
+}  // namespace
+}  // namespace ftrepair

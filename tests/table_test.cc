@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "data/schema.h"
+#include "data/table.h"
+#include "test_util.h"
+
+namespace ftrepair {
+namespace {
+
+using testing_util::CitizensDirty;
+
+TEST(SchemaTest, IndexOf) {
+  Schema schema({{"a", ValueType::kString}, {"b", ValueType::kNumber}});
+  EXPECT_EQ(schema.num_columns(), 2);
+  EXPECT_EQ(schema.IndexOf("a"), 0);
+  EXPECT_EQ(schema.IndexOf("b"), 1);
+  EXPECT_EQ(schema.IndexOf("c"), -1);
+  EXPECT_EQ(schema.column(1).type, ValueType::kNumber);
+}
+
+TEST(SchemaTest, RequireIndexErrors) {
+  Schema schema({{"a", ValueType::kString}});
+  EXPECT_TRUE(schema.RequireIndex("a").ok());
+  auto missing = schema.RequireIndex("zz");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_TRUE(missing.status().IsNotFound());
+}
+
+TEST(SchemaTest, Equality) {
+  Schema a({{"x", ValueType::kString}});
+  Schema b({{"x", ValueType::kString}});
+  Schema c({{"x", ValueType::kNumber}});
+  Schema d({{"y", ValueType::kString}});
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+  EXPECT_FALSE(a == d);
+}
+
+TEST(TableTest, AppendRowChecksArity) {
+  Table t(Schema({{"a", ValueType::kString}, {"b", ValueType::kString}}));
+  EXPECT_TRUE(t.AppendRow({Value("1"), Value("2")}).ok());
+  Status bad = t.AppendRow({Value("1")});
+  EXPECT_TRUE(bad.IsInvalidArgument());
+  EXPECT_EQ(t.num_rows(), 1);
+}
+
+TEST(TableTest, CellAccessAndMutation) {
+  Table t = CitizensDirty();
+  EXPECT_EQ(t.num_rows(), 10);
+  EXPECT_EQ(t.num_columns(), 7);
+  EXPECT_EQ(t.cell(0, 0), Value("Janaina"));
+  EXPECT_EQ(t.cell(5, 1), Value("Masers"));
+  *t.mutable_cell(5, 1) = Value("Masters");
+  EXPECT_EQ(t.cell(5, 1), Value("Masters"));
+}
+
+TEST(TableTest, ActiveDomainIsSortedDistinctNonNull) {
+  Table t = CitizensDirty();
+  int city = t.schema().IndexOf("City");
+  std::vector<Value> domain = t.ActiveDomain(city);
+  ASSERT_EQ(domain.size(), 3u);
+  EXPECT_EQ(domain[0], Value("Boston"));
+  EXPECT_EQ(domain[1], Value("Boton"));
+  EXPECT_EQ(domain[2], Value("New York"));
+}
+
+TEST(TableTest, ActiveDomainSkipsNulls) {
+  Table t(Schema({{"a", ValueType::kString}}));
+  ASSERT_TRUE(t.AppendRow({Value("x")}).ok());
+  ASSERT_TRUE(t.AppendRow({Value()}).ok());
+  EXPECT_EQ(t.ActiveDomain(0).size(), 1u);
+}
+
+TEST(TableTest, NumericRange) {
+  Table t = CitizensDirty();
+  int level = t.schema().IndexOf("Level");
+  double mn = 0, mx = 0;
+  ASSERT_TRUE(t.NumericRange(level, &mn, &mx));
+  EXPECT_DOUBLE_EQ(mn, 1);
+  EXPECT_DOUBLE_EQ(mx, 9);
+  int city = t.schema().IndexOf("City");
+  EXPECT_FALSE(t.NumericRange(city, &mn, &mx));
+}
+
+TEST(TableTest, HeadTruncatesAndCopies) {
+  Table t = CitizensDirty();
+  Table head = t.Head(3);
+  EXPECT_EQ(head.num_rows(), 3);
+  EXPECT_EQ(head.cell(2, 0), Value("Jieyu"));
+  // Beyond size: full copy.
+  EXPECT_EQ(t.Head(100).num_rows(), 10);
+  // Mutating the head must not touch the original.
+  *head.mutable_cell(0, 0) = Value("X");
+  EXPECT_EQ(t.cell(0, 0), Value("Janaina"));
+}
+
+}  // namespace
+}  // namespace ftrepair

@@ -1,0 +1,115 @@
+#ifndef FTREPAIR_TESTS_TEST_UTIL_H_
+#define FTREPAIR_TESTS_TEST_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "constraint/fd.h"
+#include "constraint/fd_parser.h"
+#include "data/table.h"
+
+namespace ftrepair {
+namespace testing_util {
+
+/// Schema of the paper's running example (Table 1): US citizens.
+inline Schema CitizensSchema() {
+  return Schema({{"Name", ValueType::kString},
+                 {"Education", ValueType::kString},
+                 {"Level", ValueType::kNumber},
+                 {"City", ValueType::kString},
+                 {"Street", ValueType::kString},
+                 {"District", ValueType::kString},
+                 {"State", ValueType::kString}});
+}
+
+inline Row CitizensRow(const std::string& name, const std::string& education,
+                       double level, const std::string& city,
+                       const std::string& street, const std::string& district,
+                       const std::string& state) {
+  return Row{Value(name),   Value(education), Value(level), Value(city),
+             Value(street), Value(district),  Value(state)};
+}
+
+/// The dirty instance of Table 1 (errors exactly as highlighted there).
+inline Table CitizensDirty() {
+  Table t(CitizensSchema());
+  auto add = [&t](Row row) { (void)t.AppendRow(std::move(row)); };
+  add(CitizensRow("Janaina", "Bachelors", 3, "New York", "Main", "Manhattan", "NY"));
+  add(CitizensRow("Aloke", "Bachelors", 3, "New York", "Main", "Manhattan", "NY"));
+  add(CitizensRow("Jieyu", "Bachelors", 3, "New York", "Western", "Queens", "NY"));
+  add(CitizensRow("Paulo", "Masters", 4, "New York", "Western", "Queens", "MA"));
+  add(CitizensRow("Zoe", "Masters", 4, "Boston", "Main", "Manhattan", "NY"));
+  add(CitizensRow("Gara", "Masers", 4, "Boston", "Main", "Financial", "MA"));
+  add(CitizensRow("Mitchell", "HS-grad", 9, "Boston", "Main", "Financial", "MA"));
+  add(CitizensRow("Pavol", "Masters", 3, "Boton", "Arlingto", "Brookside", "MA"));
+  add(CitizensRow("Thilo", "Bachelors", 1, "Boston", "Arlingto", "Brookside", "MA"));
+  add(CitizensRow("Nenad", "Bachelers", 3, "Boston", "Arlingto", "Brookside", "NY"));
+  return t;
+}
+
+/// Ground truth for Table 1 (the corrections highlighted in the paper).
+inline Table CitizensTruth() {
+  Table t(CitizensSchema());
+  auto add = [&t](Row row) { (void)t.AppendRow(std::move(row)); };
+  add(CitizensRow("Janaina", "Bachelors", 3, "New York", "Main", "Manhattan", "NY"));
+  add(CitizensRow("Aloke", "Bachelors", 3, "New York", "Main", "Manhattan", "NY"));
+  add(CitizensRow("Jieyu", "Bachelors", 3, "New York", "Western", "Queens", "NY"));
+  add(CitizensRow("Paulo", "Masters", 4, "New York", "Western", "Queens", "NY"));
+  add(CitizensRow("Zoe", "Masters", 4, "New York", "Main", "Manhattan", "NY"));
+  add(CitizensRow("Gara", "Masters", 4, "Boston", "Main", "Financial", "MA"));
+  add(CitizensRow("Mitchell", "HS-grad", 9, "Boston", "Main", "Financial", "MA"));
+  add(CitizensRow("Pavol", "Masters", 4, "Boston", "Arlingto", "Brookside", "MA"));
+  add(CitizensRow("Thilo", "Bachelors", 3, "Boston", "Arlingto", "Brookside", "MA"));
+  add(CitizensRow("Nenad", "Bachelors", 3, "Boston", "Arlingto", "Brookside", "MA"));
+  return t;
+}
+
+/// The three FDs of Example 2: phi1, phi2, phi3.
+inline std::vector<FD> CitizensFDs(const Schema& schema) {
+  return std::move(ParseFDList(
+                       "phi1: Education -> Level\n"
+                       "phi2: City -> State\n"
+                       "phi3: City, Street -> District\n",
+                       schema))
+      .ValueOrDie();
+}
+
+/// A small random table over `num_cols` string columns where column 0
+/// functionally determines every other column (values "k<i>" / "v<i>_<c>"),
+/// with `num_flips` cells randomly replaced by other domain values.
+/// Used by property suites.
+inline Table RandomFDTable(int num_rows, int num_cols, int num_keys,
+                           int num_flips, uint64_t seed) {
+  std::vector<Column> columns;
+  for (int c = 0; c < num_cols; ++c) {
+    columns.push_back(Column{"c" + std::to_string(c), ValueType::kString});
+  }
+  Table table{Schema(std::move(columns))};
+  Rng rng(seed);
+  for (int r = 0; r < num_rows; ++r) {
+    int key = static_cast<int>(rng.Index(static_cast<size_t>(num_keys)));
+    Row row;
+    row.emplace_back("key" + std::to_string(key));
+    for (int c = 1; c < num_cols; ++c) {
+      row.emplace_back("val" + std::to_string(key) + "c" +
+                       std::to_string(c));
+    }
+    (void)table.AppendRow(std::move(row));
+  }
+  for (int f = 0; f < num_flips && table.num_rows() > 0; ++f) {
+    int r = static_cast<int>(rng.Index(static_cast<size_t>(table.num_rows())));
+    int c = static_cast<int>(rng.Index(static_cast<size_t>(num_cols)));
+    int key = static_cast<int>(rng.Index(static_cast<size_t>(num_keys)));
+    Value v = c == 0 ? Value("key" + std::to_string(key))
+                     : Value("val" + std::to_string(key) + "c" +
+                             std::to_string(c));
+    *table.mutable_cell(r, c) = v;
+  }
+  return table;
+}
+
+}  // namespace testing_util
+}  // namespace ftrepair
+
+#endif  // FTREPAIR_TESTS_TEST_UTIL_H_

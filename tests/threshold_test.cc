@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "detect/detector.h"
+#include "detect/threshold.h"
+#include "test_util.h"
+
+namespace ftrepair {
+namespace {
+
+// A table where error-pair distances (small) and legitimate-pair
+// distances (large) are cleanly separated by a gap.
+Table GappedTable() {
+  Table t(Schema({{"k", ValueType::kString}, {"v", ValueType::kString}}));
+  auto add = [&t](const char* k, const char* v) {
+    (void)t.AppendRow({Value(k), Value(v)});
+  };
+  // Two legitimate clusters far apart...
+  for (int i = 0; i < 5; ++i) add("aaaaaaaa", "alpha");
+  for (int i = 0; i < 5; ++i) add("zzzzzzzz", "omega");
+  // ...plus one near-duplicate (typo) of the first.
+  add("aaaaaaab", "alpha");
+  return t;
+}
+
+TEST(ThresholdTest, PicksValueBelowTheBigGap) {
+  Table t = GappedTable();
+  FD fd = std::move(FD::Make({0}, {1})).ValueOrDie();
+  DistanceModel model(t);
+  double tau = SuggestThreshold(t, fd, model);
+  // Typo pair distance: 0.5 * 1/8 = 0.0625; legit pair distance:
+  // 0.5 * 1 + 0.5 * dist(alpha, omega) >> 0.0625. tau must be the small one.
+  EXPECT_NEAR(tau, 0.0625, 1e-9);
+}
+
+TEST(ThresholdTest, DetectedViolationsMatchIntent) {
+  Table t = GappedTable();
+  FD fd = std::move(FD::Make({0}, {1})).ValueOrDie();
+  DistanceModel model(t);
+  double tau = SuggestThreshold(t, fd, model);
+  // At the suggested tau the typo is an FT-violation but the two
+  // legitimate clusters are not.
+  FTOptions opts{0.5, 0.5, tau};
+  EXPECT_EQ(CountFTViolations(t, fd, model, opts), 5u);  // typo vs 5 copies
+}
+
+TEST(ThresholdTest, FallbackWhenTooFewDistances) {
+  Table t(Schema({{"k", ValueType::kString}, {"v", ValueType::kString}}));
+  ASSERT_TRUE(t.AppendRow({Value("a"), Value("b")}).ok());
+  FD fd = std::move(FD::Make({0}, {1})).ValueOrDie();
+  DistanceModel model(t);
+  ThresholdOptions opts;
+  opts.fallback = 0.123;
+  EXPECT_DOUBLE_EQ(SuggestThreshold(t, fd, model, opts), 0.123);
+}
+
+TEST(ThresholdTest, CeilingExcludesFarPairs) {
+  Table t = GappedTable();
+  FD fd = std::move(FD::Make({0}, {1})).ValueOrDie();
+  DistanceModel model(t);
+  ThresholdOptions opts;
+  opts.ceiling = 0.1;  // only the typo distances survive
+  opts.fallback = 0.5;
+  // A single distinct distance remains -> fallback.
+  EXPECT_DOUBLE_EQ(SuggestThreshold(t, fd, model, opts), 0.5);
+}
+
+TEST(ThresholdTest, SubsamplingStaysDeterministic) {
+  Table t = testing_util::RandomFDTable(80, 3, 10, 20, 99);
+  FD fd = std::move(FD::Make({0}, {1})).ValueOrDie();
+  DistanceModel model(t);
+  ThresholdOptions opts;
+  opts.max_pairs = 50;
+  double a = SuggestThreshold(t, fd, model, opts);
+  double b = SuggestThreshold(t, fd, model, opts);
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace ftrepair

@@ -1,0 +1,166 @@
+// Trusted (master-data) rows: cells of trusted rows are never modified
+// and their patterns anchor every chosen independent set.
+
+#include <gtest/gtest.h>
+
+#include "core/repairer.h"
+#include "detect/detector.h"
+#include "test_util.h"
+
+namespace ftrepair {
+namespace {
+
+using testing_util::CitizensDirty;
+using testing_util::CitizensFDs;
+
+// A table where the *frequent* pattern is wrong and a single trusted
+// row carries the correct value (one edit away on each attribute, so
+// the two patterns are FT-adjacent): untrusted majority logic repairs
+// toward the majority; trust must win.
+Table MinorityTruthTable() {
+  Table t(Schema({{"k", ValueType::kString}, {"v", ValueType::kString}}));
+  for (int i = 0; i < 5; ++i) {
+    (void)t.AppendRow({Value("aaaaaa"), Value("righx")});
+  }
+  (void)t.AppendRow({Value("aaaaab"), Value("right")});  // row 5: trusted
+  return t;
+}
+
+TEST(TrustedRowsTest, TrustedPatternMaskMarksCarriers) {
+  Table t = MinorityTruthTable();
+  FD fd = std::move(FD::Make({0}, {1})).ValueOrDie();
+  std::vector<Pattern> patterns = BuildPatterns(t, fd.attrs());
+  ASSERT_EQ(patterns.size(), 2u);
+  std::vector<bool> mask = TrustedPatternMask(patterns, {5});
+  EXPECT_FALSE(mask[0]);
+  EXPECT_TRUE(mask[1]);
+  EXPECT_EQ(TrustedPatternMask(patterns, {}),
+            (std::vector<bool>{false, false}));
+}
+
+TEST(TrustedRowsTest, TrustOverridesFrequency) {
+  Table t = MinorityTruthTable();
+  FD fd = std::move(FD::Make({0}, {1}, "f")).ValueOrDie();
+  RepairOptions options;
+  options.default_tau = 0.4;
+  options.trusted_rows = {5};
+  for (RepairAlgorithm algorithm :
+       {RepairAlgorithm::kGreedy, RepairAlgorithm::kExact}) {
+    options.algorithm = algorithm;
+    Repairer repairer(options);
+    RepairResult result =
+        std::move(repairer.Repair(t, {fd})).ValueOrDie();
+    // The trusted row is untouched; the majority is pulled toward it.
+    EXPECT_EQ(result.repaired.cell(5, 0), Value("aaaaab"));
+    EXPECT_EQ(result.repaired.cell(5, 1), Value("right"));
+    for (int r = 0; r < 5; ++r) {
+      EXPECT_EQ(result.repaired.cell(r, 0), Value("aaaaab"))
+          << RepairAlgorithmName(algorithm) << " row " << r;
+      EXPECT_EQ(result.repaired.cell(r, 1), Value("right"));
+    }
+    EXPECT_EQ(result.stats.trusted_conflicts, 0u);
+  }
+}
+
+TEST(TrustedRowsTest, WithoutTrustMajorityWins) {
+  Table t = MinorityTruthTable();
+  FD fd = std::move(FD::Make({0}, {1}, "f")).ValueOrDie();
+  RepairOptions options;
+  options.default_tau = 0.4;
+  Repairer repairer(options);
+  RepairResult result = std::move(repairer.Repair(t, {fd})).ValueOrDie();
+  EXPECT_EQ(result.repaired.cell(5, 0), Value("aaaaaa"));
+  EXPECT_EQ(result.repaired.cell(5, 1), Value("righx"));
+}
+
+TEST(TrustedRowsTest, TrustedCellsNeverChangeOnCitizens) {
+  Table dirty = CitizensDirty();
+  std::vector<FD> fds = CitizensFDs(dirty.schema());
+  RepairOptions options;
+  options.tau_by_fd = {{"phi1", 0.30}, {"phi2", 0.5}, {"phi3", 0.5}};
+  // Trust t5 *as it stands* (even though Table 1 marks it dirty): the
+  // repair must leave every t5 cell alone and stay FT-consistent by
+  // moving other tuples instead.
+  options.trusted_rows = {4};
+  for (RepairAlgorithm algorithm :
+       {RepairAlgorithm::kGreedy, RepairAlgorithm::kApproJoin,
+        RepairAlgorithm::kExact}) {
+    options.algorithm = algorithm;
+    Repairer repairer(options);
+    RepairResult result =
+        std::move(repairer.Repair(dirty, fds)).ValueOrDie();
+    for (int c = 0; c < dirty.num_columns(); ++c) {
+      EXPECT_EQ(result.repaired.cell(4, c), dirty.cell(4, c))
+          << RepairAlgorithmName(algorithm) << " col " << c;
+    }
+    for (const CellChange& change : result.changes) {
+      EXPECT_NE(change.row, 4) << RepairAlgorithmName(algorithm);
+    }
+  }
+}
+
+TEST(TrustedRowsTest, ConflictingTrustedPatternsSurfaced) {
+  // Two trusted rows with the same key but different values: the
+  // thresholds flag them as an FT-violation, trust keeps both, and the
+  // conflict count reports the contradiction.
+  Table t(Schema({{"k", ValueType::kString}, {"v", ValueType::kString}}));
+  (void)t.AppendRow({Value("aaaaaa"), Value("xx")});
+  (void)t.AppendRow({Value("aaaaaa"), Value("xy")});
+  FD fd = std::move(FD::Make({0}, {1}, "f")).ValueOrDie();
+  RepairOptions options;
+  options.default_tau = 0.4;
+  options.trusted_rows = {0, 1};
+  options.compute_violation_stats = false;
+  Repairer repairer(options);
+  RepairResult result = std::move(repairer.Repair(t, {fd})).ValueOrDie();
+  EXPECT_GE(result.stats.trusted_conflicts, 1u);
+  EXPECT_EQ(result.repaired.cell(0, 1), Value("xx"));
+  EXPECT_EQ(result.repaired.cell(1, 1), Value("xy"));
+}
+
+TEST(IncrementalRepairTest, AppendedRowsRepairTowardPrefix) {
+  // A clean prefix of 6 rows plus 2 appended dirty rows: the prefix is
+  // untouched and the new rows snap to its patterns.
+  Table t(Schema({{"k", ValueType::kString}, {"v", ValueType::kString}}));
+  for (int i = 0; i < 3; ++i) {
+    (void)t.AppendRow({Value("alpha1"), Value("one")});
+    (void)t.AppendRow({Value("beta22"), Value("two")});
+  }
+  (void)t.AppendRow({Value("alpha1"), Value("onx")});   // RHS typo
+  (void)t.AppendRow({Value("betaZ2"), Value("two")});   // LHS typo
+  FD fd = std::move(FD::Make({0}, {1}, "f")).ValueOrDie();
+  RepairOptions options;
+  options.default_tau = 0.3;
+  Repairer repairer(options);
+  RepairResult result =
+      std::move(repairer.RepairAppended(t, 6, {fd})).ValueOrDie();
+  for (const CellChange& change : result.changes) {
+    EXPECT_GE(change.row, 6);
+  }
+  EXPECT_EQ(result.repaired.cell(6, 1), Value("one"));
+  EXPECT_EQ(result.repaired.cell(7, 0), Value("beta22"));
+  EXPECT_EQ(result.stats.ft_violations_after, 0u);
+}
+
+TEST(IncrementalRepairTest, BoundaryValuesValidated) {
+  Table t = CitizensDirty();
+  std::vector<FD> fds = CitizensFDs(t.schema());
+  Repairer repairer;
+  EXPECT_FALSE(repairer.RepairAppended(t, -1, fds).ok());
+  EXPECT_FALSE(repairer.RepairAppended(t, 99, fds).ok());
+  // first_new_row == num_rows: everything trusted, nothing changes.
+  RepairResult result =
+      std::move(repairer.RepairAppended(t, t.num_rows(), fds)).ValueOrDie();
+  EXPECT_TRUE(result.changes.empty());
+  // first_new_row == 0: equivalent to a full repair.
+  RepairOptions options;
+  options.tau_by_fd = {{"phi1", 0.30}, {"phi2", 0.5}, {"phi3", 0.5}};
+  Repairer full(options);
+  RepairResult incremental =
+      std::move(full.RepairAppended(t, 0, fds)).ValueOrDie();
+  RepairResult direct = std::move(full.Repair(t, fds)).ValueOrDie();
+  EXPECT_EQ(incremental.stats.cells_changed, direct.stats.cells_changed);
+}
+
+}  // namespace
+}  // namespace ftrepair

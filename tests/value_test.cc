@@ -1,0 +1,85 @@
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "data/value.h"
+
+namespace ftrepair {
+namespace {
+
+TEST(ValueTest, NullByDefault) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_FALSE(v.is_string());
+  EXPECT_FALSE(v.is_number());
+  EXPECT_EQ(v.ToString(), "");
+}
+
+TEST(ValueTest, StringValue) {
+  Value v("Boston");
+  EXPECT_TRUE(v.is_string());
+  EXPECT_EQ(v.str(), "Boston");
+  EXPECT_EQ(v.ToString(), "Boston");
+}
+
+TEST(ValueTest, NumberValue) {
+  Value v(3.5);
+  EXPECT_TRUE(v.is_number());
+  EXPECT_DOUBLE_EQ(v.num(), 3.5);
+  EXPECT_EQ(v.ToString(), "3.5");
+  EXPECT_EQ(Value(4).ToString(), "4");
+}
+
+TEST(ValueTest, EqualityIsTypeAware) {
+  EXPECT_EQ(Value("3"), Value("3"));
+  EXPECT_NE(Value("3"), Value(3.0));  // string vs number
+  EXPECT_EQ(Value(3.0), Value(3));
+  EXPECT_NE(Value("a"), Value("b"));
+  EXPECT_EQ(Value(), Value());
+  EXPECT_NE(Value(), Value(""));  // null vs empty string differ
+}
+
+TEST(ValueTest, OrderingByTypeThenContent) {
+  EXPECT_LT(Value(), Value("a"));          // null < string
+  EXPECT_LT(Value("a"), Value(1.0));       // string < number
+  EXPECT_LT(Value("a"), Value("b"));
+  EXPECT_LT(Value(1.0), Value(2.0));
+  EXPECT_FALSE(Value("b") < Value("a"));
+}
+
+TEST(ValueTest, ParseRespectsTypeHint) {
+  EXPECT_EQ(Value::Parse("42", ValueType::kNumber), Value(42.0));
+  EXPECT_EQ(Value::Parse("42", ValueType::kString), Value("42"));
+  EXPECT_EQ(Value::Parse("  x  ", ValueType::kString), Value("x"));
+  EXPECT_EQ(Value::Parse("", ValueType::kString), Value());
+  EXPECT_EQ(Value::Parse("   ", ValueType::kNumber), Value());
+}
+
+TEST(ValueTest, ParseDirtyNumericFallsBackToString) {
+  // Typos can corrupt numeric cells; they must survive as strings.
+  Value v = Value::Parse("4x2", ValueType::kNumber);
+  EXPECT_TRUE(v.is_string());
+  EXPECT_EQ(v.str(), "4x2");
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value("abc").Hash(), Value("abc").Hash());
+  EXPECT_EQ(Value(1.5).Hash(), Value(1.5).Hash());
+  // "3" as string and 3 as number must hash differently (type-tagged).
+  EXPECT_NE(Value("3").Hash(), Value(3.0).Hash());
+}
+
+TEST(ValueTest, HashDispersesInContainers) {
+  std::unordered_set<Value, ValueHash> set;
+  for (int i = 0; i < 1000; ++i) {
+    set.insert(Value("v" + std::to_string(i)));
+    set.insert(Value(static_cast<double>(i)));
+  }
+  EXPECT_EQ(set.size(), 2000u);
+  EXPECT_EQ(set.count(Value("v5")), 1u);
+  EXPECT_EQ(set.count(Value(5.0)), 1u);
+  EXPECT_EQ(set.count(Value("missing")), 0u);
+}
+
+}  // namespace
+}  // namespace ftrepair

@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include "detect/violation_graph.h"
+#include "test_util.h"
+
+namespace ftrepair {
+namespace {
+
+using testing_util::CitizensDirty;
+using testing_util::CitizensFDs;
+using testing_util::RandomFDTable;
+
+ViolationGraph Phi1Graph(const Table& t, const DistanceModel& model,
+                         double tau = 0.35) {
+  std::vector<FD> fds = CitizensFDs(t.schema());
+  return ViolationGraph::Build(BuildPatterns(t, fds[0].attrs()), fds[0],
+                               model, FTOptions{0.5, 0.5, tau});
+}
+
+// Pattern id whose values match (education, level); -1 if absent.
+int FindPattern(const ViolationGraph& g, const char* education,
+                double level) {
+  for (int i = 0; i < g.num_patterns(); ++i) {
+    if (g.pattern(i).values[0] == Value(education) &&
+        g.pattern(i).values[1] == Value(level)) {
+      return i;
+    }
+  }
+  return -1;
+}
+
+bool HasEdge(const ViolationGraph& g, int a, int b) {
+  for (const ViolationGraph::Edge& e : g.Neighbors(a)) {
+    if (e.to == b) return true;
+  }
+  return false;
+}
+
+TEST(ViolationGraphTest, PaperFig2Structure) {
+  // Fig. 2 graph of phi1 over Table 1 (grouped patterns).
+  Table t = CitizensDirty();
+  DistanceModel model(t);
+  ViolationGraph g = Phi1Graph(t, model);
+  ASSERT_EQ(g.num_patterns(), 7);
+  int bachelors3 = FindPattern(g, "Bachelors", 3);
+  int bachelors1 = FindPattern(g, "Bachelors", 1);
+  int bachelers3 = FindPattern(g, "Bachelers", 3);
+  int masters4 = FindPattern(g, "Masters", 4);
+  int masters3 = FindPattern(g, "Masters", 3);
+  int masers4 = FindPattern(g, "Masers", 4);
+  int hsgrad9 = FindPattern(g, "HS-grad", 9);
+  ASSERT_GE(bachelors3, 0);
+  ASSERT_GE(masers4, 0);
+  // Edges shown in Fig. 2.
+  EXPECT_TRUE(HasEdge(g, bachelors3, bachelors1));  // (t1, t9)
+  EXPECT_TRUE(HasEdge(g, bachelors3, bachelers3));  // (t1, t10)
+  EXPECT_TRUE(HasEdge(g, masters4, masers4));       // (t4, t6)
+  EXPECT_TRUE(HasEdge(g, masters4, masters3));      // (t4, t8)
+  // HS-grad is isolated (far from everything).
+  EXPECT_EQ(g.degree(hsgrad9), 0);
+  EXPECT_DOUBLE_EQ(g.MinEdgeCost(hsgrad9), ViolationGraph::kInfinity);
+}
+
+TEST(ViolationGraphTest, EdgeWeightsMatchExample7) {
+  // omega(t1, t9) = dist(Bachelors, Bachelors) + |3-1|/8 = 0.25.
+  Table t = CitizensDirty();
+  DistanceModel model(t);
+  ViolationGraph g = Phi1Graph(t, model);
+  int bachelors3 = FindPattern(g, "Bachelors", 3);
+  int bachelors1 = FindPattern(g, "Bachelors", 1);
+  double unit = -1;
+  for (const ViolationGraph::Edge& e : g.Neighbors(bachelors3)) {
+    if (e.to == bachelors1) unit = e.unit_cost;
+  }
+  EXPECT_DOUBLE_EQ(unit, 0.25);
+}
+
+TEST(ViolationGraphTest, IdenticalProjectionsNeverEdge) {
+  // Two patterns cannot share values by construction, but passing
+  // ungrouped duplicates must not create edges either.
+  Table t = CitizensDirty();
+  DistanceModel model(t);
+  std::vector<FD> fds = CitizensFDs(t.schema());
+  std::vector<Pattern> per_row;
+  for (int r = 0; r < t.num_rows(); ++r) {
+    std::vector<Value> proj;
+    for (int c : fds[0].attrs()) proj.push_back(t.cell(r, c));
+    per_row.push_back(Pattern{std::move(proj), {r}});
+  }
+  ViolationGraph g = ViolationGraph::Build(std::move(per_row), fds[0], model,
+                                           FTOptions{0.5, 0.5, 0.35});
+  // Rows 0 and 1 share (Bachelors, 3): no edge between them.
+  EXPECT_FALSE(HasEdge(g, 0, 1));
+}
+
+TEST(ViolationGraphTest, LengthFilterIsLossless) {
+  // The cheap length filter must not change the edge set: build with a
+  // model over random data and compare against a brute-force edge count.
+  Table t = RandomFDTable(60, 3, 6, 20, 77);
+  FD fd = std::move(FD::Make({0}, {1})).ValueOrDie();
+  DistanceModel model(t);
+  FTOptions opts{0.5, 0.5, 0.4};
+  ViolationGraph g =
+      ViolationGraph::Build(BuildPatterns(t, fd.attrs()), fd, model, opts);
+  // Recount edges without any filtering.
+  std::vector<Pattern> patterns = BuildPatterns(t, fd.attrs());
+  size_t expected = 0;
+  for (size_t i = 0; i < patterns.size(); ++i) {
+    for (size_t j = i + 1; j < patterns.size(); ++j) {
+      if (patterns[i].values == patterns[j].values) continue;
+      double d = ViolationGraph::ProjDistance(
+          patterns[i].values, patterns[j].values, fd, model, 0.5, 0.5);
+      if (d <= opts.tau) ++expected;
+    }
+  }
+  EXPECT_EQ(g.num_edges(), expected);
+  EXPECT_GT(g.pairs_evaluated() + g.pairs_length_filtered(), 0u);
+}
+
+TEST(ViolationGraphTest, GroupedWeightsUseMultiplicity) {
+  Table t = CitizensDirty();
+  DistanceModel model(t);
+  ViolationGraph g = Phi1Graph(t, model);
+  int bachelors3 = FindPattern(g, "Bachelors", 3);
+  EXPECT_EQ(g.pattern(bachelors3).count(), 3);  // t1, t2, t3
+  // TotalMinEdgeCost weights by count.
+  EXPECT_GT(g.TotalMinEdgeCost(), 0.0);
+}
+
+TEST(ViolationGraphTest, ConnectedComponentsAndSubgraph) {
+  Table t = CitizensDirty();
+  DistanceModel model(t);
+  ViolationGraph g = Phi1Graph(t, model);
+  auto components = g.ConnectedComponents();
+  // At tau = 0.35 the Bachelors and Masters clusters are linked through
+  // the (Bachelors, 3)-(Masters, 4) pair (distance 0.34); HS-grad stays
+  // isolated.
+  EXPECT_EQ(components.size(), 2u);
+  for (const auto& comp : components) {
+    ViolationGraph sub = g.InducedSubgraph(comp);
+    EXPECT_EQ(sub.num_patterns(), static_cast<int>(comp.size()));
+    // Edge endpoints must stay inside.
+    for (int i = 0; i < sub.num_patterns(); ++i) {
+      for (const ViolationGraph::Edge& e : sub.Neighbors(i)) {
+        EXPECT_GE(e.to, 0);
+        EXPECT_LT(e.to, sub.num_patterns());
+      }
+    }
+  }
+}
+
+TEST(ViolationGraphTest, SubgraphPreservesEdgeData) {
+  Table t = CitizensDirty();
+  DistanceModel model(t);
+  ViolationGraph g = Phi1Graph(t, model);
+  auto components = g.ConnectedComponents();
+  size_t total_edges = 0;
+  for (const auto& comp : components) {
+    total_edges += g.InducedSubgraph(comp).num_edges();
+  }
+  EXPECT_EQ(total_edges, g.num_edges());
+}
+
+TEST(ViolationGraphTest, EmptyInput) {
+  Table t = CitizensDirty();
+  DistanceModel model(t);
+  std::vector<FD> fds = CitizensFDs(t.schema());
+  ViolationGraph g = ViolationGraph::Build({}, fds[0], model,
+                                           FTOptions{0.5, 0.5, 0.3});
+  EXPECT_EQ(g.num_patterns(), 0);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_TRUE(g.ConnectedComponents().empty());
+}
+
+}  // namespace
+}  // namespace ftrepair

@@ -1,0 +1,25 @@
+// The `ftrepair` command-line tool: repair a CSV against a list of FDs.
+// See CliUsage() / --help for flags.
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/cli.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  auto options = ftrepair::ParseCliArgs(args);
+  if (!options.ok()) {
+    std::fprintf(stderr, "%s\n", options.status().message().c_str());
+    return EXIT_FAILURE;
+  }
+  ftrepair::Status status = ftrepair::RunCli(options.value(), std::cout);
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return EXIT_FAILURE;
+  }
+  return EXIT_SUCCESS;
+}
