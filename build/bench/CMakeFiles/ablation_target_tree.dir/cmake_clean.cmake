@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_target_tree.dir/ablation_target_tree.cc.o"
+  "CMakeFiles/ablation_target_tree.dir/ablation_target_tree.cc.o.d"
+  "ablation_target_tree"
+  "ablation_target_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_target_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

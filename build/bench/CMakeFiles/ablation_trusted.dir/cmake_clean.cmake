@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_trusted.dir/ablation_trusted.cc.o"
+  "CMakeFiles/ablation_trusted.dir/ablation_trusted.cc.o.d"
+  "ablation_trusted"
+  "ablation_trusted.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_trusted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

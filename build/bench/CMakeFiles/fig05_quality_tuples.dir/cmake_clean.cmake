@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_quality_tuples.dir/fig05_quality_tuples.cc.o"
+  "CMakeFiles/fig05_quality_tuples.dir/fig05_quality_tuples.cc.o.d"
+  "fig05_quality_tuples"
+  "fig05_quality_tuples.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_quality_tuples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_quality_fds.dir/fig06_quality_fds.cc.o"
+  "CMakeFiles/fig06_quality_fds.dir/fig06_quality_fds.cc.o.d"
+  "fig06_quality_fds"
+  "fig06_quality_fds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_quality_fds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_quality_error_rate.dir/fig07_quality_error_rate.cc.o"
+  "CMakeFiles/fig07_quality_error_rate.dir/fig07_quality_error_rate.cc.o.d"
+  "fig07_quality_error_rate"
+  "fig07_quality_error_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_quality_error_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

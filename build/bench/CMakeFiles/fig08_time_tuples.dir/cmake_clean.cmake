@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_time_tuples.dir/fig08_time_tuples.cc.o"
+  "CMakeFiles/fig08_time_tuples.dir/fig08_time_tuples.cc.o.d"
+  "fig08_time_tuples"
+  "fig08_time_tuples.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_time_tuples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

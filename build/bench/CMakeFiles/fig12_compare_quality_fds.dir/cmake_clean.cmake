@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_compare_quality_fds.dir/fig12_compare_quality_fds.cc.o"
+  "CMakeFiles/fig12_compare_quality_fds.dir/fig12_compare_quality_fds.cc.o.d"
+  "fig12_compare_quality_fds"
+  "fig12_compare_quality_fds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_compare_quality_fds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_compare_time_tuples.dir/fig14_compare_time_tuples.cc.o"
+  "CMakeFiles/fig14_compare_time_tuples.dir/fig14_compare_time_tuples.cc.o.d"
+  "fig14_compare_time_tuples"
+  "fig14_compare_time_tuples.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_compare_time_tuples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_compare_time_fds.dir/fig15_compare_time_fds.cc.o"
+  "CMakeFiles/fig15_compare_time_fds.dir/fig15_compare_time_fds.cc.o.d"
+  "fig15_compare_time_fds"
+  "fig15_compare_time_fds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_compare_time_fds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig15_compare_time_fds.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftrepair_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/ftrepair_bench_common.dir/bench_common.cc.o.d"
+  "libftrepair_bench_common.a"
+  "libftrepair_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftrepair_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libftrepair_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_detect.dir/micro_detect.cc.o"
+  "CMakeFiles/micro_detect.dir/micro_detect.cc.o.d"
+  "micro_detect"
+  "micro_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

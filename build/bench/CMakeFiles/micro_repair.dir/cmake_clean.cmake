@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_repair.dir/micro_repair.cc.o"
+  "CMakeFiles/micro_repair.dir/micro_repair.cc.o.d"
+  "micro_repair"
+  "micro_repair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_repair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

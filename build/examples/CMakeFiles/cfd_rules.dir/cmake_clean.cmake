@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfd_rules.dir/cfd_rules.cpp.o"
+  "CMakeFiles/cfd_rules.dir/cfd_rules.cpp.o.d"
+  "cfd_rules"
+  "cfd_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfd_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discover_and_repair.dir/discover_and_repair.cpp.o"
+  "CMakeFiles/discover_and_repair.dir/discover_and_repair.cpp.o.d"
+  "discover_and_repair"
+  "discover_and_repair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discover_and_repair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

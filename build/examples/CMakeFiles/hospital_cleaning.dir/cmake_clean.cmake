@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hospital_cleaning.dir/hospital_cleaning.cpp.o"
+  "CMakeFiles/hospital_cleaning.dir/hospital_cleaning.cpp.o.d"
+  "hospital_cleaning"
+  "hospital_cleaning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hospital_cleaning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tax_audit.dir/tax_audit.cpp.o"
+  "CMakeFiles/tax_audit.dir/tax_audit.cpp.o.d"
+  "tax_audit"
+  "tax_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tax_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

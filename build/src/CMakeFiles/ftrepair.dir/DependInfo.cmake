@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/equivalence.cc" "src/CMakeFiles/ftrepair.dir/baseline/equivalence.cc.o" "gcc" "src/CMakeFiles/ftrepair.dir/baseline/equivalence.cc.o.d"
+  "/root/repo/src/baseline/llunatic.cc" "src/CMakeFiles/ftrepair.dir/baseline/llunatic.cc.o" "gcc" "src/CMakeFiles/ftrepair.dir/baseline/llunatic.cc.o.d"
+  "/root/repo/src/baseline/nadeef.cc" "src/CMakeFiles/ftrepair.dir/baseline/nadeef.cc.o" "gcc" "src/CMakeFiles/ftrepair.dir/baseline/nadeef.cc.o.d"
+  "/root/repo/src/baseline/urm.cc" "src/CMakeFiles/ftrepair.dir/baseline/urm.cc.o" "gcc" "src/CMakeFiles/ftrepair.dir/baseline/urm.cc.o.d"
+  "/root/repo/src/cli/cli.cc" "src/CMakeFiles/ftrepair.dir/cli/cli.cc.o" "gcc" "src/CMakeFiles/ftrepair.dir/cli/cli.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/ftrepair.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/ftrepair.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/ftrepair.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/ftrepair.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/ftrepair.dir/common/status.cc.o" "gcc" "src/CMakeFiles/ftrepair.dir/common/status.cc.o.d"
+  "/root/repo/src/common/strings.cc" "src/CMakeFiles/ftrepair.dir/common/strings.cc.o" "gcc" "src/CMakeFiles/ftrepair.dir/common/strings.cc.o.d"
+  "/root/repo/src/constraint/cfd.cc" "src/CMakeFiles/ftrepair.dir/constraint/cfd.cc.o" "gcc" "src/CMakeFiles/ftrepair.dir/constraint/cfd.cc.o.d"
+  "/root/repo/src/constraint/fd.cc" "src/CMakeFiles/ftrepair.dir/constraint/fd.cc.o" "gcc" "src/CMakeFiles/ftrepair.dir/constraint/fd.cc.o.d"
+  "/root/repo/src/constraint/fd_graph.cc" "src/CMakeFiles/ftrepair.dir/constraint/fd_graph.cc.o" "gcc" "src/CMakeFiles/ftrepair.dir/constraint/fd_graph.cc.o.d"
+  "/root/repo/src/constraint/fd_parser.cc" "src/CMakeFiles/ftrepair.dir/constraint/fd_parser.cc.o" "gcc" "src/CMakeFiles/ftrepair.dir/constraint/fd_parser.cc.o.d"
+  "/root/repo/src/core/appro_multi.cc" "src/CMakeFiles/ftrepair.dir/core/appro_multi.cc.o" "gcc" "src/CMakeFiles/ftrepair.dir/core/appro_multi.cc.o.d"
+  "/root/repo/src/core/expansion_multi.cc" "src/CMakeFiles/ftrepair.dir/core/expansion_multi.cc.o" "gcc" "src/CMakeFiles/ftrepair.dir/core/expansion_multi.cc.o.d"
+  "/root/repo/src/core/expansion_single.cc" "src/CMakeFiles/ftrepair.dir/core/expansion_single.cc.o" "gcc" "src/CMakeFiles/ftrepair.dir/core/expansion_single.cc.o.d"
+  "/root/repo/src/core/greedy_multi.cc" "src/CMakeFiles/ftrepair.dir/core/greedy_multi.cc.o" "gcc" "src/CMakeFiles/ftrepair.dir/core/greedy_multi.cc.o.d"
+  "/root/repo/src/core/greedy_single.cc" "src/CMakeFiles/ftrepair.dir/core/greedy_single.cc.o" "gcc" "src/CMakeFiles/ftrepair.dir/core/greedy_single.cc.o.d"
+  "/root/repo/src/core/lazy_targets.cc" "src/CMakeFiles/ftrepair.dir/core/lazy_targets.cc.o" "gcc" "src/CMakeFiles/ftrepair.dir/core/lazy_targets.cc.o.d"
+  "/root/repo/src/core/multi_common.cc" "src/CMakeFiles/ftrepair.dir/core/multi_common.cc.o" "gcc" "src/CMakeFiles/ftrepair.dir/core/multi_common.cc.o.d"
+  "/root/repo/src/core/repair_types.cc" "src/CMakeFiles/ftrepair.dir/core/repair_types.cc.o" "gcc" "src/CMakeFiles/ftrepair.dir/core/repair_types.cc.o.d"
+  "/root/repo/src/core/repairer.cc" "src/CMakeFiles/ftrepair.dir/core/repairer.cc.o" "gcc" "src/CMakeFiles/ftrepair.dir/core/repairer.cc.o.d"
+  "/root/repo/src/core/target_tree.cc" "src/CMakeFiles/ftrepair.dir/core/target_tree.cc.o" "gcc" "src/CMakeFiles/ftrepair.dir/core/target_tree.cc.o.d"
+  "/root/repo/src/data/csv.cc" "src/CMakeFiles/ftrepair.dir/data/csv.cc.o" "gcc" "src/CMakeFiles/ftrepair.dir/data/csv.cc.o.d"
+  "/root/repo/src/data/schema.cc" "src/CMakeFiles/ftrepair.dir/data/schema.cc.o" "gcc" "src/CMakeFiles/ftrepair.dir/data/schema.cc.o.d"
+  "/root/repo/src/data/table.cc" "src/CMakeFiles/ftrepair.dir/data/table.cc.o" "gcc" "src/CMakeFiles/ftrepair.dir/data/table.cc.o.d"
+  "/root/repo/src/data/value.cc" "src/CMakeFiles/ftrepair.dir/data/value.cc.o" "gcc" "src/CMakeFiles/ftrepair.dir/data/value.cc.o.d"
+  "/root/repo/src/detect/detector.cc" "src/CMakeFiles/ftrepair.dir/detect/detector.cc.o" "gcc" "src/CMakeFiles/ftrepair.dir/detect/detector.cc.o.d"
+  "/root/repo/src/detect/pattern.cc" "src/CMakeFiles/ftrepair.dir/detect/pattern.cc.o" "gcc" "src/CMakeFiles/ftrepair.dir/detect/pattern.cc.o.d"
+  "/root/repo/src/detect/threshold.cc" "src/CMakeFiles/ftrepair.dir/detect/threshold.cc.o" "gcc" "src/CMakeFiles/ftrepair.dir/detect/threshold.cc.o.d"
+  "/root/repo/src/detect/violation_graph.cc" "src/CMakeFiles/ftrepair.dir/detect/violation_graph.cc.o" "gcc" "src/CMakeFiles/ftrepair.dir/detect/violation_graph.cc.o.d"
+  "/root/repo/src/discovery/fd_discovery.cc" "src/CMakeFiles/ftrepair.dir/discovery/fd_discovery.cc.o" "gcc" "src/CMakeFiles/ftrepair.dir/discovery/fd_discovery.cc.o.d"
+  "/root/repo/src/eval/experiment.cc" "src/CMakeFiles/ftrepair.dir/eval/experiment.cc.o" "gcc" "src/CMakeFiles/ftrepair.dir/eval/experiment.cc.o.d"
+  "/root/repo/src/eval/profile.cc" "src/CMakeFiles/ftrepair.dir/eval/profile.cc.o" "gcc" "src/CMakeFiles/ftrepair.dir/eval/profile.cc.o.d"
+  "/root/repo/src/eval/quality.cc" "src/CMakeFiles/ftrepair.dir/eval/quality.cc.o" "gcc" "src/CMakeFiles/ftrepair.dir/eval/quality.cc.o.d"
+  "/root/repo/src/eval/report.cc" "src/CMakeFiles/ftrepair.dir/eval/report.cc.o" "gcc" "src/CMakeFiles/ftrepair.dir/eval/report.cc.o.d"
+  "/root/repo/src/gen/error_injector.cc" "src/CMakeFiles/ftrepair.dir/gen/error_injector.cc.o" "gcc" "src/CMakeFiles/ftrepair.dir/gen/error_injector.cc.o.d"
+  "/root/repo/src/gen/hosp_gen.cc" "src/CMakeFiles/ftrepair.dir/gen/hosp_gen.cc.o" "gcc" "src/CMakeFiles/ftrepair.dir/gen/hosp_gen.cc.o.d"
+  "/root/repo/src/gen/pools.cc" "src/CMakeFiles/ftrepair.dir/gen/pools.cc.o" "gcc" "src/CMakeFiles/ftrepair.dir/gen/pools.cc.o.d"
+  "/root/repo/src/gen/tax_gen.cc" "src/CMakeFiles/ftrepair.dir/gen/tax_gen.cc.o" "gcc" "src/CMakeFiles/ftrepair.dir/gen/tax_gen.cc.o.d"
+  "/root/repo/src/metric/distance.cc" "src/CMakeFiles/ftrepair.dir/metric/distance.cc.o" "gcc" "src/CMakeFiles/ftrepair.dir/metric/distance.cc.o.d"
+  "/root/repo/src/metric/projection.cc" "src/CMakeFiles/ftrepair.dir/metric/projection.cc.o" "gcc" "src/CMakeFiles/ftrepair.dir/metric/projection.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expansion_single_test.dir/expansion_single_test.cc.o"
+  "CMakeFiles/expansion_single_test.dir/expansion_single_test.cc.o.d"
+  "expansion_single_test"
+  "expansion_single_test.pdb"
+  "expansion_single_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expansion_single_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greedy_single_test.dir/greedy_single_test.cc.o"
+  "CMakeFiles/greedy_single_test.dir/greedy_single_test.cc.o.d"
+  "greedy_single_test"
+  "greedy_single_test.pdb"
+  "greedy_single_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greedy_single_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

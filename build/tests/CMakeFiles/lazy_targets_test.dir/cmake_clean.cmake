@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lazy_targets_test.dir/lazy_targets_test.cc.o"
+  "CMakeFiles/lazy_targets_test.dir/lazy_targets_test.cc.o.d"
+  "lazy_targets_test"
+  "lazy_targets_test.pdb"
+  "lazy_targets_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lazy_targets_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_fd_test.dir/multi_fd_test.cc.o"
+  "CMakeFiles/multi_fd_test.dir/multi_fd_test.cc.o.d"
+  "multi_fd_test"
+  "multi_fd_test.pdb"
+  "multi_fd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_fd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

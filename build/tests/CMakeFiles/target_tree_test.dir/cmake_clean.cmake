@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/target_tree_test.dir/target_tree_test.cc.o"
+  "CMakeFiles/target_tree_test.dir/target_tree_test.cc.o.d"
+  "target_tree_test"
+  "target_tree_test.pdb"
+  "target_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/target_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/violation_graph_test.dir/violation_graph_test.cc.o"
+  "CMakeFiles/violation_graph_test.dir/violation_graph_test.cc.o.d"
+  "violation_graph_test"
+  "violation_graph_test.pdb"
+  "violation_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/violation_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftrepair_cli.dir/ftrepair_cli.cc.o"
+  "CMakeFiles/ftrepair_cli.dir/ftrepair_cli.cc.o.d"
+  "ftrepair"
+  "ftrepair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftrepair_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
