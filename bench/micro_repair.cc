@@ -1,11 +1,14 @@
 // Micro-benchmarks of the repair kernels (google-benchmark): Greedy-S,
-// Expansion-S and the target-tree search on fixed HOSP-derived inputs.
+// Expansion-S, the target-tree search, and the deadline-governed full
+// pipeline, on fixed HOSP-derived inputs.
 
 #include <benchmark/benchmark.h>
 
+#include "common/budget.h"
 #include "core/expansion_single.h"
 #include "core/greedy_single.h"
 #include "core/multi_common.h"
+#include "core/repairer.h"
 #include "core/target_tree.h"
 #include "gen/error_injector.h"
 #include "gen/hosp_gen.h"
@@ -101,6 +104,53 @@ void BM_TargetTreeSearch(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TargetTreeSearch);
+
+// Deadline sweep: the full exact pipeline under shrinking budgets.
+// Arg is the deadline in microseconds (0 = unlimited). Shows how much
+// repair (cost recovered, ladder steps taken) each slice of wall-clock
+// buys — the graceful-degradation latency/quality trade-off.
+void BM_RepairDeadlineSweep(benchmark::State& state) {
+  Fixture& fixture = SharedFixture();
+  RepairOptions options;
+  options.algorithm = RepairAlgorithm::kExact;
+  options.w_l = fixture.dataset.recommended_w_l;
+  options.w_r = fixture.dataset.recommended_w_r;
+  for (const auto& [name, tau] : fixture.dataset.recommended_tau) {
+    options.tau_by_fd[name] = tau;
+  }
+  options.compute_violation_stats = false;
+  double deadline_ms = static_cast<double>(state.range(0)) / 1000.0;
+  double cost = 0;
+  double degradations = 0;
+  double cells = 0;
+  int64_t runs = 0;
+  for (auto _ : state) {
+    Budget budget(deadline_ms > 0 ? deadline_ms : Budget::kUnlimited);
+    options.budget = &budget;
+    Repairer repairer(options);
+    auto result = repairer.Repair(fixture.dirty, fixture.dataset.fds);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    cost += result.value().stats.repair_cost;
+    degradations +=
+        static_cast<double>(result.value().stats.degradations.size());
+    cells += static_cast<double>(result.value().stats.cells_changed);
+    ++runs;
+    benchmark::DoNotOptimize(result);
+  }
+  if (runs > 0) {
+    state.counters["cost"] = cost / static_cast<double>(runs);
+    state.counters["ladder_steps"] = degradations / static_cast<double>(runs);
+    state.counters["cells_changed"] = cells / static_cast<double>(runs);
+  }
+}
+BENCHMARK(BM_RepairDeadlineSweep)
+    ->Arg(0)        // unlimited baseline
+    ->Arg(100000)   // 100 ms
+    ->Arg(10000)    // 10 ms
+    ->Arg(1000)     // 1 ms
+    ->Arg(100)      // 100 us
+    ->Arg(10)       // 10 us
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

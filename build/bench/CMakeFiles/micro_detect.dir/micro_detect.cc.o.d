@@ -192,6 +192,27 @@ bench/CMakeFiles/micro_detect.dir/micro_detect.cc.o: \
  /usr/include/c++/12/bits/unordered_map.h /root/repo/src/data/value.h \
  /root/repo/src/data/table.h /root/repo/src/detect/threshold.h \
  /root/repo/src/metric/projection.h \
- /root/repo/src/detect/violation_graph.h \
- /root/repo/src/gen/error_injector.h /root/repo/src/common/rng.h \
- /root/repo/src/gen/hosp_gen.h /root/repo/src/gen/dataset.h
+ /root/repo/src/detect/violation_graph.h /root/repo/src/common/budget.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/ios \
+ /usr/include/c++/12/bits/ios_base.h /usr/include/c++/12/ext/atomicity.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/atomic_word.h \
+ /usr/include/x86_64-linux-gnu/sys/single_threaded.h \
+ /usr/include/c++/12/bits/locale_classes.h \
+ /usr/include/c++/12/bits/locale_classes.tcc \
+ /usr/include/c++/12/streambuf /usr/include/c++/12/bits/streambuf.tcc \
+ /usr/include/c++/12/bits/basic_ios.h \
+ /usr/include/c++/12/bits/locale_facets.h /usr/include/c++/12/cwctype \
+ /usr/include/wctype.h /usr/include/x86_64-linux-gnu/bits/wctype-wchar.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/ctype_base.h \
+ /usr/include/c++/12/bits/streambuf_iterator.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/ctype_inline.h \
+ /usr/include/c++/12/bits/locale_facets.tcc \
+ /usr/include/c++/12/bits/basic_ios.tcc /usr/include/c++/12/ostream \
+ /usr/include/c++/12/bits/ostream.tcc \
+ /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/gen/error_injector.h \
+ /root/repo/src/common/rng.h /root/repo/src/gen/hosp_gen.h \
+ /root/repo/src/gen/dataset.h

@@ -13,6 +13,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/baseline/nadeef.cc" "src/CMakeFiles/ftrepair.dir/baseline/nadeef.cc.o" "gcc" "src/CMakeFiles/ftrepair.dir/baseline/nadeef.cc.o.d"
   "/root/repo/src/baseline/urm.cc" "src/CMakeFiles/ftrepair.dir/baseline/urm.cc.o" "gcc" "src/CMakeFiles/ftrepair.dir/baseline/urm.cc.o.d"
   "/root/repo/src/cli/cli.cc" "src/CMakeFiles/ftrepair.dir/cli/cli.cc.o" "gcc" "src/CMakeFiles/ftrepair.dir/cli/cli.cc.o.d"
+  "/root/repo/src/common/budget.cc" "src/CMakeFiles/ftrepair.dir/common/budget.cc.o" "gcc" "src/CMakeFiles/ftrepair.dir/common/budget.cc.o.d"
   "/root/repo/src/common/logging.cc" "src/CMakeFiles/ftrepair.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/ftrepair.dir/common/logging.cc.o.d"
   "/root/repo/src/common/rng.cc" "src/CMakeFiles/ftrepair.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/ftrepair.dir/common/rng.cc.o.d"
   "/root/repo/src/common/status.cc" "src/CMakeFiles/ftrepair.dir/common/status.cc.o" "gcc" "src/CMakeFiles/ftrepair.dir/common/status.cc.o.d"

@@ -313,8 +313,10 @@ tests/CMakeFiles/gen_test.dir/gen_test.cc.o: /root/repo/tests/gen_test.cc \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/detect/detector.h /root/repo/src/constraint/fd.h \
- /root/repo/src/common/status.h /root/repo/src/data/schema.h \
+ /root/repo/src/detect/detector.h /root/repo/src/common/budget.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /root/repo/src/common/status.h \
+ /root/repo/src/constraint/fd.h /root/repo/src/data/schema.h \
  /root/repo/src/data/value.h /root/repo/src/data/table.h \
  /root/repo/src/detect/violation_graph.h /root/repo/src/detect/pattern.h \
  /root/repo/src/metric/projection.h /root/repo/src/gen/error_injector.h \

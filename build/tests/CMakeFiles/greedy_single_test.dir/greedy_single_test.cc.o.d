@@ -294,7 +294,9 @@ tests/CMakeFiles/greedy_single_test.dir/greedy_single_test.cc.o: \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/core/expansion_single.h /root/repo/src/common/status.h \
  /root/repo/src/core/repair_types.h /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h /root/repo/src/constraint/fd.h \
+ /usr/include/c++/12/bits/unordered_set.h /root/repo/src/common/budget.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /root/repo/src/constraint/fd.h \
  /root/repo/src/data/schema.h /root/repo/src/data/value.h \
  /root/repo/src/data/table.h /root/repo/src/detect/pattern.h \
  /root/repo/src/detect/violation_graph.h \

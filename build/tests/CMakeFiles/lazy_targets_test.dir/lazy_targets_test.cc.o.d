@@ -295,6 +295,8 @@ tests/CMakeFiles/lazy_targets_test.dir/lazy_targets_test.cc.o: \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/common/rng.h /root/repo/src/core/lazy_targets.h \
  /root/repo/src/common/status.h /root/repo/src/core/target_tree.h \
+ /root/repo/src/common/budget.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /root/repo/src/constraint/fd.h /root/repo/src/data/schema.h \
  /root/repo/src/data/value.h /root/repo/src/data/table.h \
  /root/repo/src/metric/projection.h /root/repo/src/core/multi_common.h \

@@ -298,7 +298,9 @@ tests/CMakeFiles/profile_test.dir/profile_test.cc.o: \
  /root/repo/src/data/value.h /root/repo/src/core/repairer.h \
  /root/repo/src/constraint/cfd.h /root/repo/src/data/table.h \
  /root/repo/src/core/repair_types.h /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h /root/repo/src/detect/pattern.h \
+ /usr/include/c++/12/bits/unordered_set.h /root/repo/src/common/budget.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /root/repo/src/detect/pattern.h \
  /root/repo/src/detect/violation_graph.h \
  /root/repo/src/metric/projection.h /root/repo/src/eval/profile.h \
  /root/repo/tests/test_util.h /root/repo/src/common/rng.h

@@ -297,6 +297,8 @@ tests/CMakeFiles/quality_test.dir/quality_test.cc.o: \
  /root/repo/src/constraint/fd.h /root/repo/src/data/schema.h \
  /root/repo/src/data/value.h /root/repo/src/core/repair_types.h \
  /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h /root/repo/src/data/table.h \
+ /usr/include/c++/12/bits/unordered_set.h /root/repo/src/common/budget.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /root/repo/src/data/table.h \
  /root/repo/src/detect/pattern.h /root/repo/src/detect/violation_graph.h \
  /root/repo/src/metric/projection.h /root/repo/src/eval/quality.h

@@ -293,8 +293,10 @@ tests/CMakeFiles/violation_graph_test.dir/violation_graph_test.cc.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/detect/violation_graph.h /root/repo/src/constraint/fd.h \
- /root/repo/src/common/status.h /root/repo/src/data/schema.h \
+ /root/repo/src/detect/violation_graph.h /root/repo/src/common/budget.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /root/repo/src/common/status.h \
+ /root/repo/src/constraint/fd.h /root/repo/src/data/schema.h \
  /root/repo/src/data/value.h /root/repo/src/detect/pattern.h \
  /root/repo/src/data/table.h /root/repo/src/metric/projection.h \
  /root/repo/tests/test_util.h /root/repo/src/common/rng.h \

@@ -39,6 +39,11 @@ Options:
   --trusted-rows LIST comma-separated 0-based row indices known correct
                       (master data): never modified, anchor the repair
   --auto-threshold    pick tau per FD from the distance-gap heuristic
+  --deadline-ms MS    wall-clock budget; past it the repair degrades
+                      gracefully (exact -> greedy -> partial) instead of
+                      running long                  (default: unlimited)
+  --on-bad-row MODE   strict | skip | pad: fail on, drop, or salvage
+                      malformed input rows          (default: strict)
   --verbose           print every cell change
   --summary           print changes aggregated by (column, old, new)
   --help              this text
@@ -80,7 +85,8 @@ Result<CliOptions> ParseCliArgs(const std::vector<std::string>& args) {
       return args[++i];
     };
     if (arg == "--help" || arg == "-h") {
-      return Status::InvalidArgument(CliUsage());
+      options.help = true;
+      return options;  // usage is not an error; skip required-flag checks
     } else if (arg == "--input") {
       FTR_ASSIGN_OR_RETURN(options.input_path, next());
     } else if (arg == "--fds") {
@@ -155,6 +161,26 @@ Result<CliOptions> ParseCliArgs(const std::vector<std::string>& args) {
       }
     } else if (arg == "--auto-threshold") {
       options.repair.auto_threshold = true;
+    } else if (arg == "--deadline-ms") {
+      FTR_ASSIGN_OR_RETURN(std::string text, next());
+      FTR_ASSIGN_OR_RETURN(options.deadline_ms,
+                           ParsePositiveDouble(arg, text));
+      if (options.deadline_ms <= 0) {
+        return Status::InvalidArgument(
+            "--deadline-ms expects a positive number of milliseconds");
+      }
+    } else if (arg == "--on-bad-row") {
+      FTR_ASSIGN_OR_RETURN(std::string mode, next());
+      if (mode == "strict") {
+        options.csv.bad_rows = BadRowPolicy::kStrict;
+      } else if (mode == "skip") {
+        options.csv.bad_rows = BadRowPolicy::kSkipBadRows;
+      } else if (mode == "pad") {
+        options.csv.bad_rows = BadRowPolicy::kPadRagged;
+      } else {
+        return Status::InvalidArgument("unknown --on-bad-row '" + mode +
+                                       "' (strict | skip | pad)");
+      }
     } else if (arg == "--verbose") {
       options.verbose = true;
     } else {
@@ -225,7 +251,25 @@ Status RunDiscover(const Table& table, const CliOptions& options,
 }  // namespace
 
 Status RunCli(const CliOptions& options, std::ostream& out) {
-  FTR_ASSIGN_OR_RETURN(Table dirty, ReadCsvFile(options.input_path));
+  if (options.help) {
+    out << CliUsage();
+    return Status::OK();
+  }
+  CsvReadReport csv_report;
+  FTR_ASSIGN_OR_RETURN(
+      Table dirty, ReadCsvFile(options.input_path, options.csv, &csv_report));
+  if (!csv_report.ok()) {
+    out << "warning: " << csv_report.errors.size() << " malformed row(s) in "
+        << options.input_path << ": " << csv_report.rows_dropped
+        << " dropped, " << csv_report.rows_padded << " salvaged\n";
+    if (options.verbose) {
+      for (const RowError& error : csv_report.errors) {
+        out << "  row " << error.row << " ["
+            << RowErrorKindName(error.kind) << "] " << error.message
+            << "\n";
+      }
+    }
+  }
 
   if (options.profile) return RunProfile(dirty, out);
   if (options.discover) return RunDiscover(dirty, options, out);
@@ -242,13 +286,37 @@ Status RunCli(const CliOptions& options, std::ostream& out) {
     return Status::InvalidArgument("'" + options.fds_path +
                                    "' contains no FDs");
   }
+  // Every --tau-fd override must name a parsed FD; a silent typo would
+  // quietly repair with the default threshold instead.
+  for (const auto& [name, tau] : options.repair.tau_by_fd) {
+    (void)tau;
+    bool known = false;
+    for (const FD& fd : fds) known = known || fd.name() == name;
+    if (!known) {
+      std::string known_names;
+      for (const FD& fd : fds) {
+        if (!known_names.empty()) known_names += ", ";
+        known_names += fd.name();
+      }
+      return Status::NotFound("--tau-fd references unknown FD '" + name +
+                              "'; FDs in '" + options.fds_path +
+                              "': " + known_names);
+    }
+  }
 
   out << "ftrepair: " << dirty.num_rows() << " rows, "
       << dirty.num_columns() << " columns, " << fds.size() << " FDs ("
       << RepairAlgorithmName(options.repair.algorithm) << ")\n";
 
   Timer timer;
-  Repairer repairer(options.repair);
+  RepairOptions repair_options = options.repair;
+  Budget budget(options.deadline_ms > 0 ? options.deadline_ms
+                                        : Budget::kUnlimited);
+  if (options.deadline_ms > 0) {
+    repair_options.budget = &budget;
+    out << "deadline: " << options.deadline_ms << "ms\n";
+  }
+  Repairer repairer(repair_options);
   FTR_ASSIGN_OR_RETURN(RepairResult result, repairer.Repair(dirty, fds));
   out << "repaired " << result.stats.cells_changed << " cells in "
       << result.stats.tuples_changed << " tuples (" << timer.Seconds()
@@ -256,9 +324,15 @@ Status RunCli(const CliOptions& options, std::ostream& out) {
   out << "FT-violations: " << result.stats.ft_violations_before << " -> "
       << result.stats.ft_violations_after << "\n";
   out << "repair cost (Eq. 4): " << result.stats.repair_cost << "\n";
-  if (result.stats.fell_back_to_greedy) {
-    out << "note: exact search hit a safety valve; greedy family "
-           "finished the repair\n";
+  if (result.stats.degraded()) {
+    out << "note: repair degraded " << result.stats.degradations.size()
+        << " step(s) along the ladder; the result is a valid partial "
+           "repair\n";
+    for (const DegradationEvent& event : result.stats.degradations) {
+      out << "  [" << event.component << "] " << event.stage << " @"
+          << FormatDouble(event.elapsed_ms) << "ms: " << event.reason
+          << "\n";
+    }
   }
   if (result.stats.join_empty) {
     out << "warning: a target join was empty; some tuples were left "

@@ -7,6 +7,7 @@
 
 #include "common/status.h"
 #include "core/repair_types.h"
+#include "data/csv.h"
 #include "discovery/fd_discovery.h"
 
 namespace ftrepair {
@@ -15,6 +16,7 @@ namespace ftrepair {
 struct CliOptions {
   std::string input_path;       // --input (required)
   std::string fds_path;         // --fds (required unless --discover/--profile)
+  bool help = false;            // --help: print usage, do nothing else
   bool discover = false;        // --discover: print vetted FDs, no repair
   bool profile = false;         // --profile: print column profiles, no repair
   bool summary = false;         // --summary: aggregate the cell changes
@@ -23,6 +25,8 @@ struct CliOptions {
   std::string changes_path;     // --changes (optional CSV of cell changes)
   std::string truth_path;       // --truth (optional: score P/R)
   RepairOptions repair;
+  CsvOptions csv;               // --on-bad-row
+  double deadline_ms = 0;       // --deadline-ms (0 = unlimited)
   bool verbose = false;         // --verbose
 };
 

@@ -1,0 +1,97 @@
+#include "common/budget.h"
+
+#include <cstdlib>
+#include <string>
+
+#include "common/strings.h"
+
+namespace ftrepair {
+
+namespace {
+
+// Fault seam: FTREPAIR_FAULT_BUDGET_UNITS=N forces any limited budget
+// to exhaust after N charged units. Read per construction so tests can
+// setenv/unsetenv between cases.
+uint64_t FaultUnitsFromEnv() {
+  const char* env = std::getenv("FTREPAIR_FAULT_BUDGET_UNITS");
+  if (env == nullptr || *env == '\0') return 0;
+  double value = 0;
+  if (!ParseDouble(env, &value) || value < 0) return 0;
+  return static_cast<uint64_t>(value);
+}
+
+}  // namespace
+
+Budget::Budget(double deadline_ms)
+    : start_(Clock::now()),
+      deadline_ms_(deadline_ms == kUnlimited ? kUnlimited
+                                             : deadline_ms),
+      fault_units_(deadline_ms == kUnlimited ? 0 : FaultUnitsFromEnv()) {
+  if (limited() && deadline_ms_ <= 0) {
+    exhausted_.store(true, std::memory_order_relaxed);
+  }
+}
+
+double Budget::ElapsedMs() const {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+      .count();
+}
+
+double Budget::RemainingMs() const {
+  if (!limited()) return kUnlimited;
+  if (exhausted_.load(std::memory_order_relaxed)) return 0;
+  double remaining = deadline_ms_ - ElapsedMs();
+  return remaining > 0 ? remaining : 0;
+}
+
+bool Budget::LatchIfExpired() const {
+  if (limited() && ElapsedMs() >= deadline_ms_) {
+    exhausted_.store(true, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+bool Budget::Charge(uint64_t units) const {
+  if (exhausted_.load(std::memory_order_relaxed) || cancelled()) {
+    return false;
+  }
+  units_ += units;
+  if (fault_units_ != 0 && units_ >= fault_units_) {
+    exhausted_.store(true, std::memory_order_relaxed);
+    return false;
+  }
+  if (units_ >= next_deadline_check_) {
+    next_deadline_check_ = units_ + kCheckInterval;
+    if (LatchIfExpired()) return false;
+  }
+  return true;
+}
+
+bool Budget::Exhausted() const {
+  if (exhausted_.load(std::memory_order_relaxed) || cancelled()) {
+    return true;
+  }
+  if (fault_units_ != 0 && units_ >= fault_units_) {
+    exhausted_.store(true, std::memory_order_relaxed);
+    return true;
+  }
+  return LatchIfExpired();
+}
+
+Status Budget::Check(const char* where) const {
+  if (!Exhausted()) return Status::OK();
+  std::string cause;
+  if (cancelled()) {
+    cause = "cancelled";
+  } else if (fault_units_ != 0 && units_ >= fault_units_) {
+    cause = "injected fault after " + std::to_string(units_) + " units";
+  } else {
+    cause = "deadline of " + std::to_string(deadline_ms_) +
+            "ms passed (elapsed " + std::to_string(ElapsedMs()) + "ms)";
+  }
+  return Status::ResourceExhausted(std::string("budget exhausted in ") +
+                                   where + ": " + cause);
+}
+
+}  // namespace ftrepair

@@ -1,0 +1,100 @@
+#ifndef FTREPAIR_COMMON_BUDGET_H_
+#define FTREPAIR_COMMON_BUDGET_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+
+#include "common/status.h"
+
+namespace ftrepair {
+
+/// \brief Wall-clock deadline + cooperative cancellation for one run.
+///
+/// A Budget is owned by the caller of Repairer::Repair (one per call)
+/// and threaded by pointer through every algorithm layer via
+/// RepairOptions::budget. Layers call Charge() at loop boundaries; the
+/// steady_clock is consulted only every kCheckInterval charged units,
+/// so the common path is a counter increment. Once exhausted the state
+/// latches and every later poll is a cheap load — a run never
+/// "un-exhausts".
+///
+/// The repair pipeline is single-threaded, so work-unit accounting is
+/// not synchronized; only the cancellation and exhaustion flags are
+/// atomic, which makes Cancel() safe to call from another thread (the
+/// serving-layer use case: a client disconnect cancels its repair).
+///
+/// Fault seam: when the FTREPAIR_FAULT_BUDGET_UNITS environment
+/// variable is set to N, a *limited* budget additionally exhausts after
+/// N charged work units — deterministic, wall-clock-free fault
+/// injection for the degradation-ladder tests. Unlimited budgets ignore
+/// the seam.
+class Budget {
+ public:
+  static constexpr double kUnlimited =
+      std::numeric_limits<double>::infinity();
+
+  /// Unlimited budget: never exhausts unless cancelled.
+  Budget() : Budget(kUnlimited) {}
+  /// Budget that exhausts `deadline_ms` after construction (a
+  /// non-positive deadline is exhausted immediately).
+  explicit Budget(double deadline_ms);
+
+  bool limited() const { return deadline_ms_ != kUnlimited; }
+  double deadline_ms() const { return deadline_ms_; }
+  double ElapsedMs() const;
+  /// Remaining wall-clock headroom; 0 when exhausted, kUnlimited when
+  /// not limited.
+  double RemainingMs() const;
+  uint64_t units_charged() const { return units_; }
+
+  /// Cooperative cancellation; safe from another thread. Latches.
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  /// Records `units` of work. Returns true while the budget holds;
+  /// false once it is exhausted. The deadline is only consulted every
+  /// kCheckInterval units (amortized); the injected fault trips
+  /// exactly at its unit count.
+  bool Charge(uint64_t units = 1) const;
+
+  /// True when the deadline passed, Cancel() was called, or the
+  /// injected fault tripped. Consults the clock (and latches), so call
+  /// at stage boundaries, not in inner loops — inner loops use Charge().
+  bool Exhausted() const;
+
+  /// ResourceExhausted naming `where` and the cause, or OK.
+  Status Check(const char* where) const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  /// Number of charged units between deadline consultations.
+  static constexpr uint64_t kCheckInterval = 1024;
+
+  bool LatchIfExpired() const;
+
+  Clock::time_point start_;
+  double deadline_ms_ = kUnlimited;
+  uint64_t fault_units_ = 0;  // 0 = fault seam disabled
+  mutable uint64_t units_ = 0;
+  mutable uint64_t next_deadline_check_ = kCheckInterval;
+  mutable std::atomic<bool> exhausted_{false};
+  std::atomic<bool> cancelled_{false};
+};
+
+/// Null-safe polling helpers: every layer accepts `const Budget*` that
+/// may be null (no budget — the unlimited legacy behavior).
+inline bool BudgetCharge(const Budget* budget, uint64_t units = 1) {
+  return budget == nullptr || budget->Charge(units);
+}
+inline bool BudgetExhausted(const Budget* budget) {
+  return budget != nullptr && budget->Exhausted();
+}
+
+}  // namespace ftrepair
+
+#endif  // FTREPAIR_COMMON_BUDGET_H_

@@ -10,19 +10,24 @@ Result<MultiFDSolution> SolveApproMulti(const ComponentContext& context,
                                         RepairStats* stats) {
   std::vector<std::vector<int>> chosen;
   chosen.reserve(context.fds.size());
+  bool truncated = false;
   for (const ViolationGraph& graph : context.graphs) {
+    SingleFDSolution greedy;
     if (options.trusted_rows.empty()) {
-      chosen.push_back(SolveGreedySingle(graph).chosen_set);
+      greedy = SolveGreedySingle(graph, nullptr, nullptr, options.budget);
     } else {
       std::vector<bool> forced =
           TrustedPatternMask(graph.patterns(), options.trusted_rows);
       uint64_t conflicts = 0;
-      chosen.push_back(
-          SolveGreedySingle(graph, &forced, &conflicts).chosen_set);
+      greedy = SolveGreedySingle(graph, &forced, &conflicts, options.budget);
       if (stats != nullptr) stats->trusted_conflicts += conflicts;
     }
+    truncated = truncated || greedy.truncated;
+    chosen.push_back(std::move(greedy.chosen_set));
   }
-  return AssignTargets(context, chosen, model, options, stats);
+  auto result = AssignTargets(context, chosen, model, options, stats);
+  if (result.ok() && truncated) result.value().truncated = true;
+  return result;
 }
 
 }  // namespace ftrepair

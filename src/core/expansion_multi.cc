@@ -58,6 +58,9 @@ struct CombinationSearch {
           "combination count exceeded " +
           std::to_string(options->max_combinations));
     }
+    if (!BudgetCharge(options->budget)) {
+      return options->budget->Check("combination search");
+    }
     size_t num_fds = context->fds.size();
     std::vector<TargetTree::LevelInput> inputs(num_fds);
     std::vector<std::vector<bool>> member(num_fds);
@@ -161,8 +164,16 @@ Result<MultiFDSolution> SolveExpansionMulti(const ComponentContext& context,
   // minima add soundly.
   double ub_joint = ViolationGraph::kInfinity;
   {
+    // A truncated Appro-M cost understates the achievable joint cost
+    // and would prune valid combinations, so a seed the budget cut
+    // short is unusable — and an exhausted budget means the exact
+    // search could not finish anyway: hand the component down the
+    // ladder right here instead of burning the remaining deadline.
     RepairStats seed_stats;
     auto seed = SolveApproMulti(context, model, options, &seed_stats);
+    if (seed.ok() && seed.value().truncated) {
+      return options.budget->Check("upper-bound seed");
+    }
     if (seed.ok() && !seed_stats.join_empty) {
       ub_joint = seed.value().cost;
     }
@@ -188,6 +199,7 @@ Result<MultiFDSolution> SolveExpansionMulti(const ComponentContext& context,
   for (size_t k = 0; k < num_fds; ++k) {
     ExpansionConfig config;
     config.max_frontier = options.max_frontier;
+    config.budget = options.budget;
     if (ub_joint == ViolationGraph::kInfinity) {
       config.enumerate_all = true;
     } else {

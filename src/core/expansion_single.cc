@@ -151,6 +151,9 @@ Result<std::vector<std::vector<int>>> EnumerateMaximalIndependentSets(
         ++*nodes_pruned;
         continue;
       }
+      if (!BudgetCharge(config.budget)) {
+        return config.budget->Check("expansion enumeration");
+      }
       ++*nodes_expanded;
       if (!Intersects(p_adj, node.bits)) {
         // p is FT-consistent with every member: single child I ∪ {p}.
@@ -227,13 +230,18 @@ Result<SingleFDSolution> SolveConnectedComponent(
   if (n == 0) return best;
 
   // Seed the upper bound with the Greedy-S repair (an achievable cost
-  // honoring forced patterns), the role UB(T) plays in Algorithm 1.
+  // honoring forced patterns), the role UB(T) plays in Algorithm 1. A
+  // seed the budget cut short understates the achievable cost (unsound
+  // as UB(T)) and means the budget is spent — step down the ladder now.
   ExpansionConfig cfg = config;
   uint64_t forced_conflicts = 0;
   if (!cfg.enumerate_all &&
       cfg.upper_bound == ViolationGraph::kInfinity) {
     SingleFDSolution greedy =
-        SolveGreedySingle(graph, cfg.forced, &forced_conflicts);
+        SolveGreedySingle(graph, cfg.forced, &forced_conflicts, cfg.budget);
+    if (greedy.truncated) {
+      return cfg.budget->Check("upper-bound seed");
+    }
     cfg.upper_bound = greedy.cost;
     best = std::move(greedy);
   }

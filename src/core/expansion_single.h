@@ -33,6 +33,13 @@ struct ExpansionConfig {
   /// them are discarded, and if none survive the forced greedy solution
   /// is returned.
   const std::vector<bool>* forced = nullptr;
+  /// Optional deadline/cancellation budget (not owned). Charged one
+  /// unit per expanded frontier node; on exhaustion the enumeration
+  /// stops with ResourceExhausted so the caller can step down the
+  /// degradation ladder. The greedy upper-bound seed shares the
+  /// budget; a truncated seed cost would be an unsound bound, so a
+  /// seed the budget cut short aborts with ResourceExhausted instead.
+  const Budget* budget = nullptr;
 };
 
 /// \brief Enumerates the maximal independent sets of `graph` with the

@@ -242,7 +242,15 @@ Result<MultiFDSolution> SolveGreedyMulti(const ComponentContext& context,
     }
   }
 
+  bool truncated = false;
   while (state.remaining > 0) {
+    if (!BudgetCharge(options.budget)) {
+      // Out of budget: stop growing. AssignTargets still runs (and
+      // itself polls), so already-chosen sets yield a valid partial
+      // repair; unreached patterns stay dirty.
+      truncated = true;
+      break;
+    }
     size_t best_fd = 0;
     int best_pattern = -1;
     double best_cost = kInf;
@@ -261,7 +269,10 @@ Result<MultiFDSolution> SolveGreedyMulti(const ComponentContext& context,
     state.Add(best_fd, best_pattern);
   }
 
-  return AssignTargets(context, state.chosen_list, model, options, stats);
+  auto result = AssignTargets(context, state.chosen_list, model, options,
+                              stats);
+  if (result.ok() && truncated) result.value().truncated = true;
+  return result;
 }
 
 }  // namespace ftrepair

@@ -6,7 +6,8 @@ namespace ftrepair {
 
 SingleFDSolution SolveGreedySingle(const ViolationGraph& graph,
                                    const std::vector<bool>* forced,
-                                   uint64_t* trusted_conflicts) {
+                                   uint64_t* trusted_conflicts,
+                                   const Budget* budget) {
   SingleFDSolution solution;
   int n = graph.num_patterns();
   solution.repair_target.assign(static_cast<size_t>(n), -1);
@@ -103,6 +104,12 @@ SingleFDSolution SolveGreedySingle(const ViolationGraph& graph,
   // Grow: repeatedly add the FT-consistent pattern with the smallest
   // net incremental cost (Eq. 8 minus the exclusion regret).
   while (pending > 0) {
+    if (!BudgetCharge(budget)) {
+      // Out of budget: stop growing. Patterns without a chosen
+      // neighbor stay unrepaired (detect-only remainder).
+      solution.truncated = true;
+      break;
+    }
     int pick = -1;
     double pick_cost = kInf;
     for (int t = 0; t < n; ++t) {
@@ -131,9 +138,12 @@ SingleFDSolution SolveGreedySingle(const ViolationGraph& graph,
   }
 
   // Repair: every excluded pattern goes to its cheapest chosen neighbor.
+  // After a truncated run some patterns have no chosen neighbor yet
+  // (best == kInf); they keep their values and stay unrepaired.
   solution.cost = 0;
   for (int v = 0; v < n; ++v) {
     if (in_set[static_cast<size_t>(v)]) continue;
+    if (best[static_cast<size_t>(v)] == kInf) continue;
     solution.repair_target[static_cast<size_t>(v)] =
         best_to[static_cast<size_t>(v)];
     solution.cost += graph.pattern(v).count() * best[static_cast<size_t>(v)];

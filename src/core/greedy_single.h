@@ -21,9 +21,16 @@ namespace ftrepair {
 /// the set before anything else; a forced pattern conflicting with an
 /// earlier forced member is still kept (trust beats independence) and
 /// counted into `trusted_conflicts` when non-null.
+///
+/// `budget` (optional, not owned) is charged one unit per candidate
+/// scanned while growing the set. On exhaustion growth stops early:
+/// the solution is still well-formed, but patterns that never gained a
+/// chosen neighbor stay unrepaired (repair_target -1, excluded from
+/// cost) and `truncated` is set.
 SingleFDSolution SolveGreedySingle(const ViolationGraph& graph,
                                    const std::vector<bool>* forced = nullptr,
-                                   uint64_t* trusted_conflicts = nullptr);
+                                   uint64_t* trusted_conflicts = nullptr,
+                                   const Budget* budget = nullptr);
 
 }  // namespace ftrepair
 

@@ -176,7 +176,8 @@ Result<LazyTargetSearch> LazyTargetSearch::Build(
 
 LazyTargetSearch::QueryResult LazyTargetSearch::FindBest(
     const std::vector<Value>& tuple_proj, const DistanceModel& model,
-    uint64_t max_visits, TargetTree::SearchStats* stats) const {
+    uint64_t max_visits, TargetTree::SearchStats* stats,
+    const Budget* budget) const {
   QueryResult result;
   size_t num_levels = levels_.size();
   int width = static_cast<int>(component_cols_.size());
@@ -252,7 +253,7 @@ LazyTargetSearch::QueryResult LazyTargetSearch::FindBest(
       if (stats != nullptr) ++stats->nodes_pruned;
       continue;
     }
-    if (++visits > max_visits) {
+    if (++visits > max_visits || !BudgetCharge(budget)) {
       result.truncated = true;
       break;
     }

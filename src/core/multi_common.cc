@@ -71,7 +71,8 @@ ComponentContext BuildComponentContext(const Table& table,
       }
     }
     ctx.graphs.push_back(ViolationGraph::Build(std::move(phi_patterns), fd,
-                                               model, ctx.ft[k]));
+                                               model, ctx.ft[k],
+                                               options.budget));
   }
   return ctx;
 }
@@ -155,16 +156,26 @@ Result<MultiFDSolution> AssignTargets(
       }
       LazyTargetSearch lazy = std::move(lazy_result).value();
       for (size_t i : dirty) {
+        if (BudgetExhausted(options.budget)) {
+          // Remaining dirty patterns stay unrepaired (detect-only).
+          solution.truncated = true;
+          break;
+        }
         TargetTree::SearchStats search_stats;
         LazyTargetSearch::QueryResult query =
             lazy.FindBest(context.sigma_patterns[i].values, model,
-                          options.max_target_visits, &search_stats);
+                          options.max_target_visits, &search_stats,
+                          options.budget);
         if (stats != nullptr) {
           stats->target_nodes_visited += search_stats.nodes_visited;
           stats->target_nodes_pruned += search_stats.nodes_pruned;
         }
         if (query.target.empty()) {
-          if (stats != nullptr) stats->join_empty = true;
+          if (query.truncated) {
+            solution.truncated = true;
+          } else if (stats != nullptr) {
+            stats->join_empty = true;
+          }
           continue;  // leave this pattern unrepaired
         }
         solution.targets[i] = std::move(query.target);
@@ -178,20 +189,33 @@ Result<MultiFDSolution> AssignTargets(
 
   if (options.use_target_tree) {
     for (size_t i : dirty) {
+      if (BudgetExhausted(options.budget)) {
+        solution.truncated = true;
+        break;
+      }
       double cost = 0;
       TargetTree::SearchStats search_stats;
-      solution.targets[i] = tree.FindBest(context.sigma_patterns[i].values,
-                                          model, &cost, &search_stats);
-      solution.cost += context.sigma_patterns[i].count() * cost;
+      solution.targets[i] =
+          tree.FindBest(context.sigma_patterns[i].values, model, &cost,
+                        &search_stats, options.budget);
       if (stats != nullptr) {
         stats->target_nodes_visited += search_stats.nodes_visited;
         stats->target_nodes_pruned += search_stats.nodes_pruned;
       }
+      if (solution.targets[i].empty()) {
+        solution.truncated = true;  // budget ran out before any leaf
+        continue;
+      }
+      solution.cost += context.sigma_patterns[i].count() * cost;
     }
   } else {
     std::vector<std::vector<Value>> targets = tree.EnumerateTargets();
     if (stats != nullptr) stats->targets_materialized += targets.size();
     for (size_t i : dirty) {
+      if (BudgetExhausted(options.budget)) {
+        solution.truncated = true;
+        break;
+      }
       double cost = 0;
       size_t t = FindBestTargetLinear(targets,
                                       context.sigma_patterns[i].values,

@@ -42,7 +42,8 @@ void RepairStats::Merge(const RepairStats& other) {
   target_nodes_visited += other.target_nodes_visited;
   target_nodes_pruned += other.target_nodes_pruned;
   targets_materialized += other.targets_materialized;
-  fell_back_to_greedy = fell_back_to_greedy || other.fell_back_to_greedy;
+  degradations.insert(degradations.end(), other.degradations.begin(),
+                      other.degradations.end());
   join_empty = join_empty || other.join_empty;
   trusted_conflicts += other.trusted_conflicts;
 }

@@ -7,6 +7,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/budget.h"
 #include "common/status.h"
 #include "constraint/fd.h"
 #include "data/table.h"
@@ -65,8 +66,12 @@ struct RepairOptions {
   /// Per-tuple visit budget of the lazy target search.
   uint64_t max_target_visits = 200'000;
 
-  /// When the exact algorithm exhausts a safety valve, silently fall
-  /// back to the greedy family instead of failing.
+  /// Degradation valve. Open (the default): when the exact algorithm
+  /// exhausts a safety valve or any layer exhausts the budget, step
+  /// down the degradation ladder (exact -> greedy -> appro ->
+  /// detect-only) and record each step in RepairStats::degradations.
+  /// Closed: any exhaustion is a hard ResourceExhausted error —
+  /// best-or-nothing.
   bool fall_back_to_greedy = true;
 
   /// Greedy-M cross-constraint synchronization weight: cost added per
@@ -86,10 +91,40 @@ struct RepairOptions {
   /// RepairStats::trusted_conflicts.
   std::unordered_set<int> trusted_rows;
 
+  /// Optional wall-clock/cancellation budget (not owned; must outlive
+  /// the repair call). Every algorithm layer polls it at loop
+  /// boundaries; on exhaustion the run degrades along the ladder
+  /// exact -> greedy -> per-FD appro -> detect-only instead of running
+  /// past the deadline, and each step taken is recorded as a
+  /// DegradationEvent in RepairStats. Null means unlimited.
+  const Budget* budget = nullptr;
+
   /// Effective tau for `fd`.
   double TauFor(const FD& fd) const;
   /// FTOptions (weights + effective tau) for `fd`.
   FTOptions FTFor(const FD& fd) const;
+};
+
+/// \brief One step down the degradation ladder.
+///
+/// Recorded whenever a layer sacrificed optimality or completeness to
+/// stay inside the budget or a safety valve: an exact search handed a
+/// component to the greedy family, a greedy run stopped early, a
+/// target search returned partial assignments, or a component/stat was
+/// skipped outright. Callers inspect RepairStats::degradations to see
+/// exactly what was sacrificed and why.
+struct DegradationEvent {
+  /// FD name (single-FD component), "+"-joined FD names (multi-FD
+  /// component), or a pipeline stage like "violation-stats".
+  std::string component;
+  /// The rung transition, e.g. "exact->greedy", "greedy->appro",
+  /// "greedy->partial", "partial-targets", "skip" (detect-only),
+  /// "partial-graph".
+  std::string stage;
+  /// Human-readable cause (usually the triggering status message).
+  std::string reason;
+  /// Wall-clock ms since the repair call started when this was recorded.
+  double elapsed_ms = 0;
 };
 
 /// One repaired cell.
@@ -118,15 +153,18 @@ struct RepairStats {
   uint64_t target_nodes_visited = 0;
   uint64_t target_nodes_pruned = 0;
   uint64_t targets_materialized = 0;
-  /// True when an exact run hit a safety valve and the greedy family
-  /// finished the component.
-  bool fell_back_to_greedy = false;
+  /// Every degradation-ladder step taken, in the order they happened.
+  /// Empty iff the requested algorithm ran to completion everywhere.
+  std::vector<DegradationEvent> degradations;
   /// True when some multi-FD component produced an empty target join
   /// and its tuples were left unrepaired.
   bool join_empty = false;
   /// Pairs of trusted patterns that FT-conflict with each other (the
   /// thresholds disagree with the master data).
   uint64_t trusted_conflicts = 0;
+
+  /// True when any degradation-ladder step was taken.
+  bool degraded() const { return !degradations.empty(); }
 
   void Merge(const RepairStats& other);
 };
@@ -150,6 +188,10 @@ struct SingleFDSolution {
   double cost = 0;
   uint64_t nodes_expanded = 0;
   uint64_t nodes_pruned = 0;
+  /// True when the budget ran out mid-solve: patterns with
+  /// repair_target -1 outside the chosen set are left unrepaired
+  /// (detect-only remainder) and excluded from `cost`.
+  bool truncated = false;
 };
 
 /// Writes `solution` into `table`: every row of a repaired pattern gets
@@ -178,6 +220,10 @@ struct MultiFDSolution {
   /// component context's graphs), for inspection and tests.
   std::vector<std::vector<int>> chosen;
   double cost = 0;
+  /// True when the budget ran out while assigning targets: Sigma-
+  /// patterns with an empty target that are not fully chosen were left
+  /// unrepaired (detect-only remainder).
+  bool truncated = false;
 };
 
 /// Writes `solution` into `table`, appending cell changes. Rows in

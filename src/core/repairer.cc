@@ -18,6 +18,30 @@ namespace ftrepair {
 
 namespace {
 
+// Appends one degradation-ladder event to `stats`.
+void RecordDegradation(RepairStats* stats, const Budget* budget,
+                       std::string component, std::string stage,
+                       std::string reason) {
+  DegradationEvent event;
+  event.component = std::move(component);
+  event.stage = std::move(stage);
+  event.reason = std::move(reason);
+  event.elapsed_ms = budget != nullptr ? budget->ElapsedMs() : 0;
+  FTR_LOG(kInfo) << "degradation [" << event.component << "] "
+                 << event.stage << ": " << event.reason;
+  stats->degradations.push_back(std::move(event));
+}
+
+// "+"-joined FD names of a multi-FD component.
+std::string ComponentName(const std::vector<const FD*>& fds) {
+  std::string name;
+  for (const FD* fd : fds) {
+    if (!name.empty()) name += "+";
+    name += fd->name();
+  }
+  return name;
+}
+
 std::vector<Pattern> PatternsFor(const Table& table, const FD& fd,
                                  bool group_tuples) {
   if (group_tuples) return BuildPatterns(table, fd.attrs());
@@ -83,9 +107,18 @@ Result<RepairResult> Repairer::Repair(const Table& table,
   result.repaired = table;
 
   if (opts.compute_violation_stats) {
+    bool truncated = false;
     for (const FD& fd : named) {
-      result.stats.ft_violations_before +=
-          CountFTViolations(table, fd, model, opts.FTFor(fd));
+      bool fd_truncated = false;
+      result.stats.ft_violations_before += CountFTViolations(
+          table, fd, model, opts.FTFor(fd), opts.budget, &fd_truncated);
+      truncated = truncated || fd_truncated;
+    }
+    if (truncated) {
+      RecordDegradation(&result.stats, opts.budget, "violation-stats",
+                        "partial-graph",
+                        "budget exhausted while counting FT-violations; "
+                        "ft_violations_before is a lower bound");
     }
   }
 
@@ -93,9 +126,27 @@ Result<RepairResult> Repairer::Repair(const Table& table,
   for (const std::vector<int>& component : fd_graph.Components()) {
     if (component.size() == 1) {
       const FD& fd = named[static_cast<size_t>(component[0])];
+      if (BudgetExhausted(opts.budget)) {
+        if (!opts.fall_back_to_greedy) {
+          return opts.budget->Check("repair pipeline");
+        }
+        // Detect-only: the component's tuples keep their values.
+        RecordDegradation(&result.stats, opts.budget, fd.name(), "skip",
+                          opts.budget->Check("repair pipeline").message());
+        continue;
+      }
       ViolationGraph graph = ViolationGraph::Build(
           PatternsFor(table, fd, opts.group_tuples), fd, model,
-          opts.FTFor(fd));
+          opts.FTFor(fd), opts.budget);
+      if (graph.truncated()) {
+        if (!opts.fall_back_to_greedy) {
+          return opts.budget->Check("violation graph construction");
+        }
+        RecordDegradation(&result.stats, opts.budget, fd.name(),
+                          "partial-graph",
+                          "budget exhausted while building the violation "
+                          "graph; undetected violations stay unrepaired");
+      }
       std::vector<bool> forced_storage;
       const std::vector<bool>* forced = nullptr;
       if (!opts.trusted_rows.empty()) {
@@ -103,29 +154,42 @@ Result<RepairResult> Repairer::Repair(const Table& table,
             TrustedPatternMask(graph.patterns(), opts.trusted_rows);
         forced = &forced_storage;
       }
+      // Single-FD ladder: exact -> greedy -> partial greedy. The greedy
+      // rung never fails outright; the budget truncates it instead.
       SingleFDSolution solution;
+      bool have_solution = false;
       if (opts.algorithm == RepairAlgorithm::kExact) {
         ExpansionConfig config;
         config.max_frontier = opts.max_frontier;
         config.forced = forced;
+        config.budget = opts.budget;
         auto exact = SolveExpansionSingle(graph, config);
         if (exact.ok()) {
           solution = std::move(exact).value();
+          have_solution = true;
           result.stats.expansion_nodes += solution.nodes_expanded;
           result.stats.expansion_pruned += solution.nodes_pruned;
         } else if (exact.status().IsResourceExhausted() &&
                    opts.fall_back_to_greedy) {
-          FTR_LOG(kInfo) << "Expansion-S fell back to Greedy-S on "
-                         << fd.name() << ": " << exact.status().ToString();
-          result.stats.fell_back_to_greedy = true;
-          solution = SolveGreedySingle(graph, forced,
-                                       &result.stats.trusted_conflicts);
+          RecordDegradation(&result.stats, opts.budget, fd.name(),
+                            "exact->greedy", exact.status().message());
         } else {
           return exact.status();
         }
-      } else {
+      }
+      if (!have_solution) {
         solution = SolveGreedySingle(graph, forced,
-                                     &result.stats.trusted_conflicts);
+                                     &result.stats.trusted_conflicts,
+                                     opts.budget);
+        if (solution.truncated) {
+          if (!opts.fall_back_to_greedy) {
+            return opts.budget->Check("greedy cover");
+          }
+          RecordDegradation(
+              &result.stats, opts.budget, fd.name(), "greedy->partial",
+              "budget exhausted while growing the greedy set; uncovered "
+              "patterns stay unrepaired");
+        }
       }
       ApplySingleFDSolution(graph, fd, solution, &result.repaired,
                             &result.changes,
@@ -138,41 +202,90 @@ Result<RepairResult> Repairer::Repair(const Table& table,
       for (int idx : component) {
         component_fds.push_back(&named[static_cast<size_t>(idx)]);
       }
+      std::string name = ComponentName(component_fds);
+      if (BudgetExhausted(opts.budget)) {
+        if (!opts.fall_back_to_greedy) {
+          return opts.budget->Check("repair pipeline");
+        }
+        RecordDegradation(&result.stats, opts.budget, name, "skip",
+                          opts.budget->Check("repair pipeline").message());
+        continue;
+      }
       ComponentContext context =
           BuildComponentContext(table, component_fds, model, opts);
-      Result<MultiFDSolution> solved = Status::Internal("unreachable");
-      switch (opts.algorithm) {
-        case RepairAlgorithm::kExact: {
-          solved = SolveExpansionMulti(context, model, opts, &result.stats);
-          if (!solved.ok() && solved.status().IsResourceExhausted() &&
-              opts.fall_back_to_greedy) {
-            // Anytime behavior: when the exact search trips a safety
-            // valve, return the cheaper of the two heuristics.
-            FTR_LOG(kInfo) << "Expansion-M fell back to heuristics: "
-                           << solved.status().ToString();
-            result.stats.fell_back_to_greedy = true;
-            auto greedy = SolveGreedyMulti(context, model, opts,
-                                           &result.stats);
-            auto appro = SolveApproMulti(context, model, opts,
-                                         &result.stats);
-            if (greedy.ok() && appro.ok()) {
-              solved = greedy.value().cost <= appro.value().cost
-                           ? std::move(greedy)
-                           : std::move(appro);
-            } else {
-              solved = greedy.ok() ? std::move(greedy) : std::move(appro);
-            }
-          }
-          break;
+      bool graphs_truncated = false;
+      for (const ViolationGraph& graph : context.graphs) {
+        graphs_truncated = graphs_truncated || graph.truncated();
+      }
+      if (graphs_truncated) {
+        if (!opts.fall_back_to_greedy) {
+          return opts.budget->Check("violation graph construction");
         }
+        RecordDegradation(&result.stats, opts.budget, name, "partial-graph",
+                          "budget exhausted while building the violation "
+                          "graphs; undetected violations stay unrepaired");
+      }
+      // Multi-FD ladder: exact -> greedy -> per-FD appro -> detect-only.
+      // Each rung hands ResourceExhausted down one step (when the
+      // fall_back_to_greedy valve is open); the bottom rung degrades to
+      // leaving the component unrepaired.
+      static constexpr const char* kRungs[] = {"exact", "greedy", "appro"};
+      int rung = 0;
+      switch (opts.algorithm) {
+        case RepairAlgorithm::kExact:
+          rung = 0;
+          break;
         case RepairAlgorithm::kGreedy:
-          solved = SolveGreedyMulti(context, model, opts, &result.stats);
+          rung = 1;
           break;
         case RepairAlgorithm::kApproJoin:
-          solved = SolveApproMulti(context, model, opts, &result.stats);
+          rung = 2;
           break;
       }
-      if (!solved.ok()) return solved.status();
+      Result<MultiFDSolution> solved = Status::Internal("unreachable");
+      bool solved_ok = false;
+      while (rung <= 2) {
+        switch (rung) {
+          case 0:
+            solved = SolveExpansionMulti(context, model, opts, &result.stats);
+            break;
+          case 1:
+            solved = SolveGreedyMulti(context, model, opts, &result.stats);
+            break;
+          case 2:
+            solved = SolveApproMulti(context, model, opts, &result.stats);
+            break;
+        }
+        if (solved.ok()) {
+          solved_ok = true;
+          break;
+        }
+        if (!solved.status().IsResourceExhausted() ||
+            !opts.fall_back_to_greedy) {
+          return solved.status();
+        }
+        if (rung < 2) {
+          RecordDegradation(&result.stats, opts.budget, name,
+                            std::string(kRungs[rung]) + "->" +
+                                kRungs[rung + 1],
+                            solved.status().message());
+        } else {
+          // Bottom of the ladder: detect-only for this component.
+          RecordDegradation(&result.stats, opts.budget, name, "skip",
+                            solved.status().message());
+        }
+        ++rung;
+      }
+      if (!solved_ok) continue;  // component left unrepaired
+      if (solved.value().truncated) {
+        if (!opts.fall_back_to_greedy) {
+          return opts.budget->Check("target assignment");
+        }
+        RecordDegradation(&result.stats, opts.budget, name,
+                          "partial-targets",
+                          "budget exhausted while assigning targets; "
+                          "remaining patterns stay unrepaired");
+      }
       ApplyMultiFDSolution(solved.value(), &result.repaired,
                            &result.changes,
                            opts.trusted_rows.empty() ? nullptr
@@ -181,9 +294,22 @@ Result<RepairResult> Repairer::Repair(const Table& table,
   }
 
   if (opts.compute_violation_stats) {
+    // The "after" count runs unbudgeted only when the run never
+    // degraded; a degraded run is already past its deadline, so give
+    // the recount the same (exhausted) budget and let it skip.
+    bool truncated = false;
     for (const FD& fd : named) {
-      result.stats.ft_violations_after +=
-          CountFTViolations(result.repaired, fd, model, opts.FTFor(fd));
+      bool fd_truncated = false;
+      result.stats.ft_violations_after += CountFTViolations(
+          result.repaired, fd, model, opts.FTFor(fd), opts.budget,
+          &fd_truncated);
+      truncated = truncated || fd_truncated;
+    }
+    if (truncated) {
+      RecordDegradation(&result.stats, opts.budget, "violation-stats",
+                        "partial-graph",
+                        "budget exhausted while recounting FT-violations; "
+                        "ft_violations_after is a lower bound");
     }
   }
   result.stats.repair_cost = TableRepairCost(table, result.repaired, model);
@@ -219,6 +345,16 @@ Result<RepairResult> Repairer::RepairCFDs(const Table& table,
     const FD& fd = cfd.fd();
     FTR_RETURN_NOT_OK(ValidateFDs(table.schema(), {fd}));
     for (int p = 0; p < static_cast<int>(cfd.tableau().size()); ++p) {
+      if (BudgetExhausted(options_.budget)) {
+        if (!options_.fall_back_to_greedy) {
+          return options_.budget->Check("CFD repair");
+        }
+        RecordDegradation(
+            &result.stats, options_.budget,
+            fd.name() + "#" + std::to_string(p), "skip",
+            options_.budget->Check("CFD repair").message());
+        continue;
+      }
       // 1. Constant violations: pin the RHS constants directly.
       for (int r : cfd.ConstantViolations(result.repaired, p)) {
         const PatternRow& pat = cfd.tableau()[static_cast<size_t>(p)];
@@ -233,28 +369,55 @@ Result<RepairResult> Repairer::RepairCFDs(const Table& table,
           }
         }
       }
-      // 2. Variable part: FT repair restricted to the matching tuples.
+      // 2. Variable part: FT repair restricted to the matching tuples,
+      // stepping down the same exact -> greedy -> partial ladder.
       std::vector<int> scope = cfd.ApplicableRows(result.repaired, p);
       if (scope.size() < 2) continue;
       ViolationGraph graph = ViolationGraph::Build(
           BuildPatternsForRows(result.repaired, fd.attrs(), scope), fd,
-          model, options_.FTFor(fd));
+          model, options_.FTFor(fd), options_.budget);
+      if (graph.truncated()) {
+        if (!options_.fall_back_to_greedy) {
+          return options_.budget->Check("violation graph construction");
+        }
+        RecordDegradation(&result.stats, options_.budget,
+                          fd.name() + "#" + std::to_string(p),
+                          "partial-graph",
+                          "budget exhausted while building the violation "
+                          "graph; undetected violations stay unrepaired");
+      }
       SingleFDSolution solution;
+      bool have_solution = false;
       if (options_.algorithm == RepairAlgorithm::kExact) {
         ExpansionConfig config;
         config.max_frontier = options_.max_frontier;
+        config.budget = options_.budget;
         auto exact = SolveExpansionSingle(graph, config);
         if (exact.ok()) {
           solution = std::move(exact).value();
+          have_solution = true;
         } else if (exact.status().IsResourceExhausted() &&
                    options_.fall_back_to_greedy) {
-          result.stats.fell_back_to_greedy = true;
-          solution = SolveGreedySingle(graph);
+          RecordDegradation(&result.stats, options_.budget,
+                            fd.name() + "#" + std::to_string(p),
+                            "exact->greedy", exact.status().message());
         } else {
           return exact.status();
         }
-      } else {
-        solution = SolveGreedySingle(graph);
+      }
+      if (!have_solution) {
+        solution = SolveGreedySingle(graph, nullptr, nullptr,
+                                     options_.budget);
+        if (solution.truncated) {
+          if (!options_.fall_back_to_greedy) {
+            return options_.budget->Check("greedy cover");
+          }
+          RecordDegradation(
+              &result.stats, options_.budget,
+              fd.name() + "#" + std::to_string(p), "greedy->partial",
+              "budget exhausted while growing the greedy set; uncovered "
+              "patterns stay unrepaired");
+        }
       }
       ApplySingleFDSolution(graph, fd, solution, &result.repaired,
                             &result.changes);

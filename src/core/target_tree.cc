@@ -205,8 +205,8 @@ double TargetTree::Edist(const Node& node,
 
 std::vector<Value> TargetTree::FindBest(const std::vector<Value>& tuple_proj,
                                         const DistanceModel& model,
-                                        double* cost,
-                                        SearchStats* stats) const {
+                                        double* cost, SearchStats* stats,
+                                        const Budget* budget) const {
   struct QueueEntry {
     double f;
     int node;
@@ -221,6 +221,9 @@ std::vector<Value> TargetTree::FindBest(const std::vector<Value>& tuple_proj,
   double c_min = ViolationGraph::kInfinity;
   int best_leaf = -1;
   while (!queue.empty()) {
+    if (!BudgetCharge(budget)) {
+      break;  // out of budget: settle for the best leaf so far, if any
+    }
     QueueEntry top = queue.top();
     queue.pop();
     if (top.f >= c_min) {
@@ -254,7 +257,13 @@ std::vector<Value> TargetTree::FindBest(const std::vector<Value>& tuple_proj,
       }
     }
   }
-  FTR_DCHECK(best_leaf >= 0);
+  if (best_leaf < 0) {
+    // Only reachable when the budget ran out before the first leaf;
+    // an unbudgeted search always reaches one (the tree is nonempty).
+    FTR_DCHECK(BudgetExhausted(budget));
+    *cost = ViolationGraph::kInfinity;
+    return {};
+  }
   *cost = c_min;
   return nodes_[static_cast<size_t>(best_leaf)].assign;
 }

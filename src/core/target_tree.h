@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/budget.h"
 #include "common/status.h"
 #include "constraint/fd.h"
 #include "data/table.h"
@@ -53,9 +54,15 @@ class TargetTree {
   /// Best-first search (Algorithm 5) for the target minimizing the
   /// repair cost of `tuple_proj` (values over component_cols order).
   /// Returns the winning assignment; `cost` receives its exact cost.
+  ///
+  /// `budget` (optional, not owned) is charged one unit per node
+  /// popped; on exhaustion the best leaf reached so far is returned
+  /// (possibly suboptimal), or an empty vector with `cost` = infinity
+  /// when no leaf was reached yet.
   std::vector<Value> FindBest(const std::vector<Value>& tuple_proj,
                               const DistanceModel& model, double* cost,
-                              SearchStats* stats) const;
+                              SearchStats* stats,
+                              const Budget* budget = nullptr) const;
 
   /// Materializes every target (the no-tree ablation uses this plus a
   /// linear scan).

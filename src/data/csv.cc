@@ -1,5 +1,7 @@
 #include "data/csv.h"
 
+#include <algorithm>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <vector>
@@ -10,13 +12,24 @@ namespace ftrepair {
 
 namespace {
 
+// Raw record split: never fails; structural problems are reported as
+// flags so the policy layer can decide what to do with each record.
+struct RawRecords {
+  std::vector<std::vector<std::string>> records;
+  /// Per record: it contained at least one NUL byte.
+  std::vector<bool> has_nul;
+  /// The text ended inside a quoted field (affects the last record).
+  bool unterminated = false;
+};
+
 // Splits CSV text into records of raw fields, honoring quotes.
-Status ParseRecords(const std::string& text,
-                    std::vector<std::vector<std::string>>* records) {
+RawRecords ParseRecords(const std::string& text) {
+  RawRecords out;
   std::vector<std::string> current;
   std::string field;
   bool in_quotes = false;
   bool field_started = false;
+  bool record_has_nul = false;
   size_t i = 0;
   auto end_field = [&]() {
     current.push_back(field);
@@ -25,11 +38,14 @@ Status ParseRecords(const std::string& text,
   };
   auto end_record = [&]() {
     end_field();
-    records->push_back(std::move(current));
+    out.records.push_back(std::move(current));
+    out.has_nul.push_back(record_has_nul);
     current.clear();
+    record_has_nul = false;
   };
   while (i < text.size()) {
     char c = text[i];
+    if (c == '\0') record_has_nul = true;
     if (in_quotes) {
       if (c == '"') {
         if (i + 1 < text.size() && text[i + 1] == '"') {
@@ -63,9 +79,28 @@ Status ParseRecords(const std::string& text,
       }
     }
   }
-  if (in_quotes) return Status::IOError("unterminated quoted CSV field");
-  if (field_started || !field.empty() || !current.empty()) end_record();
-  return Status::OK();
+  out.unterminated = in_quotes;
+  if (in_quotes || field_started || !field.empty() || !current.empty()) {
+    end_record();
+  }
+  return out;
+}
+
+// Fault seam: FTREPAIR_FAULT_CSV_BAD_ROW=N forces 0-based data row N
+// to be treated as malformed (tests drive every policy through it).
+// Read per call so tests can setenv/unsetenv between cases.
+long FaultRowFromEnv() {
+  const char* env = std::getenv("FTREPAIR_FAULT_CSV_BAD_ROW");
+  if (env == nullptr || *env == '\0') return -1;
+  double value = 0;
+  if (!ParseDouble(env, &value) || value < 0) return -1;
+  return static_cast<long>(value);
+}
+
+void StripNuls(std::vector<std::string>* fields) {
+  for (std::string& f : *fields) {
+    f.erase(std::remove(f.begin(), f.end(), '\0'), f.end());
+  }
 }
 
 bool NeedsQuoting(const std::string& s) {
@@ -85,24 +120,107 @@ std::string QuoteField(const std::string& s) {
 
 }  // namespace
 
-Result<Table> ReadCsvString(const std::string& text) {
-  std::vector<std::vector<std::string>> records;
-  FTR_RETURN_NOT_OK(ParseRecords(text, &records));
-  if (records.empty()) return Status::IOError("CSV input has no header row");
-  const std::vector<std::string>& header = records[0];
-  size_t width = header.size();
+const char* RowErrorKindName(RowErrorKind kind) {
+  switch (kind) {
+    case RowErrorKind::kRagged:
+      return "ragged";
+    case RowErrorKind::kUnterminatedQuote:
+      return "unterminated-quote";
+    case RowErrorKind::kEmbeddedNul:
+      return "embedded-nul";
+    case RowErrorKind::kInjectedFault:
+      return "injected-fault";
+  }
+  return "?";
+}
 
-  // Infer per-column types: numeric iff every non-empty cell parses.
+Result<Table> ReadCsvString(const std::string& text,
+                            const CsvOptions& options,
+                            CsvReadReport* report) {
+  CsvReadReport local_report;
+  if (report == nullptr) report = &local_report;
+  *report = CsvReadReport{};
+
+  RawRecords raw = ParseRecords(text);
+  bool strict = options.bad_rows == BadRowPolicy::kStrict;
+  if (raw.records.empty()) {
+    return Status::IOError("CSV input has no header row");
+  }
+  if (strict && raw.unterminated) {
+    return Status::IOError("unterminated quoted CSV field");
+  }
+  // The header must be sound in every policy: without a trustworthy
+  // width and column names, per-row salvage has nothing to salvage
+  // toward. (Exception: kPadRagged strips NULs from header names.)
+  if (raw.has_nul[0]) {
+    if (options.bad_rows != BadRowPolicy::kPadRagged) {
+      return Status::IOError("CSV header contains NUL bytes");
+    }
+    StripNuls(&raw.records[0]);
+  }
+  if (raw.unterminated && raw.records.size() == 1) {
+    return Status::IOError("unterminated quoted CSV field");
+  }
+  const std::vector<std::string>& header = raw.records[0];
+  size_t width = header.size();
+  long fault_row = FaultRowFromEnv();
+
+  // Policy pass: decide keep / salvage / drop per data record.
+  std::vector<bool> keep(raw.records.size(), true);
+  for (size_t r = 1; r < raw.records.size(); ++r) {
+    size_t data_row = r - 1;
+    std::vector<RowError> row_errors;
+    if (raw.records[r].size() != width) {
+      row_errors.push_back(RowError{
+          data_row, RowErrorKind::kRagged,
+          "CSV row " + std::to_string(r) + " has " +
+              std::to_string(raw.records[r].size()) + " fields, expected " +
+              std::to_string(width)});
+    }
+    if (raw.has_nul[r]) {
+      row_errors.push_back(RowError{data_row, RowErrorKind::kEmbeddedNul,
+                                    "CSV row " + std::to_string(r) +
+                                        " contains NUL bytes"});
+    }
+    if (raw.unterminated && r == raw.records.size() - 1) {
+      row_errors.push_back(
+          RowError{data_row, RowErrorKind::kUnterminatedQuote,
+                   "unterminated quoted CSV field"});
+    }
+    if (fault_row >= 0 && data_row == static_cast<size_t>(fault_row)) {
+      row_errors.push_back(RowError{
+          data_row, RowErrorKind::kInjectedFault,
+          "row forced bad by FTREPAIR_FAULT_CSV_BAD_ROW"});
+    }
+    if (row_errors.empty()) {
+      ++report->rows_kept;
+      continue;
+    }
+    if (strict) {
+      return Status::IOError(row_errors.front().message);
+    }
+    for (RowError& e : row_errors) report->errors.push_back(std::move(e));
+    if (options.bad_rows == BadRowPolicy::kSkipBadRows) {
+      keep[r] = false;
+      ++report->rows_dropped;
+      continue;
+    }
+    // kPadRagged: salvage in place — strip NULs, pad short rows with
+    // empty fields, truncate long ones.
+    StripNuls(&raw.records[r]);
+    raw.records[r].resize(width);
+    ++report->rows_padded;
+    ++report->rows_kept;
+  }
+
+  // Infer per-column types over *kept* rows only: numeric iff every
+  // non-empty cell parses.
   std::vector<bool> numeric(width, true);
   std::vector<bool> any_value(width, false);
-  for (size_t r = 1; r < records.size(); ++r) {
-    if (records[r].size() != width) {
-      return Status::IOError("CSV row " + std::to_string(r) + " has " +
-                             std::to_string(records[r].size()) +
-                             " fields, expected " + std::to_string(width));
-    }
+  for (size_t r = 1; r < raw.records.size(); ++r) {
+    if (!keep[r]) continue;
     for (size_t c = 0; c < width; ++c) {
-      std::string_view cell = Trim(records[r][c]);
+      std::string_view cell = Trim(raw.records[r][c]);
       if (cell.empty()) continue;
       any_value[c] = true;
       double d;
@@ -118,11 +236,12 @@ Result<Table> ReadCsvString(const std::string& text) {
     columns.push_back(Column{std::string(Trim(header[c])), type});
   }
   Table table{Schema(std::move(columns))};
-  for (size_t r = 1; r < records.size(); ++r) {
+  for (size_t r = 1; r < raw.records.size(); ++r) {
+    if (!keep[r]) continue;
     Row row;
     row.reserve(width);
     for (size_t c = 0; c < width; ++c) {
-      row.push_back(Value::Parse(records[r][c], table.schema().column(
+      row.push_back(Value::Parse(raw.records[r][c], table.schema().column(
                                                     static_cast<int>(c)).type));
     }
     FTR_RETURN_NOT_OK(table.AppendRow(std::move(row)));
@@ -130,12 +249,14 @@ Result<Table> ReadCsvString(const std::string& text) {
   return table;
 }
 
-Result<Table> ReadCsvFile(const std::string& path) {
+Result<Table> ReadCsvFile(const std::string& path,
+                          const CsvOptions& options,
+                          CsvReadReport* report) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IOError("cannot open '" + path + "' for reading");
   std::ostringstream buf;
   buf << in.rdbuf();
-  return ReadCsvString(buf.str());
+  return ReadCsvString(buf.str(), options, report);
 }
 
 std::string WriteCsvString(const Table& table) {

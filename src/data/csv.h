@@ -1,8 +1,10 @@
 #ifndef FTREPAIR_DATA_CSV_H_
 #define FTREPAIR_DATA_CSV_H_
 
+#include <cstddef>
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "data/table.h"
@@ -15,11 +17,65 @@ namespace ftrepair {
 /// non-empty cell parses as a number become kNumber, others kString.
 /// Quoted fields with embedded commas/quotes/newlines are supported.
 
-/// Parses CSV text (with header) into a Table.
-Result<Table> ReadCsvString(const std::string& text);
+/// What to do with a malformed data row (wrong field count, embedded
+/// NUL bytes, or a final record with an unterminated quote).
+enum class BadRowPolicy {
+  /// Fail the whole read with IOError on the first bad row (default;
+  /// the historical behavior).
+  kStrict,
+  /// Drop bad rows, keep the rest, report each drop as a RowError.
+  kSkipBadRows,
+  /// Salvage bad rows: pad short rows with empty fields, truncate long
+  /// ones, strip NUL bytes, keep a partial final record. Each salvaged
+  /// row is reported as a RowError.
+  kPadRagged,
+};
+
+/// Ingestion policy knobs.
+struct CsvOptions {
+  BadRowPolicy bad_rows = BadRowPolicy::kStrict;
+};
+
+/// Why a data row was dropped or salvaged.
+enum class RowErrorKind {
+  kRagged,             // field count != header width
+  kUnterminatedQuote,  // the file ended inside a quoted field
+  kEmbeddedNul,        // the row contained NUL bytes
+  kInjectedFault,      // forced bad via FTREPAIR_FAULT_CSV_BAD_ROW
+};
+
+const char* RowErrorKindName(RowErrorKind kind);
+
+/// One malformed data row, as seen by a non-strict read.
+struct RowError {
+  /// 0-based data-row index in the input (header excluded). Dropped
+  /// rows still advance this index, so it names the *input* row.
+  size_t row = 0;
+  RowErrorKind kind = RowErrorKind::kRagged;
+  std::string message;
+};
+
+/// Outcome report of a CSV read: per-row errors plus keep/drop/pad
+/// tallies. A strict read that succeeds reports no errors.
+struct CsvReadReport {
+  std::vector<RowError> errors;
+  size_t rows_kept = 0;
+  size_t rows_dropped = 0;
+  size_t rows_padded = 0;
+
+  bool ok() const { return errors.empty(); }
+};
+
+/// Parses CSV text (with header) into a Table under `options`,
+/// reporting per-row problems into `report` (optional).
+Result<Table> ReadCsvString(const std::string& text,
+                            const CsvOptions& options = {},
+                            CsvReadReport* report = nullptr);
 
 /// Reads a CSV file (with header) into a Table.
-Result<Table> ReadCsvFile(const std::string& path);
+Result<Table> ReadCsvFile(const std::string& path,
+                          const CsvOptions& options = {},
+                          CsvReadReport* report = nullptr);
 
 /// Serializes `table` (with header) to CSV text.
 std::string WriteCsvString(const Table& table);

@@ -53,9 +53,12 @@ std::vector<Violation> FindExactViolations(const Table& table, const FD& fd,
 std::vector<Violation> FindFTViolations(const Table& table, const FD& fd,
                                         const DistanceModel& model,
                                         const FTOptions& opts,
-                                        size_t max_pairs) {
-  ViolationGraph graph =
-      ViolationGraph::Build(BuildPatterns(table, fd.attrs()), fd, model, opts);
+                                        size_t max_pairs,
+                                        const Budget* budget,
+                                        bool* truncated) {
+  ViolationGraph graph = ViolationGraph::Build(
+      BuildPatterns(table, fd.attrs()), fd, model, opts, budget);
+  if (truncated != nullptr) *truncated = graph.truncated();
   std::vector<Violation> out;
   for (int i = 0; i < graph.num_patterns(); ++i) {
     for (const ViolationGraph::Edge& e : graph.Neighbors(i)) {
@@ -121,9 +124,11 @@ uint64_t CountExactViolations(const Table& table, const FD& fd) {
 }
 
 uint64_t CountFTViolations(const Table& table, const FD& fd,
-                           const DistanceModel& model, const FTOptions& opts) {
-  ViolationGraph graph =
-      ViolationGraph::Build(BuildPatterns(table, fd.attrs()), fd, model, opts);
+                           const DistanceModel& model, const FTOptions& opts,
+                           const Budget* budget, bool* truncated) {
+  ViolationGraph graph = ViolationGraph::Build(
+      BuildPatterns(table, fd.attrs()), fd, model, opts, budget);
+  if (truncated != nullptr) *truncated = graph.truncated();
   uint64_t total = 0;
   for (int i = 0; i < graph.num_patterns(); ++i) {
     for (const ViolationGraph::Edge& e : graph.Neighbors(i)) {

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/budget.h"
 #include "constraint/fd.h"
 #include "data/table.h"
 #include "detect/violation_graph.h"
@@ -28,9 +29,14 @@ std::vector<Violation> FindExactViolations(
 
 /// Fault-tolerant violations of `fd` under `opts` (§2.1): differing
 /// projections within weighted distance tau.
+///
+/// `budget` (optional, not owned) bounds the underlying graph build;
+/// on exhaustion the pairs found so far are returned and `truncated`
+/// (when non-null) is set — a sound-but-incomplete violation list.
 std::vector<Violation> FindFTViolations(
     const Table& table, const FD& fd, const DistanceModel& model,
-    const FTOptions& opts, size_t max_pairs = SIZE_MAX);
+    const FTOptions& opts, size_t max_pairs = SIZE_MAX,
+    const Budget* budget = nullptr, bool* truncated = nullptr);
 
 /// D |= fd in the classical semantics.
 bool IsConsistent(const Table& table, const FD& fd);
@@ -53,8 +59,12 @@ uint64_t CountExactViolations(const Table& table, const FD& fd);
 /// Number of FT-violating tuple pairs (computed from the grouped graph
 /// as sum over edges of count(u) * count(v), plus pairs of tuples whose
 /// projections tie... identical projections are never violations).
+/// With a `budget` the count is a lower bound when it runs out
+/// mid-build (`truncated` reports that, when non-null).
 uint64_t CountFTViolations(const Table& table, const FD& fd,
-                           const DistanceModel& model, const FTOptions& opts);
+                           const DistanceModel& model, const FTOptions& opts,
+                           const Budget* budget = nullptr,
+                           bool* truncated = nullptr);
 
 }  // namespace ftrepair
 

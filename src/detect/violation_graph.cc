@@ -55,16 +55,21 @@ double ViolationGraph::UnitCost(const std::vector<Value>& a,
 
 ViolationGraph ViolationGraph::Build(std::vector<Pattern> patterns,
                                      const FD& fd, const DistanceModel& model,
-                                     const FTOptions& opts) {
+                                     const FTOptions& opts,
+                                     const Budget* budget) {
   ViolationGraph g;
   g.patterns_ = std::move(patterns);
   int n = g.num_patterns();
   g.adj_.assign(static_cast<size_t>(n), {});
   g.min_edge_cost_.assign(static_cast<size_t>(n), kInfinity);
 
-  for (int i = 0; i < n; ++i) {
+  for (int i = 0; i < n && !g.truncated_; ++i) {
     const Pattern& pi = g.patterns_[static_cast<size_t>(i)];
     for (int j = i + 1; j < n; ++j) {
+      if (!BudgetCharge(budget)) {
+        g.truncated_ = true;
+        break;
+      }
       const Pattern& pj = g.patterns_[static_cast<size_t>(j)];
       if (pi.values == pj.values) continue;  // identical projections
       if (LengthLowerBound(pi, pj, fd, opts.w_l, opts.w_r) > opts.tau) {

@@ -5,6 +5,7 @@
 #include <limits>
 #include <vector>
 
+#include "common/budget.h"
 #include "constraint/fd.h"
 #include "detect/pattern.h"
 #include "metric/projection.h"
@@ -48,9 +49,15 @@ class ViolationGraph {
   /// Builds the graph over `patterns`, whose value vectors are laid out
   /// over `fd.attrs()`. Patterns with identical projections never form
   /// an edge (FT-violations require differing projections).
+  ///
+  /// `budget` (optional) is charged one unit per candidate pair; when
+  /// it runs out mid-build the remaining pairs are skipped and the
+  /// graph is marked truncated() — a valid graph missing some edges,
+  /// i.e. some violations go undetected (the detect-only degradation).
   static ViolationGraph Build(std::vector<Pattern> patterns, const FD& fd,
                               const DistanceModel& model,
-                              const FTOptions& opts);
+                              const FTOptions& opts,
+                              const Budget* budget = nullptr);
 
   const std::vector<Pattern>& patterns() const { return patterns_; }
   int num_patterns() const { return static_cast<int>(patterns_.size()); }
@@ -79,6 +86,10 @@ class ViolationGraph {
   /// before any edit-distance evaluation (similarity-join stat).
   size_t pairs_length_filtered() const { return pairs_length_filtered_; }
   size_t pairs_evaluated() const { return pairs_evaluated_; }
+
+  /// True when the build's budget ran out and some candidate pairs
+  /// were never evaluated (the graph may be missing edges).
+  bool truncated() const { return truncated_; }
 
   /// Vertex sets of the connected components (singletons included),
   /// ordered by smallest member.
@@ -109,6 +120,7 @@ class ViolationGraph {
   size_t num_edges_ = 0;
   size_t pairs_length_filtered_ = 0;
   size_t pairs_evaluated_ = 0;
+  bool truncated_ = false;
 };
 
 }  // namespace ftrepair

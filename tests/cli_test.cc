@@ -1,4 +1,5 @@
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -96,10 +97,101 @@ TEST_F(CliTest, ParseRejectsBadValues) {
   EXPECT_FALSE(
       ParseCliArgs({"--input", "x", "--fds", "f", "--tau-fd", "phi2"}).ok());
   EXPECT_FALSE(ParseCliArgs({"--bogus"}).ok());
-  // --help surfaces the usage text as the error message.
+  EXPECT_FALSE(
+      ParseCliArgs({"--input", "x", "--fds", "f", "--deadline-ms", "0"})
+          .ok());
+  EXPECT_FALSE(
+      ParseCliArgs({"--input", "x", "--fds", "f", "--deadline-ms", "abc"})
+          .ok());
+  EXPECT_FALSE(
+      ParseCliArgs({"--input", "x", "--fds", "f", "--on-bad-row", "explode"})
+          .ok());
+}
+
+TEST_F(CliTest, HelpParsesOkAndPrintsUsage) {
+  // --help succeeds (the binary exits 0) and short-circuits the
+  // required-flag checks.
   auto help = ParseCliArgs({"--help"});
-  ASSERT_FALSE(help.ok());
-  EXPECT_NE(help.status().message().find("Usage:"), std::string::npos);
+  ASSERT_TRUE(help.ok()) << help.status().ToString();
+  EXPECT_TRUE(help.value().help);
+  std::ostringstream out;
+  ASSERT_TRUE(RunCli(help.value(), out).ok());
+  EXPECT_NE(out.str().find("Usage:"), std::string::npos);
+  EXPECT_NE(out.str().find("--deadline-ms"), std::string::npos);
+  EXPECT_NE(out.str().find("--on-bad-row"), std::string::npos);
+}
+
+TEST_F(CliTest, ParseDeadlineAndBadRowPolicy) {
+  auto options = ParseCliArgs(
+      {"--input", "x", "--fds", "f", "--deadline-ms", "250",
+       "--on-bad-row", "pad"});
+  ASSERT_TRUE(options.ok()) << options.status().ToString();
+  EXPECT_DOUBLE_EQ(options.value().deadline_ms, 250);
+  EXPECT_EQ(options.value().csv.bad_rows, BadRowPolicy::kPadRagged);
+  auto skip = ParseCliArgs(
+      {"--input", "x", "--fds", "f", "--on-bad-row", "skip"});
+  ASSERT_TRUE(skip.ok());
+  EXPECT_EQ(skip.value().csv.bad_rows, BadRowPolicy::kSkipBadRows);
+  auto strict = ParseCliArgs(
+      {"--input", "x", "--fds", "f", "--on-bad-row", "strict"});
+  ASSERT_TRUE(strict.ok());
+  EXPECT_EQ(strict.value().csv.bad_rows, BadRowPolicy::kStrict);
+}
+
+TEST_F(CliTest, UnknownTauFdNameRejected) {
+  auto parsed = ParseCliArgs(
+      {"--input", input_path_, "--fds", fds_path_, "--tau-fd",
+       "phantom=0.5"});
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  std::ostringstream out;
+  Status status = RunCli(parsed.value(), out);
+  EXPECT_TRUE(status.IsNotFound()) << status.ToString();
+  EXPECT_NE(status.message().find("phantom"), std::string::npos)
+      << status.ToString();
+}
+
+TEST_F(CliTest, SkipBadRowsSalvagesMalformedInput) {
+  // Append a ragged row to the dirty table: strict fails, skip warns
+  // and repairs the clean subset.
+  {
+    std::ofstream append(input_path_, std::ios::app);
+    append << "stray,row\n";
+  }
+  auto strict = ParseCliArgs(
+      {"--input", input_path_, "--fds", fds_path_, "--tau-fd", "phi1=0.30",
+       "--tau-fd", "phi2=0.5", "--tau-fd", "phi3=0.5"});
+  ASSERT_TRUE(strict.ok());
+  std::ostringstream strict_out;
+  EXPECT_TRUE(RunCli(strict.value(), strict_out).IsIOError());
+
+  auto skip = ParseCliArgs(
+      {"--input", input_path_, "--fds", fds_path_, "--on-bad-row", "skip",
+       "--tau-fd", "phi1=0.30", "--tau-fd", "phi2=0.5", "--tau-fd",
+       "phi3=0.5", "--wl", "0.5", "--wr", "0.5"});
+  ASSERT_TRUE(skip.ok());
+  std::ostringstream out;
+  Status status = RunCli(skip.value(), out);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_NE(out.str().find("malformed row"), std::string::npos) << out.str();
+  EXPECT_NE(out.str().find("repaired"), std::string::npos) << out.str();
+}
+
+TEST_F(CliTest, DeadlineSurfacesDegradationNotFailure) {
+  // An (effectively) instant deadline must still produce a successful
+  // run with a well-formed summary — the ladder degrades, never aborts.
+  setenv("FTREPAIR_FAULT_BUDGET_UNITS", "1", 1);
+  auto parsed = ParseCliArgs(
+      {"--input", input_path_, "--fds", fds_path_, "--deadline-ms",
+       "100000", "--algorithm", "exact", "--tau-fd", "phi1=0.30",
+       "--tau-fd", "phi2=0.5", "--tau-fd", "phi3=0.5", "--wl", "0.5",
+       "--wr", "0.5"});
+  ASSERT_TRUE(parsed.ok());
+  std::ostringstream out;
+  Status status = RunCli(parsed.value(), out);
+  unsetenv("FTREPAIR_FAULT_BUDGET_UNITS");
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_NE(out.str().find("deadline:"), std::string::npos) << out.str();
+  EXPECT_NE(out.str().find("degraded"), std::string::npos) << out.str();
 }
 
 TEST_F(CliTest, EndToEndRepairAndScore) {

@@ -1,7 +1,10 @@
 // Randomized CSV round-trip suite: tables with adversarial cell
 // contents (commas, quotes, newlines, unicode bytes, numeric strings)
-// must serialize and re-parse losslessly.
+// must serialize and re-parse losslessly. The malformed-input suite
+// below drives ragged rows, unterminated quotes, NUL bytes and CRLF
+// endings through every BadRowPolicy.
 
+#include <cstdlib>
 #include <string>
 
 #include <gtest/gtest.h>
@@ -84,6 +87,186 @@ TEST_P(CsvFuzzTest, NumericColumnsSurviveRoundTrip) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CsvFuzzTest,
                          ::testing::Range<uint64_t>(1, 17));
+
+// --- Malformed-input suite: each defect under all three policies ------
+
+CsvOptions WithPolicy(BadRowPolicy policy) {
+  CsvOptions options;
+  options.bad_rows = policy;
+  return options;
+}
+
+TEST(CsvMalformedTest, RaggedRowsUnderAllPolicies) {
+  const std::string text = "a,b,c\n1,2,3\nshort,row\n4,5,6,7\nx,y,z\n";
+
+  auto strict = ReadCsvString(text, WithPolicy(BadRowPolicy::kStrict));
+  ASSERT_FALSE(strict.ok());
+  EXPECT_NE(strict.status().message().find("expected 3"), std::string::npos)
+      << strict.status().ToString();
+
+  CsvReadReport report;
+  auto skipped =
+      ReadCsvString(text, WithPolicy(BadRowPolicy::kSkipBadRows), &report);
+  ASSERT_TRUE(skipped.ok()) << skipped.status().ToString();
+  EXPECT_EQ(skipped.value().num_rows(), 2);
+  EXPECT_EQ(report.rows_kept, 2u);
+  EXPECT_EQ(report.rows_dropped, 2u);
+  ASSERT_EQ(report.errors.size(), 2u);
+  EXPECT_EQ(report.errors[0].kind, RowErrorKind::kRagged);
+  EXPECT_EQ(report.errors[0].row, 1u);
+  EXPECT_EQ(report.errors[1].row, 2u);
+
+  auto padded =
+      ReadCsvString(text, WithPolicy(BadRowPolicy::kPadRagged), &report);
+  ASSERT_TRUE(padded.ok()) << padded.status().ToString();
+  EXPECT_EQ(padded.value().num_rows(), 4);
+  EXPECT_EQ(report.rows_dropped, 0u);
+  EXPECT_EQ(report.rows_padded, 2u);
+  EXPECT_EQ(report.rows_kept, 4u);
+  // Short row padded with nulls, long row truncated.
+  EXPECT_TRUE(padded.value().cell(1, 2).is_null());
+  EXPECT_EQ(padded.value().cell(2, 2).ToString(), "6");
+}
+
+TEST(CsvMalformedTest, UnterminatedQuoteUnderAllPolicies) {
+  const std::string text = "a,b\n1,2\n3,\"never closed";
+
+  auto strict = ReadCsvString(text, WithPolicy(BadRowPolicy::kStrict));
+  ASSERT_FALSE(strict.ok());
+  EXPECT_NE(strict.status().message().find("unterminated"),
+            std::string::npos);
+
+  CsvReadReport report;
+  auto skipped =
+      ReadCsvString(text, WithPolicy(BadRowPolicy::kSkipBadRows), &report);
+  ASSERT_TRUE(skipped.ok()) << skipped.status().ToString();
+  EXPECT_EQ(skipped.value().num_rows(), 1);
+  ASSERT_EQ(report.errors.size(), 1u);
+  EXPECT_EQ(report.errors[0].kind, RowErrorKind::kUnterminatedQuote);
+  EXPECT_EQ(report.errors[0].row, 1u);
+
+  auto padded =
+      ReadCsvString(text, WithPolicy(BadRowPolicy::kPadRagged), &report);
+  ASSERT_TRUE(padded.ok()) << padded.status().ToString();
+  EXPECT_EQ(padded.value().num_rows(), 2);
+  EXPECT_EQ(padded.value().cell(1, 1).ToString(), "never closed");
+  EXPECT_EQ(report.rows_padded, 1u);
+}
+
+TEST(CsvMalformedTest, EmbeddedNulUnderAllPolicies) {
+  std::string text = "a,b\nok,row\n";
+  text += "nul";
+  text += '\0';
+  text += "here,x\n";
+
+  auto strict = ReadCsvString(text, WithPolicy(BadRowPolicy::kStrict));
+  ASSERT_FALSE(strict.ok());
+  EXPECT_NE(strict.status().message().find("NUL"), std::string::npos);
+
+  CsvReadReport report;
+  auto skipped =
+      ReadCsvString(text, WithPolicy(BadRowPolicy::kSkipBadRows), &report);
+  ASSERT_TRUE(skipped.ok());
+  EXPECT_EQ(skipped.value().num_rows(), 1);
+  ASSERT_EQ(report.errors.size(), 1u);
+  EXPECT_EQ(report.errors[0].kind, RowErrorKind::kEmbeddedNul);
+
+  auto padded =
+      ReadCsvString(text, WithPolicy(BadRowPolicy::kPadRagged), &report);
+  ASSERT_TRUE(padded.ok());
+  EXPECT_EQ(padded.value().num_rows(), 2);
+  // NULs are stripped from the salvaged row.
+  EXPECT_EQ(padded.value().cell(1, 0).ToString(), "nulhere");
+}
+
+TEST(CsvMalformedTest, NulInHeaderOnlySalvageableByPad) {
+  std::string text = "a";
+  text += '\0';
+  text += "x,b\n1,2\n";
+  EXPECT_FALSE(ReadCsvString(text, WithPolicy(BadRowPolicy::kStrict)).ok());
+  EXPECT_FALSE(
+      ReadCsvString(text, WithPolicy(BadRowPolicy::kSkipBadRows)).ok());
+  auto padded = ReadCsvString(text, WithPolicy(BadRowPolicy::kPadRagged));
+  ASSERT_TRUE(padded.ok()) << padded.status().ToString();
+  EXPECT_EQ(padded.value().schema().column(0).name, "ax");
+  EXPECT_EQ(padded.value().num_rows(), 1);
+}
+
+TEST(CsvMalformedTest, CrlfEndingsAreNormalizedEverywhere) {
+  const std::string text = "a,b\r\n1,2\r\n3,4\r\n";
+  for (BadRowPolicy policy :
+       {BadRowPolicy::kStrict, BadRowPolicy::kSkipBadRows,
+        BadRowPolicy::kPadRagged}) {
+    CsvReadReport report;
+    auto parsed = ReadCsvString(text, WithPolicy(policy), &report);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    EXPECT_EQ(parsed.value().num_rows(), 2);
+    EXPECT_TRUE(report.ok());
+    EXPECT_EQ(report.rows_kept, 2u);
+  }
+}
+
+TEST(CsvMalformedTest, InjectedFaultSeamDrivesEveryPolicy) {
+  const std::string text = "a,b\nr0,x\nr1,y\nr2,z\n";
+  setenv("FTREPAIR_FAULT_CSV_BAD_ROW", "1", 1);
+  auto strict = ReadCsvString(text, WithPolicy(BadRowPolicy::kStrict));
+  EXPECT_FALSE(strict.ok());
+
+  CsvReadReport report;
+  auto skipped =
+      ReadCsvString(text, WithPolicy(BadRowPolicy::kSkipBadRows), &report);
+  ASSERT_TRUE(skipped.ok());
+  EXPECT_EQ(skipped.value().num_rows(), 2);
+  ASSERT_EQ(report.errors.size(), 1u);
+  EXPECT_EQ(report.errors[0].kind, RowErrorKind::kInjectedFault);
+  EXPECT_EQ(report.errors[0].row, 1u);
+
+  auto padded =
+      ReadCsvString(text, WithPolicy(BadRowPolicy::kPadRagged), &report);
+  ASSERT_TRUE(padded.ok());
+  EXPECT_EQ(padded.value().num_rows(), 3);
+  EXPECT_EQ(report.rows_padded, 1u);
+  unsetenv("FTREPAIR_FAULT_CSV_BAD_ROW");
+
+  // Seam off: clean parse again.
+  auto clean = ReadCsvString(text, WithPolicy(BadRowPolicy::kStrict));
+  EXPECT_TRUE(clean.ok());
+}
+
+// Randomized malformed-text fuzz: mutate valid CSV with structural
+// defects; non-strict policies must never fail (and never crash), and
+// the report tallies must be consistent with the parsed table.
+TEST_P(CsvFuzzTest, MalformedTextNeverCrashesNonStrictPolicies) {
+  Rng rng(GetParam() * 0x9E3779B97F4A7C15ULL + 1);
+  std::string text = "h0,h1,h2\n";
+  size_t rows = 1 + rng.Index(20);
+  for (size_t r = 0; r < rows; ++r) {
+    size_t fields = 1 + rng.Index(5);  // often ragged (width 3 is valid)
+    for (size_t f = 0; f < fields; ++f) {
+      if (f > 0) text += ',';
+      text += RandomCell(&rng);
+      if (rng.Index(12) == 0) text += '\0';
+    }
+    text += rng.Index(4) == 0 ? "\r\n" : "\n";
+  }
+  if (rng.Index(3) == 0) text += "tail,\"unterminated";
+
+  for (BadRowPolicy policy :
+       {BadRowPolicy::kSkipBadRows, BadRowPolicy::kPadRagged}) {
+    CsvReadReport report;
+    auto parsed = ReadCsvString(text, WithPolicy(policy), &report);
+    ASSERT_TRUE(parsed.ok())
+        << parsed.status().ToString() << " seed " << GetParam();
+    EXPECT_EQ(static_cast<size_t>(parsed.value().num_rows()),
+              report.rows_kept);
+    if (policy == BadRowPolicy::kSkipBadRows) {
+      EXPECT_EQ(report.rows_padded, 0u);
+    } else {
+      EXPECT_EQ(report.rows_dropped, 0u);
+    }
+    EXPECT_EQ(parsed.value().num_columns(), 3);
+  }
+}
 
 }  // namespace
 }  // namespace ftrepair

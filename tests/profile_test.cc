@@ -39,11 +39,12 @@ TEST(ProfileTest, TopValuesOrderedByCount) {
 
 TEST(ProfileTest, NumericRange) {
   Table t = CitizensDirty();
-  const ColumnProfile& level = ProfileTable(t)[2];
+  std::vector<ColumnProfile> profiles = ProfileTable(t);
+  const ColumnProfile& level = profiles[2];
   EXPECT_TRUE(level.has_numeric_range);
   EXPECT_DOUBLE_EQ(level.min, 1);
   EXPECT_DOUBLE_EQ(level.max, 9);
-  EXPECT_FALSE(ProfileTable(t)[0].has_numeric_range);
+  EXPECT_FALSE(profiles[0].has_numeric_range);
 }
 
 TEST(ProfileTest, NullsCounted) {
@@ -51,9 +52,9 @@ TEST(ProfileTest, NullsCounted) {
   (void)t.AppendRow({Value("x")});
   (void)t.AppendRow({Value()});
   (void)t.AppendRow({Value()});
-  const ColumnProfile& p = ProfileTable(t)[0];
-  EXPECT_EQ(p.non_null, 1);
-  EXPECT_EQ(p.nulls, 2);
+  std::vector<ColumnProfile> profiles = ProfileTable(t);
+  EXPECT_EQ(profiles[0].non_null, 1);
+  EXPECT_EQ(profiles[0].nulls, 2);
 }
 
 TEST(SummarizeChangesTest, GroupsAndOrders) {

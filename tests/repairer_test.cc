@@ -61,7 +61,7 @@ TEST(RepairerTest, ExactRepairsCitizensToTruth) {
       EXPECT_EQ(result.repaired.cell(r, c), truth.cell(r, c));
     }
   }
-  EXPECT_FALSE(result.stats.fell_back_to_greedy);
+  EXPECT_TRUE(result.stats.degradations.empty());
 }
 
 TEST(RepairerTest, ApproJoinProducesFTConsistentOutput) {

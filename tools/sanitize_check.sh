@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Builds the project with AddressSanitizer + UBSan and runs the full
+# test suite. Usage: tools/sanitize_check.sh [build-dir]
+#
+# Any sanitizer report fails the run (-fno-sanitize-recover=all turns
+# UB into aborts; ASAN_OPTIONS below keeps leaks fatal). Intended as a
+# pre-merge gate for changes to the repair kernels or ingest paths.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-${repo_root}/build-asan}"
+
+cmake -B "${build_dir}" -S "${repo_root}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DFTREPAIR_SANITIZE=ON \
+  -DFTREPAIR_BUILD_BENCHMARKS=OFF \
+  -DFTREPAIR_BUILD_EXAMPLES=OFF
+cmake --build "${build_dir}" -j "$(nproc)"
+
+export ASAN_OPTIONS="detect_leaks=1:abort_on_error=1"
+export UBSAN_OPTIONS="print_stacktrace=1"
+ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)"
