@@ -4,8 +4,10 @@
 #include <ostream>
 #include <sstream>
 
+#include "common/metrics.h"
 #include "common/strings.h"
 #include "common/timer.h"
+#include "common/trace.h"
 #include "constraint/fd_parser.h"
 #include "core/repairer.h"
 #include "data/csv.h"
@@ -48,6 +50,16 @@ Options:
   --summary           print changes aggregated by (column, old, new)
   --help              this text
 
+Observability:
+  --metrics-json PATH write a JSON snapshot of every pipeline metric
+                      (counters, gauges, latency histograms)
+  --trace-json PATH   record scoped spans and write Chrome trace_event
+                      JSON; load in chrome://tracing or ui.perfetto.dev
+  --log-level LEVEL   debug | info | warn | error   (default: warn, or
+                      the FTREPAIR_LOG_LEVEL environment variable)
+
+Every value-taking flag also accepts the --flag=VALUE spelling.
+
 Modes (no repair performed):
   --profile           print per-column profiles of --input
   --discover          discover FDs on --input, vet their thresholds and
@@ -77,8 +89,25 @@ Result<CliOptions> ParseCliArgs(const std::vector<std::string>& args) {
   options.repair.w_r = 0.3;
   options.repair.default_tau = 0.4;
   for (size_t i = 0; i < args.size(); ++i) {
-    const std::string& arg = args[i];
+    // Split "--flag=value" so every value-taking flag accepts both
+    // spellings (the split is on the *first* '=', so --tau-fd=NAME=V
+    // still carries NAME=V as its value).
+    std::string arg = args[i];
+    std::string inline_value;
+    bool has_inline_value = false;
+    if (arg.size() > 2 && arg[0] == '-' && arg[1] == '-') {
+      size_t eq = arg.find('=');
+      if (eq != std::string::npos) {
+        inline_value = arg.substr(eq + 1);
+        arg.resize(eq);
+        has_inline_value = true;
+      }
+    }
     auto next = [&]() -> Result<std::string> {
+      if (has_inline_value) {
+        has_inline_value = false;
+        return inline_value;
+      }
       if (i + 1 >= args.size()) {
         return Status::InvalidArgument(arg + " expects a value");
       }
@@ -183,9 +212,23 @@ Result<CliOptions> ParseCliArgs(const std::vector<std::string>& args) {
       }
     } else if (arg == "--verbose") {
       options.verbose = true;
+    } else if (arg == "--metrics-json") {
+      FTR_ASSIGN_OR_RETURN(options.metrics_json_path, next());
+    } else if (arg == "--trace-json") {
+      FTR_ASSIGN_OR_RETURN(options.trace_json_path, next());
+    } else if (arg == "--log-level") {
+      FTR_ASSIGN_OR_RETURN(std::string name, next());
+      if (!ParseLogLevel(name, &options.log_level)) {
+        return Status::InvalidArgument("unknown --log-level '" + name +
+                                       "' (debug | info | warn | error)");
+      }
+      options.log_level_set = true;
     } else {
-      return Status::InvalidArgument("unknown flag '" + arg + "'\n" +
+      return Status::InvalidArgument("unknown flag '" + args[i] + "'\n" +
                                      CliUsage());
+    }
+    if (has_inline_value) {
+      return Status::InvalidArgument(arg + " does not take a value");
     }
   }
   if (options.input_path.empty()) {
@@ -209,10 +252,16 @@ Status RunProfile(const Table& table, std::ostream& out) {
       if (!tops.empty()) tops += ", ";
       tops += value.ToString() + " x" + std::to_string(count);
     }
-    std::string range = p.has_numeric_range
-                            ? "[" + FormatDouble(p.min) + ", " +
-                                  FormatDouble(p.max) + "]"
-                            : "-";
+    // Built with += (not chained operator+): GCC 12 emits a spurious
+    // -Wrestrict warning on `const char* + std::string&&` chains here.
+    std::string range = "-";
+    if (p.has_numeric_range) {
+      range = "[";
+      range += FormatDouble(p.min);
+      range += ", ";
+      range += FormatDouble(p.max);
+      range += "]";
+    }
     report.AddRow({p.name, p.type == ValueType::kNumber ? "number" : "string",
                    std::to_string(p.non_null), std::to_string(p.distinct),
                    Report::Num(p.distinct_ratio, 3), tops, range});
@@ -248,13 +297,31 @@ Status RunDiscover(const Table& table, const CliOptions& options,
   return Status::OK();
 }
 
-}  // namespace
-
-Status RunCli(const CliOptions& options, std::ostream& out) {
-  if (options.help) {
-    out << CliUsage();
-    return Status::OK();
+// Writes the metrics snapshot and trace JSON if requested. Runs even
+// when the repair itself failed, so a partial run is still observable.
+Status WriteObservabilityOutputs(const CliOptions& options,
+                                 std::ostream& out) {
+  if (!options.metrics_json_path.empty()) {
+    std::ofstream file(options.metrics_json_path, std::ios::binary);
+    if (!file) {
+      return Status::IOError("cannot open '" + options.metrics_json_path +
+                             "' for writing");
+    }
+    file << Metrics().SnapshotJson() << "\n";
+    if (!file) {
+      return Status::IOError("short write to '" +
+                             options.metrics_json_path + "'");
+    }
+    out << "wrote " << options.metrics_json_path << "\n";
   }
+  if (!options.trace_json_path.empty()) {
+    FTR_RETURN_NOT_OK(Tracer::Instance().WriteFile(options.trace_json_path));
+    out << "wrote " << options.trace_json_path << "\n";
+  }
+  return Status::OK();
+}
+
+Status RunCliInner(const CliOptions& options, std::ostream& out) {
   CsvReadReport csv_report;
   FTR_ASSIGN_OR_RETURN(
       Table dirty, ReadCsvFile(options.input_path, options.csv, &csv_report));
@@ -324,6 +391,24 @@ Status RunCli(const CliOptions& options, std::ostream& out) {
   out << "FT-violations: " << result.stats.ft_violations_before << " -> "
       << result.stats.ft_violations_after << "\n";
   out << "repair cost (Eq. 4): " << result.stats.repair_cost << "\n";
+
+  const PhaseTimings& phases = result.stats.phases;
+  Report phase_report("phase timings");
+  phase_report.SetHeader({"phase", "ms", "%"});
+  const std::pair<const char*, double> phase_rows[] = {
+      {"detect", phases.detect_ms}, {"graph", phases.graph_ms},
+      {"solve", phases.solve_ms},   {"targets", phases.targets_ms},
+      {"apply", phases.apply_ms},   {"stats", phases.stats_ms},
+  };
+  for (const auto& [phase_name, phase_ms] : phase_rows) {
+    double pct =
+        phases.total_ms > 0 ? 100.0 * phase_ms / phases.total_ms : 0.0;
+    phase_report.AddRow(
+        {phase_name, Report::Num(phase_ms, 3), Report::Num(pct, 1)});
+  }
+  phase_report.AddRow({"total", Report::Num(phases.total_ms, 3), ""});
+  phase_report.Print(out);
+
   if (result.stats.degraded()) {
     out << "note: repair degraded " << result.stats.degradations.size()
         << " step(s) along the ladder; the result is a valid partial "
@@ -396,6 +481,23 @@ Status RunCli(const CliOptions& options, std::ostream& out) {
         << "\n";
   }
   return Status::OK();
+}
+
+}  // namespace
+
+Status RunCli(const CliOptions& options, std::ostream& out) {
+  if (options.help) {
+    out << CliUsage();
+    return Status::OK();
+  }
+  if (options.log_level_set) SetLogLevel(options.log_level);
+  const bool tracing = !options.trace_json_path.empty();
+  if (tracing) Tracer::Instance().Enable();
+  Status status = RunCliInner(options, out);
+  Status observability = WriteObservabilityOutputs(options, out);
+  if (tracing) Tracer::Instance().Disable();
+  FTR_RETURN_NOT_OK(status);
+  return observability;
 }
 
 }  // namespace ftrepair

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/logging.h"
 #include "common/status.h"
 #include "core/repair_types.h"
 #include "data/csv.h"
@@ -28,6 +29,10 @@ struct CliOptions {
   CsvOptions csv;               // --on-bad-row
   double deadline_ms = 0;       // --deadline-ms (0 = unlimited)
   bool verbose = false;         // --verbose
+  std::string metrics_json_path;  // --metrics-json (JSON metrics snapshot)
+  std::string trace_json_path;    // --trace-json (Chrome trace_event JSON)
+  bool log_level_set = false;     // --log-level given explicitly
+  LogLevel log_level = LogLevel::kWarning;  // --log-level
 };
 
 /// Usage text for --help / errors.

@@ -1,15 +1,43 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <chrono>
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 
 namespace ftrepair {
 
 namespace {
-std::atomic<LogLevel> g_level{LogLevel::kWarning};
 
-const char* LevelName(LogLevel level) {
+// Default level, overridable at startup via FTREPAIR_LOG_LEVEL.
+LogLevel InitialLogLevel() {
+  const char* env = std::getenv("FTREPAIR_LOG_LEVEL");
+  LogLevel level = LogLevel::kWarning;
+  if (env != nullptr && env[0] != '\0' && !ParseLogLevel(env, &level)) {
+    std::fprintf(stderr,
+                 "[WARN logging] unknown FTREPAIR_LOG_LEVEL '%s' "
+                 "(debug | info | warn | error); keeping default\n",
+                 env);
+  }
+  return level;
+}
+
+std::atomic<LogLevel> g_level{InitialLogLevel()};
+
+// Monotonic ms since the first log line (steady_clock — immune to
+// wall-clock jumps). Anchored lazily so the prefix measures process
+// activity, not static-init order.
+double ElapsedMs() {
+  static const auto start = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+const char* LogLevelName(LogLevel level) {
   switch (level) {
     case LogLevel::kDebug:
       return "DEBUG";
@@ -22,7 +50,27 @@ const char* LevelName(LogLevel level) {
   }
   return "?";
 }
-}  // namespace
+
+bool ParseLogLevel(const std::string& name, LogLevel* out) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) {
+    lower += static_cast<char>(
+        std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (lower == "debug") {
+    *out = LogLevel::kDebug;
+  } else if (lower == "info") {
+    *out = LogLevel::kInfo;
+  } else if (lower == "warn" || lower == "warning") {
+    *out = LogLevel::kWarning;
+  } else if (lower == "error") {
+    *out = LogLevel::kError;
+  } else {
+    return false;
+  }
+  return true;
+}
 
 void SetLogLevel(LogLevel level) { g_level.store(level); }
 LogLevel GetLogLevel() { return g_level.load(); }
@@ -31,7 +79,10 @@ namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : level_(level) {
-  stream_ << "[" << LevelName(level) << " " << file << ":" << line << "] ";
+  char prefix[64];
+  std::snprintf(prefix, sizeof(prefix), "[%10.3fms %-5s ", ElapsedMs(),
+                LogLevelName(level));
+  stream_ << prefix << file << ":" << line << "] ";
 }
 
 LogMessage::~LogMessage() {

@@ -9,9 +9,18 @@ namespace ftrepair {
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
 /// Sets the minimum level emitted to stderr (default: kWarning, so the
-/// library is silent in normal operation).
+/// library is silent in normal operation). The default can be
+/// overridden at startup via the FTREPAIR_LOG_LEVEL environment
+/// variable ("debug" | "info" | "warn" | "error", case-insensitive).
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+/// Parses "debug" | "info" | "warn"/"warning" | "error"
+/// (case-insensitive) into `out`. Returns false on anything else.
+bool ParseLogLevel(const std::string& name, LogLevel* out);
+
+/// Canonical name of `level` ("DEBUG", "INFO", "WARN", "ERROR").
+const char* LogLevelName(LogLevel level);
 
 namespace internal {
 

@@ -1,0 +1,164 @@
+#include "common/metrics.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace ftrepair {
+
+namespace {
+
+// Locale-independent double rendering for JSON (%.17g round-trips,
+// but shorter forms are preferred for readability; %g at 15 digits is
+// ample for millisecond sums).
+std::string JsonNumber(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.15g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void Histogram::Observe(double ms) {
+  size_t i = 0;
+  while (i < kBoundsMs.size() && ms > kBoundsMs[i]) ++i;
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // fetch_add on atomic<double> is C++20; relaxed is fine — the sum is
+  // only read in snapshots.
+  sum_.fetch_add(ms, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Instance() {
+  // Leaked singleton: metric pointers cached in function-local statics
+  // across the codebase must outlive every other static destructor.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(name, std::unique_ptr<Counter>(new Counter()))
+             .first;
+  }
+  return it->second.get();
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& label_key,
+                                     const std::string& label_value) {
+  return GetCounter(name + "{" + label_key + "=" + label_value + "}");
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(name, std::unique_ptr<Gauge>(new Gauge())).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(name, std::unique_ptr<Histogram>(new Histogram()))
+             .first;
+  }
+  return it->second.get();
+}
+
+std::string MetricsRegistry::SnapshotJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << JsonEscape(name) << "\":" << counter->value();
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << JsonEscape(name) << "\":" << JsonNumber(gauge->value());
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, hist] : histograms_) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << JsonEscape(name) << "\":{\"count\":" << hist->count()
+        << ",\"sum_ms\":" << JsonNumber(hist->sum()) << ",\"buckets\":[";
+    for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+      if (i > 0) out << ",";
+      out << "{\"le\":";
+      if (i < Histogram::kBoundsMs.size()) {
+        out << JsonNumber(Histogram::kBoundsMs[i]);
+      } else {
+        out << "\"+inf\"";
+      }
+      out << ",\"count\":" << hist->bucket_count(i) << "}";
+    }
+    out << "]}";
+  }
+  out << "}}";
+  return out.str();
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) {
+    counter->value_.store(0, std::memory_order_relaxed);
+  }
+  for (auto& [name, gauge] : gauges_) {
+    gauge->value_.store(0, std::memory_order_relaxed);
+  }
+  for (auto& [name, hist] : histograms_) {
+    for (auto& bucket : hist->buckets_) {
+      bucket.store(0, std::memory_order_relaxed);
+    }
+    hist->count_.store(0, std::memory_order_relaxed);
+    hist->sum_.store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace ftrepair

@@ -1,0 +1,157 @@
+#include "common/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <ostream>
+#include <sstream>
+#include <thread>
+
+#include "common/metrics.h"
+
+namespace ftrepair {
+
+namespace {
+
+std::string JsonUs(double us) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", us);
+  return buf;
+}
+
+uint32_t ThisThreadId() {
+  // Stable small-ish id per thread; Chrome only needs distinct tids.
+  return static_cast<uint32_t>(
+      std::hash<std::thread::id>()(std::this_thread::get_id()) & 0xffffff);
+}
+
+}  // namespace
+
+Tracer::Tracer() : shards_(kNumShards) {}
+
+Tracer& Tracer::Instance() {
+  static Tracer* tracer = new Tracer();  // leaked: outlives all statics
+  return *tracer;
+}
+
+void Tracer::Enable() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.ring.clear();
+    shard.next = 0;
+    shard.total = 0;
+  }
+  epoch_ = std::chrono::steady_clock::now();
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::Disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+double Tracer::NowUs() const {
+  if (!enabled()) return 0;
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+Tracer::Shard& Tracer::ShardForThisThread() {
+  return shards_[ThisThreadId() % kNumShards];
+}
+
+void Tracer::Push(Event event) {
+  Shard& shard = ShardForThisThread();
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.ring.size() < kShardCapacity) {
+    shard.ring.push_back(std::move(event));
+  } else {
+    shard.ring[shard.next] = std::move(event);  // wrap: overwrite oldest
+  }
+  shard.next = (shard.next + 1) % kShardCapacity;
+  ++shard.total;
+}
+
+void Tracer::RecordComplete(std::string name, double ts_us, double dur_us,
+                            Args args) {
+  if (!enabled()) return;
+  Push(Event{'X', std::move(name), ts_us, dur_us, ThisThreadId(),
+             std::move(args)});
+}
+
+void Tracer::RecordInstant(std::string name, Args args) {
+  if (!enabled()) return;
+  Push(Event{'i', std::move(name), NowUs(), 0, ThisThreadId(),
+             std::move(args)});
+}
+
+uint64_t Tracer::dropped() const {
+  uint64_t dropped = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.total > shard.ring.size()) {
+      dropped += shard.total - shard.ring.size();
+    }
+  }
+  return dropped;
+}
+
+void Tracer::ExportJson(std::ostream& out) const {
+  // Snapshot every shard under its lock, then sort by timestamp so the
+  // exported file is deterministic and pleasant to diff.
+  std::vector<Event> events;
+  uint64_t dropped_events = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    events.insert(events.end(), shard.ring.begin(), shard.ring.end());
+    if (shard.total > shard.ring.size()) {
+      dropped_events += shard.total - shard.ring.size();
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const Event& a, const Event& b) { return a.ts_us < b.ts_us; });
+
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  if (dropped_events > 0) {
+    out << "{\"name\":\"ftrepair.trace.dropped\",\"ph\":\"M\",\"pid\":1,"
+           "\"tid\":0,\"args\":{\"dropped\":"
+        << dropped_events << "}}";
+    first = false;
+  }
+  for (const Event& event : events) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"name\":\"" << JsonEscape(event.name) << "\",\"cat\":\"ftrepair\""
+        << ",\"ph\":\"" << event.phase << "\",\"pid\":1,\"tid\":"
+        << event.tid << ",\"ts\":" << JsonUs(event.ts_us);
+    if (event.phase == 'X') {
+      out << ",\"dur\":" << JsonUs(event.dur_us);
+    } else if (event.phase == 'i') {
+      out << ",\"s\":\"t\"";  // thread-scoped instant
+    }
+    if (!event.args.empty()) {
+      out << ",\"args\":{";
+      bool first_arg = true;
+      for (const auto& [key, value] : event.args) {
+        if (!first_arg) out << ",";
+        first_arg = false;
+        out << "\"" << JsonEscape(key) << "\":\"" << JsonEscape(value)
+            << "\"";
+      }
+      out << "}";
+    }
+    out << "}";
+  }
+  out << "]}";
+}
+
+Status Tracer::WriteFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
+  ExportJson(out);
+  out << "\n";
+  if (!out) return Status::IOError("short write to '" + path + "'");
+  return Status::OK();
+}
+
+}  // namespace ftrepair

@@ -1,5 +1,6 @@
 #include "core/appro_multi.h"
 
+#include "common/trace.h"
 #include "core/greedy_single.h"
 
 namespace ftrepair {
@@ -8,6 +9,7 @@ Result<MultiFDSolution> SolveApproMulti(const ComponentContext& context,
                                         const DistanceModel& model,
                                         const RepairOptions& options,
                                         RepairStats* stats) {
+  FTR_TRACE_SPAN("appro.solve_multi");
   std::vector<std::vector<int>> chosen;
   chosen.reserve(context.fds.size());
   bool truncated = false;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/trace.h"
 #include "core/appro_multi.h"
 #include "core/expansion_single.h"
 
@@ -137,6 +138,7 @@ Result<MultiFDSolution> SolveExpansionMulti(const ComponentContext& context,
                                             const DistanceModel& model,
                                             const RepairOptions& options,
                                             RepairStats* stats) {
+  FTR_TRACE_SPAN("expansion.solve_multi");
   size_t num_fds = context.fds.size();
   CombinationSearch search;
   search.context = &context;

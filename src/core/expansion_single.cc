@@ -4,6 +4,8 @@
 #include <unordered_set>
 
 #include "common/logging.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "core/greedy_single.h"
 
 namespace ftrepair {
@@ -290,6 +292,7 @@ Result<SingleFDSolution> SolveConnectedComponent(
 
 Result<SingleFDSolution> SolveExpansionSingle(const ViolationGraph& graph,
                                               const ExpansionConfig& config) {
+  FTR_TRACE_SPAN("expansion.solve_single");
   // Maximal independent sets, repair targets, and costs all decompose
   // over connected components of the violation graph, so the optimum
   // is the union of per-component optima. This keeps the expansion
@@ -331,6 +334,12 @@ Result<SingleFDSolution> SolveExpansionSingle(const ViolationGraph& graph,
     solution.nodes_pruned += local.nodes_pruned;
   }
   std::sort(solution.chosen_set.begin(), solution.chosen_set.end());
+  static Counter* nodes =
+      Metrics().GetCounter("ftrepair.solve.expansion_nodes");
+  static Counter* pruned =
+      Metrics().GetCounter("ftrepair.solve.expansion_pruned");
+  nodes->Increment(solution.nodes_expanded);
+  pruned->Increment(solution.nodes_pruned);
   return solution;
 }
 

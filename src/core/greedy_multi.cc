@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "common/logging.h"
+#include "common/trace.h"
 
 namespace ftrepair {
 
@@ -216,6 +217,7 @@ Result<MultiFDSolution> SolveGreedyMulti(const ComponentContext& context,
                                          const DistanceModel& model,
                                          const RepairOptions& options,
                                          RepairStats* stats) {
+  FTR_TRACE_SPAN("greedy.solve_multi");
   GreedyMultiState state;
   state.Init(context, options);
 

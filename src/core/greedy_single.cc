@@ -2,12 +2,15 @@
 
 #include <algorithm>
 
+#include "common/trace.h"
+
 namespace ftrepair {
 
 SingleFDSolution SolveGreedySingle(const ViolationGraph& graph,
                                    const std::vector<bool>* forced,
                                    uint64_t* trusted_conflicts,
                                    const Budget* budget) {
+  FTR_TRACE_SPAN("greedy.solve_single");
   SingleFDSolution solution;
   int n = graph.num_patterns();
   solution.repair_target.assign(static_cast<size_t>(n), -1);

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/trace.h"
 #include "detect/pattern.h"
 #include "detect/violation_graph.h"
 
@@ -40,6 +41,7 @@ size_t LazyTargetSearch::BackKey(const Level& level,
 Result<LazyTargetSearch> LazyTargetSearch::Build(
     std::vector<TargetTree::LevelInput> inputs,
     std::vector<int> component_cols) {
+  FTR_TRACE_SPAN("targets.lazy_build");
   if (inputs.empty()) {
     return Status::InvalidArgument("lazy target search needs >= 1 set");
   }

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "common/metrics.h"
+#include "common/timer.h"
+#include "common/trace.h"
 #include "core/lazy_targets.h"
 
 namespace ftrepair {
@@ -97,10 +100,44 @@ size_t FindBestTargetLinear(const std::vector<std::vector<Value>>& targets,
   return best_idx;
 }
 
+// Scope guard: accumulates target-assignment wall clock into
+// stats->phases.targets_ms (stats may be null) and mirrors the search
+// counters into the metrics registry on exit.
+class TargetsInstrument {
+ public:
+  explicit TargetsInstrument(RepairStats* stats) : stats_(stats) {
+    if (stats_ != nullptr) {
+      visited_before_ = stats_->target_nodes_visited;
+      pruned_before_ = stats_->target_nodes_pruned;
+    }
+  }
+  ~TargetsInstrument() {
+    static Counter* assign_calls =
+        Metrics().GetCounter("ftrepair.targets.assign_calls");
+    assign_calls->Increment();
+    if (stats_ == nullptr) return;
+    stats_->phases.targets_ms += timer_.Millis();
+    static Counter* visited =
+        Metrics().GetCounter("ftrepair.targets.nodes_visited");
+    static Counter* pruned =
+        Metrics().GetCounter("ftrepair.targets.nodes_pruned");
+    visited->Increment(stats_->target_nodes_visited - visited_before_);
+    pruned->Increment(stats_->target_nodes_pruned - pruned_before_);
+  }
+
+ private:
+  RepairStats* stats_;
+  uint64_t visited_before_ = 0;
+  uint64_t pruned_before_ = 0;
+  Timer timer_;
+};
+
 Result<MultiFDSolution> AssignTargets(
     const ComponentContext& context,
     const std::vector<std::vector<int>>& chosen, const DistanceModel& model,
     const RepairOptions& options, RepairStats* stats) {
+  FTR_TRACE_SPAN("targets.assign");
+  TargetsInstrument instrument(stats);
   MultiFDSolution solution;
   solution.component_cols = context.component_cols;
   solution.sigma_patterns = context.sigma_patterns;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <set>
 
+#include "common/trace.h"
+
 namespace ftrepair {
 
 const char* RepairAlgorithmName(RepairAlgorithm algorithm) {
@@ -29,6 +31,16 @@ FTOptions RepairOptions::FTFor(const FD& fd) const {
   return FTOptions{w_l, w_r, TauFor(fd)};
 }
 
+void PhaseTimings::Merge(const PhaseTimings& other) {
+  detect_ms += other.detect_ms;
+  graph_ms += other.graph_ms;
+  solve_ms += other.solve_ms;
+  targets_ms += other.targets_ms;
+  apply_ms += other.apply_ms;
+  stats_ms += other.stats_ms;
+  total_ms += other.total_ms;
+}
+
 void RepairStats::Merge(const RepairStats& other) {
   ft_violations_before += other.ft_violations_before;
   ft_violations_after += other.ft_violations_after;
@@ -44,6 +56,7 @@ void RepairStats::Merge(const RepairStats& other) {
   targets_materialized += other.targets_materialized;
   degradations.insert(degradations.end(), other.degradations.begin(),
                       other.degradations.end());
+  phases.Merge(other.phases);
   join_empty = join_empty || other.join_empty;
   trusted_conflicts += other.trusted_conflicts;
 }
@@ -52,6 +65,7 @@ void ApplySingleFDSolution(const ViolationGraph& graph, const FD& fd,
                            const SingleFDSolution& solution, Table* table,
                            std::vector<CellChange>* changes,
                            const std::unordered_set<int>* trusted) {
+  FTR_TRACE_SPAN("repair.apply_single", {{"fd", fd.name()}});
   for (int i = 0; i < graph.num_patterns(); ++i) {
     int target = solution.repair_target[static_cast<size_t>(i)];
     if (target < 0) continue;
@@ -77,6 +91,7 @@ void ApplySingleFDSolution(const ViolationGraph& graph, const FD& fd,
 void ApplyMultiFDSolution(const MultiFDSolution& solution, Table* table,
                           std::vector<CellChange>* changes,
                           const std::unordered_set<int>* trusted) {
+  FTR_TRACE_SPAN("repair.apply_multi");
   for (size_t i = 0; i < solution.sigma_patterns.size(); ++i) {
     const std::vector<Value>& target = solution.targets[i];
     if (target.empty()) continue;

@@ -127,6 +127,33 @@ struct DegradationEvent {
   double elapsed_ms = 0;
 };
 
+/// \brief Wall-clock breakdown of one repair call by pipeline phase.
+///
+/// Populated by the Repairer facade from the same scoped spans that
+/// feed the tracer (src/common/trace.h), so the numbers here and in a
+/// --trace-json export agree. All values are milliseconds. `solve_ms`
+/// excludes the target-assignment time nested inside the multi-FD
+/// solvers — the six phases are disjoint, and total_ms additionally
+/// covers the small glue between them.
+struct PhaseTimings {
+  /// FT-violation counting before the repair (compute_violation_stats).
+  double detect_ms = 0;
+  /// Violation-graph / component-context construction.
+  double graph_ms = 0;
+  /// Expansion/greedy/appro solving (minus nested target assignment).
+  double solve_ms = 0;
+  /// Target-tree build + best-target searches (AssignTargets).
+  double targets_ms = 0;
+  /// Writing solutions into the output table.
+  double apply_ms = 0;
+  /// Post-repair FT-violation recount + repair-cost computation.
+  double stats_ms = 0;
+  /// End-to-end wall clock of the Repair call.
+  double total_ms = 0;
+
+  void Merge(const PhaseTimings& other);
+};
+
 /// One repaired cell.
 struct CellChange {
   int row = 0;
@@ -155,7 +182,12 @@ struct RepairStats {
   uint64_t targets_materialized = 0;
   /// Every degradation-ladder step taken, in the order they happened.
   /// Empty iff the requested algorithm ran to completion everywhere.
+  /// elapsed_ms values are all measured from the same repair-scoped
+  /// clock (started at the Repair call), so they are monotonically
+  /// non-decreasing in vector order.
   std::vector<DegradationEvent> degradations;
+  /// Per-phase wall-clock breakdown of this repair.
+  PhaseTimings phases;
   /// True when some multi-FD component produced an empty target join
   /// and its tuples were left unrepaired.
   bool join_empty = false;

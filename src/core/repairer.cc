@@ -4,6 +4,9 @@
 #include <unordered_set>
 
 #include "common/logging.h"
+#include "common/metrics.h"
+#include "common/timer.h"
+#include "common/trace.h"
 #include "constraint/fd_graph.h"
 #include "core/appro_multi.h"
 #include "core/expansion_multi.h"
@@ -18,18 +21,74 @@ namespace ftrepair {
 
 namespace {
 
-// Appends one degradation-ladder event to `stats`.
-void RecordDegradation(RepairStats* stats, const Budget* budget,
+// Appends one degradation-ladder event to `stats`, stamped from the
+// repair-scoped clock (every event of a run shares `clock`, so
+// elapsed_ms is monotonically non-decreasing in record order). Each
+// event also lands as a trace instant and a labeled counter so
+// degraded runs are visible in --trace-json / --metrics-json output.
+void RecordDegradation(RepairStats* stats, const Timer& clock,
                        std::string component, std::string stage,
                        std::string reason) {
   DegradationEvent event;
   event.component = std::move(component);
   event.stage = std::move(stage);
   event.reason = std::move(reason);
-  event.elapsed_ms = budget != nullptr ? budget->ElapsedMs() : 0;
+  event.elapsed_ms = clock.Millis();
   FTR_LOG(kInfo) << "degradation [" << event.component << "] "
                  << event.stage << ": " << event.reason;
+  Metrics().GetCounter("ftrepair.degradations", "stage", event.stage)
+      ->Increment();
+  Tracer::Instance().RecordInstant("repair.degradation",
+                                   {{"component", event.component},
+                                    {"stage", event.stage},
+                                    {"reason", event.reason}});
   stats->degradations.push_back(std::move(event));
+}
+
+// Scope guard accumulating its lifetime into one PhaseTimings field.
+class PhaseTimer {
+ public:
+  explicit PhaseTimer(double* acc) : acc_(acc) {}
+  ~PhaseTimer() { *acc_ += timer_.Millis(); }
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+ private:
+  double* acc_;
+  Timer timer_;
+};
+
+// Publishes one finished repair's phase breakdown to the process-wide
+// metrics registry: a per-phase elapsed-time counter family (in
+// microseconds, so the counters stay integral) plus end-state counters
+// and the end-to-end latency histogram.
+void ExportRepairMetrics(const RepairStats& stats) {
+  static Counter* detect_us = Metrics().GetCounter("ftrepair.phase.detect_us");
+  static Counter* graph_us = Metrics().GetCounter("ftrepair.phase.graph_us");
+  static Counter* solve_us = Metrics().GetCounter("ftrepair.phase.solve_us");
+  static Counter* targets_us =
+      Metrics().GetCounter("ftrepair.phase.targets_us");
+  static Counter* apply_us = Metrics().GetCounter("ftrepair.phase.apply_us");
+  static Counter* stats_us = Metrics().GetCounter("ftrepair.phase.stats_us");
+  static Counter* runs = Metrics().GetCounter("ftrepair.repair.runs");
+  static Counter* degraded_runs =
+      Metrics().GetCounter("ftrepair.repair.degraded_runs");
+  static Counter* cells = Metrics().GetCounter("ftrepair.repair.cells_changed");
+  static Histogram* total_ms =
+      Metrics().GetHistogram("ftrepair.repair.total_ms");
+  auto us = [](double ms) {
+    return static_cast<uint64_t>(ms > 0 ? ms * 1000.0 : 0);
+  };
+  detect_us->Increment(us(stats.phases.detect_ms));
+  graph_us->Increment(us(stats.phases.graph_ms));
+  solve_us->Increment(us(stats.phases.solve_ms));
+  targets_us->Increment(us(stats.phases.targets_ms));
+  apply_us->Increment(us(stats.phases.apply_ms));
+  stats_us->Increment(us(stats.phases.stats_ms));
+  runs->Increment();
+  if (stats.degraded()) degraded_runs->Increment();
+  cells->Increment(static_cast<uint64_t>(stats.cells_changed));
+  total_ms->Observe(stats.phases.total_ms);
 }
 
 // "+"-joined FD names of a multi-FD component.
@@ -75,6 +134,14 @@ Status ValidateFDs(const Schema& schema, const std::vector<FD>& fds) {
 Result<RepairResult> Repairer::Repair(const Table& table,
                                       const std::vector<FD>& fds) const {
   FTR_RETURN_NOT_OK(ValidateFDs(table.schema(), fds));
+  // One clock for the whole call: every DegradationEvent::elapsed_ms
+  // and PhaseTimings::total_ms read it, so they are mutually
+  // comparable and monotone.
+  Timer repair_clock;
+  FTR_TRACE_SPAN("repair.total",
+                 {{"rows", std::to_string(table.num_rows())},
+                  {"fds", std::to_string(fds.size())},
+                  {"algorithm", RepairAlgorithmName(options_.algorithm)}});
 
   // Internal FD copies with guaranteed-unique names so per-FD taus can
   // be resolved by name.
@@ -107,6 +174,8 @@ Result<RepairResult> Repairer::Repair(const Table& table,
   result.repaired = table;
 
   if (opts.compute_violation_stats) {
+    FTR_TRACE_SPAN("repair.detect");
+    PhaseTimer phase(&result.stats.phases.detect_ms);
     bool truncated = false;
     for (const FD& fd : named) {
       bool fd_truncated = false;
@@ -115,7 +184,7 @@ Result<RepairResult> Repairer::Repair(const Table& table,
       truncated = truncated || fd_truncated;
     }
     if (truncated) {
-      RecordDegradation(&result.stats, opts.budget, "violation-stats",
+      RecordDegradation(&result.stats, repair_clock, "violation-stats",
                         "partial-graph",
                         "budget exhausted while counting FT-violations; "
                         "ft_violations_before is a lower bound");
@@ -131,18 +200,20 @@ Result<RepairResult> Repairer::Repair(const Table& table,
           return opts.budget->Check("repair pipeline");
         }
         // Detect-only: the component's tuples keep their values.
-        RecordDegradation(&result.stats, opts.budget, fd.name(), "skip",
+        RecordDegradation(&result.stats, repair_clock, fd.name(), "skip",
                           opts.budget->Check("repair pipeline").message());
         continue;
       }
+      Timer graph_timer;
       ViolationGraph graph = ViolationGraph::Build(
           PatternsFor(table, fd, opts.group_tuples), fd, model,
           opts.FTFor(fd), opts.budget);
+      result.stats.phases.graph_ms += graph_timer.Millis();
       if (graph.truncated()) {
         if (!opts.fall_back_to_greedy) {
           return opts.budget->Check("violation graph construction");
         }
-        RecordDegradation(&result.stats, opts.budget, fd.name(),
+        RecordDegradation(&result.stats, repair_clock, fd.name(),
                           "partial-graph",
                           "budget exhausted while building the violation "
                           "graph; undetected violations stay unrepaired");
@@ -158,6 +229,7 @@ Result<RepairResult> Repairer::Repair(const Table& table,
       // rung never fails outright; the budget truncates it instead.
       SingleFDSolution solution;
       bool have_solution = false;
+      Timer solve_timer;
       if (opts.algorithm == RepairAlgorithm::kExact) {
         ExpansionConfig config;
         config.max_frontier = opts.max_frontier;
@@ -171,7 +243,7 @@ Result<RepairResult> Repairer::Repair(const Table& table,
           result.stats.expansion_pruned += solution.nodes_pruned;
         } else if (exact.status().IsResourceExhausted() &&
                    opts.fall_back_to_greedy) {
-          RecordDegradation(&result.stats, opts.budget, fd.name(),
+          RecordDegradation(&result.stats, repair_clock, fd.name(),
                             "exact->greedy", exact.status().message());
         } else {
           return exact.status();
@@ -186,16 +258,20 @@ Result<RepairResult> Repairer::Repair(const Table& table,
             return opts.budget->Check("greedy cover");
           }
           RecordDegradation(
-              &result.stats, opts.budget, fd.name(), "greedy->partial",
+              &result.stats, repair_clock, fd.name(), "greedy->partial",
               "budget exhausted while growing the greedy set; uncovered "
               "patterns stay unrepaired");
         }
       }
-      ApplySingleFDSolution(graph, fd, solution, &result.repaired,
-                            &result.changes,
-                            opts.trusted_rows.empty()
-                                ? nullptr
-                                : &opts.trusted_rows);
+      result.stats.phases.solve_ms += solve_timer.Millis();
+      {
+        PhaseTimer phase(&result.stats.phases.apply_ms);
+        ApplySingleFDSolution(graph, fd, solution, &result.repaired,
+                              &result.changes,
+                              opts.trusted_rows.empty()
+                                  ? nullptr
+                                  : &opts.trusted_rows);
+      }
     } else {
       std::vector<const FD*> component_fds;
       component_fds.reserve(component.size());
@@ -207,12 +283,14 @@ Result<RepairResult> Repairer::Repair(const Table& table,
         if (!opts.fall_back_to_greedy) {
           return opts.budget->Check("repair pipeline");
         }
-        RecordDegradation(&result.stats, opts.budget, name, "skip",
+        RecordDegradation(&result.stats, repair_clock, name, "skip",
                           opts.budget->Check("repair pipeline").message());
         continue;
       }
+      Timer graph_timer;
       ComponentContext context =
           BuildComponentContext(table, component_fds, model, opts);
+      result.stats.phases.graph_ms += graph_timer.Millis();
       bool graphs_truncated = false;
       for (const ViolationGraph& graph : context.graphs) {
         graphs_truncated = graphs_truncated || graph.truncated();
@@ -221,7 +299,7 @@ Result<RepairResult> Repairer::Repair(const Table& table,
         if (!opts.fall_back_to_greedy) {
           return opts.budget->Check("violation graph construction");
         }
-        RecordDegradation(&result.stats, opts.budget, name, "partial-graph",
+        RecordDegradation(&result.stats, repair_clock, name, "partial-graph",
                           "budget exhausted while building the violation "
                           "graphs; undetected violations stay unrepaired");
       }
@@ -244,6 +322,11 @@ Result<RepairResult> Repairer::Repair(const Table& table,
       }
       Result<MultiFDSolution> solved = Status::Internal("unreachable");
       bool solved_ok = false;
+      // Target assignment runs nested inside the multi-FD solvers and
+      // accumulates into phases.targets_ms on its own; subtract its
+      // delta so solve/targets stay disjoint phases.
+      double targets_before = result.stats.phases.targets_ms;
+      Timer solve_timer;
       while (rung <= 2) {
         switch (rung) {
           case 0:
@@ -265,58 +348,70 @@ Result<RepairResult> Repairer::Repair(const Table& table,
           return solved.status();
         }
         if (rung < 2) {
-          RecordDegradation(&result.stats, opts.budget, name,
+          RecordDegradation(&result.stats, repair_clock, name,
                             std::string(kRungs[rung]) + "->" +
                                 kRungs[rung + 1],
                             solved.status().message());
         } else {
           // Bottom of the ladder: detect-only for this component.
-          RecordDegradation(&result.stats, opts.budget, name, "skip",
+          RecordDegradation(&result.stats, repair_clock, name, "skip",
                             solved.status().message());
         }
         ++rung;
       }
+      result.stats.phases.solve_ms +=
+          solve_timer.Millis() -
+          (result.stats.phases.targets_ms - targets_before);
       if (!solved_ok) continue;  // component left unrepaired
       if (solved.value().truncated) {
         if (!opts.fall_back_to_greedy) {
           return opts.budget->Check("target assignment");
         }
-        RecordDegradation(&result.stats, opts.budget, name,
+        RecordDegradation(&result.stats, repair_clock, name,
                           "partial-targets",
                           "budget exhausted while assigning targets; "
                           "remaining patterns stay unrepaired");
       }
-      ApplyMultiFDSolution(solved.value(), &result.repaired,
-                           &result.changes,
-                           opts.trusted_rows.empty() ? nullptr
-                                                     : &opts.trusted_rows);
+      {
+        PhaseTimer phase(&result.stats.phases.apply_ms);
+        ApplyMultiFDSolution(solved.value(), &result.repaired,
+                             &result.changes,
+                             opts.trusted_rows.empty() ? nullptr
+                                                       : &opts.trusted_rows);
+      }
     }
   }
 
-  if (opts.compute_violation_stats) {
-    // The "after" count runs unbudgeted only when the run never
-    // degraded; a degraded run is already past its deadline, so give
-    // the recount the same (exhausted) budget and let it skip.
-    bool truncated = false;
-    for (const FD& fd : named) {
-      bool fd_truncated = false;
-      result.stats.ft_violations_after += CountFTViolations(
-          result.repaired, fd, model, opts.FTFor(fd), opts.budget,
-          &fd_truncated);
-      truncated = truncated || fd_truncated;
+  {
+    FTR_TRACE_SPAN("repair.stats");
+    PhaseTimer phase(&result.stats.phases.stats_ms);
+    if (opts.compute_violation_stats) {
+      // The "after" count runs unbudgeted only when the run never
+      // degraded; a degraded run is already past its deadline, so give
+      // the recount the same (exhausted) budget and let it skip.
+      bool truncated = false;
+      for (const FD& fd : named) {
+        bool fd_truncated = false;
+        result.stats.ft_violations_after += CountFTViolations(
+            result.repaired, fd, model, opts.FTFor(fd), opts.budget,
+            &fd_truncated);
+        truncated = truncated || fd_truncated;
+      }
+      if (truncated) {
+        RecordDegradation(&result.stats, repair_clock, "violation-stats",
+                          "partial-graph",
+                          "budget exhausted while recounting FT-violations; "
+                          "ft_violations_after is a lower bound");
+      }
     }
-    if (truncated) {
-      RecordDegradation(&result.stats, opts.budget, "violation-stats",
-                        "partial-graph",
-                        "budget exhausted while recounting FT-violations; "
-                        "ft_violations_after is a lower bound");
-    }
+    result.stats.repair_cost = TableRepairCost(table, result.repaired, model);
   }
-  result.stats.repair_cost = TableRepairCost(table, result.repaired, model);
   result.stats.cells_changed = static_cast<int>(result.changes.size());
   std::unordered_set<int> touched;
   for (const CellChange& change : result.changes) touched.insert(change.row);
   result.stats.tuples_changed = static_cast<int>(touched.size());
+  result.stats.phases.total_ms = repair_clock.Millis();
+  ExportRepairMetrics(result.stats);
   return result;
 }
 
@@ -337,6 +432,10 @@ Result<RepairResult> Repairer::RepairAppended(
 
 Result<RepairResult> Repairer::RepairCFDs(const Table& table,
                                           const std::vector<CFD>& cfds) const {
+  Timer repair_clock;
+  FTR_TRACE_SPAN("repair.cfd_total",
+                 {{"rows", std::to_string(table.num_rows())},
+                  {"cfds", std::to_string(cfds.size())}});
   RepairResult result;
   result.repaired = table;
   DistanceModel model(table);
@@ -350,7 +449,7 @@ Result<RepairResult> Repairer::RepairCFDs(const Table& table,
           return options_.budget->Check("CFD repair");
         }
         RecordDegradation(
-            &result.stats, options_.budget,
+            &result.stats, repair_clock,
             fd.name() + "#" + std::to_string(p), "skip",
             options_.budget->Check("CFD repair").message());
         continue;
@@ -373,14 +472,16 @@ Result<RepairResult> Repairer::RepairCFDs(const Table& table,
       // stepping down the same exact -> greedy -> partial ladder.
       std::vector<int> scope = cfd.ApplicableRows(result.repaired, p);
       if (scope.size() < 2) continue;
+      Timer graph_timer;
       ViolationGraph graph = ViolationGraph::Build(
           BuildPatternsForRows(result.repaired, fd.attrs(), scope), fd,
           model, options_.FTFor(fd), options_.budget);
+      result.stats.phases.graph_ms += graph_timer.Millis();
       if (graph.truncated()) {
         if (!options_.fall_back_to_greedy) {
           return options_.budget->Check("violation graph construction");
         }
-        RecordDegradation(&result.stats, options_.budget,
+        RecordDegradation(&result.stats, repair_clock,
                           fd.name() + "#" + std::to_string(p),
                           "partial-graph",
                           "budget exhausted while building the violation "
@@ -388,6 +489,7 @@ Result<RepairResult> Repairer::RepairCFDs(const Table& table,
       }
       SingleFDSolution solution;
       bool have_solution = false;
+      Timer solve_timer;
       if (options_.algorithm == RepairAlgorithm::kExact) {
         ExpansionConfig config;
         config.max_frontier = options_.max_frontier;
@@ -398,7 +500,7 @@ Result<RepairResult> Repairer::RepairCFDs(const Table& table,
           have_solution = true;
         } else if (exact.status().IsResourceExhausted() &&
                    options_.fall_back_to_greedy) {
-          RecordDegradation(&result.stats, options_.budget,
+          RecordDegradation(&result.stats, repair_clock,
                             fd.name() + "#" + std::to_string(p),
                             "exact->greedy", exact.status().message());
         } else {
@@ -413,22 +515,31 @@ Result<RepairResult> Repairer::RepairCFDs(const Table& table,
             return options_.budget->Check("greedy cover");
           }
           RecordDegradation(
-              &result.stats, options_.budget,
+              &result.stats, repair_clock,
               fd.name() + "#" + std::to_string(p), "greedy->partial",
               "budget exhausted while growing the greedy set; uncovered "
               "patterns stay unrepaired");
         }
       }
-      ApplySingleFDSolution(graph, fd, solution, &result.repaired,
-                            &result.changes);
+      result.stats.phases.solve_ms += solve_timer.Millis();
+      {
+        PhaseTimer phase(&result.stats.phases.apply_ms);
+        ApplySingleFDSolution(graph, fd, solution, &result.repaired,
+                              &result.changes);
+      }
     }
   }
 
-  result.stats.repair_cost = TableRepairCost(table, result.repaired, model);
+  {
+    PhaseTimer phase(&result.stats.phases.stats_ms);
+    result.stats.repair_cost = TableRepairCost(table, result.repaired, model);
+  }
   result.stats.cells_changed = static_cast<int>(result.changes.size());
   std::unordered_set<int> touched;
   for (const CellChange& change : result.changes) touched.insert(change.row);
   result.stats.tuples_changed = static_cast<int>(touched.size());
+  result.stats.phases.total_ms = repair_clock.Millis();
+  ExportRepairMetrics(result.stats);
   return result;
 }
 

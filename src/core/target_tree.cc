@@ -7,6 +7,7 @@
 #include <unordered_set>
 
 #include "common/logging.h"
+#include "common/trace.h"
 #include "detect/pattern.h"
 #include "detect/violation_graph.h"
 
@@ -15,6 +16,7 @@ namespace ftrepair {
 Result<TargetTree> TargetTree::Build(std::vector<LevelInput> inputs,
                                      std::vector<int> component_cols,
                                      size_t max_nodes) {
+  FTR_TRACE_SPAN("targets.tree_build");
   if (inputs.empty()) {
     return Status::InvalidArgument("target tree needs >= 1 independent set");
   }

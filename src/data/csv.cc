@@ -6,7 +6,10 @@
 #include <sstream>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/strings.h"
+#include "common/timer.h"
+#include "common/trace.h"
 
 namespace ftrepair {
 
@@ -137,6 +140,8 @@ const char* RowErrorKindName(RowErrorKind kind) {
 Result<Table> ReadCsvString(const std::string& text,
                             const CsvOptions& options,
                             CsvReadReport* report) {
+  FTR_TRACE_SPAN("ingest.read_csv");
+  Timer read_timer;
   CsvReadReport local_report;
   if (report == nullptr) report = &local_report;
   *report = CsvReadReport{};
@@ -246,6 +251,17 @@ Result<Table> ReadCsvString(const std::string& text,
     }
     FTR_RETURN_NOT_OK(table.AppendRow(std::move(row)));
   }
+  static Counter* rows_read = Metrics().GetCounter("ftrepair.ingest.rows_read");
+  static Counter* rows_dropped =
+      Metrics().GetCounter("ftrepair.ingest.rows_dropped");
+  static Counter* rows_padded =
+      Metrics().GetCounter("ftrepair.ingest.rows_padded");
+  static Histogram* read_ms =
+      Metrics().GetHistogram("ftrepair.ingest.read_ms");
+  rows_read->Increment(report->rows_kept);
+  rows_dropped->Increment(report->rows_dropped);
+  rows_padded->Increment(report->rows_padded);
+  read_ms->Observe(read_timer.Millis());
   return table;
 }
 

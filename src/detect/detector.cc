@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "common/trace.h"
 #include "detect/pattern.h"
 
 namespace ftrepair {
@@ -126,6 +127,7 @@ uint64_t CountExactViolations(const Table& table, const FD& fd) {
 uint64_t CountFTViolations(const Table& table, const FD& fd,
                            const DistanceModel& model, const FTOptions& opts,
                            const Budget* budget, bool* truncated) {
+  FTR_TRACE_SPAN("detect.count_ft", {{"fd", fd.name()}});
   ViolationGraph graph = ViolationGraph::Build(
       BuildPatterns(table, fd.attrs()), fd, model, opts, budget);
   if (truncated != nullptr) *truncated = graph.truncated();

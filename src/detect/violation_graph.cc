@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "common/metrics.h"
+#include "common/timer.h"
+#include "common/trace.h"
 #include "metric/distance.h"
 
 namespace ftrepair {
@@ -57,6 +60,8 @@ ViolationGraph ViolationGraph::Build(std::vector<Pattern> patterns,
                                      const FD& fd, const DistanceModel& model,
                                      const FTOptions& opts,
                                      const Budget* budget) {
+  FTR_TRACE_SPAN("detect.graph_build", {{"fd", fd.name()}});
+  Timer build_timer;
   ViolationGraph g;
   g.patterns_ = std::move(patterns);
   int n = g.num_patterns();
@@ -97,6 +102,23 @@ ViolationGraph ViolationGraph::Build(std::vector<Pattern> patterns,
                                 g.min_edge_cost_[static_cast<size_t>(i)];
     }
   }
+  // Similarity-join accounting, once per build (not per pair): the
+  // pair-filter effectiveness is the first thing to look at when
+  // detection dominates a trace.
+  static Counter* pairs_evaluated =
+      Metrics().GetCounter("ftrepair.detect.pairs_evaluated");
+  static Counter* pairs_filtered =
+      Metrics().GetCounter("ftrepair.detect.pairs_length_filtered");
+  static Counter* edges = Metrics().GetCounter("ftrepair.detect.edges");
+  static Counter* truncated_builds =
+      Metrics().GetCounter("ftrepair.detect.truncated_builds");
+  static Histogram* build_ms =
+      Metrics().GetHistogram("ftrepair.detect.graph_build_ms");
+  pairs_evaluated->Increment(g.pairs_evaluated_);
+  pairs_filtered->Increment(g.pairs_length_filtered_);
+  edges->Increment(g.num_edges_);
+  if (g.truncated_) truncated_builds->Increment();
+  build_ms->Observe(build_timer.Millis());
   return g;
 }
 

@@ -159,11 +159,15 @@ TEST_P(LadderSweepTest, PartialRepairStaysWellFormed) {
     EXPECT_TRUE(result.value().stats.degraded())
         << "fault at " << fault_units << " units recorded no degradation";
   }
-  // Every recorded event is fully populated.
+  // Every recorded event is fully populated, and the events are
+  // stamped by one repair-scoped clock: timestamps never go backwards.
+  double last_elapsed = 0.0;
   for (const DegradationEvent& event : result.value().stats.degradations) {
     EXPECT_FALSE(event.component.empty());
     EXPECT_FALSE(event.stage.empty());
     EXPECT_FALSE(event.reason.empty());
+    EXPECT_GE(event.elapsed_ms, last_elapsed);
+    last_elapsed = event.elapsed_ms;
   }
 }
 
@@ -284,9 +288,37 @@ TEST(LadderTest, DegradationEventsCarryElapsedTimestamps) {
   auto result = Repairer(options).Repair(dirty, fds);
   ASSERT_TRUE(result.ok());
   ASSERT_TRUE(result.value().stats.degraded());
+  double last_elapsed = 0.0;
   for (const DegradationEvent& event : result.value().stats.degradations) {
     EXPECT_GE(event.elapsed_ms, 0.0);
+    // Monotone: all events share the single repair-scoped clock.
+    EXPECT_GE(event.elapsed_ms, last_elapsed);
+    last_elapsed = event.elapsed_ms;
   }
+}
+
+TEST(LadderTest, PhaseTimingsPopulatedAndConsistent) {
+  Table dirty = CitizensDirty();
+  std::vector<FD> fds = CitizensFDs(dirty.schema());
+  RepairOptions options;
+  options.algorithm = RepairAlgorithm::kGreedy;
+  options.default_tau = 0.3;
+  auto result = Repairer(options).Repair(dirty, fds);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const PhaseTimings& phases = result.value().stats.phases;
+  EXPECT_GE(phases.detect_ms, 0.0);
+  EXPECT_GE(phases.graph_ms, 0.0);
+  EXPECT_GE(phases.solve_ms, 0.0);
+  EXPECT_GE(phases.targets_ms, 0.0);
+  EXPECT_GE(phases.apply_ms, 0.0);
+  EXPECT_GE(phases.stats_ms, 0.0);
+  EXPECT_GT(phases.total_ms, 0.0);
+  // The phases are disjoint slices of one run, so their sum cannot
+  // meaningfully exceed the end-to-end wall time (small slack for
+  // timer granularity).
+  double phase_sum = phases.detect_ms + phases.graph_ms + phases.solve_ms +
+                     phases.targets_ms + phases.apply_ms + phases.stats_ms;
+  EXPECT_LE(phase_sum, phases.total_ms * 1.05 + 1.0);
 }
 
 }  // namespace

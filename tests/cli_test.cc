@@ -28,6 +28,8 @@ class CliTest : public ::testing::Test {
     truth_path_ = dir_ + "/cli_" + tag + "_truth.csv";
     output_path_ = dir_ + "/cli_" + tag + "_repaired.csv";
     changes_path_ = dir_ + "/cli_" + tag + "_changes.csv";
+    metrics_path_ = dir_ + "/cli_" + tag + "_metrics.json";
+    trace_path_ = dir_ + "/cli_" + tag + "_trace.json";
     ASSERT_TRUE(
         WriteCsvFile(testing_util::CitizensDirty(), input_path_).ok());
     ASSERT_TRUE(
@@ -40,13 +42,21 @@ class CliTest : public ::testing::Test {
 
   void TearDown() override {
     for (const std::string& path : {input_path_, fds_path_, truth_path_,
-                                    output_path_, changes_path_}) {
+                                    output_path_, changes_path_,
+                                    metrics_path_, trace_path_}) {
       std::remove(path.c_str());
     }
   }
 
+  static std::string SlurpFile(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+  }
+
   std::string dir_, input_path_, fds_path_, truth_path_, output_path_,
-      changes_path_;
+      changes_path_, metrics_path_, trace_path_;
 };
 
 TEST_F(CliTest, ParseRequiresInputAndFds) {
@@ -272,6 +282,96 @@ TEST_F(CliTest, DiscoverModePrintsParseableSpec) {
   Table dirty = std::move(ReadCsvFile(input_path_)).ValueOrDie();
   auto fds = ParseFDList(out.str(), dirty.schema());
   ASSERT_TRUE(fds.ok()) << fds.status().ToString() << "\n" << out.str();
+}
+
+TEST_F(CliTest, ParseEqualsSpelling) {
+  // Every value-taking flag also accepts --flag=VALUE; --tau-fd keeps
+  // its own NAME=VALUE payload past the first '='.
+  auto options = ParseCliArgs(
+      {"--input=x.csv", "--fds=f.txt", "--algorithm=exact", "--tau=0.33",
+       "--tau-fd=phi2=0.5", "--deadline-ms=250"});
+  ASSERT_TRUE(options.ok()) << options.status().ToString();
+  EXPECT_EQ(options.value().input_path, "x.csv");
+  EXPECT_EQ(options.value().fds_path, "f.txt");
+  EXPECT_EQ(options.value().repair.algorithm, RepairAlgorithm::kExact);
+  EXPECT_DOUBLE_EQ(options.value().repair.default_tau, 0.33);
+  EXPECT_DOUBLE_EQ(options.value().repair.tau_by_fd.at("phi2"), 0.5);
+  EXPECT_DOUBLE_EQ(options.value().deadline_ms, 250);
+  // A boolean flag must reject an inline value.
+  EXPECT_FALSE(
+      ParseCliArgs({"--input", "x", "--fds", "f", "--verbose=yes"}).ok());
+}
+
+TEST_F(CliTest, ParseObservabilityFlags) {
+  auto options = ParseCliArgs(
+      {"--input", "x", "--fds", "f", "--metrics-json=m.json",
+       "--trace-json", "t.json", "--log-level", "debug"});
+  ASSERT_TRUE(options.ok()) << options.status().ToString();
+  EXPECT_EQ(options.value().metrics_json_path, "m.json");
+  EXPECT_EQ(options.value().trace_json_path, "t.json");
+  EXPECT_TRUE(options.value().log_level_set);
+  EXPECT_EQ(options.value().log_level, LogLevel::kDebug);
+  EXPECT_FALSE(
+      ParseCliArgs({"--input", "x", "--fds", "f", "--log-level", "loud"})
+          .ok());
+}
+
+TEST_F(CliTest, MetricsAndTraceJsonEmitted) {
+  auto parsed = ParseCliArgs(
+      {"--input", input_path_, "--fds", fds_path_,
+       "--metrics-json=" + metrics_path_, "--trace-json=" + trace_path_,
+       "--tau-fd", "phi1=0.30", "--tau-fd", "phi2=0.5", "--tau-fd",
+       "phi3=0.5", "--wl", "0.5", "--wr", "0.5"});
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  std::ostringstream out;
+  Status status = RunCli(parsed.value(), out);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_NE(out.str().find("wrote " + metrics_path_), std::string::npos);
+  EXPECT_NE(out.str().find("wrote " + trace_path_), std::string::npos);
+
+  std::string metrics = SlurpFile(metrics_path_);
+  ASSERT_FALSE(metrics.empty());
+  EXPECT_TRUE(testing_util::IsValidJson(metrics)) << metrics;
+  // A counter for every pipeline phase plus the end-to-end histogram.
+  for (const char* key :
+       {"ftrepair.phase.detect_us", "ftrepair.phase.graph_us",
+        "ftrepair.phase.solve_us", "ftrepair.phase.targets_us",
+        "ftrepair.phase.apply_us", "ftrepair.phase.stats_us",
+        "ftrepair.repair.runs", "ftrepair.repair.total_ms",
+        "ftrepair.ingest.rows_read"}) {
+    EXPECT_NE(metrics.find(key), std::string::npos)
+        << "missing " << key << " in " << metrics;
+  }
+
+  std::string trace = SlurpFile(trace_path_);
+  ASSERT_FALSE(trace.empty());
+  EXPECT_TRUE(testing_util::IsValidJson(trace)) << trace;
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+  // Spans cover the pipeline: ingest -> detect -> solve -> targets ->
+  // apply (phi2/phi3 share City, so the multi-FD path runs).
+  for (const char* span :
+       {"ingest.read_csv", "repair.detect", "detect.graph_build",
+        "greedy.solve_multi", "targets.assign", "repair.apply",
+        "repair.total"}) {
+    EXPECT_NE(trace.find(span), std::string::npos)
+        << "missing span " << span << " in " << trace;
+  }
+}
+
+TEST_F(CliTest, DefaultReportIncludesPhaseTimings) {
+  auto parsed = ParseCliArgs(
+      {"--input", input_path_, "--fds", fds_path_, "--tau-fd", "phi1=0.30",
+       "--tau-fd", "phi2=0.5", "--tau-fd", "phi3=0.5", "--wl", "0.5",
+       "--wr", "0.5"});
+  ASSERT_TRUE(parsed.ok());
+  std::ostringstream out;
+  ASSERT_TRUE(RunCli(parsed.value(), out).ok());
+  EXPECT_NE(out.str().find("phase timings"), std::string::npos) << out.str();
+  for (const char* phase :
+       {"detect", "graph", "solve", "targets", "apply", "stats", "total"}) {
+    EXPECT_NE(out.str().find(phase), std::string::npos)
+        << "missing phase row " << phase << " in " << out.str();
+  }
 }
 
 TEST_F(CliTest, SummaryModeAggregates) {

@@ -186,5 +186,34 @@ TEST(LoggingTest, LevelRoundTrips) {
   SetLogLevel(old);
 }
 
+TEST(LoggingTest, ParseLogLevelAcceptsKnownNames) {
+  LogLevel level = LogLevel::kError;
+  EXPECT_TRUE(ParseLogLevel("debug", &level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  EXPECT_TRUE(ParseLogLevel("INFO", &level));  // case-insensitive
+  EXPECT_EQ(level, LogLevel::kInfo);
+  EXPECT_TRUE(ParseLogLevel("warn", &level));
+  EXPECT_EQ(level, LogLevel::kWarning);
+  EXPECT_TRUE(ParseLogLevel("Warning", &level));
+  EXPECT_EQ(level, LogLevel::kWarning);
+  EXPECT_TRUE(ParseLogLevel("error", &level));
+  EXPECT_EQ(level, LogLevel::kError);
+}
+
+TEST(LoggingTest, ParseLogLevelRejectsUnknownNames) {
+  LogLevel level = LogLevel::kInfo;
+  EXPECT_FALSE(ParseLogLevel("", &level));
+  EXPECT_FALSE(ParseLogLevel("loud", &level));
+  EXPECT_FALSE(ParseLogLevel("debugx", &level));
+  EXPECT_EQ(level, LogLevel::kInfo);  // untouched on failure
+}
+
+TEST(LoggingTest, LogLevelNames) {
+  EXPECT_STREQ(LogLevelName(LogLevel::kDebug), "DEBUG");
+  EXPECT_STREQ(LogLevelName(LogLevel::kInfo), "INFO");
+  EXPECT_STREQ(LogLevelName(LogLevel::kWarning), "WARN");
+  EXPECT_STREQ(LogLevelName(LogLevel::kError), "ERROR");
+}
+
 }  // namespace
 }  // namespace ftrepair

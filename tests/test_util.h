@@ -1,6 +1,7 @@
 #ifndef FTREPAIR_TESTS_TEST_UTIL_H_
 #define FTREPAIR_TESTS_TEST_UTIL_H_
 
+#include <cctype>
 #include <string>
 #include <vector>
 
@@ -107,6 +108,139 @@ inline Table RandomFDTable(int num_rows, int num_cols, int num_keys,
     *table.mutable_cell(r, c) = v;
   }
   return table;
+}
+
+namespace json_detail {
+
+inline void SkipWs(const std::string& s, size_t* i) {
+  while (*i < s.size() && (s[*i] == ' ' || s[*i] == '\t' || s[*i] == '\n' ||
+                           s[*i] == '\r')) {
+    ++*i;
+  }
+}
+
+inline bool ParseValue(const std::string& s, size_t* i, int depth);
+
+inline bool ParseString(const std::string& s, size_t* i) {
+  if (*i >= s.size() || s[*i] != '"') return false;
+  ++*i;
+  while (*i < s.size()) {
+    char c = s[*i];
+    if (c == '"') {
+      ++*i;
+      return true;
+    }
+    if (c == '\\') {
+      ++*i;
+      if (*i >= s.size()) return false;
+      char e = s[*i];
+      if (e == 'u') {
+        for (int k = 0; k < 4; ++k) {
+          ++*i;
+          if (*i >= s.size() || !isxdigit(static_cast<unsigned char>(s[*i]))) {
+            return false;
+          }
+        }
+      } else if (e != '"' && e != '\\' && e != '/' && e != 'b' && e != 'f' &&
+                 e != 'n' && e != 'r' && e != 't') {
+        return false;
+      }
+    }
+    ++*i;
+  }
+  return false;
+}
+
+inline bool ParseNumber(const std::string& s, size_t* i) {
+  size_t start = *i;
+  if (*i < s.size() && s[*i] == '-') ++*i;
+  while (*i < s.size() && (isdigit(static_cast<unsigned char>(s[*i])) ||
+                           s[*i] == '.' || s[*i] == 'e' || s[*i] == 'E' ||
+                           s[*i] == '+' || s[*i] == '-')) {
+    ++*i;
+  }
+  return *i > start;
+}
+
+inline bool ParseValue(const std::string& s, size_t* i, int depth) {
+  if (depth > 64) return false;
+  SkipWs(s, i);
+  if (*i >= s.size()) return false;
+  char c = s[*i];
+  if (c == '{') {
+    ++*i;
+    SkipWs(s, i);
+    if (*i < s.size() && s[*i] == '}') {
+      ++*i;
+      return true;
+    }
+    while (true) {
+      SkipWs(s, i);
+      if (!ParseString(s, i)) return false;
+      SkipWs(s, i);
+      if (*i >= s.size() || s[*i] != ':') return false;
+      ++*i;
+      if (!ParseValue(s, i, depth + 1)) return false;
+      SkipWs(s, i);
+      if (*i < s.size() && s[*i] == ',') {
+        ++*i;
+        continue;
+      }
+      if (*i < s.size() && s[*i] == '}') {
+        ++*i;
+        return true;
+      }
+      return false;
+    }
+  }
+  if (c == '[') {
+    ++*i;
+    SkipWs(s, i);
+    if (*i < s.size() && s[*i] == ']') {
+      ++*i;
+      return true;
+    }
+    while (true) {
+      if (!ParseValue(s, i, depth + 1)) return false;
+      SkipWs(s, i);
+      if (*i < s.size() && s[*i] == ',') {
+        ++*i;
+        continue;
+      }
+      if (*i < s.size() && s[*i] == ']') {
+        ++*i;
+        return true;
+      }
+      return false;
+    }
+  }
+  if (c == '"') return ParseString(s, i);
+  if (s.compare(*i, 4, "true") == 0) {
+    *i += 4;
+    return true;
+  }
+  if (s.compare(*i, 5, "false") == 0) {
+    *i += 5;
+    return true;
+  }
+  if (s.compare(*i, 4, "null") == 0) {
+    *i += 4;
+    return true;
+  }
+  return ParseNumber(s, i);
+}
+
+}  // namespace json_detail
+
+/// Strict syntactic check that `text` is one complete JSON value
+/// (objects, arrays, strings with escapes, numbers, literals). No
+/// external dependency: a ~100-line recursive-descent validator shared
+/// by the metrics/trace JSON tests.
+inline bool IsValidJson(const std::string& text) {
+  size_t i = 0;
+  if (!json_detail::ParseValue(text, &i, 0)) return false;
+  json_detail::SkipWs(text, &i);
+  return i == text.size();
 }
 
 }  // namespace testing_util
