@@ -59,6 +59,30 @@ void BM_ViolationGraphBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_ViolationGraphBuild)->Arg(1000)->Arg(4000);
 
+// Thread-count sweep of the same build: the graph is bit-identical at
+// every point, so this isolates the parallel-join scaling (acceptance
+// target: >= 2x at 4 threads on the 4000-row HOSP slice).
+void BM_ViolationGraphBuildThreads(benchmark::State& state) {
+  const Dataset& ds = SharedDataset();
+  const Table& dirty = DirtyTable();
+  Table slice = dirty.Head(static_cast<int>(state.range(0)));
+  const FD& fd = ds.fds[2];
+  DistanceModel model(slice);
+  FTOptions opts{ds.recommended_w_l, ds.recommended_w_r,
+                 ds.recommended_tau.at(fd.name()),
+                 static_cast<int>(state.range(1))};
+  std::vector<Pattern> patterns = BuildPatterns(slice, fd.attrs());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ViolationGraph::Build(patterns, fd, model, opts));
+  }
+}
+BENCHMARK(BM_ViolationGraphBuildThreads)
+    ->Args({4000, 1})
+    ->Args({4000, 2})
+    ->Args({4000, 4})
+    ->Args({4000, 8});
+
 void BM_SuggestThreshold(benchmark::State& state) {
   const Dataset& ds = SharedDataset();
   const Table& dirty = DirtyTable();

@@ -38,6 +38,9 @@ Options:
   --tau-fd NAME=V     per-FD threshold override (repeatable)
   --wl VALUE          Eq. 2 LHS weight              (default: 0.7)
   --wr VALUE          Eq. 2 RHS weight              (default: 0.3)
+  --threads N         worker threads for violation detection; 0 = all
+                      hardware threads, 1 = serial; any setting yields
+                      identical results             (default: 0)
   --trusted-rows LIST comma-separated 0-based row indices known correct
                       (master data): never modified, anchor the repair
   --auto-threshold    pick tau per FD from the distance-gap heuristic
@@ -88,6 +91,9 @@ Result<CliOptions> ParseCliArgs(const std::vector<std::string>& args) {
   options.repair.w_l = 0.7;
   options.repair.w_r = 0.3;
   options.repair.default_tau = 0.4;
+  // The CLI defaults to all hardware threads (the library default is
+  // serial); results are identical either way, so this is safe.
+  options.repair.threads = 0;
   for (size_t i = 0; i < args.size(); ++i) {
     // Split "--flag=value" so every value-taking flag accepts both
     // spellings (the split is on the *first* '=', so --tau-fd=NAME=V
@@ -159,6 +165,15 @@ Result<CliOptions> ParseCliArgs(const std::vector<std::string>& args) {
       FTR_ASSIGN_OR_RETURN(std::string text, next());
       FTR_ASSIGN_OR_RETURN(options.repair.w_r,
                            ParsePositiveDouble(arg, text));
+    } else if (arg == "--threads") {
+      FTR_ASSIGN_OR_RETURN(std::string text, next());
+      double v = 0;
+      if (!ParseDouble(text, &v) || v < 0 || v != static_cast<int>(v)) {
+        return Status::InvalidArgument(
+            "--threads expects a non-negative integer (0 = all hardware "
+            "threads)");
+      }
+      options.repair.threads = static_cast<int>(v);
     } else if (arg == "--profile") {
       options.profile = true;
     } else if (arg == "--discover") {
@@ -288,7 +303,7 @@ Status RunDiscover(const Table& table, const CliOptions& options,
     uint64_t violations =
         CountFTViolations(table, d.fd, model,
                           FTOptions{options.repair.w_l, options.repair.w_r,
-                                    tau});
+                                    tau, options.repair.threads});
     bool keep = violations <= budget;
     if (!keep) out << "# rejected (too many FT-violations at tau):  ";
     out << d.fd.ToSpec(table.schema()) << "    # g3="

@@ -56,13 +56,19 @@ bool Budget::Charge(uint64_t units) const {
   if (exhausted_.load(std::memory_order_relaxed) || cancelled()) {
     return false;
   }
-  units_ += units;
-  if (fault_units_ != 0 && units_ >= fault_units_) {
+  uint64_t total = units_.fetch_add(units, std::memory_order_relaxed) + units;
+  if (fault_units_ != 0 && total >= fault_units_) {
     exhausted_.store(true, std::memory_order_relaxed);
     return false;
   }
-  if (units_ >= next_deadline_check_) {
-    next_deadline_check_ = units_ + kCheckInterval;
+  uint64_t check = next_deadline_check_.load(std::memory_order_relaxed);
+  if (total >= check) {
+    // One of the racing threads advances the checkpoint; the others
+    // just skip the clock this round — the interval is amortization,
+    // not a contract.
+    next_deadline_check_.compare_exchange_strong(
+        check, total + kCheckInterval, std::memory_order_relaxed,
+        std::memory_order_relaxed);
     if (LatchIfExpired()) return false;
   }
   return true;
@@ -72,7 +78,7 @@ bool Budget::Exhausted() const {
   if (exhausted_.load(std::memory_order_relaxed) || cancelled()) {
     return true;
   }
-  if (fault_units_ != 0 && units_ >= fault_units_) {
+  if (fault_units_ != 0 && units_charged() >= fault_units_) {
     exhausted_.store(true, std::memory_order_relaxed);
     return true;
   }
@@ -84,8 +90,8 @@ Status Budget::Check(const char* where) const {
   std::string cause;
   if (cancelled()) {
     cause = "cancelled";
-  } else if (fault_units_ != 0 && units_ >= fault_units_) {
-    cause = "injected fault after " + std::to_string(units_) + " units";
+  } else if (fault_units_ != 0 && units_charged() >= fault_units_) {
+    cause = "injected fault after " + std::to_string(units_charged()) + " units";
   } else {
     cause = "deadline of " + std::to_string(deadline_ms_) +
             "ms passed (elapsed " + std::to_string(ElapsedMs()) + "ms)";

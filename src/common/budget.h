@@ -20,10 +20,11 @@ namespace ftrepair {
 /// latches and every later poll is a cheap load — a run never
 /// "un-exhausts".
 ///
-/// The repair pipeline is single-threaded, so work-unit accounting is
-/// not synchronized; only the cancellation and exhaustion flags are
-/// atomic, which makes Cancel() safe to call from another thread (the
-/// serving-layer use case: a client disconnect cancels its repair).
+/// All accounting is relaxed-atomic, so Charge() is safe from any
+/// thread: the parallel violation-graph build charges one shared
+/// budget from every worker, and Cancel() remains safe from a third
+/// thread (the serving-layer use case: a client disconnect cancels its
+/// repair). Exhaustion latches exactly once whichever thread trips it.
 ///
 /// Fault seam: when the FTREPAIR_FAULT_BUDGET_UNITS environment
 /// variable is set to N, a *limited* budget additionally exhausts after
@@ -47,7 +48,9 @@ class Budget {
   /// Remaining wall-clock headroom; 0 when exhausted, kUnlimited when
   /// not limited.
   double RemainingMs() const;
-  uint64_t units_charged() const { return units_; }
+  uint64_t units_charged() const {
+    return units_.load(std::memory_order_relaxed);
+  }
 
   /// Cooperative cancellation; safe from another thread. Latches.
   void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
@@ -80,8 +83,8 @@ class Budget {
   Clock::time_point start_;
   double deadline_ms_ = kUnlimited;
   uint64_t fault_units_ = 0;  // 0 = fault seam disabled
-  mutable uint64_t units_ = 0;
-  mutable uint64_t next_deadline_check_ = kCheckInterval;
+  mutable std::atomic<uint64_t> units_{0};
+  mutable std::atomic<uint64_t> next_deadline_check_{kCheckInterval};
   mutable std::atomic<bool> exhausted_{false};
   std::atomic<bool> cancelled_{false};
 };

@@ -1,0 +1,114 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <utility>
+
+namespace ftrepair {
+
+ThreadPool::ThreadPool(int num_threads) {
+  int n = std::max(1, num_threads);
+  workers_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool* pool = new ThreadPool(HardwareThreads() - 1);
+  return *pool;
+}
+
+int HardwareThreads() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+int ResolveThreads(int threads) {
+  if (threads == 0) return HardwareThreads();
+  return std::max(1, threads);
+}
+
+bool ParallelFor(int num_shards, int parallelism,
+                 const std::function<void(int)>& fn, const Budget* budget) {
+  if (num_shards <= 0) return true;
+  parallelism = ResolveThreads(parallelism);
+
+  struct State {
+    std::atomic<int> next{0};
+    std::atomic<bool> skipped{false};
+    std::atomic<int> active{0};
+    std::mutex mu;
+    std::condition_variable done;
+  } state;
+
+  auto work = [&state, &fn, budget, num_shards] {
+    for (;;) {
+      int shard = state.next.fetch_add(1, std::memory_order_relaxed);
+      if (shard >= num_shards) return;
+      if (BudgetExhausted(budget)) {
+        state.skipped.store(true, std::memory_order_relaxed);
+        return;
+      }
+      fn(shard);
+    }
+  };
+
+  int helpers = std::min(parallelism - 1, num_shards - 1);
+  helpers = std::min(helpers, ThreadPool::Shared().size());
+  if (helpers > 0) {
+    state.active.store(helpers, std::memory_order_relaxed);
+    for (int h = 0; h < helpers; ++h) {
+      ThreadPool::Shared().Submit([&state, &work] {
+        work();
+        // Last helper out wakes the caller; `state` lives on the
+        // caller's stack, which blocks below until active hits 0.
+        std::lock_guard<std::mutex> lock(state.mu);
+        if (state.active.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          state.done.notify_one();
+        }
+      });
+    }
+  }
+  work();
+  if (helpers > 0) {
+    std::unique_lock<std::mutex> lock(state.mu);
+    state.done.wait(lock, [&state] {
+      return state.active.load(std::memory_order_acquire) == 0;
+    });
+  }
+  return !state.skipped.load(std::memory_order_relaxed);
+}
+
+}  // namespace ftrepair

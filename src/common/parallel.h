@@ -1,0 +1,90 @@
+#ifndef FTREPAIR_COMMON_PARALLEL_H_
+#define FTREPAIR_COMMON_PARALLEL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/budget.h"
+
+namespace ftrepair {
+
+/// \brief A fixed-size pool of worker threads draining a FIFO task
+/// queue.
+///
+/// The pool exists so that hot loops (the violation-graph similarity
+/// join, primarily) can fan out without paying thread creation per
+/// call. Tasks must not throw; an escaped exception terminates the
+/// process (workers run tasks bare). Submission is cheap: one mutex
+/// acquisition plus a condition-variable signal.
+///
+/// Most callers never construct a pool: ParallelFor() below draws
+/// helpers from the process-wide Shared() pool and runs the caller's
+/// thread as one more worker.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(int num_threads);
+  /// Drains nothing: pending tasks are still executed, then workers
+  /// join. Prefer the never-destroyed Shared() pool in library code.
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues `task` for execution on some worker thread.
+  void Submit(std::function<void()> task);
+
+  /// The process-wide shared pool, sized to HardwareThreads() - 1
+  /// (ParallelFor callers contribute their own thread), created on
+  /// first use and intentionally never destroyed — like the metrics
+  /// registry, so cached references stay valid for the process
+  /// lifetime and no static-destruction-order races exist.
+  static ThreadPool& Shared();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// std::thread::hardware_concurrency() clamped to >= 1 (the standard
+/// allows it to return 0 when unknown).
+int HardwareThreads();
+
+/// Resolves a `--threads`-style setting: 0 means "all hardware
+/// threads", anything else is clamped to >= 1.
+int ResolveThreads(int threads);
+
+/// \brief Runs fn(shard) for every shard in [0, num_shards) across up
+/// to `parallelism` threads, blocking until all claimed shards finish.
+///
+/// Shards are claimed dynamically (an atomic cursor), so uneven shard
+/// costs balance across threads. The calling thread participates;
+/// helpers come from ThreadPool::Shared(), so `parallelism = 1` (or a
+/// single shard) runs everything inline on the caller with no
+/// synchronization — bit-for-bit the serial execution.
+///
+/// `budget` (optional, not owned) is polled between shards: once it is
+/// exhausted or cancelled, shards not yet claimed are skipped and fn is
+/// never called for them. Returns true when every shard ran, false when
+/// any was skipped.
+///
+/// fn must be safe to call concurrently for distinct shards and must
+/// not throw. Do not call ParallelFor from inside a pool task (no
+/// nested parallelism): helpers would queue behind their parent.
+bool ParallelFor(int num_shards, int parallelism,
+                 const std::function<void(int)>& fn,
+                 const Budget* budget = nullptr);
+
+}  // namespace ftrepair
+
+#endif  // FTREPAIR_COMMON_PARALLEL_H_

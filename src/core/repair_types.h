@@ -91,6 +91,12 @@ struct RepairOptions {
   /// RepairStats::trusted_conflicts.
   std::unordered_set<int> trusted_rows;
 
+  /// Worker threads for the violation-graph builds (see
+  /// FTOptions::threads): 1 = serial (the library default, exactly the
+  /// historical behavior), 0 = all hardware threads. The repair result
+  /// is bit-identical for every setting.
+  int threads = 1;
+
   /// Optional wall-clock/cancellation budget (not owned; must outlive
   /// the repair call). Every algorithm layer polls it at loop
   /// boundaries; on exhaustion the run degrades along the ladder

@@ -28,19 +28,37 @@ std::vector<std::vector<std::vector<int>>> GroupByLhsThenRhs(
   return out;
 }
 
+// Canonical output order: by (row1, row2). Pairs are unique (a row
+// belongs to exactly one projection class), so no further tie-break
+// is needed. Clipped and unclipped results sort alike — a capped call
+// must never return nondeterministically ordered pairs.
+void SortViolations(std::vector<Violation>* out) {
+  std::sort(out->begin(), out->end(),
+            [](const Violation& a, const Violation& b) {
+              if (a.row1 != b.row1) return a.row1 < b.row1;
+              return a.row2 < b.row2;
+            });
+}
+
 }  // namespace
 
 std::vector<Violation> FindExactViolations(const Table& table, const FD& fd,
-                                           size_t max_pairs) {
+                                           size_t max_pairs, bool* clipped) {
   std::vector<Violation> out;
+  bool clip = false;
   for (const auto& x_class : GroupByLhsThenRhs(table, fd)) {
+    if (clip) break;
     if (x_class.size() < 2) continue;
     // Every cross-Y-class row pair inside this X class is a violation.
-    for (size_t a = 0; a < x_class.size(); ++a) {
-      for (size_t b = a + 1; b < x_class.size(); ++b) {
+    for (size_t a = 0; a < x_class.size() && !clip; ++a) {
+      for (size_t b = a + 1; b < x_class.size() && !clip; ++b) {
         for (int r1 : x_class[a]) {
+          if (clip) break;
           for (int r2 : x_class[b]) {
-            if (out.size() >= max_pairs) return out;
+            if (out.size() >= max_pairs) {
+              clip = true;  // this pair exists but is being dropped
+              break;
+            }
             out.push_back(
                 Violation{std::min(r1, r2), std::max(r1, r2), 0.0});
           }
@@ -48,6 +66,8 @@ std::vector<Violation> FindExactViolations(const Table& table, const FD& fd,
       }
     }
   }
+  SortViolations(&out);
+  if (clipped != nullptr) *clipped = clip;
   return out;
 }
 
@@ -56,27 +76,31 @@ std::vector<Violation> FindFTViolations(const Table& table, const FD& fd,
                                         const FTOptions& opts,
                                         size_t max_pairs,
                                         const Budget* budget,
-                                        bool* truncated) {
+                                        bool* truncated, bool* clipped) {
   ViolationGraph graph = ViolationGraph::Build(
       BuildPatterns(table, fd.attrs()), fd, model, opts, budget);
   if (truncated != nullptr) *truncated = graph.truncated();
   std::vector<Violation> out;
-  for (int i = 0; i < graph.num_patterns(); ++i) {
+  bool clip = false;
+  for (int i = 0; i < graph.num_patterns() && !clip; ++i) {
     for (const ViolationGraph::Edge& e : graph.Neighbors(i)) {
+      if (clip) break;
       if (e.to < i) continue;  // emit each undirected edge once
       for (int r1 : graph.pattern(i).rows) {
+        if (clip) break;
         for (int r2 : graph.pattern(e.to).rows) {
-          if (out.size() >= max_pairs) return out;
+          if (out.size() >= max_pairs) {
+            clip = true;  // this pair exists but is being dropped
+            break;
+          }
           out.push_back(
               Violation{std::min(r1, r2), std::max(r1, r2), e.proj_dist});
         }
       }
     }
   }
-  std::sort(out.begin(), out.end(), [](const Violation& a, const Violation& b) {
-    if (a.row1 != b.row1) return a.row1 < b.row1;
-    return a.row2 < b.row2;
-  });
+  SortViolations(&out);
+  if (clipped != nullptr) *clipped = clip;
   return out;
 }
 

@@ -22,21 +22,26 @@ struct Violation {
 };
 
 /// Classical violations of `fd`: equal X, different Y (§2.1).
-/// Pairs are emitted in row order, at most `max_pairs` of them.
+/// At most `max_pairs` pairs are returned, sorted by (row1, row2);
+/// when pairs were dropped to the cap, `clipped` (if non-null) is set.
 std::vector<Violation> FindExactViolations(
     const Table& table, const FD& fd,
-    size_t max_pairs = SIZE_MAX);
+    size_t max_pairs = SIZE_MAX, bool* clipped = nullptr);
 
 /// Fault-tolerant violations of `fd` under `opts` (§2.1): differing
-/// projections within weighted distance tau.
+/// projections within weighted distance tau. The returned list is
+/// always sorted by (row1, row2), clipped or not.
 ///
 /// `budget` (optional, not owned) bounds the underlying graph build;
 /// on exhaustion the pairs found so far are returned and `truncated`
 /// (when non-null) is set — a sound-but-incomplete violation list.
+/// `clipped` (when non-null) reports the distinct condition that more
+/// than `max_pairs` pairs existed and the excess was dropped.
 std::vector<Violation> FindFTViolations(
     const Table& table, const FD& fd, const DistanceModel& model,
     const FTOptions& opts, size_t max_pairs = SIZE_MAX,
-    const Budget* budget = nullptr, bool* truncated = nullptr);
+    const Budget* budget = nullptr, bool* truncated = nullptr,
+    bool* clipped = nullptr);
 
 /// D |= fd in the classical semantics.
 bool IsConsistent(const Table& table, const FD& fd);

@@ -1,8 +1,11 @@
 #include "detect/violation_graph.h"
 
 #include <algorithm>
+#include <string>
+#include <vector>
 
 #include "common/metrics.h"
+#include "common/parallel.h"
 #include "common/timer.h"
 #include "common/trace.h"
 #include "metric/distance.h"
@@ -27,6 +30,28 @@ double LengthLowerBound(const Pattern& a, const Pattern& b, const FD& fd,
   return lb;
 }
 
+// One shard of the triangular i<j pair join = a contiguous block of
+// i-rows. Small enough that dynamic claiming balances the (very uneven,
+// row i has n-1-i pairs) costs across threads; large enough that the
+// claim overhead vanishes.
+constexpr int kShardRows = 64;
+
+// An edge discovered by one shard, recorded in (i, then j) order so the
+// merge can replay the exact serial adjacency push order.
+struct ShardEdge {
+  int i;
+  int j;
+  double proj;
+  double unit;
+};
+
+struct ShardResult {
+  std::vector<ShardEdge> edges;
+  size_t pairs_length_filtered = 0;
+  size_t pairs_evaluated = 0;
+  bool truncated = false;
+};
+
 }  // namespace
 
 double ViolationGraph::ProjDistance(const std::vector<Value>& a,
@@ -40,6 +65,43 @@ double ViolationGraph::ProjDistance(const std::vector<Value>& a,
     double w = p < lhs ? w_l : w_r;
     sum += w * model.CellDistance(col, a[static_cast<size_t>(p)],
                                   b[static_cast<size_t>(p)]);
+  }
+  return sum;
+}
+
+double ViolationGraph::ProjDistanceCutoff(const std::vector<Value>& a,
+                                          const std::vector<Value>& b,
+                                          const FD& fd,
+                                          const DistanceModel& model,
+                                          double w_l, double w_r, double tau) {
+  double sum = 0;
+  int lhs = fd.lhs_size();
+  for (int p = 0; p < fd.num_attrs(); ++p) {
+    double w = p < lhs ? w_l : w_r;
+    // A zero-weight attribute contributes w * d == +0.0 whatever d is,
+    // so skipping it leaves `sum` bit-identical to ProjDistance.
+    if (w == 0.0) continue;
+    int col = fd.attrs()[static_cast<size_t>(p)];
+    const Value& va = a[static_cast<size_t>(p)];
+    const Value& vb = b[static_cast<size_t>(p)];
+    // Remaining slack in cell-distance units: any attribute distance
+    // beyond this pushes the pair past tau.
+    double cap = (tau - sum) / w;
+    bool clipped = false;
+    double d = model.CellDistanceCapped(col, va, vb, cap, &clipped);
+    if (clipped) {
+      // d is only a lower bound on the true distance. IEEE addition
+      // and multiplication by a positive weight are monotone and every
+      // later term is non-negative, so the exact ProjDistance is
+      // >= sum + w * d evaluated here: if that already beats tau the
+      // pair is rejected without ever running the full kernel.
+      double reject = sum + w * d;
+      if (reject > tau) return reject;
+      // Borderline (rounding ate the slack): fall back to exact.
+      d = model.CellDistance(col, va, vb);
+    }
+    sum += w * d;
+    if (sum > tau) return sum;  // later terms only grow the sum
   }
   return sum;
 }
@@ -60,7 +122,9 @@ ViolationGraph ViolationGraph::Build(std::vector<Pattern> patterns,
                                      const FD& fd, const DistanceModel& model,
                                      const FTOptions& opts,
                                      const Budget* budget) {
-  FTR_TRACE_SPAN("detect.graph_build", {{"fd", fd.name()}});
+  int threads = ResolveThreads(opts.threads);
+  FTR_TRACE_SPAN("detect.graph_build",
+                 {{"fd", fd.name()}, {"threads", std::to_string(threads)}});
   Timer build_timer;
   ViolationGraph g;
   g.patterns_ = std::move(patterns);
@@ -68,31 +132,66 @@ ViolationGraph ViolationGraph::Build(std::vector<Pattern> patterns,
   g.adj_.assign(static_cast<size_t>(n), {});
   g.min_edge_cost_.assign(static_cast<size_t>(n), kInfinity);
 
-  for (int i = 0; i < n && !g.truncated_; ++i) {
-    const Pattern& pi = g.patterns_[static_cast<size_t>(i)];
-    for (int j = i + 1; j < n; ++j) {
-      if (!BudgetCharge(budget)) {
-        g.truncated_ = true;
-        break;
+  int num_shards = (n + kShardRows - 1) / kShardRows;
+  std::vector<ShardResult> shards(static_cast<size_t>(num_shards));
+  static Histogram* shard_ms =
+      Metrics().GetHistogram("ftrepair.detect.shard_ms");
+
+  auto run_shard = [&](int s) {
+    ShardResult& r = shards[static_cast<size_t>(s)];
+    int row_lo = s * kShardRows;
+    int row_hi = std::min(n, row_lo + kShardRows);
+    // A budget that already ran out (possibly in another shard)
+    // truncates this shard before it charges anything — the parallel
+    // analogue of the serial build breaking out of the outer loop.
+    // A shard whose only row is the last pattern has no pairs and
+    // cannot be truncated, matching the serial loop bounds.
+    if (BudgetExhausted(budget)) {
+      if (row_lo < n - 1) r.truncated = true;
+      return;
+    }
+    Timer shard_timer;
+    for (int i = row_lo; i < row_hi && !r.truncated; ++i) {
+      const Pattern& pi = g.patterns_[static_cast<size_t>(i)];
+      for (int j = i + 1; j < n; ++j) {
+        if (!BudgetCharge(budget)) {
+          r.truncated = true;
+          break;
+        }
+        const Pattern& pj = g.patterns_[static_cast<size_t>(j)];
+        if (pi.values == pj.values) continue;  // identical projections
+        if (LengthLowerBound(pi, pj, fd, opts.w_l, opts.w_r) > opts.tau) {
+          ++r.pairs_length_filtered;
+          continue;
+        }
+        ++r.pairs_evaluated;
+        double proj = ProjDistanceCutoff(pi.values, pj.values, fd, model,
+                                         opts.w_l, opts.w_r, opts.tau);
+        if (proj > opts.tau) continue;
+        double unit = UnitCost(pi.values, pj.values, fd, model);
+        r.edges.push_back(ShardEdge{i, j, proj, unit});
       }
-      const Pattern& pj = g.patterns_[static_cast<size_t>(j)];
-      if (pi.values == pj.values) continue;  // identical projections
-      if (LengthLowerBound(pi, pj, fd, opts.w_l, opts.w_r) > opts.tau) {
-        ++g.pairs_length_filtered_;
-        continue;
-      }
-      ++g.pairs_evaluated_;
-      double proj =
-          ProjDistance(pi.values, pj.values, fd, model, opts.w_l, opts.w_r);
-      if (proj > opts.tau) continue;
-      double unit = UnitCost(pi.values, pj.values, fd, model);
-      g.adj_[static_cast<size_t>(i)].push_back(Edge{j, proj, unit});
-      g.adj_[static_cast<size_t>(j)].push_back(Edge{i, proj, unit});
+    }
+    shard_ms->Observe(shard_timer.Millis());
+  };
+  ParallelFor(num_shards, threads, run_shard);
+
+  // Deterministic merge: shards cover disjoint ascending i-ranges and
+  // record edges in (i, j) order, so replaying them in shard order
+  // reproduces the serial build's exact adjacency push order — the
+  // graph is bit-identical for every thread count.
+  for (const ShardResult& r : shards) {
+    g.pairs_length_filtered_ += r.pairs_length_filtered;
+    g.pairs_evaluated_ += r.pairs_evaluated;
+    if (r.truncated) g.truncated_ = true;
+    for (const ShardEdge& e : r.edges) {
+      g.adj_[static_cast<size_t>(e.i)].push_back(Edge{e.j, e.proj, e.unit});
+      g.adj_[static_cast<size_t>(e.j)].push_back(Edge{e.i, e.proj, e.unit});
       ++g.num_edges_;
-      g.min_edge_cost_[static_cast<size_t>(i)] =
-          std::min(g.min_edge_cost_[static_cast<size_t>(i)], unit);
-      g.min_edge_cost_[static_cast<size_t>(j)] =
-          std::min(g.min_edge_cost_[static_cast<size_t>(j)], unit);
+      g.min_edge_cost_[static_cast<size_t>(e.i)] =
+          std::min(g.min_edge_cost_[static_cast<size_t>(e.i)], e.unit);
+      g.min_edge_cost_[static_cast<size_t>(e.j)] =
+          std::min(g.min_edge_cost_[static_cast<size_t>(e.j)], e.unit);
     }
   }
   g.total_min_edge_cost_ = 0;
@@ -114,6 +213,9 @@ ViolationGraph ViolationGraph::Build(std::vector<Pattern> patterns,
       Metrics().GetCounter("ftrepair.detect.truncated_builds");
   static Histogram* build_ms =
       Metrics().GetHistogram("ftrepair.detect.graph_build_ms");
+  static Gauge* detect_threads =
+      Metrics().GetGauge("ftrepair.detect.threads");
+  detect_threads->Set(threads);
   pairs_evaluated->Increment(g.pairs_evaluated_);
   pairs_filtered->Increment(g.pairs_length_filtered_);
   edges->Increment(g.num_edges_);
@@ -173,6 +275,12 @@ ViolationGraph ViolationGraph::InducedSubgraph(
           g.patterns_[i].count() * g.min_edge_cost_[i];
     }
   }
+  // Build provenance carries over: a component cut out of a
+  // budget-truncated graph may itself be missing edges, and its solver
+  // must not believe detection was complete.
+  g.truncated_ = truncated_;
+  g.pairs_evaluated_ = pairs_evaluated_;
+  g.pairs_length_filtered_ = pairs_length_filtered_;
   return g;
 }
 

@@ -21,6 +21,11 @@ struct FTOptions {
   /// FT-violation threshold tau. Two differing projections with
   /// weighted distance <= tau are an FT-violation.
   double tau = 0.2;
+  /// Worker threads for the graph build's pattern-pair join. 1 (the
+  /// library default) runs serially; 0 means all hardware threads.
+  /// Every setting produces a bit-identical graph — same edge order,
+  /// same stats — so this is purely a speed knob.
+  int threads = 1;
 };
 
 /// Classical FD semantics expressed in FT terms (w_l=1, w_r=0, tau=0):
@@ -54,6 +59,12 @@ class ViolationGraph {
   /// it runs out mid-build the remaining pairs are skipped and the
   /// graph is marked truncated() — a valid graph missing some edges,
   /// i.e. some violations go undetected (the detect-only degradation).
+  ///
+  /// The pair join runs on `opts.threads` threads (see FTOptions); the
+  /// result is bit-identical for every thread count. Under a budget
+  /// that exhausts mid-build, *which* pairs were evaluated is only
+  /// deterministic at threads == 1, but the graph is always marked
+  /// truncated and always well-formed.
   static ViolationGraph Build(std::vector<Pattern> patterns, const FD& fd,
                               const DistanceModel& model,
                               const FTOptions& opts,
@@ -97,7 +108,10 @@ class ViolationGraph {
 
   /// The vertex-induced subgraph on `vertices`; vertex i of the result
   /// corresponds to `vertices[i]`. Only edges with both endpoints in
-  /// `vertices` survive (for a full component this is lossless).
+  /// `vertices` survive (for a full component this is lossless). The
+  /// build provenance — truncated() and the pair-join stats — carries
+  /// over unchanged, so a per-component solver still sees that the
+  /// detection pass it is working from was incomplete.
   ViolationGraph InducedSubgraph(const std::vector<int>& vertices) const;
 
   /// Distance between two pattern value-vectors (Eq. 2 weighting).
@@ -105,6 +119,18 @@ class ViolationGraph {
                              const std::vector<Value>& b, const FD& fd,
                              const DistanceModel& model, double w_l,
                              double w_r);
+
+  /// ProjDistance with a cutoff at `tau`, the graph build's hot path.
+  /// Whenever the exact ProjDistance is <= tau the return value is
+  /// bit-identical to it; otherwise the return value is merely
+  /// guaranteed to be > tau (the attribute loop exits early and each
+  /// edit distance runs banded, so most rejected pairs never pay the
+  /// full kernel). Callers must therefore only compare the result
+  /// against tau, never treat a rejecting value as the true distance.
+  static double ProjDistanceCutoff(const std::vector<Value>& a,
+                                   const std::vector<Value>& b, const FD& fd,
+                                   const DistanceModel& model, double w_l,
+                                   double w_r, double tau);
 
   /// Unweighted repair cost between two pattern value-vectors (Eq. 3
   /// over the FD's attributes).

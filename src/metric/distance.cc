@@ -39,10 +39,16 @@ size_t BoundedEditDistance(std::string_view a, std::string_view b,
     // Band: only columns with |i - j| <= cap can stay <= cap.
     size_t lo = (i > cap) ? i - cap : 1;
     size_t hi = std::min(b.size(), i + cap);
-    size_t diag = (lo >= 2) ? row[lo - 1] : ((lo == 1) ? row[0] : 0);
-    if (lo == 1) diag = row[0];
-    size_t prev_left = (lo >= 2) ? kInf : i;  // row[lo-1] of the new row
-    if (lo == 1) row[0] = i <= cap ? i : kInf;
+    // diag seeds D[i-1][lo-1]. The previous row's band started at
+    // lo - 1 (the band advances one column per row once i > cap), so
+    // row[lo - 1] still holds the genuine D[i-1][lo-1]; the dead-cell
+    // cleanup below only zaps the column left of *that* band.
+    size_t diag = row[lo - 1];
+    // prev_left seeds D[i][lo-1]: column 0 of the new row is i (i
+    // deletions) while i <= cap, and kInf otherwise; columns left of
+    // the band are always kInf.
+    size_t prev_left = (lo == 1 && i <= cap) ? i : kInf;
+    if (lo == 1) row[0] = prev_left;
     size_t best = kInf;
     for (size_t j = lo; j <= hi; ++j) {
       size_t above = row[j];

@@ -1,5 +1,8 @@
 #include "metric/projection.h"
 
+#include <algorithm>
+#include <string>
+
 #include "metric/distance.h"
 
 namespace ftrepair {
@@ -51,6 +54,39 @@ double DistanceModel::CellDistance(int col, const Value& a,
       return NormalizedEditDistance(a.ToString(), b.ToString());
   }
   return 1.0;
+}
+
+double DistanceModel::CellDistanceCapped(int col, const Value& a,
+                                         const Value& b, double cap,
+                                         bool* clipped) const {
+  if (a == b) return 0.0;
+  if (a.is_null() || b.is_null()) return 1.0;
+
+  ColumnMetric metric = metrics_[static_cast<size_t>(col)];
+  if (metric == ColumnMetric::kAuto) {
+    metric = (a.is_number() && b.is_number()) ? ColumnMetric::kEuclidean
+                                              : ColumnMetric::kEdit;
+  }
+  if (metric != ColumnMetric::kEdit) return CellDistance(col, a, b);
+
+  std::string sa = a.ToString();
+  std::string sb = b.ToString();
+  size_t max_len = std::max(sa.size(), sb.size());
+  if (max_len == 0) return 0.0;
+  // cap >= 1 admits every normalized distance: no point banding.
+  if (cap >= 1.0) return NormalizedEditDistance(sa, sb);
+  // Largest character count whose normalized distance is <= cap.
+  size_t cap_chars =
+      cap <= 0 ? 0
+               : static_cast<size_t>(cap * static_cast<double>(max_len));
+  if (cap_chars >= max_len) return NormalizedEditDistance(sa, sb);
+  size_t ed = BoundedEditDistance(sa, sb, cap_chars);
+  if (ed <= cap_chars) {
+    // Exact: same integer distance, same division as CellDistance.
+    return static_cast<double>(ed) / static_cast<double>(max_len);
+  }
+  if (clipped != nullptr) *clipped = true;
+  return static_cast<double>(cap_chars + 1) / static_cast<double>(max_len);
 }
 
 double DistanceModel::ProjectionDistance(const FD& fd, const Row& t1,

@@ -42,6 +42,18 @@ class DistanceModel {
   /// Normalized distance between two cell values of column `col`.
   double CellDistance(int col, const Value& a, const Value& b) const;
 
+  /// CellDistance with an early-exit budget for the edit-distance
+  /// path. `cap` is the largest distance the caller still cares about
+  /// (in normalized [0, 1] units). When the true distance is <= the
+  /// character cap derived from it, the returned value is bit-identical
+  /// to CellDistance. Otherwise returns a *lower bound* on the true
+  /// distance and sets `*clipped = true` — the caller may only use a
+  /// clipped result to reject, never as the exact distance. Metrics
+  /// other than edit distance have no bounded kernel and always return
+  /// the exact CellDistance with `*clipped` untouched.
+  double CellDistanceCapped(int col, const Value& a, const Value& b,
+                            double cap, bool* clipped) const;
+
   /// Eq. 2: w_l * sum_{A in X} dist + w_r * sum_{A in Y} dist.
   double ProjectionDistance(const FD& fd, const Row& t1, const Row& t2,
                             double w_l, double w_r) const;

@@ -172,6 +172,71 @@ TEST(DetectorTest, MaxPairsCapRespected) {
       3u);
 }
 
+bool SortedByRowPair(const std::vector<Violation>& v) {
+  for (size_t i = 1; i < v.size(); ++i) {
+    if (v[i - 1].row1 > v[i].row1) return false;
+    if (v[i - 1].row1 == v[i].row1 && v[i - 1].row2 >= v[i].row2) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(DetectorTest, ClippedOutputIsSortedAndReported) {
+  // Regression: FindFTViolations used to return early at max_pairs,
+  // skipping the final sort (nondeterministic order) and reporting
+  // nothing about the dropped pairs.
+  Table t = RandomFDTable(60, 3, 6, 20, 21);
+  FD fd = std::move(FD::Make({0}, {1})).ValueOrDie();
+  DistanceModel model(t);
+  FTOptions opts{0.5, 0.5, 0.5};
+  std::vector<Violation> all = FindFTViolations(t, fd, model, opts);
+  ASSERT_GT(all.size(), 5u);
+  EXPECT_TRUE(SortedByRowPair(all));
+
+  bool clipped = false;
+  std::vector<Violation> capped =
+      FindFTViolations(t, fd, model, opts, 5, nullptr, nullptr, &clipped);
+  EXPECT_EQ(capped.size(), 5u);
+  EXPECT_TRUE(clipped);
+  EXPECT_TRUE(SortedByRowPair(capped));
+  // The capped call keeps a subset of the full, sorted list.
+  for (const Violation& v : capped) {
+    bool found = false;
+    for (const Violation& w : all) {
+      found = found || (w.row1 == v.row1 && w.row2 == v.row2);
+    }
+    EXPECT_TRUE(found) << v.row1 << "," << v.row2;
+  }
+  // An uncapped call must not report a clip.
+  clipped = true;
+  FindFTViolations(t, fd, model, opts, SIZE_MAX, nullptr, nullptr, &clipped);
+  EXPECT_FALSE(clipped);
+  // A cap equal to the exact size is not a clip either.
+  clipped = true;
+  std::vector<Violation> snug = FindFTViolations(t, fd, model, opts,
+                                                 all.size(), nullptr, nullptr,
+                                                 &clipped);
+  EXPECT_EQ(snug.size(), all.size());
+  EXPECT_FALSE(clipped);
+}
+
+TEST(DetectorTest, ExactClippedOutputIsSortedAndReported) {
+  Table t = RandomFDTable(60, 3, 5, 25, 33);
+  FD fd = std::move(FD::Make({0}, {1})).ValueOrDie();
+  std::vector<Violation> all = FindExactViolations(t, fd);
+  ASSERT_GT(all.size(), 4u);
+  EXPECT_TRUE(SortedByRowPair(all));
+  bool clipped = false;
+  std::vector<Violation> capped = FindExactViolations(t, fd, 4, &clipped);
+  EXPECT_EQ(capped.size(), 4u);
+  EXPECT_TRUE(clipped);
+  EXPECT_TRUE(SortedByRowPair(capped));
+  clipped = true;
+  FindExactViolations(t, fd, SIZE_MAX, &clipped);
+  EXPECT_FALSE(clipped);
+}
+
 TEST(DetectorTest, MultiFDConsistencyHelpers) {
   Table truth = CitizensTruth();
   Table dirty = CitizensDirty();

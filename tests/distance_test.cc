@@ -91,6 +91,32 @@ TEST_P(EditDistancePropertyTest, BoundedMatchesExact) {
   }
 }
 
+TEST_P(EditDistancePropertyTest, BoundedMatchesExactLongAsymmetric) {
+  // Long, length-asymmetric pairs over a wider alphabet stress the
+  // band bookkeeping (the band hugs the diagonal and slides right one
+  // column per row once i > cap) far harder than the short pairs above.
+  Rng rng(GetParam() * 101 + 17);
+  auto random_string = [&rng](size_t max_len) {
+    std::string s;
+    size_t len = rng.Index(max_len + 1);
+    for (size_t i = 0; i < len; ++i) {
+      s += static_cast<char>('a' + rng.Index(12));
+    }
+    return s;
+  };
+  for (int iter = 0; iter < 60; ++iter) {
+    std::string a = random_string(40);
+    std::string b = random_string(iter % 2 == 0 ? 40 : 8);
+    size_t exact = EditDistance(a, b);
+    size_t max_len = std::max(a.size(), b.size());
+    for (size_t cap = 0; cap <= max_len + 1; ++cap) {
+      size_t expected = exact <= cap ? exact : cap + 1;
+      EXPECT_EQ(BoundedEditDistance(a, b, cap), expected)
+          << "a='" << a << "' b='" << b << "' cap=" << cap;
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, EditDistancePropertyTest,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
 

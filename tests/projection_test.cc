@@ -1,5 +1,8 @@
+#include <string>
+
 #include <gtest/gtest.h>
 
+#include "common/rng.h"
 #include "constraint/fd_parser.h"
 #include "metric/projection.h"
 #include "test_util.h"
@@ -73,6 +76,77 @@ TEST(DistanceModelTest, JaroWinklerAndQGramOverrides) {
   model.SetColumnMetric(0, ColumnMetric::kQGramCosine);
   EXPECT_DOUBLE_EQ(model.CellDistance(0, Value("abcd"), Value("abcd")), 0.0);
   EXPECT_GT(model.CellDistance(0, Value("abcd"), Value("wxyz")), 0.9);
+}
+
+TEST(CellDistanceCappedTest, ExactWheneverWithinCap) {
+  // Differential contract: whenever the true distance fits under the
+  // cap, the capped call is bit-identical to CellDistance and leaves
+  // `clipped` untouched; otherwise it returns a lower bound and sets
+  // `clipped`. Exercised over random strings and every cap in [0, 1].
+  Table t = CitizensDirty();
+  DistanceModel model(t);
+  Rng rng(2024);
+  auto random_string = [&rng]() {
+    std::string s;
+    size_t len = rng.Index(14);
+    for (size_t i = 0; i < len; ++i) {
+      s += static_cast<char>('a' + rng.Index(4));
+    }
+    return s;
+  };
+  for (int iter = 0; iter < 300; ++iter) {
+    Value a{random_string()};
+    Value b{random_string()};
+    double exact = model.CellDistance(0, a, b);
+    for (double cap : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0, 2.0}) {
+      bool clipped = false;
+      double capped = model.CellDistanceCapped(0, a, b, cap, &clipped);
+      if (clipped) {
+        EXPECT_LE(capped, exact) << a.ToString() << " / " << b.ToString()
+                                 << " cap=" << cap;
+        EXPECT_GT(exact, cap);
+      } else {
+        // Bit-identical, not just approximately equal.
+        EXPECT_EQ(capped, exact) << a.ToString() << " / " << b.ToString()
+                                 << " cap=" << cap;
+      }
+    }
+  }
+}
+
+TEST(CellDistanceCappedTest, NonEditMetricsAlwaysExact) {
+  Table t = CitizensDirty();
+  DistanceModel model(t);
+  int level = t.schema().IndexOf("Level");
+  bool clipped = false;
+  // Numeric kAuto resolves to Euclidean: no bounded kernel, exact even
+  // under a tiny cap.
+  EXPECT_DOUBLE_EQ(
+      model.CellDistanceCapped(level, Value(3.0), Value(1.0), 0.01, &clipped),
+      0.25);
+  EXPECT_FALSE(clipped);
+  model.SetColumnMetric(0, ColumnMetric::kJaroWinkler);
+  EXPECT_EQ(model.CellDistanceCapped(0, Value("MARTHA"), Value("MARHTA"),
+                                     0.01, &clipped),
+            model.CellDistance(0, Value("MARTHA"), Value("MARHTA")));
+  EXPECT_FALSE(clipped);
+}
+
+TEST(CellDistanceCappedTest, TrivialCases) {
+  Table t = CitizensDirty();
+  DistanceModel model(t);
+  bool clipped = false;
+  EXPECT_DOUBLE_EQ(
+      model.CellDistanceCapped(0, Value("x"), Value("x"), 0.0, &clipped), 0.0);
+  EXPECT_DOUBLE_EQ(
+      model.CellDistanceCapped(0, Value(), Value("x"), 0.0, &clipped), 1.0);
+  EXPECT_FALSE(clipped);
+  // Distant strings under a tiny cap: clipped, lower bound positive.
+  double d = model.CellDistanceCapped(0, Value("aaaaaaaaaa"),
+                                      Value("bbbbbbbbbb"), 0.2, &clipped);
+  EXPECT_TRUE(clipped);
+  EXPECT_GT(d, 0.2);
+  EXPECT_LE(d, 1.0);
 }
 
 TEST(ProjectionDistanceTest, PaperExample5) {

@@ -1,3 +1,6 @@
+#include <cstdlib>
+#include <string>
+
 #include <gtest/gtest.h>
 
 #include "detect/violation_graph.h"
@@ -159,6 +162,38 @@ TEST(ViolationGraphTest, SubgraphPreservesEdgeData) {
     total_edges += g.InducedSubgraph(comp).num_edges();
   }
   EXPECT_EQ(total_edges, g.num_edges());
+}
+
+TEST(ViolationGraphTest, SubgraphPropagatesTruncationAndStats) {
+  // Regression: InducedSubgraph used to drop truncated() and the pair
+  // stats, so per-component solvers working off a budget-truncated
+  // graph believed detection had been complete.
+  setenv("FTREPAIR_FAULT_BUDGET_UNITS", "40", 1);
+  Table t = RandomFDTable(80, 3, 12, 25, 5);
+  FD fd = std::move(FD::Make({0}, {1})).ValueOrDie();
+  DistanceModel model(t);
+  Budget budget(1e9);  // limited, so the fault seam applies
+  ViolationGraph g =
+      ViolationGraph::Build(BuildPatterns(t, fd.attrs()), fd, model,
+                            FTOptions{0.5, 0.5, 0.45}, &budget);
+  unsetenv("FTREPAIR_FAULT_BUDGET_UNITS");
+  ASSERT_TRUE(g.truncated());
+  for (const auto& comp : g.ConnectedComponents()) {
+    ViolationGraph sub = g.InducedSubgraph(comp);
+    EXPECT_TRUE(sub.truncated());
+    EXPECT_EQ(sub.pairs_evaluated(), g.pairs_evaluated());
+    EXPECT_EQ(sub.pairs_length_filtered(), g.pairs_length_filtered());
+  }
+}
+
+TEST(ViolationGraphTest, SubgraphOfCompleteBuildIsNotTruncated) {
+  Table t = CitizensDirty();
+  DistanceModel model(t);
+  ViolationGraph g = Phi1Graph(t, model);
+  ASSERT_FALSE(g.truncated());
+  for (const auto& comp : g.ConnectedComponents()) {
+    EXPECT_FALSE(g.InducedSubgraph(comp).truncated());
+  }
 }
 
 TEST(ViolationGraphTest, EmptyInput) {
