@@ -152,6 +152,35 @@ BENCHMARK(BM_RepairDeadlineSweep)
     ->Arg(10)       // 10 us
     ->Unit(benchmark::kMillisecond);
 
+// Thread sweep over the solve-phase fan-out: the full greedy pipeline
+// on HOSP (nine FDs, several independent components) at 1/2/4/8 solve
+// threads. The merge keeps the result bit-identical, so the sweep
+// isolates pure scheduling gain.
+void BM_RepairSolveThreads(benchmark::State& state) {
+  Fixture& fixture = SharedFixture();
+  RepairOptions options;
+  options.algorithm = RepairAlgorithm::kGreedy;
+  options.w_l = fixture.dataset.recommended_w_l;
+  options.w_r = fixture.dataset.recommended_w_r;
+  for (const auto& [name, tau] : fixture.dataset.recommended_tau) {
+    options.tau_by_fd[name] = tau;
+  }
+  options.compute_violation_stats = false;
+  options.threads = static_cast<int>(state.range(0));
+  Repairer repairer(options);
+  for (auto _ : state) {
+    auto result = repairer.Repair(fixture.dirty, fixture.dataset.fds);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_RepairSolveThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
 BENCHMARK_MAIN();

@@ -38,8 +38,9 @@ Options:
   --tau-fd NAME=V     per-FD threshold override (repeatable)
   --wl VALUE          Eq. 2 LHS weight              (default: 0.7)
   --wr VALUE          Eq. 2 RHS weight              (default: 0.3)
-  --threads N         worker threads for violation detection; 0 = all
-                      hardware threads, 1 = serial; any setting yields
+  --threads N         worker threads for violation detection and the
+                      per-component solve phase; 0 = all hardware
+                      threads, 1 = serial; any setting yields
                       identical results             (default: 0)
   --trusted-rows LIST comma-separated 0-based row indices known correct
                       (master data): never modified, anchor the repair

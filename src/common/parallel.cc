@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <memory>
 #include <utility>
 
 namespace ftrepair {
@@ -65,50 +66,73 @@ bool ParallelFor(int num_shards, int parallelism,
   if (num_shards <= 0) return true;
   parallelism = ResolveThreads(parallelism);
 
-  struct State {
-    std::atomic<int> next{0};
-    std::atomic<bool> skipped{false};
-    std::atomic<int> active{0};
-    std::mutex mu;
-    std::condition_variable done;
-  } state;
+  if (parallelism <= 1 || num_shards == 1) {
+    // Bit-for-bit the serial loop: caller thread, shard order, budget
+    // polled before each shard.
+    for (int s = 0; s < num_shards; ++s) {
+      if (BudgetExhausted(budget)) return false;
+      fn(s);
+    }
+    return true;
+  }
 
-  auto work = [&state, &fn, budget, num_shards] {
-    for (;;) {
-      int shard = state.next.fetch_add(1, std::memory_order_relaxed);
-      if (shard >= num_shards) return;
-      if (BudgetExhausted(budget)) {
-        state.skipped.store(true, std::memory_order_relaxed);
-        return;
+  // The caller blocks on *shard completion*, not on every helper task
+  // having run. A queued helper that only gets scheduled after all
+  // shards are done claims nothing and exits — which is what makes
+  // nested ParallelFor safe: a pool task calling ParallelFor can
+  // always finish its own shards itself, so its wait terminates even
+  // when the queue is saturated with other parents. `state` is
+  // heap-shared because such late helpers outlive the call; they touch
+  // only the claim cursor, never `fn` or `budget` (both dead once
+  // done == num_shards).
+  struct State {
+    State(const std::function<void(int)>& f, const Budget* b, int n)
+        : fn(f), budget(b), num_shards(n) {}
+    std::function<void(int)> fn;
+    const Budget* budget;
+    int num_shards;
+    std::atomic<int> next{0};
+    std::atomic<int> done{0};
+    std::atomic<bool> skipped{false};
+    std::mutex mu;
+    std::condition_variable all_done;
+
+    void Work() {
+      for (;;) {
+        int shard = next.fetch_add(1, std::memory_order_relaxed);
+        if (shard >= num_shards) return;
+        if (skipped.load(std::memory_order_relaxed) ||
+            BudgetExhausted(budget)) {
+          // Exhausted or cancelled: resolve the remaining claims
+          // without running them so the completion count still
+          // converges.
+          skipped.store(true, std::memory_order_relaxed);
+        } else {
+          fn(shard);
+        }
+        if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == num_shards) {
+          std::lock_guard<std::mutex> lock(mu);
+          all_done.notify_one();
+        }
       }
-      fn(shard);
     }
   };
 
+  auto state = std::make_shared<State>(fn, budget, num_shards);
   int helpers = std::min(parallelism - 1, num_shards - 1);
   helpers = std::min(helpers, ThreadPool::Shared().size());
-  if (helpers > 0) {
-    state.active.store(helpers, std::memory_order_relaxed);
-    for (int h = 0; h < helpers; ++h) {
-      ThreadPool::Shared().Submit([&state, &work] {
-        work();
-        // Last helper out wakes the caller; `state` lives on the
-        // caller's stack, which blocks below until active hits 0.
-        std::lock_guard<std::mutex> lock(state.mu);
-        if (state.active.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-          state.done.notify_one();
-        }
-      });
-    }
+  for (int h = 0; h < helpers; ++h) {
+    ThreadPool::Shared().Submit([state] { state->Work(); });
   }
-  work();
-  if (helpers > 0) {
-    std::unique_lock<std::mutex> lock(state.mu);
-    state.done.wait(lock, [&state] {
-      return state.active.load(std::memory_order_acquire) == 0;
+  state->Work();
+  {
+    std::unique_lock<std::mutex> lock(state->mu);
+    state->all_done.wait(lock, [&state] {
+      return state->done.load(std::memory_order_acquire) ==
+             state->num_shards;
     });
   }
-  return !state.skipped.load(std::memory_order_relaxed);
+  return !state->skipped.load(std::memory_order_relaxed);
 }
 
 }  // namespace ftrepair

@@ -79,8 +79,15 @@ int ResolveThreads(int threads);
 /// any was skipped.
 ///
 /// fn must be safe to call concurrently for distinct shards and must
-/// not throw. Do not call ParallelFor from inside a pool task (no
-/// nested parallelism): helpers would queue behind their parent.
+/// not throw.
+///
+/// Nesting is safe: the caller blocks on shard *completion*, not on
+/// its helper tasks having run, and always participates — so a pool
+/// task calling ParallelFor can finish its own shards even when every
+/// other worker is busy and its helpers never get scheduled (they
+/// claim nothing and exit once they do run). Under saturation a
+/// nested call therefore degrades toward the caller running alone,
+/// never toward deadlock; idle workers join in and share the load.
 bool ParallelFor(int num_shards, int parallelism,
                  const std::function<void(int)>& fn,
                  const Budget* budget = nullptr);

@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "common/trace.h"
 
 namespace ftrepair {
@@ -244,6 +245,21 @@ Result<MultiFDSolution> SolveGreedyMulti(const ComponentContext& context,
     }
   }
 
+  // Flattened (fd, pattern) slot space for the round scan: slot order
+  // is exactly the serial loop's (k, v) lexicographic order, so a
+  // per-shard first-strict-minimum folded in ascending shard order
+  // reproduces the serial argmin bit for bit (CandidateCost is a pure
+  // function of the frozen round state, so every thread computes the
+  // identical double for a given slot).
+  std::vector<size_t> slot_base(state.num_fds + 1, 0);
+  for (size_t k = 0; k < state.num_fds; ++k) {
+    slot_base[k + 1] =
+        slot_base[k] + static_cast<size_t>(context.graphs[k].num_patterns());
+  }
+  const size_t total_slots = slot_base[state.num_fds];
+  constexpr size_t kSlotsPerShard = 256;
+  const int scan_threads = ResolveThreads(options.threads);
+
   bool truncated = false;
   while (state.remaining > 0) {
     if (!BudgetCharge(options.budget)) {
@@ -256,14 +272,58 @@ Result<MultiFDSolution> SolveGreedyMulti(const ComponentContext& context,
     size_t best_fd = 0;
     int best_pattern = -1;
     double best_cost = kInf;
-    for (size_t k = 0; k < state.num_fds; ++k) {
-      for (int v = 0; v < context.graphs[k].num_patterns(); ++v) {
-        if (!state.IsCandidate(k, v)) continue;
-        double cost = state.CandidateCost(k, v);
+    if (scan_threads > 1 && total_slots > kSlotsPerShard) {
+      const int num_shards = static_cast<int>(
+          (total_slots + kSlotsPerShard - 1) / kSlotsPerShard);
+      std::vector<std::pair<double, size_t>> shard_best(
+          static_cast<size_t>(num_shards), {kInf, 0});
+      ParallelFor(num_shards, scan_threads, [&](int s) {
+        size_t lo = static_cast<size_t>(s) * kSlotsPerShard;
+        size_t hi = std::min(lo + kSlotsPerShard, total_slots);
+        size_t k = static_cast<size_t>(
+                       std::upper_bound(slot_base.begin(), slot_base.end(),
+                                        lo) -
+                       slot_base.begin()) -
+                   1;
+        double best = kInf;
+        size_t best_slot = 0;
+        for (size_t slot = lo; slot < hi; ++slot) {
+          while (slot >= slot_base[k + 1]) ++k;
+          int v = static_cast<int>(slot - slot_base[k]);
+          if (!state.IsCandidate(k, v)) continue;
+          double cost = state.CandidateCost(k, v);
+          if (cost < best) {
+            best = cost;
+            best_slot = slot;
+          }
+        }
+        shard_best[static_cast<size_t>(s)] = {best, best_slot};
+      });
+      size_t best_slot = 0;
+      for (const auto& [cost, slot] : shard_best) {
         if (cost < best_cost) {
           best_cost = cost;
-          best_fd = k;
-          best_pattern = v;
+          best_slot = slot;
+        }
+      }
+      if (best_cost != kInf) {
+        best_fd = static_cast<size_t>(
+                      std::upper_bound(slot_base.begin(), slot_base.end(),
+                                       best_slot) -
+                      slot_base.begin()) -
+                  1;
+        best_pattern = static_cast<int>(best_slot - slot_base[best_fd]);
+      }
+    } else {
+      for (size_t k = 0; k < state.num_fds; ++k) {
+        for (int v = 0; v < context.graphs[k].num_patterns(); ++v) {
+          if (!state.IsCandidate(k, v)) continue;
+          double cost = state.CandidateCost(k, v);
+          if (cost < best_cost) {
+            best_cost = cost;
+            best_fd = k;
+            best_pattern = v;
+          }
         }
       }
     }

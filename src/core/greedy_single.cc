@@ -1,6 +1,9 @@
 #include "core/greedy_single.h"
 
 #include <algorithm>
+#include <queue>
+#include <utility>
+#include <vector>
 
 #include "common/trace.h"
 
@@ -37,15 +40,21 @@ SingleFDSolution SolveGreedySingle(const ViolationGraph& graph,
     }
   }
 
+  // Vertices whose `best` decreased during the latest add_member call;
+  // only candidates adjacent to one of them can have a changed
+  // incremental cost, which is what the grow loop's re-scoring keys on.
+  std::vector<int> best_lowered;
   auto add_member = [&](int t) {
     in_set[static_cast<size_t>(t)] = true;
     solution.chosen_set.push_back(t);
     --pending;
+    best_lowered.clear();
     for (const ViolationGraph::Edge& e : graph.Neighbors(t)) {
       ++blocked[static_cast<size_t>(e.to)];
       if (e.unit_cost < best[static_cast<size_t>(e.to)]) {
         best[static_cast<size_t>(e.to)] = e.unit_cost;
         best_to[static_cast<size_t>(e.to)] = t;
+        best_lowered.push_back(e.to);
       }
     }
   };
@@ -104,40 +113,87 @@ SingleFDSolution SolveGreedySingle(const ViolationGraph& graph,
     if (first >= 0) add_member(first);
   }
 
-  // Grow: repeatedly add the FT-consistent pattern with the smallest
-  // net incremental cost (Eq. 8 minus the exclusion regret).
-  while (pending > 0) {
-    if (!BudgetCharge(budget)) {
-      // Out of budget: stop growing. Patterns without a chosen
-      // neighbor stay unrepaired (detect-only remainder).
-      solution.truncated = true;
-      break;
-    }
-    int pick = -1;
-    double pick_cost = kInf;
-    for (int t = 0; t < n; ++t) {
-      if (in_set[static_cast<size_t>(t)] ||
-          blocked[static_cast<size_t>(t)] != 0) {
-        continue;
+  // The net incremental cost of candidate t (Eq. 8 minus the exclusion
+  // regret), summed in adjacency order — the exact FP operation
+  // sequence of the historical full rescan, so the priority-queue grow
+  // loop below selects bit-identical members.
+  auto score_of = [&](int t) {
+    double s = 0;
+    for (const ViolationGraph::Edge& e : graph.Neighbors(t)) {
+      int v = e.to;
+      double m = graph.pattern(v).count();
+      if (best[static_cast<size_t>(v)] == kInf) {
+        s += m * e.unit_cost;  // newly covered neighbor
+      } else if (e.unit_cost < best[static_cast<size_t>(v)]) {
+        s += m * (e.unit_cost - best[static_cast<size_t>(v)]);  // <= 0
       }
-      double s = 0;
-      for (const ViolationGraph::Edge& e : graph.Neighbors(t)) {
-        int v = e.to;
-        double m = graph.pattern(v).count();
-        if (best[static_cast<size_t>(v)] == kInf) {
-          s += m * e.unit_cost;  // newly covered neighbor
-        } else if (e.unit_cost < best[static_cast<size_t>(v)]) {
-          s += m * (e.unit_cost - best[static_cast<size_t>(v)]);  // <= 0
+    }
+    return s - regret(t);
+  };
+
+  // Grow: repeatedly add the FT-consistent pattern with the smallest
+  // net incremental cost. Instead of rescanning all n candidates per
+  // accepted member (O(n^2 * deg) over a run), candidates sit in a
+  // lazy-deletion min-heap keyed on (score, id). A candidate's score
+  // only changes when `best` drops for one of its neighbors, so after
+  // each accepted member only the 2-hop neighborhood (candidates
+  // adjacent to a best-lowered vertex) is re-scored and re-pushed;
+  // superseded heap entries are discarded on pop by comparing against
+  // score[t]. Scores are monotonically non-increasing as the set grows
+  // (IEEE addition/multiplication are monotone and each term can only
+  // shrink), so the freshest entry for a candidate is also its
+  // smallest — popping the heap minimum always yields the candidate
+  // the full rescan would have picked, with the same
+  // smallest-id-wins tie-break.
+  if (pending > 0) {
+    using HeapEntry = std::pair<double, int>;
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                        std::greater<HeapEntry>>
+        heap;
+    std::vector<double> score(static_cast<size_t>(n), kInf);
+    auto push_fresh = [&](int t) {
+      double s = score_of(t);
+      score[static_cast<size_t>(t)] = s;
+      heap.emplace(s, t);
+    };
+    for (int t = 0; t < n; ++t) {
+      if (!in_set[static_cast<size_t>(t)] &&
+          blocked[static_cast<size_t>(t)] == 0) {
+        push_fresh(t);
+      }
+    }
+    while (pending > 0) {
+      if (!BudgetCharge(budget)) {
+        // Out of budget: stop growing. Patterns without a chosen
+        // neighbor stay unrepaired (detect-only remainder).
+        solution.truncated = true;
+        break;
+      }
+      int pick = -1;
+      while (!heap.empty()) {
+        const auto [s, t] = heap.top();
+        if (in_set[static_cast<size_t>(t)] ||
+            blocked[static_cast<size_t>(t)] != 0 ||
+            s != score[static_cast<size_t>(t)]) {
+          heap.pop();  // member, blocked, or superseded entry
+          continue;
+        }
+        heap.pop();
+        pick = t;
+        break;
+      }
+      if (pick < 0) break;  // every remaining pattern is blocked
+      add_member(pick);
+      for (int v : best_lowered) {
+        for (const ViolationGraph::Edge& e : graph.Neighbors(v)) {
+          int t = e.to;
+          if (!in_set[static_cast<size_t>(t)] &&
+              blocked[static_cast<size_t>(t)] == 0) {
+            push_fresh(t);
+          }
         }
       }
-      s -= regret(t);
-      if (s < pick_cost) {
-        pick_cost = s;
-        pick = t;
-      }
     }
-    if (pick < 0) break;  // every remaining pattern is blocked
-    add_member(pick);
   }
 
   // Repair: every excluded pattern goes to its cheapest chosen neighbor.

@@ -14,8 +14,16 @@ namespace ftrepair {
 /// following member is the FT-consistent pattern with the smallest
 /// *incremental cost* (Eq. 8: improvement for already-covered neighbors
 /// plus fresh cost for newly covered ones). Excluded patterns are then
-/// repaired to their cheapest neighbor in the set. O(|I| * V) with the
-/// grouped graph. Ties break toward the smaller pattern id.
+/// repaired to their cheapest neighbor in the set. Ties break toward
+/// the smaller pattern id.
+///
+/// The grow loop keeps candidates in a lazy-deletion priority queue
+/// keyed on the net incremental cost and re-scores only the 2-hop
+/// neighborhood of each accepted member, so a run costs
+/// O((V + sum of re-scored degrees) log V) instead of the historical
+/// O(|I| * V * deg) full rescan per member — while selecting
+/// bit-identical chosen sets (scores are recomputed with the same
+/// operation order the rescan used).
 ///
 /// `forced` (optional, one flag per pattern) pins trusted patterns into
 /// the set before anything else; a forced pattern conflicting with an

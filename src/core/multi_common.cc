@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "common/metrics.h"
+#include "common/parallel.h"
 #include "common/timer.h"
 #include "common/trace.h"
 #include "core/lazy_targets.h"
@@ -192,6 +193,53 @@ Result<MultiFDSolution> AssignTargets(
         return lazy_result.status();
       }
       LazyTargetSearch lazy = std::move(lazy_result).value();
+      const int threads = ResolveThreads(options.threads);
+      if (threads > 1 && dirty.size() > 1) {
+        // Same precompute-then-ordered-merge scheme as the eager tree
+        // path below: FindBest is a const read of the lazy index, so
+        // queries run concurrently and the merge replays them in dirty
+        // order for serial-identical cost summation and stats.
+        struct LazyPatternResult {
+          LazyTargetSearch::QueryResult query;
+          TargetTree::SearchStats search_stats;
+          bool ran = false;
+        };
+        std::vector<LazyPatternResult> results(dirty.size());
+        ParallelFor(
+            static_cast<int>(dirty.size()), threads,
+            [&](int d) {
+              LazyPatternResult& r = results[static_cast<size_t>(d)];
+              size_t i = dirty[static_cast<size_t>(d)];
+              r.query = lazy.FindBest(context.sigma_patterns[i].values,
+                                      model, options.max_target_visits,
+                                      &r.search_stats, options.budget);
+              r.ran = true;
+            },
+            options.budget);
+        for (size_t d = 0; d < dirty.size(); ++d) {
+          LazyPatternResult& r = results[d];
+          if (!r.ran) {
+            solution.truncated = true;
+            break;
+          }
+          size_t i = dirty[d];
+          if (stats != nullptr) {
+            stats->target_nodes_visited += r.search_stats.nodes_visited;
+            stats->target_nodes_pruned += r.search_stats.nodes_pruned;
+          }
+          if (r.query.target.empty()) {
+            if (r.query.truncated) {
+              solution.truncated = true;
+            } else if (stats != nullptr) {
+              stats->join_empty = true;
+            }
+            continue;  // leave this pattern unrepaired
+          }
+          solution.targets[i] = std::move(r.query.target);
+          solution.cost += context.sigma_patterns[i].count() * r.query.cost;
+        }
+        return solution;
+      }
       for (size_t i : dirty) {
         if (BudgetExhausted(options.budget)) {
           // Remaining dirty patterns stay unrepaired (detect-only).
@@ -225,6 +273,54 @@ Result<MultiFDSolution> AssignTargets(
   TargetTree tree = std::move(tree_result).value();
 
   if (options.use_target_tree) {
+    const int threads = ResolveThreads(options.threads);
+    if (threads > 1 && dirty.size() > 1) {
+      // Per-pattern searches are independent reads of the immutable
+      // tree and distance model; precompute them concurrently, then
+      // merge strictly in dirty order so cost summation and the
+      // search-counter accumulation keep the serial FP and ordering
+      // semantics. Budget exhaustion skips unclaimed shards; the merge
+      // stops at the first skipped pattern, mirroring the serial break
+      // (exactly which later shards ran is the documented threads>1
+      // truncation nondeterminism — threads=1 takes the loop below).
+      struct PatternResult {
+        std::vector<Value> target;
+        double cost = 0;
+        TargetTree::SearchStats search_stats;
+        bool ran = false;
+      };
+      std::vector<PatternResult> results(dirty.size());
+      ParallelFor(
+          static_cast<int>(dirty.size()), threads,
+          [&](int d) {
+            PatternResult& r = results[static_cast<size_t>(d)];
+            size_t i = dirty[static_cast<size_t>(d)];
+            r.target =
+                tree.FindBest(context.sigma_patterns[i].values, model,
+                              &r.cost, &r.search_stats, options.budget);
+            r.ran = true;
+          },
+          options.budget);
+      for (size_t d = 0; d < dirty.size(); ++d) {
+        PatternResult& r = results[d];
+        if (!r.ran) {
+          solution.truncated = true;
+          break;
+        }
+        size_t i = dirty[d];
+        if (stats != nullptr) {
+          stats->target_nodes_visited += r.search_stats.nodes_visited;
+          stats->target_nodes_pruned += r.search_stats.nodes_pruned;
+        }
+        if (r.target.empty()) {
+          solution.truncated = true;  // budget ran out before any leaf
+          continue;
+        }
+        solution.targets[i] = std::move(r.target);
+        solution.cost += context.sigma_patterns[i].count() * r.cost;
+      }
+      return solution;
+    }
     for (size_t i : dirty) {
       if (BudgetExhausted(options.budget)) {
         solution.truncated = true;

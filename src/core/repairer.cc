@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <unordered_set>
+#include <utility>
 
 #include "common/logging.h"
 #include "common/metrics.h"
+#include "common/parallel.h"
 #include "common/timer.h"
 #include "common/trace.h"
 #include "constraint/fd_graph.h"
@@ -21,19 +23,27 @@ namespace ftrepair {
 
 namespace {
 
-// Appends one degradation-ladder event to `stats`, stamped from the
-// repair-scoped clock (every event of a run shares `clock`, so
-// elapsed_ms is monotonically non-decreasing in record order). Each
-// event also lands as a trace instant and a labeled counter so
-// degraded runs are visible in --trace-json / --metrics-json output.
-void RecordDegradation(RepairStats* stats, const Timer& clock,
-                       std::string component, std::string stage,
-                       std::string reason) {
+// Appends one degradation-ladder event to `stats` WITHOUT the global
+// log/metrics/trace side effects. Component solves run concurrently on
+// pool threads and write into per-component scratch stats; the global
+// emission is deferred to EmitDegradation at merge time so it happens
+// in deterministic component order, not scheduling order. elapsed_ms is
+// stamped from the shared repair-scoped clock (a plain steady_clock
+// read, safe from any thread).
+void StageDegradation(RepairStats* stats, const Timer& clock,
+                      std::string component, std::string stage,
+                      std::string reason) {
   DegradationEvent event;
   event.component = std::move(component);
   event.stage = std::move(stage);
   event.reason = std::move(reason);
   event.elapsed_ms = clock.Millis();
+  stats->degradations.push_back(std::move(event));
+}
+
+// The global half of RecordDegradation: one log line, one labeled
+// counter bump, one trace instant. Call on the coordinating thread.
+void EmitDegradation(const DegradationEvent& event) {
   FTR_LOG(kInfo) << "degradation [" << event.component << "] "
                  << event.stage << ": " << event.reason;
   Metrics().GetCounter("ftrepair.degradations", "stage", event.stage)
@@ -42,7 +52,18 @@ void RecordDegradation(RepairStats* stats, const Timer& clock,
                                    {{"component", event.component},
                                     {"stage", event.stage},
                                     {"reason", event.reason}});
-  stats->degradations.push_back(std::move(event));
+}
+
+// Stage + emit in one step — for events recorded on the coordinating
+// thread outside the parallel solve phase (violation-stats counting).
+// Every event of a run shares `clock`, so elapsed_ms is monotonically
+// non-decreasing in record order.
+void RecordDegradation(RepairStats* stats, const Timer& clock,
+                       std::string component, std::string stage,
+                       std::string reason) {
+  StageDegradation(stats, clock, std::move(component), std::move(stage),
+                   std::move(reason));
+  EmitDegradation(stats->degradations.back());
 }
 
 // Scope guard accumulating its lifetime into one PhaseTimings field.
@@ -115,6 +136,263 @@ std::vector<Pattern> PatternsFor(const Table& table, const FD& fd,
   return out;
 }
 
+// When `opts->auto_threshold` is set, resolves a tau per FD with the
+// §2.1 distance-gap heuristic into opts->tau_by_fd (keyed by the
+// guaranteed-unique names of `named`). Shared by Repair and RepairCFDs
+// so both entry points honor auto-thresholding identically.
+void ResolveAutoThresholds(const Table& table, const std::vector<FD>& named,
+                           const DistanceModel& model, RepairOptions* opts) {
+  if (!opts->auto_threshold) return;
+  ThresholdOptions topt;
+  topt.w_l = opts->w_l;
+  topt.w_r = opts->w_r;
+  topt.fallback = opts->default_tau;
+  for (const FD& fd : named) {
+    opts->tau_by_fd[fd.name()] = SuggestThreshold(table, fd, model, topt);
+  }
+}
+
+// Per-run latency of one component's (or one CFD tableau unit's) solve,
+// including its graph build. Fed from whichever thread ran it; the
+// histogram is atomic.
+Histogram* ComponentMsHistogram() {
+  static Histogram* component_ms =
+      Metrics().GetHistogram("ftrepair.solve.component_ms");
+  return component_ms;
+}
+
+Gauge* SolveThreadsGauge() {
+  static Gauge* solve_threads = Metrics().GetGauge("ftrepair.solve.threads");
+  return solve_threads;
+}
+
+/// \brief Scratch result of one FD component's solve.
+///
+/// SolveComponent fills one of these on whatever pool thread claimed
+/// the component; nothing in here touches shared repair state, so the
+/// coordinating thread can replay-merge outcomes in component order and
+/// reproduce the serial RepairResult bit for bit at any thread count.
+struct ComponentOutcome {
+  /// Hard failure (budget exhausted with the degradation valve closed,
+  /// or a non-recoverable solver error): aborts the whole repair.
+  Status status = Status::OK();
+  /// Which solution below is valid. Both false = component left
+  /// unrepaired (skipped or degraded to detect-only).
+  bool apply_single = false;
+  bool apply_multi = false;
+  /// Single-FD component: the graph the solution indexes into and the
+  /// FD repaired (points into the caller's `named` vector).
+  const FD* fd = nullptr;
+  ViolationGraph graph;
+  SingleFDSolution single;
+  /// Multi-FD component.
+  MultiFDSolution multi;
+  /// Component-local deltas: graph/solve/targets timings, solver
+  /// counters, staged (not yet emitted) degradations, trusted
+  /// conflicts. Merged into RepairStats in component order.
+  RepairStats stats;
+};
+
+// Solves one connected FD component (the body of the old serial
+// component loop, minus the apply step). Runs concurrently with other
+// components: everything it writes lands in `out`, and the shared
+// inputs (`table`, `named`, `model`, `opts`, the budget behind
+// opts.budget) are either immutable for the duration of the solve
+// phase or internally synchronized.
+void SolveComponent(const Table& table, const std::vector<FD>& named,
+                    const std::vector<int>& component,
+                    const DistanceModel& model, const RepairOptions& opts,
+                    const Timer& repair_clock, ComponentOutcome* out) {
+  Timer component_timer;
+  if (component.size() == 1) {
+    const FD& fd = named[static_cast<size_t>(component[0])];
+    out->fd = &fd;
+    FTR_TRACE_SPAN("repair.solve_component", {{"component", fd.name()}});
+    if (BudgetExhausted(opts.budget)) {
+      if (!opts.fall_back_to_greedy) {
+        out->status = opts.budget->Check("repair pipeline");
+        return;
+      }
+      // Detect-only: the component's tuples keep their values.
+      StageDegradation(&out->stats, repair_clock, fd.name(), "skip",
+                       opts.budget->Check("repair pipeline").message());
+      return;
+    }
+    Timer graph_timer;
+    out->graph = ViolationGraph::Build(
+        PatternsFor(table, fd, opts.group_tuples), fd, model,
+        opts.FTFor(fd), opts.budget);
+    out->stats.phases.graph_ms += graph_timer.Millis();
+    if (out->graph.truncated()) {
+      if (!opts.fall_back_to_greedy) {
+        out->status = opts.budget->Check("violation graph construction");
+        return;
+      }
+      StageDegradation(&out->stats, repair_clock, fd.name(),
+                       "partial-graph",
+                       "budget exhausted while building the violation "
+                       "graph; undetected violations stay unrepaired");
+    }
+    std::vector<bool> forced_storage;
+    const std::vector<bool>* forced = nullptr;
+    if (!opts.trusted_rows.empty()) {
+      forced_storage =
+          TrustedPatternMask(out->graph.patterns(), opts.trusted_rows);
+      forced = &forced_storage;
+    }
+    // Single-FD ladder: exact -> greedy -> partial greedy. The greedy
+    // rung never fails outright; the budget truncates it instead.
+    // kGreedy and kApproJoin both land on the greedy rung — for a
+    // single FD there is nothing to join, so Appro-M's per-FD phase
+    // *is* Greedy-S (a contractual aliasing, see DESIGN.md §4).
+    bool have_solution = false;
+    Timer solve_timer;
+    if (opts.algorithm == RepairAlgorithm::kExact) {
+      ExpansionConfig config;
+      config.max_frontier = opts.max_frontier;
+      config.forced = forced;
+      config.budget = opts.budget;
+      auto exact = SolveExpansionSingle(out->graph, config);
+      if (exact.ok()) {
+        out->single = std::move(exact).value();
+        have_solution = true;
+        out->stats.expansion_nodes += out->single.nodes_expanded;
+        out->stats.expansion_pruned += out->single.nodes_pruned;
+      } else if (exact.status().IsResourceExhausted() &&
+                 opts.fall_back_to_greedy) {
+        StageDegradation(&out->stats, repair_clock, fd.name(),
+                         "exact->greedy", exact.status().message());
+      } else {
+        out->status = exact.status();
+        return;
+      }
+    }
+    if (!have_solution) {
+      out->single = SolveGreedySingle(out->graph, forced,
+                                      &out->stats.trusted_conflicts,
+                                      opts.budget);
+      if (out->single.truncated) {
+        if (!opts.fall_back_to_greedy) {
+          out->status = opts.budget->Check("greedy cover");
+          return;
+        }
+        StageDegradation(
+            &out->stats, repair_clock, fd.name(), "greedy->partial",
+            "budget exhausted while growing the greedy set; uncovered "
+            "patterns stay unrepaired");
+      }
+    }
+    out->stats.phases.solve_ms += solve_timer.Millis();
+    out->apply_single = true;
+  } else {
+    std::vector<const FD*> component_fds;
+    component_fds.reserve(component.size());
+    for (int idx : component) {
+      component_fds.push_back(&named[static_cast<size_t>(idx)]);
+    }
+    std::string name = ComponentName(component_fds);
+    FTR_TRACE_SPAN("repair.solve_component", {{"component", name}});
+    if (BudgetExhausted(opts.budget)) {
+      if (!opts.fall_back_to_greedy) {
+        out->status = opts.budget->Check("repair pipeline");
+        return;
+      }
+      StageDegradation(&out->stats, repair_clock, name, "skip",
+                       opts.budget->Check("repair pipeline").message());
+      return;
+    }
+    Timer graph_timer;
+    ComponentContext context =
+        BuildComponentContext(table, component_fds, model, opts);
+    out->stats.phases.graph_ms += graph_timer.Millis();
+    bool graphs_truncated = false;
+    for (const ViolationGraph& graph : context.graphs) {
+      graphs_truncated = graphs_truncated || graph.truncated();
+    }
+    if (graphs_truncated) {
+      if (!opts.fall_back_to_greedy) {
+        out->status = opts.budget->Check("violation graph construction");
+        return;
+      }
+      StageDegradation(&out->stats, repair_clock, name, "partial-graph",
+                       "budget exhausted while building the violation "
+                       "graphs; undetected violations stay unrepaired");
+    }
+    // Multi-FD ladder: exact -> greedy -> per-FD appro -> detect-only.
+    // Each rung hands ResourceExhausted down one step (when the
+    // fall_back_to_greedy valve is open); the bottom rung degrades to
+    // leaving the component unrepaired.
+    static constexpr const char* kRungs[] = {"exact", "greedy", "appro"};
+    int rung = 0;
+    switch (opts.algorithm) {
+      case RepairAlgorithm::kExact:
+        rung = 0;
+        break;
+      case RepairAlgorithm::kGreedy:
+        rung = 1;
+        break;
+      case RepairAlgorithm::kApproJoin:
+        rung = 2;
+        break;
+    }
+    Result<MultiFDSolution> solved = Status::Internal("unreachable");
+    bool solved_ok = false;
+    // Target assignment runs nested inside the multi-FD solvers and
+    // accumulates into phases.targets_ms on its own; subtract its
+    // delta so solve/targets stay disjoint phases.
+    double targets_before = out->stats.phases.targets_ms;
+    Timer solve_timer;
+    while (rung <= 2) {
+      switch (rung) {
+        case 0:
+          solved = SolveExpansionMulti(context, model, opts, &out->stats);
+          break;
+        case 1:
+          solved = SolveGreedyMulti(context, model, opts, &out->stats);
+          break;
+        case 2:
+          solved = SolveApproMulti(context, model, opts, &out->stats);
+          break;
+      }
+      if (solved.ok()) {
+        solved_ok = true;
+        break;
+      }
+      if (!solved.status().IsResourceExhausted() ||
+          !opts.fall_back_to_greedy) {
+        out->status = solved.status();
+        return;
+      }
+      if (rung < 2) {
+        StageDegradation(&out->stats, repair_clock, name,
+                         std::string(kRungs[rung]) + "->" + kRungs[rung + 1],
+                         solved.status().message());
+      } else {
+        // Bottom of the ladder: detect-only for this component.
+        StageDegradation(&out->stats, repair_clock, name, "skip",
+                         solved.status().message());
+      }
+      ++rung;
+    }
+    out->stats.phases.solve_ms +=
+        solve_timer.Millis() -
+        (out->stats.phases.targets_ms - targets_before);
+    if (!solved_ok) return;  // component left unrepaired
+    if (solved.value().truncated) {
+      if (!opts.fall_back_to_greedy) {
+        out->status = opts.budget->Check("target assignment");
+        return;
+      }
+      StageDegradation(&out->stats, repair_clock, name, "partial-targets",
+                       "budget exhausted while assigning targets; "
+                       "remaining patterns stay unrepaired");
+    }
+    out->multi = std::move(solved).value();
+    out->apply_multi = true;
+  }
+  ComponentMsHistogram()->Observe(component_timer.Millis());
+}
+
 }  // namespace
 
 Status ValidateFDs(const Schema& schema, const std::vector<FD>& fds) {
@@ -160,15 +438,7 @@ Result<RepairResult> Repairer::Repair(const Table& table,
 
   DistanceModel model(table);
   RepairOptions opts = options_;
-  if (opts.auto_threshold) {
-    ThresholdOptions topt;
-    topt.w_l = opts.w_l;
-    topt.w_r = opts.w_r;
-    topt.fallback = opts.default_tau;
-    for (const FD& fd : named) {
-      opts.tau_by_fd[fd.name()] = SuggestThreshold(table, fd, model, topt);
-    }
-  }
+  ResolveAutoThresholds(table, named, model, &opts);
 
   RepairResult result;
   result.repaired = table;
@@ -192,193 +462,63 @@ Result<RepairResult> Repairer::Repair(const Table& table,
   }
 
   FDGraph fd_graph(named);
-  for (const std::vector<int>& component : fd_graph.Components()) {
-    if (component.size() == 1) {
-      const FD& fd = named[static_cast<size_t>(component[0])];
-      if (BudgetExhausted(opts.budget)) {
-        if (!opts.fall_back_to_greedy) {
-          return opts.budget->Check("repair pipeline");
-        }
-        // Detect-only: the component's tuples keep their values.
-        RecordDegradation(&result.stats, repair_clock, fd.name(), "skip",
-                          opts.budget->Check("repair pipeline").message());
-        continue;
-      }
-      Timer graph_timer;
-      ViolationGraph graph = ViolationGraph::Build(
-          PatternsFor(table, fd, opts.group_tuples), fd, model,
-          opts.FTFor(fd), opts.budget);
-      result.stats.phases.graph_ms += graph_timer.Millis();
-      if (graph.truncated()) {
-        if (!opts.fall_back_to_greedy) {
-          return opts.budget->Check("violation graph construction");
-        }
-        RecordDegradation(&result.stats, repair_clock, fd.name(),
-                          "partial-graph",
-                          "budget exhausted while building the violation "
-                          "graph; undetected violations stay unrepaired");
-      }
-      std::vector<bool> forced_storage;
-      const std::vector<bool>* forced = nullptr;
-      if (!opts.trusted_rows.empty()) {
-        forced_storage =
-            TrustedPatternMask(graph.patterns(), opts.trusted_rows);
-        forced = &forced_storage;
-      }
-      // Single-FD ladder: exact -> greedy -> partial greedy. The greedy
-      // rung never fails outright; the budget truncates it instead.
-      SingleFDSolution solution;
-      bool have_solution = false;
-      Timer solve_timer;
-      if (opts.algorithm == RepairAlgorithm::kExact) {
-        ExpansionConfig config;
-        config.max_frontier = opts.max_frontier;
-        config.forced = forced;
-        config.budget = opts.budget;
-        auto exact = SolveExpansionSingle(graph, config);
-        if (exact.ok()) {
-          solution = std::move(exact).value();
-          have_solution = true;
-          result.stats.expansion_nodes += solution.nodes_expanded;
-          result.stats.expansion_pruned += solution.nodes_pruned;
-        } else if (exact.status().IsResourceExhausted() &&
-                   opts.fall_back_to_greedy) {
-          RecordDegradation(&result.stats, repair_clock, fd.name(),
-                            "exact->greedy", exact.status().message());
-        } else {
-          return exact.status();
-        }
-      }
-      if (!have_solution) {
-        solution = SolveGreedySingle(graph, forced,
-                                     &result.stats.trusted_conflicts,
-                                     opts.budget);
-        if (solution.truncated) {
-          if (!opts.fall_back_to_greedy) {
-            return opts.budget->Check("greedy cover");
-          }
-          RecordDegradation(
-              &result.stats, repair_clock, fd.name(), "greedy->partial",
-              "budget exhausted while growing the greedy set; uncovered "
-              "patterns stay unrepaired");
-        }
-      }
-      result.stats.phases.solve_ms += solve_timer.Millis();
-      {
-        PhaseTimer phase(&result.stats.phases.apply_ms);
-        ApplySingleFDSolution(graph, fd, solution, &result.repaired,
-                              &result.changes,
-                              opts.trusted_rows.empty()
-                                  ? nullptr
-                                  : &opts.trusted_rows);
-      }
-    } else {
-      std::vector<const FD*> component_fds;
-      component_fds.reserve(component.size());
-      for (int idx : component) {
-        component_fds.push_back(&named[static_cast<size_t>(idx)]);
-      }
-      std::string name = ComponentName(component_fds);
-      if (BudgetExhausted(opts.budget)) {
-        if (!opts.fall_back_to_greedy) {
-          return opts.budget->Check("repair pipeline");
-        }
-        RecordDegradation(&result.stats, repair_clock, name, "skip",
-                          opts.budget->Check("repair pipeline").message());
-        continue;
-      }
-      Timer graph_timer;
-      ComponentContext context =
-          BuildComponentContext(table, component_fds, model, opts);
-      result.stats.phases.graph_ms += graph_timer.Millis();
-      bool graphs_truncated = false;
-      for (const ViolationGraph& graph : context.graphs) {
-        graphs_truncated = graphs_truncated || graph.truncated();
-      }
-      if (graphs_truncated) {
-        if (!opts.fall_back_to_greedy) {
-          return opts.budget->Check("violation graph construction");
-        }
-        RecordDegradation(&result.stats, repair_clock, name, "partial-graph",
-                          "budget exhausted while building the violation "
-                          "graphs; undetected violations stay unrepaired");
-      }
-      // Multi-FD ladder: exact -> greedy -> per-FD appro -> detect-only.
-      // Each rung hands ResourceExhausted down one step (when the
-      // fall_back_to_greedy valve is open); the bottom rung degrades to
-      // leaving the component unrepaired.
-      static constexpr const char* kRungs[] = {"exact", "greedy", "appro"};
-      int rung = 0;
-      switch (opts.algorithm) {
-        case RepairAlgorithm::kExact:
-          rung = 0;
-          break;
-        case RepairAlgorithm::kGreedy:
-          rung = 1;
-          break;
-        case RepairAlgorithm::kApproJoin:
-          rung = 2;
-          break;
-      }
-      Result<MultiFDSolution> solved = Status::Internal("unreachable");
-      bool solved_ok = false;
-      // Target assignment runs nested inside the multi-FD solvers and
-      // accumulates into phases.targets_ms on its own; subtract its
-      // delta so solve/targets stay disjoint phases.
-      double targets_before = result.stats.phases.targets_ms;
-      Timer solve_timer;
-      while (rung <= 2) {
-        switch (rung) {
-          case 0:
-            solved = SolveExpansionMulti(context, model, opts, &result.stats);
-            break;
-          case 1:
-            solved = SolveGreedyMulti(context, model, opts, &result.stats);
-            break;
-          case 2:
-            solved = SolveApproMulti(context, model, opts, &result.stats);
-            break;
-        }
-        if (solved.ok()) {
-          solved_ok = true;
-          break;
-        }
-        if (!solved.status().IsResourceExhausted() ||
-            !opts.fall_back_to_greedy) {
-          return solved.status();
-        }
-        if (rung < 2) {
-          RecordDegradation(&result.stats, repair_clock, name,
-                            std::string(kRungs[rung]) + "->" +
-                                kRungs[rung + 1],
-                            solved.status().message());
-        } else {
-          // Bottom of the ladder: detect-only for this component.
-          RecordDegradation(&result.stats, repair_clock, name, "skip",
-                            solved.status().message());
-        }
-        ++rung;
-      }
-      result.stats.phases.solve_ms +=
-          solve_timer.Millis() -
-          (result.stats.phases.targets_ms - targets_before);
-      if (!solved_ok) continue;  // component left unrepaired
-      if (solved.value().truncated) {
-        if (!opts.fall_back_to_greedy) {
-          return opts.budget->Check("target assignment");
-        }
-        RecordDegradation(&result.stats, repair_clock, name,
-                          "partial-targets",
-                          "budget exhausted while assigning targets; "
-                          "remaining patterns stay unrepaired");
-      }
-      {
-        PhaseTimer phase(&result.stats.phases.apply_ms);
-        ApplyMultiFDSolution(solved.value(), &result.repaired,
-                             &result.changes,
-                             opts.trusted_rows.empty() ? nullptr
-                                                       : &opts.trusted_rows);
-      }
+  const std::vector<std::vector<int>>& components = fd_graph.Components();
+
+  // Solve phase. Components are independent by construction (Theorem
+  // 5: they touch disjoint attribute sets and each reads only the
+  // input table), so they run concurrently on the shared pool, each
+  // writing a private ComponentOutcome. Components keep their inner
+  // parallelism (graph builds, candidate scans, target assignment) —
+  // ParallelFor nests safely, so idle workers drain into whichever
+  // component dominates the critical path.
+  int solve_parallelism = 1;
+  if (components.size() > 1) {
+    solve_parallelism = std::min(ResolveThreads(opts.threads),
+                                 static_cast<int>(components.size()));
+  }
+  SolveThreadsGauge()->Set(solve_parallelism);
+
+  std::vector<ComponentOutcome> outcomes(components.size());
+  {
+    FTR_TRACE_SPAN("repair.solve",
+                   {{"components", std::to_string(components.size())},
+                    {"threads", std::to_string(solve_parallelism)}});
+    ParallelFor(
+        static_cast<int>(components.size()), solve_parallelism, [&](int c) {
+          SolveComponent(table, named, components[static_cast<size_t>(c)],
+                         model, opts, repair_clock,
+                         &outcomes[static_cast<size_t>(c)]);
+        });
+  }
+
+  // Replay merge, strictly in component order: degradations are
+  // emitted and appended in the order the serial loop would have
+  // produced them (elapsed_ms stamps are clamped monotone, since
+  // components finish out of order), stats deltas accumulate in
+  // component order, and the apply step writes changes in component
+  // order — so RepairResult is bit-identical to the serial run at any
+  // thread count.
+  double last_degradation_ms = result.stats.degradations.empty()
+                                   ? 0.0
+                                   : result.stats.degradations.back()
+                                         .elapsed_ms;
+  const std::unordered_set<int>* trusted =
+      opts.trusted_rows.empty() ? nullptr : &opts.trusted_rows;
+  for (ComponentOutcome& out : outcomes) {
+    if (!out.status.ok()) return out.status;
+    for (DegradationEvent& event : out.stats.degradations) {
+      event.elapsed_ms = std::max(event.elapsed_ms, last_degradation_ms);
+      last_degradation_ms = event.elapsed_ms;
+      EmitDegradation(event);
+    }
+    result.stats.Merge(out.stats);
+    PhaseTimer phase(&result.stats.phases.apply_ms);
+    if (out.apply_single) {
+      ApplySingleFDSolution(out.graph, *out.fd, out.single, &result.repaired,
+                            &result.changes, trusted);
+    } else if (out.apply_multi) {
+      ApplyMultiFDSolution(out.multi, &result.repaired, &result.changes,
+                           trusted);
     }
   }
 
@@ -430,6 +570,21 @@ Result<RepairResult> Repairer::RepairAppended(
   return incremental.Repair(table, fds);
 }
 
+namespace {
+
+/// Scratch result of one CFD tableau unit (one (CFD, tableau row)
+/// pair). The unit's table writes go straight into the shared output
+/// table — units of column-disjoint CFD groups touch disjoint cells —
+/// but the change log, stats deltas and staged degradations are
+/// private, replay-merged in (CFD, tableau row) order.
+struct CfdUnitOutcome {
+  Status status = Status::OK();
+  std::vector<CellChange> changes;
+  RepairStats stats;
+};
+
+}  // namespace
+
 Result<RepairResult> Repairer::RepairCFDs(const Table& table,
                                           const std::vector<CFD>& cfds) const {
   Timer repair_clock;
@@ -440,94 +595,201 @@ Result<RepairResult> Repairer::RepairCFDs(const Table& table,
   result.repaired = table;
   DistanceModel model(table);
 
-  for (const CFD& cfd : cfds) {
-    const FD& fd = cfd.fd();
+  // Named embedded-FD copies (mirroring Repair) so per-FD taus — and
+  // the auto-threshold heuristic — resolve by a guaranteed-unique name.
+  std::vector<FD> named;
+  named.reserve(cfds.size());
+  for (size_t i = 0; i < cfds.size(); ++i) {
+    const FD& fd = cfds[i].fd();
     FTR_RETURN_NOT_OK(ValidateFDs(table.schema(), {fd}));
-    for (int p = 0; p < static_cast<int>(cfd.tableau().size()); ++p) {
-      if (BudgetExhausted(options_.budget)) {
-        if (!options_.fall_back_to_greedy) {
-          return options_.budget->Check("CFD repair");
-        }
-        RecordDegradation(
-            &result.stats, repair_clock,
-            fd.name() + "#" + std::to_string(p), "skip",
-            options_.budget->Check("CFD repair").message());
+    if (fd.name().empty()) {
+      FTR_ASSIGN_OR_RETURN(
+          FD named_fd,
+          FD::Make(fd.lhs(), fd.rhs(), "__cfd" + std::to_string(i)));
+      named.push_back(std::move(named_fd));
+    } else {
+      named.push_back(fd);
+    }
+  }
+  RepairOptions opts = options_;
+  ResolveAutoThresholds(table, named, model, &opts);
+
+  // Flatten the tableau units in serial order; outcome slot u belongs
+  // to the u-th (CFD, tableau row) pair.
+  std::vector<size_t> unit_base(cfds.size(), 0);
+  size_t num_units = 0;
+  for (size_t i = 0; i < cfds.size(); ++i) {
+    unit_base[i] = num_units;
+    num_units += cfds[i].tableau().size();
+  }
+  std::vector<CfdUnitOutcome> outcomes(num_units);
+
+  // CFDs whose embedded FDs share an attribute must stay sequential:
+  // later tableau rows re-read cells earlier rows wrote (matching,
+  // scoping and graph building all run against the evolving output
+  // table). Column-disjoint groups, by contrast, never read or write
+  // each other's cells, so they run concurrently against the shared
+  // output table — the CFD analogue of the FD-component solve fan-out.
+  FDGraph cfd_graph(named);
+  const std::vector<std::vector<int>>& groups = cfd_graph.Components();
+  int parallelism = 1;
+  if (groups.size() > 1) {
+    parallelism = std::min(ResolveThreads(opts.threads),
+                           static_cast<int>(groups.size()));
+  }
+  SolveThreadsGauge()->Set(parallelism);
+  // Units keep opts.threads: ParallelFor nests safely, so a unit's
+  // inner graph build can borrow idle workers even under group fan-out.
+  const RepairOptions& unit_opts = opts;
+
+  const std::unordered_set<int>* trusted =
+      opts.trusted_rows.empty() ? nullptr : &opts.trusted_rows;
+
+  auto run_unit = [&](int ci, int p, CfdUnitOutcome* out) {
+    Timer unit_timer;
+    const CFD& cfd = cfds[static_cast<size_t>(ci)];
+    const FD& fd = cfd.fd();
+    const FD& named_fd = named[static_cast<size_t>(ci)];
+    std::string unit_name = named_fd.name() + "#" + std::to_string(p);
+    if (BudgetExhausted(opts.budget)) {
+      if (!opts.fall_back_to_greedy) {
+        out->status = opts.budget->Check("CFD repair");
+        return;
+      }
+      StageDegradation(&out->stats, repair_clock, unit_name, "skip",
+                       opts.budget->Check("CFD repair").message());
+      return;
+    }
+    // 1. Constant violations: pin the RHS constants directly. Trusted
+    // rows are never written; a trusted row disagreeing with a tableau
+    // constant is a trusted conflict (the master data contradicts the
+    // rule), surfaced instead of silently "repaired".
+    for (int r : cfd.ConstantViolations(result.repaired, p)) {
+      if (trusted != nullptr && trusted->count(r) > 0) {
+        ++out->stats.trusted_conflicts;
         continue;
       }
-      // 1. Constant violations: pin the RHS constants directly.
-      for (int r : cfd.ConstantViolations(result.repaired, p)) {
-        const PatternRow& pat = cfd.tableau()[static_cast<size_t>(p)];
-        for (int i = fd.lhs_size(); i < fd.num_attrs(); ++i) {
-          const auto& constant = pat[static_cast<size_t>(i)];
-          if (!constant.has_value()) continue;
-          int col = fd.attrs()[static_cast<size_t>(i)];
-          Value* cell = result.repaired.mutable_cell(r, col);
-          if (*cell != *constant) {
-            result.changes.push_back(CellChange{r, col, *cell, *constant});
-            *cell = *constant;
-          }
+      const PatternRow& pat = cfd.tableau()[static_cast<size_t>(p)];
+      for (int i = fd.lhs_size(); i < fd.num_attrs(); ++i) {
+        const auto& constant = pat[static_cast<size_t>(i)];
+        if (!constant.has_value()) continue;
+        int col = fd.attrs()[static_cast<size_t>(i)];
+        Value* cell = result.repaired.mutable_cell(r, col);
+        if (*cell != *constant) {
+          out->changes.push_back(CellChange{r, col, *cell, *constant});
+          *cell = *constant;
         }
-      }
-      // 2. Variable part: FT repair restricted to the matching tuples,
-      // stepping down the same exact -> greedy -> partial ladder.
-      std::vector<int> scope = cfd.ApplicableRows(result.repaired, p);
-      if (scope.size() < 2) continue;
-      Timer graph_timer;
-      ViolationGraph graph = ViolationGraph::Build(
-          BuildPatternsForRows(result.repaired, fd.attrs(), scope), fd,
-          model, options_.FTFor(fd), options_.budget);
-      result.stats.phases.graph_ms += graph_timer.Millis();
-      if (graph.truncated()) {
-        if (!options_.fall_back_to_greedy) {
-          return options_.budget->Check("violation graph construction");
-        }
-        RecordDegradation(&result.stats, repair_clock,
-                          fd.name() + "#" + std::to_string(p),
-                          "partial-graph",
-                          "budget exhausted while building the violation "
-                          "graph; undetected violations stay unrepaired");
-      }
-      SingleFDSolution solution;
-      bool have_solution = false;
-      Timer solve_timer;
-      if (options_.algorithm == RepairAlgorithm::kExact) {
-        ExpansionConfig config;
-        config.max_frontier = options_.max_frontier;
-        config.budget = options_.budget;
-        auto exact = SolveExpansionSingle(graph, config);
-        if (exact.ok()) {
-          solution = std::move(exact).value();
-          have_solution = true;
-        } else if (exact.status().IsResourceExhausted() &&
-                   options_.fall_back_to_greedy) {
-          RecordDegradation(&result.stats, repair_clock,
-                            fd.name() + "#" + std::to_string(p),
-                            "exact->greedy", exact.status().message());
-        } else {
-          return exact.status();
-        }
-      }
-      if (!have_solution) {
-        solution = SolveGreedySingle(graph, nullptr, nullptr,
-                                     options_.budget);
-        if (solution.truncated) {
-          if (!options_.fall_back_to_greedy) {
-            return options_.budget->Check("greedy cover");
-          }
-          RecordDegradation(
-              &result.stats, repair_clock,
-              fd.name() + "#" + std::to_string(p), "greedy->partial",
-              "budget exhausted while growing the greedy set; uncovered "
-              "patterns stay unrepaired");
-        }
-      }
-      result.stats.phases.solve_ms += solve_timer.Millis();
-      {
-        PhaseTimer phase(&result.stats.phases.apply_ms);
-        ApplySingleFDSolution(graph, fd, solution, &result.repaired,
-                              &result.changes);
       }
     }
+    // 2. Variable part: FT repair restricted to the matching tuples,
+    // stepping down the same exact -> greedy -> partial ladder — with
+    // the trusted-row mask threaded through exactly like the FD path.
+    std::vector<int> scope = cfd.ApplicableRows(result.repaired, p);
+    if (scope.size() < 2) return;
+    Timer graph_timer;
+    ViolationGraph graph = ViolationGraph::Build(
+        BuildPatternsForRows(result.repaired, fd.attrs(), scope), fd,
+        model, unit_opts.FTFor(named_fd), opts.budget);
+    out->stats.phases.graph_ms += graph_timer.Millis();
+    if (graph.truncated()) {
+      if (!opts.fall_back_to_greedy) {
+        out->status = opts.budget->Check("violation graph construction");
+        return;
+      }
+      StageDegradation(&out->stats, repair_clock, unit_name,
+                       "partial-graph",
+                       "budget exhausted while building the violation "
+                       "graph; undetected violations stay unrepaired");
+    }
+    std::vector<bool> forced_storage;
+    const std::vector<bool>* forced = nullptr;
+    if (trusted != nullptr) {
+      forced_storage = TrustedPatternMask(graph.patterns(), *trusted);
+      forced = &forced_storage;
+    }
+    SingleFDSolution solution;
+    bool have_solution = false;
+    Timer solve_timer;
+    if (opts.algorithm == RepairAlgorithm::kExact) {
+      ExpansionConfig config;
+      config.max_frontier = opts.max_frontier;
+      config.forced = forced;
+      config.budget = opts.budget;
+      auto exact = SolveExpansionSingle(graph, config);
+      if (exact.ok()) {
+        solution = std::move(exact).value();
+        have_solution = true;
+        out->stats.expansion_nodes += solution.nodes_expanded;
+        out->stats.expansion_pruned += solution.nodes_pruned;
+      } else if (exact.status().IsResourceExhausted() &&
+                 opts.fall_back_to_greedy) {
+        StageDegradation(&out->stats, repair_clock, unit_name,
+                         "exact->greedy", exact.status().message());
+      } else {
+        out->status = exact.status();
+        return;
+      }
+    }
+    if (!have_solution) {
+      solution = SolveGreedySingle(graph, forced,
+                                   &out->stats.trusted_conflicts,
+                                   opts.budget);
+      if (solution.truncated) {
+        if (!opts.fall_back_to_greedy) {
+          out->status = opts.budget->Check("greedy cover");
+          return;
+        }
+        StageDegradation(
+            &out->stats, repair_clock, unit_name, "greedy->partial",
+            "budget exhausted while growing the greedy set; uncovered "
+            "patterns stay unrepaired");
+      }
+    }
+    out->stats.phases.solve_ms += solve_timer.Millis();
+    {
+      PhaseTimer phase(&out->stats.phases.apply_ms);
+      ApplySingleFDSolution(graph, fd, solution, &result.repaired,
+                            &out->changes, trusted);
+    }
+    ComponentMsHistogram()->Observe(unit_timer.Millis());
+  };
+
+  {
+    FTR_TRACE_SPAN("repair.cfd_solve",
+                   {{"groups", std::to_string(groups.size())},
+                    {"threads", std::to_string(parallelism)}});
+    ParallelFor(
+        static_cast<int>(groups.size()), parallelism, [&](int g) {
+          for (int ci : groups[static_cast<size_t>(g)]) {
+            const CFD& cfd = cfds[static_cast<size_t>(ci)];
+            int rows = static_cast<int>(cfd.tableau().size());
+            for (int p = 0; p < rows; ++p) {
+              CfdUnitOutcome* out =
+                  &outcomes[unit_base[static_cast<size_t>(ci)] +
+                            static_cast<size_t>(p)];
+              run_unit(ci, p, out);
+              // Serial semantics: a hard failure stops this group's
+              // remaining units (the merge below surfaces it).
+              if (!out->status.ok()) return;
+            }
+          }
+        });
+  }
+
+  // Replay merge in (CFD, tableau row) order: the change log, the
+  // degradation sequence and the stats deltas come out exactly as the
+  // serial loop would have produced them.
+  double last_degradation_ms = 0.0;
+  for (CfdUnitOutcome& out : outcomes) {
+    if (!out.status.ok()) return out.status;
+    for (DegradationEvent& event : out.stats.degradations) {
+      event.elapsed_ms = std::max(event.elapsed_ms, last_degradation_ms);
+      last_degradation_ms = event.elapsed_ms;
+      EmitDegradation(event);
+    }
+    result.stats.Merge(out.stats);
+    result.changes.insert(result.changes.end(), out.changes.begin(),
+                          out.changes.end());
   }
 
   {

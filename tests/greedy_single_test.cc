@@ -1,9 +1,14 @@
 #include <set>
+#include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "core/expansion_single.h"
 #include "core/greedy_single.h"
+#include "gen/error_injector.h"
+#include "gen/hosp_gen.h"
+#include "gen/tax_gen.h"
 #include "test_util.h"
 
 namespace ftrepair {
@@ -147,6 +152,175 @@ TEST(GreedySingleTest, HighFrequencyPatternWins) {
   int kept = solution.chosen_set[0];
   EXPECT_EQ(g.pattern(kept).values[0], Value("aaaaaa"));
   EXPECT_EQ(solution.repair_target[static_cast<size_t>(1 - kept)], kept);
+}
+
+// ---------------------------------------------------------------------------
+// Differential suite: the production grow loop uses a lazy-deletion
+// priority queue; this is the historical full-rescan implementation it
+// replaced, kept verbatim as the reference oracle. The two must select
+// bit-identical solutions on every graph.
+
+SingleFDSolution ReferenceGreedySingle(const ViolationGraph& graph,
+                                       const std::vector<bool>* forced =
+                                           nullptr) {
+  SingleFDSolution solution;
+  int n = graph.num_patterns();
+  solution.repair_target.assign(static_cast<size_t>(n), -1);
+  if (n == 0) return solution;
+  constexpr double kInf = ViolationGraph::kInfinity;
+  std::vector<bool> in_set(static_cast<size_t>(n), false);
+  std::vector<int> blocked(static_cast<size_t>(n), 0);
+  std::vector<double> best(static_cast<size_t>(n), kInf);
+  std::vector<int> best_to(static_cast<size_t>(n), -1);
+  int pending = 0;
+  for (int v = 0; v < n; ++v) {
+    if (graph.degree(v) == 0) {
+      in_set[static_cast<size_t>(v)] = true;
+      solution.chosen_set.push_back(v);
+    } else {
+      ++pending;
+    }
+  }
+  auto add_member = [&](int t) {
+    in_set[static_cast<size_t>(t)] = true;
+    solution.chosen_set.push_back(t);
+    --pending;
+    for (const ViolationGraph::Edge& e : graph.Neighbors(t)) {
+      ++blocked[static_cast<size_t>(e.to)];
+      if (e.unit_cost < best[static_cast<size_t>(e.to)]) {
+        best[static_cast<size_t>(e.to)] = e.unit_cost;
+        best_to[static_cast<size_t>(e.to)] = t;
+      }
+    }
+  };
+  if (forced != nullptr) {
+    for (int t = 0; t < n; ++t) {
+      if (!(*forced)[static_cast<size_t>(t)] ||
+          in_set[static_cast<size_t>(t)]) {
+        continue;
+      }
+      add_member(t);
+    }
+  }
+  auto regret = [&graph](int t) {
+    double mec = graph.MinEdgeCost(t);
+    return mec == kInf ? 0.0 : graph.pattern(t).count() * mec;
+  };
+  if (pending > 0) {
+    int first = -1;
+    double first_cost = kInf;
+    for (int t = 0; t < n; ++t) {
+      if (in_set[static_cast<size_t>(t)] ||
+          blocked[static_cast<size_t>(t)] != 0) {
+        continue;
+      }
+      double s = 0;
+      for (const ViolationGraph::Edge& e : graph.Neighbors(t)) {
+        s += graph.pattern(e.to).count() * e.unit_cost;
+      }
+      s -= regret(t);
+      if (s < first_cost) {
+        first_cost = s;
+        first = t;
+      }
+    }
+    if (first >= 0) add_member(first);
+  }
+  while (pending > 0) {
+    int pick = -1;
+    double pick_cost = kInf;
+    for (int t = 0; t < n; ++t) {
+      if (in_set[static_cast<size_t>(t)] ||
+          blocked[static_cast<size_t>(t)] != 0) {
+        continue;
+      }
+      double s = 0;
+      for (const ViolationGraph::Edge& e : graph.Neighbors(t)) {
+        int v = e.to;
+        double m = graph.pattern(v).count();
+        if (best[static_cast<size_t>(v)] == kInf) {
+          s += m * e.unit_cost;
+        } else if (e.unit_cost < best[static_cast<size_t>(v)]) {
+          s += m * (e.unit_cost - best[static_cast<size_t>(v)]);
+        }
+      }
+      s -= regret(t);
+      if (s < pick_cost) {
+        pick_cost = s;
+        pick = t;
+      }
+    }
+    if (pick < 0) break;
+    add_member(pick);
+  }
+  solution.cost = 0;
+  for (int v = 0; v < n; ++v) {
+    if (in_set[static_cast<size_t>(v)]) continue;
+    if (best[static_cast<size_t>(v)] == kInf) continue;
+    solution.repair_target[static_cast<size_t>(v)] =
+        best_to[static_cast<size_t>(v)];
+    solution.cost += graph.pattern(v).count() * best[static_cast<size_t>(v)];
+  }
+  std::sort(solution.chosen_set.begin(), solution.chosen_set.end());
+  return solution;
+}
+
+void ExpectSameSolution(const ViolationGraph& g,
+                        const std::vector<bool>* forced = nullptr) {
+  SingleFDSolution reference = ReferenceGreedySingle(g, forced);
+  SingleFDSolution got = SolveGreedySingle(g, forced);
+  EXPECT_EQ(reference.chosen_set, got.chosen_set);
+  EXPECT_EQ(reference.repair_target, got.repair_target);
+  EXPECT_EQ(reference.cost, got.cost);  // exact: same FP operation order
+}
+
+TEST(GreedyDifferentialTest, MatchesFullRescanOnCitizens) {
+  Table t = CitizensDirty();
+  DistanceModel model(t);
+  ExpectSameSolution(Phi1Graph(t, model));
+}
+
+TEST(GreedyDifferentialTest, MatchesFullRescanOnGenerators) {
+  for (bool hosp : {true, false}) {
+    Dataset ds =
+        hosp ? std::move(GenerateHosp({.num_rows = 500, .seed = 13}))
+                   .ValueOrDie()
+             : std::move(GenerateTax({.num_rows = 500, .seed = 13}))
+                   .ValueOrDie();
+    NoiseOptions noise;
+    noise.error_rate = 0.06;
+    noise.seed = 17;
+    Table dirty = std::move(InjectErrors(ds.clean, ds.fds, noise, nullptr))
+                      .ValueOrDie();
+    DistanceModel model(dirty);
+    for (const FD& fd : ds.fds) {
+      ViolationGraph g = ViolationGraph::Build(
+          BuildPatterns(dirty, fd.attrs()), fd, model,
+          FTOptions{ds.recommended_w_l, ds.recommended_w_r,
+                    ds.recommended_tau.at(fd.name())});
+      SCOPED_TRACE((hosp ? std::string("hosp fd=") : std::string("tax fd=")) +
+                   fd.name());
+      ExpectSameSolution(g);
+    }
+  }
+}
+
+TEST(GreedyDifferentialTest, MatchesFullRescanOnRandomTables) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    Table t = RandomFDTable(300, 3, 40, 60, seed);
+    FD fd = std::move(FD::Make({0}, {1})).ValueOrDie();
+    DistanceModel model(t);
+    ViolationGraph g = ViolationGraph::Build(
+        BuildPatterns(t, fd.attrs()), fd, model, FTOptions{0.5, 0.5, 0.45});
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    ExpectSameSolution(g);
+    // Also with a forced mask pinning a slice of the patterns.
+    std::vector<bool> forced(static_cast<size_t>(g.num_patterns()), false);
+    for (int i = 0; i < g.num_patterns(); i += 5) {
+      forced[static_cast<size_t>(i)] = true;
+    }
+    ExpectSameSolution(g, &forced);
+  }
 }
 
 }  // namespace

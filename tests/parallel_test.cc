@@ -130,6 +130,47 @@ TEST(ParallelForTest, CancellationStopsClaimingShards) {
   EXPECT_EQ(ran.load(), 5);
 }
 
+TEST(ParallelForTest, NestedCallsCompleteEveryShard) {
+  // A pool task calling ParallelFor must never deadlock, even when the
+  // outer fan-out saturates every worker: the inner call blocks on
+  // shard *completion* and the caller participates, so it can always
+  // finish its shards alone. 4 outer x 8 inner at full parallelism.
+  const int kOuter = 4;
+  const int kInner = 8;
+  std::vector<std::atomic<int>> hits(kOuter * kInner);
+  for (auto& h : hits) h.store(0);
+  bool outer_complete = ParallelFor(kOuter, 0, [&](int o) {
+    bool inner_complete = ParallelFor(kInner, 0, [&](int i) {
+      hits[static_cast<size_t>(o * kInner + i)].fetch_add(
+          1, std::memory_order_relaxed);
+    });
+    EXPECT_TRUE(inner_complete);
+  });
+  EXPECT_TRUE(outer_complete);
+  for (int u = 0; u < kOuter * kInner; ++u) {
+    EXPECT_EQ(hits[static_cast<size_t>(u)].load(), 1) << "unit " << u;
+  }
+}
+
+TEST(ParallelForTest, NestedSerialInnerStaysOrdered) {
+  // threads=1 inside an outer fan-out must still be the plain serial
+  // loop on whichever thread runs the outer shard.
+  const int kOuter = 3;
+  std::vector<std::vector<int>> orders(kOuter);
+  bool complete = ParallelFor(kOuter, 0, [&](int o) {
+    std::thread::id me = std::this_thread::get_id();
+    ParallelFor(6, 1, [&, me](int i) {
+      EXPECT_EQ(std::this_thread::get_id(), me);
+      orders[static_cast<size_t>(o)].push_back(i);
+    });
+  });
+  EXPECT_TRUE(complete);
+  for (int o = 0; o < kOuter; ++o) {
+    EXPECT_EQ(orders[static_cast<size_t>(o)],
+              (std::vector<int>{0, 1, 2, 3, 4, 5}));
+  }
+}
+
 TEST(BudgetConcurrencyTest, SharedChargeAccountsExactly) {
   // Many threads charging one limited budget must lose no units — the
   // parallel graph build's accounting depends on it.
