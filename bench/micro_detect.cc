@@ -83,6 +83,115 @@ BENCHMARK(BM_ViolationGraphBuildThreads)
     ->Args({4000, 4})
     ->Args({4000, 8});
 
+// --- blocking-index sweeps (--detect-index) --------------------------
+
+// A larger HOSP instance for the index benchmarks; generated once.
+const Dataset& IndexDataset() {
+  static const Dataset* kDataset = new Dataset(
+      std::move(GenerateHosp({.num_rows = 50000, .seed = 7})).ValueOrDie());
+  return *kDataset;
+}
+
+const Table& IndexDirtyTable() {
+  static const Table* kTable = [] {
+    NoiseOptions noise;
+    noise.error_rate = 0.04;
+    return new Table(std::move(InjectErrors(IndexDataset().clean,
+                                            IndexDataset().fds, noise,
+                                            nullptr))
+                         .ValueOrDie());
+  }();
+  return *kTable;
+}
+
+DetectIndexMode ModeArg(int64_t v) {
+  return v == 0 ? DetectIndexMode::kAllPairs : DetectIndexMode::kBlocked;
+}
+
+// The tau > 0 q-gram path: h3 (ZipCode -> City) at tau = 0.2 with the
+// recommended weights, all-pairs vs blocked at 10k and 50k dirty rows
+// (acceptance: >= 5x candidate reduction at 50k). Single-threaded so
+// the sweep isolates the candidate generation, not the shard fan-out.
+void BM_ViolationGraphBuildIndex(benchmark::State& state) {
+  const Dataset& ds = IndexDataset();
+  Table slice = IndexDirtyTable().Head(static_cast<int>(state.range(0)));
+  const FD& fd = ds.fds[2];
+  DistanceModel model(slice);
+  FTOptions opts{ds.recommended_w_l, ds.recommended_w_r, 0.2, 1,
+                 ModeArg(state.range(1))};
+  std::vector<Pattern> patterns = BuildPatterns(slice, fd.attrs());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ViolationGraph::Build(patterns, fd, model, opts));
+  }
+  ViolationGraph g = ViolationGraph::Build(patterns, fd, model, opts);
+  state.counters["patterns"] = static_cast<double>(g.num_patterns());
+  state.counters["edges"] = static_cast<double>(g.num_edges());
+  state.counters["cand_generated"] =
+      static_cast<double>(g.candidates_generated());
+  state.counters["cand_verified"] =
+      static_cast<double>(g.candidates_verified());
+}
+BENCHMARK(BM_ViolationGraphBuildIndex)
+    ->Args({10000, 0})
+    ->Args({10000, 1})
+    ->Args({50000, 0})
+    ->Args({50000, 1})
+    ->Unit(benchmark::kMillisecond);
+
+// The tau = 0 exact-match bucket join under classical FD semantics:
+// h1 (ProviderNumber -> HospitalName) over a key-rich 100k-row HOSP
+// table (acceptance: >= 10x over all-pairs at 100k rows).
+// Default provider count (rows / 64 = 1562 distinct keys). Generating
+// this table takes ~2 minutes of rejection sampling in the provider
+// pool; the static init only runs when a Tau0 benchmark is selected.
+const Dataset& Tau0Dataset() {
+  static const Dataset* kDataset = new Dataset(
+      std::move(GenerateHosp({.num_rows = 100000, .seed = 7})).ValueOrDie());
+  return *kDataset;
+}
+
+const Table& Tau0DirtyTable() {
+  static const Table* kTable = [] {
+    NoiseOptions noise;
+    noise.error_rate = 0.04;
+    return new Table(std::move(InjectErrors(Tau0Dataset().clean,
+                                            Tau0Dataset().fds, noise,
+                                            nullptr))
+                         .ValueOrDie());
+  }();
+  return *kTable;
+}
+
+void BM_ViolationGraphBuildTau0(benchmark::State& state) {
+  const Dataset& ds = Tau0Dataset();
+  Table slice = Tau0DirtyTable().Head(static_cast<int>(state.range(0)));
+  const FD& fd = ds.fds[0];
+  DistanceModel model(slice);
+  FTOptions opts = ClassicalFTOptions();
+  opts.index = ModeArg(state.range(1));
+  std::vector<Pattern> patterns = BuildPatterns(slice, fd.attrs());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ViolationGraph::Build(patterns, fd, model, opts));
+  }
+  ViolationGraph g = ViolationGraph::Build(patterns, fd, model, opts);
+  state.counters["patterns"] = static_cast<double>(g.num_patterns());
+  state.counters["edges"] = static_cast<double>(g.num_edges());
+  state.counters["cand_generated"] =
+      static_cast<double>(g.candidates_generated());
+}
+BENCHMARK(BM_ViolationGraphBuildTau0)
+    ->Args({20000, 0})
+    ->Args({20000, 1})
+    ->Args({100000, 1})
+    ->Unit(benchmark::kMillisecond);
+
+// The quadratic 100k-row all-pairs control runs once — it exists to
+// anchor the speedup ratio, not to be measured precisely.
+BENCHMARK(BM_ViolationGraphBuildTau0)
+    ->Args({100000, 0})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_SuggestThreshold(benchmark::State& state) {
   const Dataset& ds = SharedDataset();
   const Table& dirty = DirtyTable();

@@ -28,7 +28,7 @@ double RepairOptions::TauFor(const FD& fd) const {
 }
 
 FTOptions RepairOptions::FTFor(const FD& fd) const {
-  return FTOptions{w_l, w_r, TauFor(fd), threads};
+  return FTOptions{w_l, w_r, TauFor(fd), threads, detect_index};
 }
 
 void PhaseTimings::Merge(const PhaseTimings& other) {

@@ -97,6 +97,13 @@ struct RepairOptions {
   /// is bit-identical for every setting.
   int threads = 1;
 
+  /// Candidate generation for the violation-graph builds (see
+  /// FTOptions::index / --detect-index): kAuto picks the blocking
+  /// index on large inputs when a sound filter applies, kAllPairs
+  /// forces the quadratic join, kBlocked forces the index. The repair
+  /// result is bit-identical for every setting.
+  DetectIndexMode detect_index = DetectIndexMode::kAuto;
+
   /// Optional wall-clock/cancellation budget (not owned; must outlive
   /// the repair call). Every algorithm layer polls it at loop
   /// boundaries; on exhaustion the run degrades along the ladder

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "common/metrics.h"
 #include "common/trace.h"
 #include "detect/pattern.h"
 
@@ -42,10 +43,28 @@ void SortViolations(std::vector<Violation>* out) {
 
 }  // namespace
 
+namespace {
+
+// The exact and FT finders feed the same process-wide candidate
+// counters (the FT path increments them inside ViolationGraph::Build).
+void RecordExactAccounting(uint64_t generated) {
+  if (generated == 0) return;
+  static Counter* cand_generated =
+      Metrics().GetCounter("ftrepair.detect.candidates_generated");
+  static Counter* cand_verified =
+      Metrics().GetCounter("ftrepair.detect.candidates_verified");
+  cand_generated->Increment(generated);
+  cand_verified->Increment(generated);
+}
+
+}  // namespace
+
 std::vector<Violation> FindExactViolations(const Table& table, const FD& fd,
-                                           size_t max_pairs, bool* clipped) {
+                                           size_t max_pairs, bool* clipped,
+                                           PairAccounting* accounting) {
   std::vector<Violation> out;
   bool clip = false;
+  uint64_t generated = 0;
   for (const auto& x_class : GroupByLhsThenRhs(table, fd)) {
     if (clip) break;
     if (x_class.size() < 2) continue;
@@ -55,6 +74,10 @@ std::vector<Violation> FindExactViolations(const Table& table, const FD& fd,
         for (int r1 : x_class[a]) {
           if (clip) break;
           for (int r2 : x_class[b]) {
+            // The group-by join proves the pair violating before the
+            // cap applies: a clipped run still counts the pair that
+            // tripped the cap as generated+verified work performed.
+            ++generated;
             if (out.size() >= max_pairs) {
               clip = true;  // this pair exists but is being dropped
               break;
@@ -68,6 +91,12 @@ std::vector<Violation> FindExactViolations(const Table& table, const FD& fd,
   }
   SortViolations(&out);
   if (clipped != nullptr) *clipped = clip;
+  RecordExactAccounting(generated);
+  if (accounting != nullptr) {
+    accounting->candidates_generated = generated;
+    accounting->candidates_verified = generated;
+    accounting->candidates_filtered = 0;
+  }
   return out;
 }
 
@@ -76,10 +105,16 @@ std::vector<Violation> FindFTViolations(const Table& table, const FD& fd,
                                         const FTOptions& opts,
                                         size_t max_pairs,
                                         const Budget* budget,
-                                        bool* truncated, bool* clipped) {
+                                        bool* truncated, bool* clipped,
+                                        PairAccounting* accounting) {
   ViolationGraph graph = ViolationGraph::Build(
       BuildPatterns(table, fd.attrs()), fd, model, opts, budget);
   if (truncated != nullptr) *truncated = graph.truncated();
+  if (accounting != nullptr) {
+    accounting->candidates_generated = graph.candidates_generated();
+    accounting->candidates_verified = graph.candidates_verified();
+    accounting->candidates_filtered = graph.candidates_filtered();
+  }
   std::vector<Violation> out;
   bool clip = false;
   for (int i = 0; i < graph.num_patterns() && !clip; ++i) {

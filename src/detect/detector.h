@@ -21,12 +21,32 @@ struct Violation {
   double distance = 0;
 };
 
+/// Pair-level work accounting of one finder run, unified between the
+/// exact and FT paths (the exact finder historically reported nothing,
+/// under-reporting detection work on the tau = 0 path). `generated`
+/// counts the pairs the finder materialized for inspection, `filtered`
+/// the ones dismissed by pre-kernel checks, `verified` the ones whose
+/// violation status was actually confirmed. The exact finder's
+/// group-by join proves every enumerated pair violating by
+/// construction, so it reports filtered = 0 and verified = generated;
+/// the FT finder reports its ViolationGraph's candidate stats (pattern
+/// pairs, since detection runs on grouped tuples). In both paths:
+/// generated = filtered + verified.
+struct PairAccounting {
+  uint64_t candidates_generated = 0;
+  uint64_t candidates_verified = 0;
+  uint64_t candidates_filtered = 0;
+};
+
 /// Classical violations of `fd`: equal X, different Y (§2.1).
 /// At most `max_pairs` pairs are returned, sorted by (row1, row2);
 /// when pairs were dropped to the cap, `clipped` (if non-null) is set.
+/// `accounting` (when non-null) receives the unified pair accounting;
+/// the same totals feed the ftrepair.detect.candidates_* counters.
 std::vector<Violation> FindExactViolations(
     const Table& table, const FD& fd,
-    size_t max_pairs = SIZE_MAX, bool* clipped = nullptr);
+    size_t max_pairs = SIZE_MAX, bool* clipped = nullptr,
+    PairAccounting* accounting = nullptr);
 
 /// Fault-tolerant violations of `fd` under `opts` (§2.1): differing
 /// projections within weighted distance tau. The returned list is
@@ -41,7 +61,7 @@ std::vector<Violation> FindFTViolations(
     const Table& table, const FD& fd, const DistanceModel& model,
     const FTOptions& opts, size_t max_pairs = SIZE_MAX,
     const Budget* budget = nullptr, bool* truncated = nullptr,
-    bool* clipped = nullptr);
+    bool* clipped = nullptr, PairAccounting* accounting = nullptr);
 
 /// D |= fd in the classical semantics.
 bool IsConsistent(const Table& table, const FD& fd);

@@ -1,6 +1,8 @@
 #include "detect/violation_graph.h"
 
 #include <algorithm>
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -8,22 +10,53 @@
 #include "common/parallel.h"
 #include "common/timer.h"
 #include "common/trace.h"
+#include "detect/block_index.h"
 #include "metric/distance.h"
 
 namespace ftrepair {
 
+const char* DetectIndexModeName(DetectIndexMode mode) {
+  switch (mode) {
+    case DetectIndexMode::kAuto:
+      return "auto";
+    case DetectIndexMode::kAllPairs:
+      return "allpairs";
+    case DetectIndexMode::kBlocked:
+      return "blocked";
+  }
+  return "?";
+}
+
 namespace {
 
+// True when |Δlen| / max_len lower-bounds CellDistance on a string
+// pair of this attribute. Edit distance needs >= |Δlen| edits; kAuto
+// resolves string-string pairs to edit distance; discrete distance is
+// 1 for any differing pair (and differing lengths imply differing
+// strings), which dominates the bound. The set-/similarity-based
+// metrics (Jaccard, q-gram cosine, Jaro-Winkler) admit no such bound —
+// "aaaa" vs "aaaaaaaa" has Jaccard bigram distance 0 — so they must
+// skip the filter entirely.
+bool LengthBoundValid(ColumnMetric metric) {
+  return metric == ColumnMetric::kEdit || metric == ColumnMetric::kAuto ||
+         metric == ColumnMetric::kDiscrete;
+}
+
 // Cheap per-pair lower bound on the weighted projection distance using
-// only string lengths (numbers and nulls contribute 0).
+// only string lengths (numbers, nulls, and attributes whose metric
+// does not admit a length bound contribute 0).
 double LengthLowerBound(const Pattern& a, const Pattern& b, const FD& fd,
-                        double w_l, double w_r) {
+                        const DistanceModel& model, double w_l, double w_r) {
   double lb = 0;
   int lhs = fd.lhs_size();
   for (int p = 0; p < fd.num_attrs(); ++p) {
     const Value& va = a.values[static_cast<size_t>(p)];
     const Value& vb = b.values[static_cast<size_t>(p)];
     if (!va.is_string() || !vb.is_string()) continue;
+    if (!LengthBoundValid(
+            model.column_metric(fd.attrs()[static_cast<size_t>(p)]))) {
+      continue;
+    }
     double w = p < lhs ? w_l : w_r;
     lb += w * EditDistanceLengthLowerBound(va.str().size(), vb.str().size());
   }
@@ -49,6 +82,8 @@ struct ShardResult {
   std::vector<ShardEdge> edges;
   size_t pairs_length_filtered = 0;
   size_t pairs_evaluated = 0;
+  uint64_t candidates_generated = 0;
+  uint64_t candidates_filtered = 0;
   bool truncated = false;
 };
 
@@ -137,6 +172,49 @@ ViolationGraph ViolationGraph::Build(std::vector<Pattern> patterns,
   static Histogram* shard_ms =
       Metrics().GetHistogram("ftrepair.detect.shard_ms");
 
+  DetectIndexMode mode = opts.index;
+  if (mode == DetectIndexMode::kAuto) {
+    mode = BlockIndex::Choose(g.patterns_, fd, model, opts);
+  }
+  g.index_mode_ = mode;
+  std::unique_ptr<BlockIndex> index;
+  if (mode == DetectIndexMode::kBlocked) {
+    FTR_TRACE_SPAN("detect.block_index",
+                   {{"fd", fd.name()}, {"patterns", std::to_string(n)}});
+    index = std::make_unique<BlockIndex>(g.patterns_, fd, model, opts);
+  }
+
+  // Both joins run the identical per-candidate sequence — budget
+  // charge, identical-projection skip, length lower bound, cutoff
+  // kernel — and candidates arrive in ascending j within ascending i,
+  // so the surviving edges (and their doubles) are bit-identical
+  // across modes; only how many candidates were *generated* differs.
+  auto verify_candidate = [&](ShardResult& r, int i, int j) {
+    if (!BudgetCharge(budget)) {
+      r.truncated = true;
+      return false;
+    }
+    ++r.candidates_generated;
+    const Pattern& pi = g.patterns_[static_cast<size_t>(i)];
+    const Pattern& pj = g.patterns_[static_cast<size_t>(j)];
+    if (pi.values == pj.values) {  // identical projections
+      ++r.candidates_filtered;
+      return true;
+    }
+    if (LengthLowerBound(pi, pj, fd, model, opts.w_l, opts.w_r) > opts.tau) {
+      ++r.pairs_length_filtered;
+      ++r.candidates_filtered;
+      return true;
+    }
+    ++r.pairs_evaluated;
+    double proj = ProjDistanceCutoff(pi.values, pj.values, fd, model,
+                                     opts.w_l, opts.w_r, opts.tau);
+    if (proj > opts.tau) return true;
+    double unit = UnitCost(pi.values, pj.values, fd, model);
+    r.edges.push_back(ShardEdge{i, j, proj, unit});
+    return true;
+  };
+
   auto run_shard = [&](int s) {
     ShardResult& r = shards[static_cast<size_t>(s)];
     int row_lo = s * kShardRows;
@@ -151,25 +229,21 @@ ViolationGraph ViolationGraph::Build(std::vector<Pattern> patterns,
       return;
     }
     Timer shard_timer;
-    for (int i = row_lo; i < row_hi && !r.truncated; ++i) {
-      const Pattern& pi = g.patterns_[static_cast<size_t>(i)];
-      for (int j = i + 1; j < n; ++j) {
-        if (!BudgetCharge(budget)) {
-          r.truncated = true;
-          break;
+    if (index != nullptr) {
+      BlockIndex::Scratch scratch;
+      std::vector<int> candidates;
+      for (int i = row_lo; i < row_hi && !r.truncated; ++i) {
+        candidates.clear();
+        index->AppendCandidates(i, &scratch, &candidates);
+        for (int j : candidates) {
+          if (!verify_candidate(r, i, j)) break;
         }
-        const Pattern& pj = g.patterns_[static_cast<size_t>(j)];
-        if (pi.values == pj.values) continue;  // identical projections
-        if (LengthLowerBound(pi, pj, fd, opts.w_l, opts.w_r) > opts.tau) {
-          ++r.pairs_length_filtered;
-          continue;
+      }
+    } else {
+      for (int i = row_lo; i < row_hi && !r.truncated; ++i) {
+        for (int j = i + 1; j < n; ++j) {
+          if (!verify_candidate(r, i, j)) break;
         }
-        ++r.pairs_evaluated;
-        double proj = ProjDistanceCutoff(pi.values, pj.values, fd, model,
-                                         opts.w_l, opts.w_r, opts.tau);
-        if (proj > opts.tau) continue;
-        double unit = UnitCost(pi.values, pj.values, fd, model);
-        r.edges.push_back(ShardEdge{i, j, proj, unit});
       }
     }
     shard_ms->Observe(shard_timer.Millis());
@@ -183,6 +257,8 @@ ViolationGraph ViolationGraph::Build(std::vector<Pattern> patterns,
   for (const ShardResult& r : shards) {
     g.pairs_length_filtered_ += r.pairs_length_filtered;
     g.pairs_evaluated_ += r.pairs_evaluated;
+    g.candidates_generated_ += r.candidates_generated;
+    g.candidates_filtered_ += r.candidates_filtered;
     if (r.truncated) g.truncated_ = true;
     for (const ShardEdge& e : r.edges) {
       g.adj_[static_cast<size_t>(e.i)].push_back(Edge{e.j, e.proj, e.unit});
@@ -211,6 +287,12 @@ ViolationGraph ViolationGraph::Build(std::vector<Pattern> patterns,
   static Counter* edges = Metrics().GetCounter("ftrepair.detect.edges");
   static Counter* truncated_builds =
       Metrics().GetCounter("ftrepair.detect.truncated_builds");
+  static Counter* cand_generated =
+      Metrics().GetCounter("ftrepair.detect.candidates_generated");
+  static Counter* cand_verified =
+      Metrics().GetCounter("ftrepair.detect.candidates_verified");
+  static Counter* cand_filtered =
+      Metrics().GetCounter("ftrepair.detect.candidates_filtered");
   static Histogram* build_ms =
       Metrics().GetHistogram("ftrepair.detect.graph_build_ms");
   static Gauge* detect_threads =
@@ -218,6 +300,9 @@ ViolationGraph ViolationGraph::Build(std::vector<Pattern> patterns,
   detect_threads->Set(threads);
   pairs_evaluated->Increment(g.pairs_evaluated_);
   pairs_filtered->Increment(g.pairs_length_filtered_);
+  cand_generated->Increment(g.candidates_generated_);
+  cand_verified->Increment(g.candidates_verified());
+  cand_filtered->Increment(g.candidates_filtered_);
   edges->Increment(g.num_edges_);
   if (g.truncated_) truncated_builds->Increment();
   build_ms->Observe(build_timer.Millis());
@@ -281,6 +366,9 @@ ViolationGraph ViolationGraph::InducedSubgraph(
   g.truncated_ = truncated_;
   g.pairs_evaluated_ = pairs_evaluated_;
   g.pairs_length_filtered_ = pairs_length_filtered_;
+  g.candidates_generated_ = candidates_generated_;
+  g.candidates_filtered_ = candidates_filtered_;
+  g.index_mode_ = index_mode_;
   return g;
 }
 

@@ -12,6 +12,23 @@
 
 namespace ftrepair {
 
+/// How the graph build generates candidate pattern pairs.
+enum class DetectIndexMode {
+  /// Pick per build: the blocking index when the table is large enough
+  /// and at least one attribute supports a sound filter, the all-pairs
+  /// join otherwise.
+  kAuto,
+  /// Enumerate every i < j pattern pair (the historical join).
+  kAllPairs,
+  /// Generate candidates through a BlockIndex (detect/block_index.h):
+  /// an exact-match bucket join at tau = 0, a length-bucketed inverted
+  /// q-gram index at tau > 0. Every filter is sound, so the resulting
+  /// graph is bit-identical to the all-pairs build.
+  kBlocked,
+};
+
+const char* DetectIndexModeName(DetectIndexMode mode);
+
 /// Parameters of the fault-tolerant violation semantics (§2.1).
 struct FTOptions {
   /// Weight of the LHS attribute distances in Eq. 2.
@@ -26,6 +43,11 @@ struct FTOptions {
   /// Every setting produces a bit-identical graph — same edge order,
   /// same stats — so this is purely a speed knob.
   int threads = 1;
+  /// Candidate-generation strategy for the pair join. The blocked and
+  /// all-pairs joins emit bit-identical edges (same order, same
+  /// proj/unit values); only the candidate-accounting stats differ, as
+  /// documented on the accessors below.
+  DetectIndexMode index = DetectIndexMode::kAuto;
 };
 
 /// Classical FD semantics expressed in FT terms (w_l=1, w_r=0, tau=0):
@@ -98,6 +120,27 @@ class ViolationGraph {
   size_t pairs_length_filtered() const { return pairs_length_filtered_; }
   size_t pairs_evaluated() const { return pairs_evaluated_; }
 
+  /// Candidate accounting, identical in meaning across both join
+  /// strategies: `generated` pairs were emitted by the candidate
+  /// source (every budget-charged i < j pair for the all-pairs join,
+  /// every index hit for the blocked join), of which `filtered` were
+  /// skipped by the cheap pre-kernel checks (identical projections or
+  /// the length lower bound) and `verified` reached the exact distance
+  /// kernel. Invariants: generated = filtered + verified, and
+  /// generated <= n * (n - 1) / 2. A blocked build generates fewer
+  /// candidates than an all-pairs build of the same input — that
+  /// reduction is the index's whole point — while the edge list stays
+  /// bit-identical.
+  uint64_t candidates_generated() const { return candidates_generated_; }
+  uint64_t candidates_verified() const {
+    return static_cast<uint64_t>(pairs_evaluated_);
+  }
+  uint64_t candidates_filtered() const { return candidates_filtered_; }
+
+  /// The join strategy this graph was actually built with (kAuto
+  /// resolved to one of the concrete modes).
+  DetectIndexMode index_mode() const { return index_mode_; }
+
   /// True when the build's budget ran out and some candidate pairs
   /// were never evaluated (the graph may be missing edges).
   bool truncated() const { return truncated_; }
@@ -146,6 +189,9 @@ class ViolationGraph {
   size_t num_edges_ = 0;
   size_t pairs_length_filtered_ = 0;
   size_t pairs_evaluated_ = 0;
+  uint64_t candidates_generated_ = 0;
+  uint64_t candidates_filtered_ = 0;
+  DetectIndexMode index_mode_ = DetectIndexMode::kAllPairs;
   bool truncated_ = false;
 };
 

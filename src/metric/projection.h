@@ -67,6 +67,14 @@ class DistanceModel {
   /// Numeric range (max - min) of column `col`; 0 when unknown.
   double Range(int col) const { return ranges_[static_cast<size_t>(col)]; }
 
+  /// Configured metric of column `col` (kAuto unless overridden).
+  /// kAuto still resolves per value pair inside CellDistance; callers
+  /// that need pair-independent guarantees (the blocking index) must
+  /// combine this with knowledge of the column's value types.
+  ColumnMetric column_metric(int col) const {
+    return metrics_[static_cast<size_t>(col)];
+  }
+
  private:
   std::vector<double> ranges_;
   std::vector<ColumnMetric> metrics_;
