@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "common/budget.h"
+#include "common/resource.h"
 #include "core/expansion_single.h"
 #include "core/greedy_single.h"
 #include "core/multi_common.h"
@@ -150,6 +151,55 @@ BENCHMARK(BM_RepairDeadlineSweep)
     ->Arg(1000)     // 1 ms
     ->Arg(100)      // 100 us
     ->Arg(10)       // 10 us
+    ->Unit(benchmark::kMillisecond);
+
+// Memory sweep: the full exact pipeline under shrinking resident-byte
+// budgets. Arg is the hard limit in KB (0 = unlimited). Shows what
+// each slice of memory buys (cells repaired, ladder steps taken) and
+// what charging itself costs: the unlimited-budget row vs. the
+// no-budget deadline baseline above is the pure accounting overhead.
+void BM_RepairMemorySweep(benchmark::State& state) {
+  Fixture& fixture = SharedFixture();
+  RepairOptions options;
+  options.algorithm = RepairAlgorithm::kExact;
+  options.w_l = fixture.dataset.recommended_w_l;
+  options.w_r = fixture.dataset.recommended_w_r;
+  for (const auto& [name, tau] : fixture.dataset.recommended_tau) {
+    options.tau_by_fd[name] = tau;
+  }
+  options.compute_violation_stats = false;
+  uint64_t limit_bytes = static_cast<uint64_t>(state.range(0)) * 1024;
+  double peak = 0;
+  double degradations = 0;
+  double cells = 0;
+  int64_t runs = 0;
+  for (auto _ : state) {
+    MemoryBudget memory(limit_bytes > 0 ? limit_bytes
+                                        : MemoryBudget::kUnlimited);
+    options.memory = &memory;
+    Repairer repairer(options);
+    auto result = repairer.Repair(fixture.dirty, fixture.dataset.fds);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    peak += static_cast<double>(memory.peak_bytes());
+    degradations +=
+        static_cast<double>(result.value().stats.degradations.size());
+    cells += static_cast<double>(result.value().stats.cells_changed);
+    ++runs;
+    benchmark::DoNotOptimize(result);
+  }
+  if (runs > 0) {
+    state.counters["peak_bytes"] = peak / static_cast<double>(runs);
+    state.counters["ladder_steps"] = degradations / static_cast<double>(runs);
+    state.counters["cells_changed"] = cells / static_cast<double>(runs);
+  }
+}
+BENCHMARK(BM_RepairMemorySweep)
+    ->Arg(0)       // unlimited: isolates the charging overhead
+    ->Arg(65536)   // 64 MB: no watermark reached on this instance
+    ->Arg(4096)    // 4 MB
+    ->Arg(1024)    // 1 MB
+    ->Arg(256)     // 256 KB
+    ->Arg(64)      // 64 KB: deep in the ladder
     ->Unit(benchmark::kMillisecond);
 
 // Thread sweep over the solve-phase fan-out: the full greedy pipeline

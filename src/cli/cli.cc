@@ -52,6 +52,11 @@ Options:
   --deadline-ms MS    wall-clock budget; past it the repair degrades
                       gracefully (exact -> greedy -> partial) instead of
                       running long                  (default: unlimited)
+  --memory-budget-mb MB
+                      charged-byte budget for every input-sized
+                      structure (see docs/ROBUSTNESS.md); past the soft
+                      watermark the repair degrades, past the hard
+                      limit it stops cleanly        (default: unlimited)
   --on-bad-row MODE   strict | skip | pad: fail on, drop, or salvage
                       malformed input rows          (default: strict)
   --verbose           print every cell change
@@ -230,6 +235,14 @@ Result<CliOptions> ParseCliArgs(const std::vector<std::string>& args) {
         return Status::InvalidArgument(
             "--deadline-ms expects a positive number of milliseconds");
       }
+    } else if (arg == "--memory-budget-mb") {
+      FTR_ASSIGN_OR_RETURN(std::string text, next());
+      FTR_ASSIGN_OR_RETURN(options.memory_budget_mb,
+                           ParsePositiveDouble(arg, text));
+      if (options.memory_budget_mb <= 0) {
+        return Status::InvalidArgument(
+            "--memory-budget-mb expects a positive number of megabytes");
+      }
     } else if (arg == "--on-bad-row") {
       FTR_ASSIGN_OR_RETURN(std::string mode, next());
       if (mode == "strict") {
@@ -354,9 +367,18 @@ Status WriteObservabilityOutputs(const CliOptions& options,
 }
 
 Status RunCliInner(const CliOptions& options, std::ostream& out) {
+  // The memory budget governs the whole run, ingest included, so it is
+  // installed before the CSV read (ingest buffers are the first
+  // input-sized structures to grow).
+  MemoryBudget memory(
+      options.memory_budget_mb > 0
+          ? static_cast<uint64_t>(options.memory_budget_mb * 1024.0 * 1024.0)
+          : MemoryBudget::kUnlimited);
+  CsvOptions csv_options = options.csv;
+  if (options.memory_budget_mb > 0) csv_options.memory = &memory;
   CsvReadReport csv_report;
   FTR_ASSIGN_OR_RETURN(
-      Table dirty, ReadCsvFile(options.input_path, options.csv, &csv_report));
+      Table dirty, ReadCsvFile(options.input_path, csv_options, &csv_report));
   if (!csv_report.ok()) {
     out << "warning: " << csv_report.errors.size() << " malformed row(s) in "
         << options.input_path << ": " << csv_report.rows_dropped
@@ -414,6 +436,10 @@ Status RunCliInner(const CliOptions& options, std::ostream& out) {
   if (options.deadline_ms > 0) {
     repair_options.budget = &budget;
     out << "deadline: " << options.deadline_ms << "ms\n";
+  }
+  if (options.memory_budget_mb > 0) {
+    repair_options.memory = &memory;
+    out << "memory budget: " << options.memory_budget_mb << " MB\n";
   }
   Repairer repairer(repair_options);
   FTR_ASSIGN_OR_RETURN(RepairResult result, repairer.Repair(dirty, fds));

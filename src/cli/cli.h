@@ -28,6 +28,7 @@ struct CliOptions {
   RepairOptions repair;
   CsvOptions csv;               // --on-bad-row
   double deadline_ms = 0;       // --deadline-ms (0 = unlimited)
+  double memory_budget_mb = 0;  // --memory-budget-mb (0 = unlimited)
   bool verbose = false;         // --verbose
   std::string metrics_json_path;  // --metrics-json (JSON metrics snapshot)
   std::string trace_json_path;    // --trace-json (Chrome trace_event JSON)

@@ -1,9 +1,8 @@
 #include "common/budget.h"
 
-#include <cstdlib>
 #include <string>
 
-#include "common/strings.h"
+#include "common/env.h"
 
 namespace ftrepair {
 
@@ -11,13 +10,15 @@ namespace {
 
 // Fault seam: FTREPAIR_FAULT_BUDGET_UNITS=N forces any limited budget
 // to exhaust after N charged units. Read per construction so tests can
-// setenv/unsetenv between cases.
+// setenv/unsetenv between cases. Malformed values (fractions, signs,
+// overflow) warn once and leave the seam disarmed.
 uint64_t FaultUnitsFromEnv() {
-  const char* env = std::getenv("FTREPAIR_FAULT_BUDGET_UNITS");
-  if (env == nullptr || *env == '\0') return 0;
-  double value = 0;
-  if (!ParseDouble(env, &value) || value < 0) return 0;
-  return static_cast<uint64_t>(value);
+  uint64_t value = 0;
+  if (!EnvU64("FTREPAIR_FAULT_BUDGET_UNITS",
+              "a non-negative integer unit count", &value)) {
+    return 0;
+  }
+  return value;
 }
 
 }  // namespace

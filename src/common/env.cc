@@ -1,0 +1,46 @@
+#include "common/env.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+namespace ftrepair {
+
+const char* EnvValue(const char* name) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return nullptr;
+  return value;
+}
+
+bool ParseU64Strict(const char* s, uint64_t* out) {
+  if (s == nullptr || *s == '\0') return false;
+  uint64_t value = 0;
+  for (const char* p = s; *p != '\0'; ++p) {
+    if (*p < '0' || *p > '9') return false;
+    uint64_t digit = static_cast<uint64_t>(*p - '0');
+    if (value > (std::numeric_limits<uint64_t>::max() - digit) / 10) {
+      return false;  // overflow
+    }
+    value = value * 10 + digit;
+  }
+  *out = value;
+  return true;
+}
+
+void WarnMalformedEnv(const char* name, const char* value,
+                      const char* expected) {
+  std::fprintf(stderr, "[WARN env] malformed %s='%s' (expected %s); ignoring\n",
+               name, value, expected);
+}
+
+bool EnvU64(const char* name, const char* expected, uint64_t* out) {
+  const char* value = EnvValue(name);
+  if (value == nullptr) return false;
+  if (!ParseU64Strict(value, out)) {
+    WarnMalformedEnv(name, value, expected);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace ftrepair

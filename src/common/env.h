@@ -1,0 +1,40 @@
+#ifndef FTREPAIR_COMMON_ENV_H_
+#define FTREPAIR_COMMON_ENV_H_
+
+#include <cstdint>
+
+namespace ftrepair {
+
+/// \brief Shared environment-variable access for the library's knobs
+/// and fault seams.
+///
+/// Every `FTREPAIR_*` variable goes through these helpers so malformed
+/// values are reported uniformly (one warning on stderr, the variable
+/// is then treated as unset) instead of each call site inventing its
+/// own silent-truncation semantics.
+
+/// Returns the value of `name`, or nullptr when the variable is unset
+/// or set to the empty string.
+const char* EnvValue(const char* name);
+
+/// Strict base-10 unsigned parse: digits only, no sign, no fraction,
+/// no trailing garbage, and the value must fit in uint64_t. Returns
+/// false (leaving `*out` untouched) otherwise.
+bool ParseU64Strict(const char* s, uint64_t* out);
+
+/// Emits the uniform malformed-environment warning:
+///   [WARN env] malformed NAME='value' (expected ...); ignoring
+/// Deliberately bypasses FTR_LOG: the log level itself is initialized
+/// from the environment, so the logger cannot be used while parsing it.
+void WarnMalformedEnv(const char* name, const char* value,
+                      const char* expected);
+
+/// Reads `name` as a strict uint64. Unset/empty returns false silently;
+/// a malformed value warns via WarnMalformedEnv and returns false (the
+/// caller treats the variable as unset, disabling whatever it arms);
+/// a valid value stores it in `*out` and returns true.
+bool EnvU64(const char* name, const char* expected, uint64_t* out);
+
+}  // namespace ftrepair
+
+#endif  // FTREPAIR_COMMON_ENV_H_

@@ -4,7 +4,8 @@
 #include <chrono>
 #include <cctype>
 #include <cstdio>
-#include <cstdlib>
+
+#include "common/env.h"
 
 namespace ftrepair {
 
@@ -12,13 +13,11 @@ namespace {
 
 // Default level, overridable at startup via FTREPAIR_LOG_LEVEL.
 LogLevel InitialLogLevel() {
-  const char* env = std::getenv("FTREPAIR_LOG_LEVEL");
+  const char* env = EnvValue("FTREPAIR_LOG_LEVEL");
   LogLevel level = LogLevel::kWarning;
-  if (env != nullptr && env[0] != '\0' && !ParseLogLevel(env, &level)) {
-    std::fprintf(stderr,
-                 "[WARN logging] unknown FTREPAIR_LOG_LEVEL '%s' "
-                 "(debug | info | warn | error); keeping default\n",
-                 env);
+  if (env != nullptr && !ParseLogLevel(env, &level)) {
+    WarnMalformedEnv("FTREPAIR_LOG_LEVEL", env,
+                     "debug | info | warn | error");
   }
   return level;
 }

@@ -1,0 +1,155 @@
+#include "common/resource.h"
+
+#include <string>
+
+#include "common/env.h"
+#include "common/metrics.h"
+#include "common/trace.h"
+
+namespace ftrepair {
+
+namespace {
+
+// Fault seam: FTREPAIR_FAULT_MEM_BYTES=N forces any limited memory
+// budget to exhaust once N bytes have been charged cumulatively. Read
+// per construction so tests can setenv/unsetenv between cases.
+uint64_t FaultBytesFromEnv() {
+  uint64_t value = 0;
+  if (!EnvU64("FTREPAIR_FAULT_MEM_BYTES", "a non-negative integer byte count",
+              &value)) {
+    return 0;
+  }
+  return value;
+}
+
+}  // namespace
+
+const char* MemPhaseName(MemPhase phase) {
+  switch (phase) {
+    case MemPhase::kIngest:
+      return "ingest";
+    case MemPhase::kGraph:
+      return "graph";
+    case MemPhase::kIndex:
+      return "index";
+    case MemPhase::kSolve:
+      return "solve";
+    case MemPhase::kTargets:
+      return "targets";
+    case MemPhase::kOther:
+      return "other";
+  }
+  return "?";
+}
+
+MemoryBudget::MemoryBudget(uint64_t hard_limit_bytes, double soft_fraction)
+    : hard_limit_(hard_limit_bytes),
+      soft_limit_(kUnlimited),
+      fault_bytes_(hard_limit_bytes == kUnlimited ? 0 : FaultBytesFromEnv()) {
+  if (limited()) {
+    if (soft_fraction < 0) soft_fraction = 0;
+    if (soft_fraction > 1) soft_fraction = 1;
+    soft_limit_ =
+        static_cast<uint64_t>(static_cast<double>(hard_limit_) * soft_fraction);
+    if (hard_limit_ == 0) {
+      exhausted_.store(true, std::memory_order_relaxed);
+      soft_latched_.store(true, std::memory_order_relaxed);
+    }
+  }
+}
+
+void MemoryBudget::LatchExhausted(bool injected) const {
+  if (injected) fault_tripped_.store(true, std::memory_order_relaxed);
+  if (!exhausted_.exchange(true, std::memory_order_relaxed)) {
+    static Counter* crossings =
+        Metrics().GetCounter("ftrepair.memory.hard_crossings");
+    crossings->Increment();
+    Tracer::Instance().RecordInstant(
+        "memory.hard_watermark",
+        {{"cause", injected ? "injected" : "hard-limit"},
+         {"resident_bytes", std::to_string(resident_bytes())}});
+  }
+}
+
+bool MemoryBudget::TryCharge(uint64_t bytes, MemPhase phase) const {
+  if (exhausted_.load(std::memory_order_relaxed)) return false;
+  uint64_t total =
+      charged_total_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  phase_bytes_[static_cast<size_t>(phase)].fetch_add(
+      bytes, std::memory_order_relaxed);
+  if (fault_bytes_ != 0 && total >= fault_bytes_) {
+    LatchExhausted(/*injected=*/true);
+    return false;
+  }
+  uint64_t resident =
+      resident_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  uint64_t peak = peak_.load(std::memory_order_relaxed);
+  while (resident > peak &&
+         !peak_.compare_exchange_weak(peak, resident,
+                                      std::memory_order_relaxed,
+                                      std::memory_order_relaxed)) {
+  }
+  static Gauge* resident_gauge =
+      Metrics().GetGauge("ftrepair.memory.resident_bytes");
+  static Gauge* peak_gauge = Metrics().GetGauge("ftrepair.memory.peak_bytes");
+  resident_gauge->Set(static_cast<double>(resident));
+  peak_gauge->Set(static_cast<double>(peak_bytes()));
+  if (resident > hard_limit_) {
+    // The instant inside LatchExhausted records the crossing occupancy;
+    // the failed charge is then rolled back (the caller truncates
+    // instead of growing), while peak keeps the attempted high-water.
+    LatchExhausted(/*injected=*/false);
+    resident_.fetch_sub(bytes, std::memory_order_relaxed);
+    resident_gauge->Set(static_cast<double>(resident - bytes));
+    return false;
+  }
+  if (resident > soft_limit_ &&
+      !soft_latched_.exchange(true, std::memory_order_relaxed)) {
+    static Counter* crossings =
+        Metrics().GetCounter("ftrepair.memory.soft_crossings");
+    crossings->Increment();
+    Tracer::Instance().RecordInstant(
+        "memory.soft_watermark",
+        {{"resident_bytes", std::to_string(resident)},
+         {"soft_limit_bytes", std::to_string(soft_limit_)}});
+  }
+  return true;
+}
+
+void MemoryBudget::Release(uint64_t bytes) const {
+  uint64_t previous = resident_.load(std::memory_order_relaxed);
+  uint64_t lowered;
+  do {
+    lowered = previous > bytes ? previous - bytes : 0;
+  } while (!resident_.compare_exchange_weak(previous, lowered,
+                                            std::memory_order_relaxed,
+                                            std::memory_order_relaxed));
+  static Gauge* resident_gauge =
+      Metrics().GetGauge("ftrepair.memory.resident_bytes");
+  resident_gauge->Set(static_cast<double>(lowered));
+}
+
+Status MemoryBudget::Check(const char* where) const {
+  if (!Exhausted()) return Status::OK();
+  std::string cause;
+  if (fault_tripped_.load(std::memory_order_relaxed)) {
+    cause = "injected fault after " + std::to_string(charged_total_bytes()) +
+            " charged bytes";
+  } else {
+    cause = "hard limit of " + std::to_string(hard_limit_) +
+            " bytes exceeded (resident " + std::to_string(resident_bytes()) +
+            ", peak " + std::to_string(peak_bytes()) + ")";
+  }
+  return Status::ResourceExhausted(
+      std::string("memory budget exhausted in ") + where + ": " + cause);
+}
+
+Status ResourceCheck(const Budget* budget, const MemoryBudget* memory,
+                     const char* where) {
+  if (budget != nullptr && budget->Exhausted()) return budget->Check(where);
+  if (memory != nullptr && memory->Exhausted()) return memory->Check(where);
+  return Status::ResourceExhausted(std::string("resources exhausted in ") +
+                                   where);
+}
+
+}  // namespace ftrepair

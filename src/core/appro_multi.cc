@@ -16,16 +16,30 @@ Result<MultiFDSolution> SolveApproMulti(const ComponentContext& context,
   for (const ViolationGraph& graph : context.graphs) {
     SingleFDSolution greedy;
     if (options.trusted_rows.empty()) {
-      greedy = SolveGreedySingle(graph, nullptr, nullptr, options.budget);
+      greedy = SolveGreedySingle(graph, nullptr, nullptr, options.budget,
+                                 options.memory);
     } else {
       std::vector<bool> forced =
           TrustedPatternMask(graph.patterns(), options.trusted_rows);
       uint64_t conflicts = 0;
-      greedy = SolveGreedySingle(graph, &forced, &conflicts, options.budget);
+      greedy = SolveGreedySingle(graph, &forced, &conflicts, options.budget,
+                                 options.memory);
       if (stats != nullptr) stats->trusted_conflicts += conflicts;
     }
     truncated = truncated || greedy.truncated;
     chosen.push_back(std::move(greedy.chosen_set));
+  }
+  if (truncated) {
+    // Exhausted before any per-FD cover grew: nothing to assign
+    // targets for — let the caller take the ladder's bottom rung.
+    bool all_empty = true;
+    for (const std::vector<int>& set : chosen) {
+      all_empty = all_empty && set.empty();
+    }
+    if (all_empty) {
+      return ResourceCheck(options.budget, options.memory,
+                           "appro per-FD cover");
+    }
   }
   auto result = AssignTargets(context, chosen, model, options, stats);
   if (result.ok() && truncated) result.value().truncated = true;

@@ -59,8 +59,13 @@ struct CombinationSearch {
           "combination count exceeded " +
           std::to_string(options->max_combinations));
     }
-    if (!BudgetCharge(options->budget)) {
-      return options->budget->Check("combination search");
+    // Per-combination scratch (level inputs + membership bitmaps) is
+    // rebuilt each call; the tree build below charges its own nodes.
+    if (!BudgetCharge(options->budget) ||
+        !MemCharge(options->memory, sizeof(TargetTree::LevelInput),
+                   MemPhase::kSolve)) {
+      return ResourceCheck(options->budget, options->memory,
+                           "combination search");
     }
     size_t num_fds = context->fds.size();
     std::vector<TargetTree::LevelInput> inputs(num_fds);
@@ -77,7 +82,8 @@ struct CombinationSearch {
     }
     auto tree_result = TargetTree::Build(std::move(inputs),
                                          context->component_cols,
-                                         options->max_tree_nodes);
+                                         options->max_tree_nodes,
+                                         options->memory);
     if (!tree_result.ok()) {
       if (tree_result.status().IsNotFound()) return Status::OK();  // no join
       return tree_result.status();
@@ -174,7 +180,8 @@ Result<MultiFDSolution> SolveExpansionMulti(const ComponentContext& context,
     RepairStats seed_stats;
     auto seed = SolveApproMulti(context, model, options, &seed_stats);
     if (seed.ok() && seed.value().truncated) {
-      return options.budget->Check("upper-bound seed");
+      return ResourceCheck(options.budget, options.memory,
+                           "upper-bound seed");
     }
     if (seed.ok() && !seed_stats.join_empty) {
       ub_joint = seed.value().cost;
@@ -202,6 +209,7 @@ Result<MultiFDSolution> SolveExpansionMulti(const ComponentContext& context,
     ExpansionConfig config;
     config.max_frontier = options.max_frontier;
     config.budget = options.budget;
+    config.memory = options.memory;
     if (ub_joint == ViolationGraph::kInfinity) {
       config.enumerate_all = true;
     } else {

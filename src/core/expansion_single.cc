@@ -153,8 +153,11 @@ Result<std::vector<std::vector<int>>> EnumerateMaximalIndependentSets(
         ++*nodes_pruned;
         continue;
       }
-      if (!BudgetCharge(config.budget)) {
-        return config.budget->Check("expansion enumeration");
+      if (!BudgetCharge(config.budget) ||
+          !MemCharge(config.memory, sizeof(Node) + words * sizeof(uint64_t),
+                     MemPhase::kSolve)) {
+        return ResourceCheck(config.budget, config.memory,
+                             "expansion enumeration");
       }
       ++*nodes_expanded;
       if (!Intersects(p_adj, node.bits)) {
@@ -239,10 +242,10 @@ Result<SingleFDSolution> SolveConnectedComponent(
   uint64_t forced_conflicts = 0;
   if (!cfg.enumerate_all &&
       cfg.upper_bound == ViolationGraph::kInfinity) {
-    SingleFDSolution greedy =
-        SolveGreedySingle(graph, cfg.forced, &forced_conflicts, cfg.budget);
+    SingleFDSolution greedy = SolveGreedySingle(
+        graph, cfg.forced, &forced_conflicts, cfg.budget, cfg.memory);
     if (greedy.truncated) {
-      return cfg.budget->Check("upper-bound seed");
+      return ResourceCheck(cfg.budget, cfg.memory, "upper-bound seed");
     }
     cfg.upper_bound = greedy.cost;
     best = std::move(greedy);

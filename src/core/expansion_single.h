@@ -40,6 +40,10 @@ struct ExpansionConfig {
   /// budget; a truncated seed cost would be an unsound bound, so a
   /// seed the budget cut short aborts with ResourceExhausted instead.
   const Budget* budget = nullptr;
+  /// Optional memory governance (not owned). Frontier nodes charge
+  /// their footprint (MemPhase::kSolve); exhaustion stops the
+  /// enumeration with ResourceExhausted exactly like a spent budget.
+  const MemoryBudget* memory = nullptr;
 };
 
 /// \brief Enumerates the maximal independent sets of `graph` with the

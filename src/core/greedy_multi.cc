@@ -261,8 +261,13 @@ Result<MultiFDSolution> SolveGreedyMulti(const ComponentContext& context,
   const int scan_threads = ResolveThreads(options.threads);
 
   bool truncated = false;
+  bool made_progress = false;
   while (state.remaining > 0) {
-    if (!BudgetCharge(options.budget)) {
+    // Each round appends one (fd, pattern) choice and refreshes the
+    // per-pattern best-unit costs it invalidates.
+    if (!BudgetCharge(options.budget) ||
+        !MemCharge(options.memory, sizeof(int) + sizeof(double),
+                   MemPhase::kSolve)) {
       // Out of budget: stop growing. AssignTargets still runs (and
       // itself polls), so already-chosen sets yield a valid partial
       // repair; unreached patterns stay dirty.
@@ -329,8 +334,16 @@ Result<MultiFDSolution> SolveGreedyMulti(const ComponentContext& context,
     }
     if (best_pattern < 0) break;  // everything chosen or blocked
     state.Add(best_fd, best_pattern);
+    made_progress = true;
   }
 
+  if (truncated && !made_progress) {
+    // Exhausted before the first candidate was chosen: there is no
+    // partial cover for AssignTargets to complete, so hand the
+    // component down the ladder instead of reporting an empty
+    // "partial" success.
+    return ResourceCheck(options.budget, options.memory, "greedy cover");
+  }
   auto result = AssignTargets(context, state.chosen_list, model, options,
                               stats);
   if (result.ok() && truncated) result.value().truncated = true;

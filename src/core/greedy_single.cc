@@ -12,7 +12,8 @@ namespace ftrepair {
 SingleFDSolution SolveGreedySingle(const ViolationGraph& graph,
                                    const std::vector<bool>* forced,
                                    uint64_t* trusted_conflicts,
-                                   const Budget* budget) {
+                                   const Budget* budget,
+                                   const MemoryBudget* memory) {
   FTR_TRACE_SPAN("greedy.solve_single");
   SingleFDSolution solution;
   int n = graph.num_patterns();
@@ -163,9 +164,11 @@ SingleFDSolution SolveGreedySingle(const ViolationGraph& graph,
       }
     }
     while (pending > 0) {
-      if (!BudgetCharge(budget)) {
-        // Out of budget: stop growing. Patterns without a chosen
-        // neighbor stay unrepaired (detect-only remainder).
+      if (!BudgetCharge(budget) ||
+          !MemCharge(memory, sizeof(HeapEntry), MemPhase::kSolve)) {
+        // Out of budget (time or memory): stop growing. Patterns
+        // without a chosen neighbor stay unrepaired (detect-only
+        // remainder).
         solution.truncated = true;
         break;
       }

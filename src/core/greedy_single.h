@@ -34,11 +34,14 @@ namespace ftrepair {
 /// scanned while growing the set. On exhaustion growth stops early:
 /// the solution is still well-formed, but patterns that never gained a
 /// chosen neighbor stay unrepaired (repair_target -1, excluded from
-/// cost) and `truncated` is set.
+/// cost) and `truncated` is set. `memory` (optional, not owned) is
+/// charged per queue entry the grow loop pushes and truncates growth
+/// the same way.
 SingleFDSolution SolveGreedySingle(const ViolationGraph& graph,
                                    const std::vector<bool>* forced = nullptr,
                                    uint64_t* trusted_conflicts = nullptr,
-                                   const Budget* budget = nullptr);
+                                   const Budget* budget = nullptr,
+                                   const MemoryBudget* memory = nullptr);
 
 }  // namespace ftrepair
 

@@ -179,7 +179,7 @@ Result<LazyTargetSearch> LazyTargetSearch::Build(
 LazyTargetSearch::QueryResult LazyTargetSearch::FindBest(
     const std::vector<Value>& tuple_proj, const DistanceModel& model,
     uint64_t max_visits, TargetTree::SearchStats* stats,
-    const Budget* budget) const {
+    const Budget* budget, const MemoryBudget* memory) const {
   QueryResult result;
   size_t num_levels = levels_.size();
   int width = static_cast<int>(component_cols_.size());
@@ -255,7 +255,9 @@ LazyTargetSearch::QueryResult LazyTargetSearch::FindBest(
       if (stats != nullptr) ++stats->nodes_pruned;
       continue;
     }
-    if (++visits > max_visits || !BudgetCharge(budget)) {
+    if (++visits > max_visits || !BudgetCharge(budget) ||
+        !MemCharge(memory, sizeof(Node) + sizeof(Entry),
+                   MemPhase::kTargets)) {
       result.truncated = true;
       break;
     }

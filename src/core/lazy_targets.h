@@ -50,11 +50,14 @@ class LazyTargetSearch {
   /// Best-first search for the cheapest target for `tuple_proj`
   /// (values over component_cols order). `budget` (optional, not
   /// owned) is charged one unit per visit and truncates the search
-  /// exactly like the visit cap when it runs out.
+  /// exactly like the visit cap when it runs out; `memory` (optional,
+  /// not owned) is charged per arena node pushed and truncates the
+  /// same way.
   QueryResult FindBest(const std::vector<Value>& tuple_proj,
                        const DistanceModel& model, uint64_t max_visits,
                        TargetTree::SearchStats* stats,
-                       const Budget* budget = nullptr) const;
+                       const Budget* budget = nullptr,
+                       const MemoryBudget* memory = nullptr) const;
 
   const std::vector<int>& component_cols() const { return component_cols_; }
 

@@ -173,7 +173,8 @@ Result<MultiFDSolution> AssignTargets(
   if (dirty.empty()) return solution;
 
   auto tree_result = TargetTree::Build(inputs, context.component_cols,
-                                       options.max_tree_nodes);
+                                       options.max_tree_nodes,
+                                       options.memory);
   if (!tree_result.ok()) {
     if (tree_result.status().IsNotFound()) {
       // Empty join: leave tuples unrepaired, surface the flag.
@@ -181,7 +182,7 @@ Result<MultiFDSolution> AssignTargets(
       return solution;
     }
     if (tree_result.status().IsResourceExhausted() &&
-        options.use_target_tree) {
+        options.use_target_tree && !MemExhausted(options.memory)) {
       // The eager tree exploded; fall back to lazy materialization.
       auto lazy_result = LazyTargetSearch::Build(std::move(inputs),
                                                  context.component_cols);
@@ -212,7 +213,8 @@ Result<MultiFDSolution> AssignTargets(
               size_t i = dirty[static_cast<size_t>(d)];
               r.query = lazy.FindBest(context.sigma_patterns[i].values,
                                       model, options.max_target_visits,
-                                      &r.search_stats, options.budget);
+                                      &r.search_stats, options.budget,
+                                      options.memory);
               r.ran = true;
             },
             options.budget);
@@ -241,7 +243,8 @@ Result<MultiFDSolution> AssignTargets(
         return solution;
       }
       for (size_t i : dirty) {
-        if (BudgetExhausted(options.budget)) {
+        if (BudgetExhausted(options.budget) ||
+            MemExhausted(options.memory)) {
           // Remaining dirty patterns stay unrepaired (detect-only).
           solution.truncated = true;
           break;
@@ -250,7 +253,7 @@ Result<MultiFDSolution> AssignTargets(
         LazyTargetSearch::QueryResult query =
             lazy.FindBest(context.sigma_patterns[i].values, model,
                           options.max_target_visits, &search_stats,
-                          options.budget);
+                          options.budget, options.memory);
         if (stats != nullptr) {
           stats->target_nodes_visited += search_stats.nodes_visited;
           stats->target_nodes_pruned += search_stats.nodes_pruned;
@@ -297,7 +300,8 @@ Result<MultiFDSolution> AssignTargets(
             size_t i = dirty[static_cast<size_t>(d)];
             r.target =
                 tree.FindBest(context.sigma_patterns[i].values, model,
-                              &r.cost, &r.search_stats, options.budget);
+                              &r.cost, &r.search_stats, options.budget,
+                              options.memory);
             r.ran = true;
           },
           options.budget);
@@ -322,7 +326,8 @@ Result<MultiFDSolution> AssignTargets(
       return solution;
     }
     for (size_t i : dirty) {
-      if (BudgetExhausted(options.budget)) {
+      if (BudgetExhausted(options.budget) ||
+          MemExhausted(options.memory)) {
         solution.truncated = true;
         break;
       }
@@ -330,7 +335,7 @@ Result<MultiFDSolution> AssignTargets(
       TargetTree::SearchStats search_stats;
       solution.targets[i] =
           tree.FindBest(context.sigma_patterns[i].values, model, &cost,
-                        &search_stats, options.budget);
+                        &search_stats, options.budget, options.memory);
       if (stats != nullptr) {
         stats->target_nodes_visited += search_stats.nodes_visited;
         stats->target_nodes_pruned += search_stats.nodes_pruned;
@@ -345,7 +350,8 @@ Result<MultiFDSolution> AssignTargets(
     std::vector<std::vector<Value>> targets = tree.EnumerateTargets();
     if (stats != nullptr) stats->targets_materialized += targets.size();
     for (size_t i : dirty) {
-      if (BudgetExhausted(options.budget)) {
+      if (BudgetExhausted(options.budget) ||
+          MemExhausted(options.memory)) {
         solution.truncated = true;
         break;
       }

@@ -28,7 +28,7 @@ double RepairOptions::TauFor(const FD& fd) const {
 }
 
 FTOptions RepairOptions::FTFor(const FD& fd) const {
-  return FTOptions{w_l, w_r, TauFor(fd), threads, detect_index};
+  return FTOptions{w_l, w_r, TauFor(fd), threads, detect_index, memory};
 }
 
 void PhaseTimings::Merge(const PhaseTimings& other) {

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/budget.h"
+#include "common/resource.h"
 #include "common/status.h"
 #include "constraint/fd.h"
 #include "data/table.h"
@@ -111,6 +112,15 @@ struct RepairOptions {
   /// past the deadline, and each step taken is recorded as a
   /// DegradationEvent in RepairStats. Null means unlimited.
   const Budget* budget = nullptr;
+
+  /// Optional memory governance (not owned), shared across every
+  /// phase and thread of the run. Structures that grow with input
+  /// size charge their growth here; crossing the soft watermark
+  /// tightens the caps above and steps down the same degradation
+  /// ladder as the wall-clock budget, and the hard watermark yields a
+  /// clean ResourceExhausted with partial output. Null means
+  /// unlimited.
+  const MemoryBudget* memory = nullptr;
 
   /// Effective tau for `fd`.
   double TauFor(const FD& fd) const;

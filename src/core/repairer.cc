@@ -66,6 +66,38 @@ void RecordDegradation(RepairStats* stats, const Timer& clock,
   EmitDegradation(stats->degradations.back());
 }
 
+// Overload response at the soft memory watermark: the component (or
+// CFD tableau unit) named `component` runs with halved search/state
+// valves, and an exact solve pre-steps to greedy — trading result
+// quality for allocation headroom before the hard limit latches. Each
+// measure is staged as a DegradationEvent and emitted at merge time
+// like every other ladder step. Callers gate on fall_back_to_greedy:
+// with the valve closed the caller asked for exact-or-nothing, and the
+// hard watermark is the only memory response.
+RepairOptions SoftDegradedOptions(const RepairOptions& opts,
+                                  const Timer& repair_clock,
+                                  const std::string& component,
+                                  RepairStats* stats) {
+  RepairOptions tightened = opts;
+  tightened.max_frontier = std::max<size_t>(1, opts.max_frontier / 2);
+  tightened.max_sets_per_fd = std::max<size_t>(1, opts.max_sets_per_fd / 2);
+  tightened.max_combinations =
+      std::max<size_t>(1, opts.max_combinations / 2);
+  tightened.max_tree_nodes = std::max<size_t>(1, opts.max_tree_nodes / 2);
+  tightened.max_target_visits =
+      std::max<uint64_t>(1, opts.max_target_visits / 2);
+  StageDegradation(stats, repair_clock, component, "soft-valves",
+                   "resident memory crossed the soft watermark; search "
+                   "and state caps halved");
+  if (opts.algorithm == RepairAlgorithm::kExact) {
+    tightened.algorithm = RepairAlgorithm::kGreedy;
+    StageDegradation(stats, repair_clock, component, "exact->greedy",
+                     "resident memory crossed the soft watermark; "
+                     "skipping the exact solve");
+  }
+  return tightened;
+}
+
 // Scope guard accumulating its lifetime into one PhaseTimings field.
 class PhaseTimer {
  public:
@@ -110,6 +142,22 @@ void ExportRepairMetrics(const RepairStats& stats) {
   if (stats.degraded()) degraded_runs->Increment();
   cells->Increment(static_cast<uint64_t>(stats.cells_changed));
   total_ms->Observe(stats.phases.total_ms);
+}
+
+// Publishes one finished repair's memory-charge breakdown when a
+// MemoryBudget was installed: a per-phase charged-MB histogram family
+// (one series per MemPhase label). The resident/peak gauges stay
+// current from inside TryCharge, so only the distributions are
+// observed here.
+void ExportMemoryMetrics(const MemoryBudget& memory) {
+  for (size_t p = 0; p < kNumMemPhases; ++p) {
+    MemPhase phase = static_cast<MemPhase>(p);
+    Metrics()
+        .GetHistogram(std::string("ftrepair.memory.phase_charge_mb{phase=") +
+                      MemPhaseName(phase) + "}")
+        ->Observe(static_cast<double>(memory.charged_bytes(phase)) /
+                  (1024.0 * 1024.0));
+  }
 }
 
 // "+"-joined FD names of a multi-FD component.
@@ -201,23 +249,34 @@ struct ComponentOutcome {
 // phase or internally synchronized.
 void SolveComponent(const Table& table, const std::vector<FD>& named,
                     const std::vector<int>& component,
-                    const DistanceModel& model, const RepairOptions& opts,
+                    const DistanceModel& model, const RepairOptions& opts_in,
                     const Timer& repair_clock, ComponentOutcome* out) {
   Timer component_timer;
   if (component.size() == 1) {
     const FD& fd = named[static_cast<size_t>(component[0])];
     out->fd = &fd;
     FTR_TRACE_SPAN("repair.solve_component", {{"component", fd.name()}});
-    if (BudgetExhausted(opts.budget)) {
-      if (!opts.fall_back_to_greedy) {
-        out->status = opts.budget->Check("repair pipeline");
+    if (BudgetExhausted(opts_in.budget) || MemExhausted(opts_in.memory)) {
+      if (!opts_in.fall_back_to_greedy) {
+        out->status = ResourceCheck(opts_in.budget, opts_in.memory,
+                                    "repair pipeline");
         return;
       }
       // Detect-only: the component's tuples keep their values.
       StageDegradation(&out->stats, repair_clock, fd.name(), "skip",
-                       opts.budget->Check("repair pipeline").message());
+                       ResourceCheck(opts_in.budget, opts_in.memory,
+                                     "repair pipeline")
+                           .message());
       return;
     }
+    RepairOptions degraded;
+    const bool soften =
+        opts_in.fall_back_to_greedy && MemSoftExceeded(opts_in.memory);
+    if (soften) {
+      degraded =
+          SoftDegradedOptions(opts_in, repair_clock, fd.name(), &out->stats);
+    }
+    const RepairOptions& opts = soften ? degraded : opts_in;
     Timer graph_timer;
     out->graph = ViolationGraph::Build(
         PatternsFor(table, fd, opts.group_tuples), fd, model,
@@ -225,12 +284,13 @@ void SolveComponent(const Table& table, const std::vector<FD>& named,
     out->stats.phases.graph_ms += graph_timer.Millis();
     if (out->graph.truncated()) {
       if (!opts.fall_back_to_greedy) {
-        out->status = opts.budget->Check("violation graph construction");
+        out->status = ResourceCheck(opts.budget, opts.memory,
+                                    "violation graph construction");
         return;
       }
       StageDegradation(&out->stats, repair_clock, fd.name(),
                        "partial-graph",
-                       "budget exhausted while building the violation "
+                       "resources exhausted while building the violation "
                        "graph; undetected violations stay unrepaired");
     }
     std::vector<bool> forced_storage;
@@ -252,6 +312,7 @@ void SolveComponent(const Table& table, const std::vector<FD>& named,
       config.max_frontier = opts.max_frontier;
       config.forced = forced;
       config.budget = opts.budget;
+      config.memory = opts.memory;
       auto exact = SolveExpansionSingle(out->graph, config);
       if (exact.ok()) {
         out->single = std::move(exact).value();
@@ -270,15 +331,16 @@ void SolveComponent(const Table& table, const std::vector<FD>& named,
     if (!have_solution) {
       out->single = SolveGreedySingle(out->graph, forced,
                                       &out->stats.trusted_conflicts,
-                                      opts.budget);
+                                      opts.budget, opts.memory);
       if (out->single.truncated) {
         if (!opts.fall_back_to_greedy) {
-          out->status = opts.budget->Check("greedy cover");
+          out->status =
+              ResourceCheck(opts.budget, opts.memory, "greedy cover");
           return;
         }
         StageDegradation(
             &out->stats, repair_clock, fd.name(), "greedy->partial",
-            "budget exhausted while growing the greedy set; uncovered "
+            "resources exhausted while growing the greedy set; uncovered "
             "patterns stay unrepaired");
       }
     }
@@ -292,15 +354,26 @@ void SolveComponent(const Table& table, const std::vector<FD>& named,
     }
     std::string name = ComponentName(component_fds);
     FTR_TRACE_SPAN("repair.solve_component", {{"component", name}});
-    if (BudgetExhausted(opts.budget)) {
-      if (!opts.fall_back_to_greedy) {
-        out->status = opts.budget->Check("repair pipeline");
+    if (BudgetExhausted(opts_in.budget) || MemExhausted(opts_in.memory)) {
+      if (!opts_in.fall_back_to_greedy) {
+        out->status = ResourceCheck(opts_in.budget, opts_in.memory,
+                                    "repair pipeline");
         return;
       }
       StageDegradation(&out->stats, repair_clock, name, "skip",
-                       opts.budget->Check("repair pipeline").message());
+                       ResourceCheck(opts_in.budget, opts_in.memory,
+                                     "repair pipeline")
+                           .message());
       return;
     }
+    RepairOptions degraded;
+    const bool soften =
+        opts_in.fall_back_to_greedy && MemSoftExceeded(opts_in.memory);
+    if (soften) {
+      degraded = SoftDegradedOptions(opts_in, repair_clock, name,
+                                     &out->stats);
+    }
+    const RepairOptions& opts = soften ? degraded : opts_in;
     Timer graph_timer;
     ComponentContext context =
         BuildComponentContext(table, component_fds, model, opts);
@@ -311,11 +384,12 @@ void SolveComponent(const Table& table, const std::vector<FD>& named,
     }
     if (graphs_truncated) {
       if (!opts.fall_back_to_greedy) {
-        out->status = opts.budget->Check("violation graph construction");
+        out->status = ResourceCheck(opts.budget, opts.memory,
+                                    "violation graph construction");
         return;
       }
       StageDegradation(&out->stats, repair_clock, name, "partial-graph",
-                       "budget exhausted while building the violation "
+                       "resources exhausted while building the violation "
                        "graphs; undetected violations stay unrepaired");
     }
     // Multi-FD ladder: exact -> greedy -> per-FD appro -> detect-only.
@@ -380,11 +454,12 @@ void SolveComponent(const Table& table, const std::vector<FD>& named,
     if (!solved_ok) return;  // component left unrepaired
     if (solved.value().truncated) {
       if (!opts.fall_back_to_greedy) {
-        out->status = opts.budget->Check("target assignment");
+        out->status =
+            ResourceCheck(opts.budget, opts.memory, "target assignment");
         return;
       }
       StageDegradation(&out->stats, repair_clock, name, "partial-targets",
-                       "budget exhausted while assigning targets; "
+                       "resources exhausted while assigning targets; "
                        "remaining patterns stay unrepaired");
     }
     out->multi = std::move(solved).value();
@@ -456,7 +531,7 @@ Result<RepairResult> Repairer::Repair(const Table& table,
     if (truncated) {
       RecordDegradation(&result.stats, repair_clock, "violation-stats",
                         "partial-graph",
-                        "budget exhausted while counting FT-violations; "
+                        "resources exhausted while counting FT-violations; "
                         "ft_violations_before is a lower bound");
     }
   }
@@ -540,7 +615,7 @@ Result<RepairResult> Repairer::Repair(const Table& table,
       if (truncated) {
         RecordDegradation(&result.stats, repair_clock, "violation-stats",
                           "partial-graph",
-                          "budget exhausted while recounting FT-violations; "
+                          "resources exhausted while recounting FT-violations; "
                           "ft_violations_after is a lower bound");
       }
     }
@@ -552,6 +627,7 @@ Result<RepairResult> Repairer::Repair(const Table& table,
   result.stats.tuples_changed = static_cast<int>(touched.size());
   result.stats.phases.total_ms = repair_clock.Millis();
   ExportRepairMetrics(result.stats);
+  if (opts.memory != nullptr) ExportMemoryMetrics(*opts.memory);
   return result;
 }
 
@@ -651,15 +727,25 @@ Result<RepairResult> Repairer::RepairCFDs(const Table& table,
     const FD& fd = cfd.fd();
     const FD& named_fd = named[static_cast<size_t>(ci)];
     std::string unit_name = named_fd.name() + "#" + std::to_string(p);
-    if (BudgetExhausted(opts.budget)) {
+    if (BudgetExhausted(opts.budget) || MemExhausted(opts.memory)) {
       if (!opts.fall_back_to_greedy) {
-        out->status = opts.budget->Check("CFD repair");
+        out->status =
+            ResourceCheck(opts.budget, opts.memory, "CFD repair");
         return;
       }
       StageDegradation(&out->stats, repair_clock, unit_name, "skip",
-                       opts.budget->Check("CFD repair").message());
+                       ResourceCheck(opts.budget, opts.memory, "CFD repair")
+                           .message());
       return;
     }
+    RepairOptions degraded;
+    const bool soften =
+        opts.fall_back_to_greedy && MemSoftExceeded(opts.memory);
+    if (soften) {
+      degraded = SoftDegradedOptions(opts, repair_clock, unit_name,
+                                     &out->stats);
+    }
+    const RepairOptions& ropts = soften ? degraded : unit_opts;
     // 1. Constant violations: pin the RHS constants directly. Trusted
     // rows are never written; a trusted row disagreeing with a tableau
     // constant is a trusted conflict (the master data contradicts the
@@ -689,16 +775,17 @@ Result<RepairResult> Repairer::RepairCFDs(const Table& table,
     Timer graph_timer;
     ViolationGraph graph = ViolationGraph::Build(
         BuildPatternsForRows(result.repaired, fd.attrs(), scope), fd,
-        model, unit_opts.FTFor(named_fd), opts.budget);
+        model, ropts.FTFor(named_fd), ropts.budget);
     out->stats.phases.graph_ms += graph_timer.Millis();
     if (graph.truncated()) {
-      if (!opts.fall_back_to_greedy) {
-        out->status = opts.budget->Check("violation graph construction");
+      if (!ropts.fall_back_to_greedy) {
+        out->status = ResourceCheck(ropts.budget, ropts.memory,
+                                    "violation graph construction");
         return;
       }
       StageDegradation(&out->stats, repair_clock, unit_name,
                        "partial-graph",
-                       "budget exhausted while building the violation "
+                       "resources exhausted while building the violation "
                        "graph; undetected violations stay unrepaired");
     }
     std::vector<bool> forced_storage;
@@ -710,11 +797,12 @@ Result<RepairResult> Repairer::RepairCFDs(const Table& table,
     SingleFDSolution solution;
     bool have_solution = false;
     Timer solve_timer;
-    if (opts.algorithm == RepairAlgorithm::kExact) {
+    if (ropts.algorithm == RepairAlgorithm::kExact) {
       ExpansionConfig config;
-      config.max_frontier = opts.max_frontier;
+      config.max_frontier = ropts.max_frontier;
       config.forced = forced;
-      config.budget = opts.budget;
+      config.budget = ropts.budget;
+      config.memory = ropts.memory;
       auto exact = SolveExpansionSingle(graph, config);
       if (exact.ok()) {
         solution = std::move(exact).value();
@@ -722,7 +810,7 @@ Result<RepairResult> Repairer::RepairCFDs(const Table& table,
         out->stats.expansion_nodes += solution.nodes_expanded;
         out->stats.expansion_pruned += solution.nodes_pruned;
       } else if (exact.status().IsResourceExhausted() &&
-                 opts.fall_back_to_greedy) {
+                 ropts.fall_back_to_greedy) {
         StageDegradation(&out->stats, repair_clock, unit_name,
                          "exact->greedy", exact.status().message());
       } else {
@@ -733,15 +821,16 @@ Result<RepairResult> Repairer::RepairCFDs(const Table& table,
     if (!have_solution) {
       solution = SolveGreedySingle(graph, forced,
                                    &out->stats.trusted_conflicts,
-                                   opts.budget);
+                                   ropts.budget, ropts.memory);
       if (solution.truncated) {
-        if (!opts.fall_back_to_greedy) {
-          out->status = opts.budget->Check("greedy cover");
+        if (!ropts.fall_back_to_greedy) {
+          out->status =
+              ResourceCheck(ropts.budget, ropts.memory, "greedy cover");
           return;
         }
         StageDegradation(
             &out->stats, repair_clock, unit_name, "greedy->partial",
-            "budget exhausted while growing the greedy set; uncovered "
+            "resources exhausted while growing the greedy set; uncovered "
             "patterns stay unrepaired");
       }
     }
@@ -802,6 +891,7 @@ Result<RepairResult> Repairer::RepairCFDs(const Table& table,
   result.stats.tuples_changed = static_cast<int>(touched.size());
   result.stats.phases.total_ms = repair_clock.Millis();
   ExportRepairMetrics(result.stats);
+  if (opts.memory != nullptr) ExportMemoryMetrics(*opts.memory);
   return result;
 }
 

@@ -15,7 +15,8 @@ namespace ftrepair {
 
 Result<TargetTree> TargetTree::Build(std::vector<LevelInput> inputs,
                                      std::vector<int> component_cols,
-                                     size_t max_nodes) {
+                                     size_t max_nodes,
+                                     const MemoryBudget* memory) {
   FTR_TRACE_SPAN("targets.tree_build");
   if (inputs.empty()) {
     return Status::InvalidArgument("target tree needs >= 1 independent set");
@@ -116,6 +117,12 @@ Result<TargetTree> TargetTree::Build(std::vector<LevelInput> inputs,
               "target tree exceeded " + std::to_string(max_nodes) +
               " nodes");
         }
+        if (!MemCharge(memory,
+                       sizeof(Node) + static_cast<uint64_t>(width) *
+                                          sizeof(Value),
+                       MemPhase::kTargets)) {
+          return memory->Check("target tree build");
+        }
         Node child;
         child.level = l;
         child.parent = node_id;
@@ -208,7 +215,8 @@ double TargetTree::Edist(const Node& node,
 std::vector<Value> TargetTree::FindBest(const std::vector<Value>& tuple_proj,
                                         const DistanceModel& model,
                                         double* cost, SearchStats* stats,
-                                        const Budget* budget) const {
+                                        const Budget* budget,
+                                        const MemoryBudget* memory) const {
   struct QueueEntry {
     double f;
     int node;
@@ -223,7 +231,8 @@ std::vector<Value> TargetTree::FindBest(const std::vector<Value>& tuple_proj,
   double c_min = ViolationGraph::kInfinity;
   int best_leaf = -1;
   while (!queue.empty()) {
-    if (!BudgetCharge(budget)) {
+    if (!BudgetCharge(budget) ||
+        !MemCharge(memory, sizeof(QueueEntry), MemPhase::kTargets)) {
       break;  // out of budget: settle for the best leaf so far, if any
     }
     QueueEntry top = queue.top();
@@ -260,9 +269,9 @@ std::vector<Value> TargetTree::FindBest(const std::vector<Value>& tuple_proj,
     }
   }
   if (best_leaf < 0) {
-    // Only reachable when the budget ran out before the first leaf;
+    // Only reachable when a budget ran out before the first leaf;
     // an unbudgeted search always reaches one (the tree is nonempty).
-    FTR_DCHECK(BudgetExhausted(budget));
+    FTR_DCHECK(BudgetExhausted(budget) || MemExhausted(memory));
     *cost = ViolationGraph::kInfinity;
     return {};
   }

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/budget.h"
+#include "common/resource.h"
 #include "common/status.h"
 #include "constraint/fd.h"
 #include "data/table.h"
@@ -41,10 +42,12 @@ class TargetTree {
   /// Builds the tree over `component_cols` (sorted union of the FDs'
   /// attributes). Fails with NotFound when the join is empty and with
   /// ResourceExhausted when more than `max_nodes` trie nodes would be
-  /// created.
+  /// created — or when `memory` (optional, not owned; charged per trie
+  /// node, MemPhase::kTargets) runs out first.
   static Result<TargetTree> Build(std::vector<LevelInput> inputs,
                                   std::vector<int> component_cols,
-                                  size_t max_nodes);
+                                  size_t max_nodes,
+                                  const MemoryBudget* memory = nullptr);
 
   /// Number of targets (root-to-leaf paths).
   size_t num_targets() const { return num_targets_; }
@@ -58,11 +61,13 @@ class TargetTree {
   /// `budget` (optional, not owned) is charged one unit per node
   /// popped; on exhaustion the best leaf reached so far is returned
   /// (possibly suboptimal), or an empty vector with `cost` = infinity
-  /// when no leaf was reached yet.
+  /// when no leaf was reached yet. `memory` (optional, not owned) is
+  /// charged per queue entry and truncates the search the same way.
   std::vector<Value> FindBest(const std::vector<Value>& tuple_proj,
                               const DistanceModel& model, double* cost,
                               SearchStats* stats,
-                              const Budget* budget = nullptr) const;
+                              const Budget* budget = nullptr,
+                              const MemoryBudget* memory = nullptr) const;
 
   /// Materializes every target (the no-tree ablation uses this plus a
   /// linear scan).

@@ -1,11 +1,12 @@
 #include "data/csv.h"
 
 #include <algorithm>
-#include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <vector>
 
+#include "common/env.h"
 #include "common/metrics.h"
 #include "common/strings.h"
 #include "common/timer.h"
@@ -91,13 +92,31 @@ RawRecords ParseRecords(const std::string& text) {
 
 // Fault seam: FTREPAIR_FAULT_CSV_BAD_ROW=N forces 0-based data row N
 // to be treated as malformed (tests drive every policy through it).
-// Read per call so tests can setenv/unsetenv between cases.
+// Read per call so tests can setenv/unsetenv between cases. Malformed
+// values (fractions, signs, overflow) warn once and disarm the seam.
 long FaultRowFromEnv() {
-  const char* env = std::getenv("FTREPAIR_FAULT_CSV_BAD_ROW");
-  if (env == nullptr || *env == '\0') return -1;
-  double value = 0;
-  if (!ParseDouble(env, &value) || value < 0) return -1;
+  uint64_t value = 0;
+  if (!EnvU64("FTREPAIR_FAULT_CSV_BAD_ROW",
+              "a non-negative integer row index", &value)) {
+    return -1;
+  }
+  if (value > static_cast<uint64_t>(std::numeric_limits<long>::max())) {
+    WarnMalformedEnv("FTREPAIR_FAULT_CSV_BAD_ROW",
+                     std::to_string(value).c_str(),
+                     "a row index that fits in long");
+    return -1;
+  }
   return static_cast<long>(value);
+}
+
+// Approximate resident footprint of one parsed data row: per-cell
+// Value overhead plus the raw field bytes.
+uint64_t ApproxRowBytes(const std::vector<std::string>& fields) {
+  uint64_t bytes = 0;
+  for (const std::string& f : fields) {
+    bytes += sizeof(Value) + f.size();
+  }
+  return bytes;
 }
 
 void StripNuls(std::vector<std::string>* fields) {
@@ -147,6 +166,11 @@ Result<Table> ReadCsvString(const std::string& text,
   *report = CsvReadReport{};
 
   RawRecords raw = ParseRecords(text);
+  if (options.memory != nullptr) {
+    // The record split holds roughly one copy of the input text.
+    FTR_RETURN_NOT_OK(
+        options.memory->Charge(text.size(), "csv ingest", MemPhase::kIngest));
+  }
   bool strict = options.bad_rows == BadRowPolicy::kStrict;
   if (raw.records.empty()) {
     return Status::IOError("CSV input has no header row");
@@ -243,6 +267,10 @@ Result<Table> ReadCsvString(const std::string& text,
   Table table{Schema(std::move(columns))};
   for (size_t r = 1; r < raw.records.size(); ++r) {
     if (!keep[r]) continue;
+    if (!MemCharge(options.memory, ApproxRowBytes(raw.records[r]),
+                   MemPhase::kIngest)) {
+      return options.memory->Check("csv ingest");
+    }
     Row row;
     row.reserve(width);
     for (size_t c = 0; c < width; ++c) {

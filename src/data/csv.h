@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/resource.h"
 #include "common/status.h"
 #include "data/table.h"
 
@@ -34,6 +35,10 @@ enum class BadRowPolicy {
 /// Ingestion policy knobs.
 struct CsvOptions {
   BadRowPolicy bad_rows = BadRowPolicy::kStrict;
+  /// Optional memory governance (not owned). The read charges the raw
+  /// text size plus per-row storage against it (MemPhase::kIngest) and
+  /// fails with ResourceExhausted when the budget runs out.
+  const MemoryBudget* memory = nullptr;
 };
 
 /// Why a data row was dropped or salvaged.

@@ -193,6 +193,12 @@ int SharedGramCount(const std::vector<BlockIndex::GramRun>& a,
 
 }  // namespace
 
+void BlockIndex::ChargeIndexBytes(uint64_t bytes) {
+  if (!MemCharge(memory_, bytes, MemPhase::kIndex)) {
+    memory_exhausted_ = true;
+  }
+}
+
 void BlockIndex::BuildExactJoin(const std::vector<Pattern>& patterns,
                                 const std::vector<int>& key_attrs,
                                 const std::vector<bool>& key_by_tostring) {
@@ -220,6 +226,8 @@ void BlockIndex::BuildExactJoin(const std::vector<Pattern>& patterns,
     rank_in_bucket_[static_cast<size_t>(i)] = static_cast<int>(members.size());
     members.push_back(i);
   }
+  // bucket_of_ + rank_in_bucket_ + one member id per pattern.
+  ChargeIndexBytes(static_cast<uint64_t>(n_) * 3 * sizeof(int));
 }
 
 void BlockIndex::BuildGramJoin(const std::vector<Pattern>& patterns) {
@@ -241,18 +249,23 @@ void BlockIndex::BuildGramJoin(const std::vector<Pattern>& patterns) {
   }
   std::sort(len_buckets_.begin(), len_buckets_.end(),
             [](const LenBucket& a, const LenBucket& b) { return a.len < b.len; });
+  uint64_t posting_bytes = 0;
   for (LenBucket& bucket : len_buckets_) {
+    posting_bytes += bucket.ids.size() * sizeof(int);
     for (int id : bucket.ids) {
       for (const GramRun& run : primary_.grams[static_cast<size_t>(id)]) {
         bucket.postings[run.gram].emplace_back(id, run.count);
+        posting_bytes += sizeof(std::pair<int, uint32_t>);
       }
     }
   }
+  ChargeIndexBytes(posting_bytes);
 }
 
 BlockIndex::BlockIndex(const std::vector<Pattern>& patterns, const FD& fd,
                        const DistanceModel& model, const FTOptions& opts) {
   n_ = static_cast<int>(patterns.size());
+  memory_ = opts.memory;
   JoinPlan plan = MakePlan(patterns, fd, model, opts);
   int lhs = fd.lhs_size();
   auto weight_of = [&](int p) { return p < lhs ? opts.w_l : opts.w_r; };
@@ -277,6 +290,12 @@ BlockIndex::BlockIndex(const std::vector<Pattern>& patterns, const FD& fd,
     for (int l = 0; l <= max_len; ++l) {
       f.kmax[static_cast<size_t>(l)] = KMaxFor(weight_of(p), opts.tau, l);
     }
+    uint64_t filter_bytes =
+        f.len.size() * sizeof(int) + f.kmax.size() * sizeof(int);
+    for (const std::vector<GramRun>& runs : f.grams) {
+      filter_bytes += sizeof(runs) + runs.size() * sizeof(GramRun);
+    }
+    ChargeIndexBytes(filter_bytes);
     return f;
   };
 

@@ -89,6 +89,11 @@ class BlockIndex {
   /// candidate and the index degrades to the all-pairs join.
   bool degenerate() const { return exact_join() && num_key_attrs_ == 0; }
 
+  /// True when `opts.memory` ran out while building the postings /
+  /// buckets / filters. The index stays usable (sound, possibly less
+  /// selective); the graph build sees the latched budget and truncates.
+  bool memory_exhausted() const { return memory_exhausted_; }
+
   /// Resolves DetectIndexMode::kAuto for this input: kBlocked when the
   /// pattern count reaches kAutoMinPatterns and the analysis finds a
   /// filter expected to prune (an exact-key attribute, or a gram anchor
@@ -134,10 +139,15 @@ class BlockIndex {
                       const std::vector<bool>& key_by_tostring);
   void BuildGramJoin(const std::vector<Pattern>& patterns);
   bool SecondaryPrune(int i, int j) const;
+  // Charges `bytes` of index structure against memory_ (when set),
+  // recording exhaustion in memory_exhausted_.
+  void ChargeIndexBytes(uint64_t bytes);
 
   int n_ = 0;
   int num_key_attrs_ = 0;
   int gram_primary_ = -1;
+  const MemoryBudget* memory_ = nullptr;  // not owned; from FTOptions
+  bool memory_exhausted_ = false;
 
   // Exact join: pattern -> bucket, buckets hold ascending member ids.
   std::vector<int> bucket_of_;

@@ -210,6 +210,10 @@ ViolationGraph ViolationGraph::Build(std::vector<Pattern> patterns,
     double proj = ProjDistanceCutoff(pi.values, pj.values, fd, model,
                                      opts.w_l, opts.w_r, opts.tau);
     if (proj > opts.tau) return true;
+    if (!MemCharge(opts.memory, sizeof(ShardEdge), MemPhase::kGraph)) {
+      r.truncated = true;  // per-shard edge scratch out of memory
+      return false;
+    }
     double unit = UnitCost(pi.values, pj.values, fd, model);
     r.edges.push_back(ShardEdge{i, j, proj, unit});
     return true;
@@ -223,8 +227,10 @@ ViolationGraph ViolationGraph::Build(std::vector<Pattern> patterns,
     // truncates this shard before it charges anything — the parallel
     // analogue of the serial build breaking out of the outer loop.
     // A shard whose only row is the last pattern has no pairs and
-    // cannot be truncated, matching the serial loop bounds.
-    if (BudgetExhausted(budget)) {
+    // cannot be truncated, matching the serial loop bounds. An
+    // exhausted memory budget (possibly latched by the block-index
+    // build above) truncates the same way.
+    if (BudgetExhausted(budget) || MemExhausted(opts.memory)) {
       if (row_lo < n - 1) r.truncated = true;
       return;
     }
@@ -254,13 +260,25 @@ ViolationGraph ViolationGraph::Build(std::vector<Pattern> patterns,
   // record edges in (i, j) order, so replaying them in shard order
   // reproduces the serial build's exact adjacency push order — the
   // graph is bit-identical for every thread count.
+  uint64_t shard_scratch_bytes = 0;
+  bool merge_exhausted = false;
   for (const ShardResult& r : shards) {
     g.pairs_length_filtered_ += r.pairs_length_filtered;
     g.pairs_evaluated_ += r.pairs_evaluated;
     g.candidates_generated_ += r.candidates_generated;
     g.candidates_filtered_ += r.candidates_filtered;
     if (r.truncated) g.truncated_ = true;
+    shard_scratch_bytes += r.edges.size() * sizeof(ShardEdge);
     for (const ShardEdge& e : r.edges) {
+      // The adjacency lists hold two directed copies of each edge; a
+      // failed charge keeps the (deterministic) prefix merged so far
+      // and surfaces truncation, never a half-pushed edge pair.
+      if (merge_exhausted ||
+          !MemCharge(opts.memory, 2 * sizeof(Edge), MemPhase::kGraph)) {
+        merge_exhausted = true;
+        g.truncated_ = true;
+        break;
+      }
       g.adj_[static_cast<size_t>(e.i)].push_back(Edge{e.j, e.proj, e.unit});
       g.adj_[static_cast<size_t>(e.j)].push_back(Edge{e.i, e.proj, e.unit});
       ++g.num_edges_;
@@ -269,6 +287,11 @@ ViolationGraph ViolationGraph::Build(std::vector<Pattern> patterns,
       g.min_edge_cost_[static_cast<size_t>(e.j)] =
           std::min(g.min_edge_cost_[static_cast<size_t>(e.j)], e.unit);
     }
+  }
+  if (opts.memory != nullptr) {
+    // The per-shard scratch buffers die with this function; return
+    // their footprint so resident occupancy tracks the merged graph.
+    opts.memory->Release(shard_scratch_bytes);
   }
   g.total_min_edge_cost_ = 0;
   for (int i = 0; i < n; ++i) {

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/budget.h"
+#include "common/resource.h"
 #include "constraint/fd.h"
 #include "detect/pattern.h"
 #include "metric/projection.h"
@@ -48,6 +49,11 @@ struct FTOptions {
   /// proj/unit values); only the candidate-accounting stats differ, as
   /// documented on the accessors below.
   DetectIndexMode index = DetectIndexMode::kAuto;
+  /// Optional memory governance (not owned). Edge buffers, shard
+  /// scratch, and block-index postings charge against it
+  /// (MemPhase::kGraph / kIndex); on exhaustion the build truncates
+  /// exactly like a spent wall-clock budget.
+  const MemoryBudget* memory = nullptr;
 };
 
 /// Classical FD semantics expressed in FT terms (w_l=1, w_r=0, tau=0):

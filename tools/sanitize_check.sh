@@ -43,10 +43,11 @@ if [[ "${mode}" == "thread" ]]; then
   export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
   # The concurrency surface: thread pool + ParallelFor, the parallel
   # graph build (and everything exercising it), the per-component solve
-  # fan-out and the solvers it runs concurrently, shared-budget
-  # charging, and the relaxed-atomic metrics/trace registries.
+  # fan-out and the solvers it runs concurrently, shared-budget and
+  # shared-memory-budget charging (the chaos/ladder sweeps), and the
+  # relaxed-atomic metrics/trace registries.
   ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)" \
-    -R 'ThreadPool|Parallel|ViolationGraph|BlockIndex|Detector|Budget|Metrics|Trace|Repairer|Greedy|Expansion|Multi|TargetTree|Trusted'
+    -R 'ThreadPool|Parallel|ViolationGraph|BlockIndex|Detector|Budget|Metrics|Trace|Repairer|Greedy|Expansion|Multi|TargetTree|Trusted|Chaos|Memory|Ladder'
 else
   export ASAN_OPTIONS="detect_leaks=1:abort_on_error=1"
   export UBSAN_OPTIONS="print_stacktrace=1"
