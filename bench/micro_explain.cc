@@ -1,0 +1,94 @@
+// Overhead of the provenance/explain layer on the full repair pipeline
+// (google-benchmark): the same HOSP repair with provenance off (the
+// default) and on. The "off" configuration must stay at noise level
+// relative to a build without the layer at all — provenance is recorded
+// only behind `if (options.provenance)` checks and pre-sized buffers.
+
+#include <benchmark/benchmark.h>
+
+#include "core/provenance.h"
+#include "core/repairer.h"
+#include "gen/error_injector.h"
+#include "gen/hosp_gen.h"
+
+namespace {
+
+using namespace ftrepair;
+
+struct Fixture {
+  Dataset dataset;
+  Table dirty;
+
+  Fixture()
+      : dataset(std::move(GenerateHosp({.num_rows = 10000, .seed = 7}))
+                    .ValueOrDie()),
+        dirty(MakeDirty()) {}
+
+  Table MakeDirty() {
+    NoiseOptions noise;
+    noise.error_rate = 0.04;
+    noise.seed = 42;
+    return std::move(InjectErrors(dataset.clean, dataset.fds, noise,
+                                  nullptr))
+        .ValueOrDie();
+  }
+
+  RepairOptions Options(bool provenance) const {
+    RepairOptions options;
+    options.algorithm = RepairAlgorithm::kGreedy;
+    options.w_l = dataset.recommended_w_l;
+    options.w_r = dataset.recommended_w_r;
+    for (const auto& [name, tau] : dataset.recommended_tau) {
+      options.tau_by_fd[name] = tau;
+    }
+    options.provenance = provenance;
+    return options;
+  }
+};
+
+Fixture& SharedFixture() {
+  static Fixture* kFixture = new Fixture();
+  return *kFixture;
+}
+
+void BM_RepairExplainOverhead(benchmark::State& state) {
+  Fixture& fixture = SharedFixture();
+  const bool provenance = state.range(0) != 0;
+  Repairer repairer(fixture.Options(provenance));
+  int64_t cells = 0;
+  for (auto _ : state) {
+    auto result = repairer.Repair(fixture.dirty, fixture.dataset.fds);
+    if (!result.ok()) state.SkipWithError("repair failed");
+    cells += result.value().stats.cells_changed;
+    benchmark::DoNotOptimize(result.value().stats.repair_cost);
+  }
+  state.SetLabel(provenance ? "provenance_on" : "provenance_off");
+  state.counters["cells_changed"] =
+      benchmark::Counter(static_cast<double>(cells),
+                         benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_RepairExplainOverhead)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+// The export itself (report serialization) priced separately: it runs
+// only when --explain-json is actually given.
+void BM_ExplainReportSerialize(benchmark::State& state) {
+  Fixture& fixture = SharedFixture();
+  Repairer repairer(fixture.Options(true));
+  auto result = repairer.Repair(fixture.dirty, fixture.dataset.fds);
+  if (!result.ok()) {
+    state.SkipWithError("repair failed");
+    return;
+  }
+  for (auto _ : state) {
+    std::string report = ExplainReportJson(fixture.dirty, result.value());
+    benchmark::DoNotOptimize(report.data());
+  }
+}
+BENCHMARK(BM_ExplainReportSerialize)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

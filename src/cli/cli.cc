@@ -9,6 +9,7 @@
 #include "common/timer.h"
 #include "common/trace.h"
 #include "constraint/fd_parser.h"
+#include "core/provenance.h"
 #include "core/repairer.h"
 #include "data/csv.h"
 #include "detect/detector.h"
@@ -64,6 +65,16 @@ Options:
   --help              this text
 
 Observability:
+  --explain-json PATH write a versioned machine-readable explain report:
+                      every repair decision with its implicating
+                      FT-violation edges, every cell change with its
+                      cost contribution, and the reconciling ledger
+  --audit-log PATH    write an NDJSON audit stream: one record per
+                      decision, degradation and watermark crossing, in
+                      repair order
+  --explain ROW,COL   print a human-readable "why" for one cell (which
+                      FD implicated it, which solver rung repaired it,
+                      what it cost)
   --metrics-json PATH write a JSON snapshot of every pipeline metric
                       (counters, gauges, latency histograms)
   --trace-json PATH   record scoped spans and write Chrome trace_event
@@ -257,6 +268,24 @@ Result<CliOptions> ParseCliArgs(const std::vector<std::string>& args) {
       }
     } else if (arg == "--verbose") {
       options.verbose = true;
+    } else if (arg == "--explain-json") {
+      FTR_ASSIGN_OR_RETURN(options.explain_json_path, next());
+    } else if (arg == "--audit-log") {
+      FTR_ASSIGN_OR_RETURN(options.audit_log_path, next());
+    } else if (arg == "--explain") {
+      FTR_ASSIGN_OR_RETURN(std::string text, next());
+      std::vector<std::string> parts = Split(text, ',');
+      double row = 0;
+      double col = 0;
+      if (parts.size() != 2 || !ParseDouble(parts[0], &row) ||
+          !ParseDouble(parts[1], &col) || row < 0 || col < 0 ||
+          row != static_cast<int>(row) || col != static_cast<int>(col)) {
+        return Status::InvalidArgument(
+            "--explain expects ROW,COL (0-based indices), got '" + text +
+            "'");
+      }
+      options.explain_row = static_cast<int>(row);
+      options.explain_col = static_cast<int>(col);
     } else if (arg == "--metrics-json") {
       FTR_ASSIGN_OR_RETURN(options.metrics_json_path, next());
     } else if (arg == "--trace-json") {
@@ -429,8 +458,22 @@ Status RunCliInner(const CliOptions& options, std::ostream& out) {
       << dirty.num_columns() << " columns, " << fds.size() << " FDs ("
       << RepairAlgorithmName(options.repair.algorithm) << ")\n";
 
+  if (options.explain_row >= 0 &&
+      options.explain_col >= static_cast<int>(dirty.num_columns())) {
+    return Status::InvalidArgument(
+        "--explain column " + std::to_string(options.explain_col) +
+        " out of range; input has " +
+        std::to_string(dirty.num_columns()) + " columns");
+  }
+
   Timer timer;
   RepairOptions repair_options = options.repair;
+  // Any explain surface needs the provenance layer recording during the
+  // repair itself; it cannot be reconstructed after the fact.
+  if (!options.explain_json_path.empty() ||
+      !options.audit_log_path.empty() || options.explain_row >= 0) {
+    repair_options.provenance = true;
+  }
   Budget budget(options.deadline_ms > 0 ? options.deadline_ms
                                         : Budget::kUnlimited);
   if (options.deadline_ms > 0) {
@@ -499,12 +542,56 @@ Status RunCliInner(const CliOptions& options, std::ostream& out) {
     report.Print(out);
   }
   if (options.verbose) {
+    // Long values (free-text columns, URLs) would blow the table out of
+    // any terminal; show enough to recognise the value.
+    auto clip = [](std::string text) {
+      constexpr size_t kMax = 40;
+      if (text.size() > kMax) {
+        text.resize(kMax);
+        text += "...";
+      }
+      return text;
+    };
+    Report change_report("cell changes");
+    change_report.SetHeader({"row", "column", "old", "new"});
     for (const CellChange& change : result.changes) {
-      out << "  row " << change.row << "  "
-          << dirty.schema().column(change.col).name << ": '"
-          << change.old_value.ToString() << "' -> '"
-          << change.new_value.ToString() << "'\n";
+      change_report.AddRow({std::to_string(change.row),
+                            dirty.schema().column(change.col).name,
+                            clip(change.old_value.ToString()),
+                            clip(change.new_value.ToString())});
     }
+    change_report.Print(out);
+  }
+
+  if (options.explain_row >= 0) {
+    out << ExplainCellText(dirty.schema(), result, options.explain_row,
+                           options.explain_col);
+  }
+  if (!options.explain_json_path.empty()) {
+    std::ofstream file(options.explain_json_path, std::ios::binary);
+    if (!file) {
+      return Status::IOError("cannot open '" + options.explain_json_path +
+                             "' for writing");
+    }
+    file << ExplainReportJson(dirty, result);
+    if (!file.good()) {
+      return Status::IOError("failed writing '" +
+                             options.explain_json_path + "'");
+    }
+    out << "wrote " << options.explain_json_path << "\n";
+  }
+  if (!options.audit_log_path.empty()) {
+    std::ofstream file(options.audit_log_path, std::ios::binary);
+    if (!file) {
+      return Status::IOError("cannot open '" + options.audit_log_path +
+                             "' for writing");
+    }
+    file << AuditLogNdjson(result);
+    if (!file.good()) {
+      return Status::IOError("failed writing '" + options.audit_log_path +
+                             "'");
+    }
+    out << "wrote " << options.audit_log_path << "\n";
   }
 
   if (!options.output_path.empty()) {

@@ -30,6 +30,10 @@ struct CliOptions {
   double deadline_ms = 0;       // --deadline-ms (0 = unlimited)
   double memory_budget_mb = 0;  // --memory-budget-mb (0 = unlimited)
   bool verbose = false;         // --verbose
+  std::string explain_json_path;  // --explain-json (machine-readable report)
+  std::string audit_log_path;     // --audit-log (NDJSON decision stream)
+  int explain_row = -1;           // --explain ROW,COL (-1 = not requested)
+  int explain_col = -1;
   std::string metrics_json_path;  // --metrics-json (JSON metrics snapshot)
   std::string trace_json_path;    // --trace-json (Chrome trace_event JSON)
   bool log_level_set = false;     // --log-level given explicitly

@@ -1,0 +1,347 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace ftrepair {
+
+namespace {
+
+constexpr int kMaxDepth = 256;
+
+const JsonValue& NullValue() {
+  static const JsonValue* null = new JsonValue(JsonValue::Null());
+  return *null;
+}
+
+}  // namespace
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> ParseDocument() {
+    SkipWhitespace();
+    JsonValue value;
+    FTR_RETURN_NOT_OK(ParseValue(&value, 0));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing content after the JSON document");
+    }
+    return value;
+  }
+
+ private:
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument("JSON parse error at byte " +
+                                   std::to_string(pos_) + ": " + message);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(std::string_view literal) {
+    if (text_.size() - pos_ < literal.size()) return false;
+    if (text_.compare(pos_, literal.size(), literal) != 0) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  Status ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) return Error("nesting deeper than 256 levels");
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"':
+        out->type_ = JsonValue::Type::kString;
+        return ParseString(&out->string_);
+      case 't':
+        if (!ConsumeLiteral("true")) return Error("invalid literal");
+        out->type_ = JsonValue::Type::kBool;
+        out->bool_ = true;
+        return Status::OK();
+      case 'f':
+        if (!ConsumeLiteral("false")) return Error("invalid literal");
+        out->type_ = JsonValue::Type::kBool;
+        out->bool_ = false;
+        return Status::OK();
+      case 'n':
+        if (!ConsumeLiteral("null")) return Error("invalid literal");
+        out->type_ = JsonValue::Type::kNull;
+        return Status::OK();
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  Status ParseObject(JsonValue* out, int depth) {
+    ++pos_;  // '{'
+    out->type_ = JsonValue::Type::kObject;
+    SkipWhitespace();
+    if (Consume('}')) return Status::OK();
+    while (true) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Error("expected a string object key");
+      }
+      std::string key;
+      FTR_RETURN_NOT_OK(ParseString(&key));
+      SkipWhitespace();
+      if (!Consume(':')) return Error("expected ':' after object key");
+      JsonValue value;
+      FTR_RETURN_NOT_OK(ParseValue(&value, depth + 1));
+      out->object_.emplace_back(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return Status::OK();
+      return Error("expected ',' or '}' in object");
+    }
+  }
+
+  Status ParseArray(JsonValue* out, int depth) {
+    ++pos_;  // '['
+    out->type_ = JsonValue::Type::kArray;
+    SkipWhitespace();
+    if (Consume(']')) return Status::OK();
+    while (true) {
+      JsonValue value;
+      FTR_RETURN_NOT_OK(ParseValue(&value, depth + 1));
+      out->array_.push_back(std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume(']')) return Status::OK();
+      return Error("expected ',' or ']' in array");
+    }
+  }
+
+  Status ParseString(std::string* out) {
+    ++pos_;  // '"'
+    out->clear();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return Status::OK();
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Error("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out->push_back(c);
+        ++pos_;
+        continue;
+      }
+      ++pos_;
+      if (pos_ >= text_.size()) break;
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          unsigned code = 0;
+          FTR_RETURN_NOT_OK(ParseHex4(&code));
+          // Surrogate pair -> one code point.
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            if (pos_ + 1 < text_.size() && text_[pos_] == '\\' &&
+                text_[pos_ + 1] == 'u') {
+              pos_ += 2;
+              unsigned low = 0;
+              FTR_RETURN_NOT_OK(ParseHex4(&low));
+              if (low >= 0xDC00 && low <= 0xDFFF) {
+                code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+              } else {
+                return Error("invalid low surrogate");
+              }
+            } else {
+              return Error("unpaired high surrogate");
+            }
+          } else if (code >= 0xDC00 && code <= 0xDFFF) {
+            return Error("unpaired low surrogate");
+          }
+          AppendUtf8(code, out);
+          break;
+        }
+        default:
+          return Error("invalid escape sequence");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Status ParseHex4(unsigned* out) {
+    if (text_.size() - pos_ < 4) return Error("truncated \\u escape");
+    unsigned value = 0;
+    for (int i = 0; i < 4; ++i) {
+      char c = text_[pos_ + static_cast<size_t>(i)];
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        return Error("invalid \\u escape digit");
+      }
+    }
+    pos_ += 4;
+    *out = value;
+    return Status::OK();
+  }
+
+  static void AppendUtf8(unsigned code, std::string* out) {
+    if (code < 0x80) {
+      out->push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("expected a value");
+    // strtod needs NUL termination; copy the (short) number slice.
+    std::string slice(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    double value = std::strtod(slice.c_str(), &end);
+    if (end != slice.c_str() + slice.size() || !std::isfinite(value)) {
+      pos_ = start;
+      return Error("invalid number '" + slice + "'");
+    }
+    out->type_ = JsonValue::Type::kNumber;
+    out->number_ = value;
+    return Status::OK();
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+Result<JsonValue> JsonValue::Parse(std::string_view text) {
+  return JsonParser(text).ParseDocument();
+}
+
+const JsonValue& JsonValue::Get(std::string_view key) const {
+  const JsonValue* found = &NullValue();
+  for (const auto& [name, value] : object_) {
+    if (name == key) found = &value;  // last occurrence wins
+  }
+  return *found;
+}
+
+bool JsonValue::Has(std::string_view key) const {
+  for (const auto& [name, value] : object_) {
+    (void)value;
+    if (name == key) return true;
+  }
+  return false;
+}
+
+Result<double> JsonValue::GetNumber(std::string_view key) const {
+  const JsonValue& v = Get(key);
+  if (!v.is_number()) {
+    return Status::InvalidArgument("expected number member '" +
+                                   std::string(key) + "'");
+  }
+  return v.number();
+}
+
+Result<std::string> JsonValue::GetString(std::string_view key) const {
+  const JsonValue& v = Get(key);
+  if (!v.is_string()) {
+    return Status::InvalidArgument("expected string member '" +
+                                   std::string(key) + "'");
+  }
+  return v.str();
+}
+
+Result<bool> JsonValue::GetBool(std::string_view key) const {
+  const JsonValue& v = Get(key);
+  if (!v.is_bool()) {
+    return Status::InvalidArgument("expected bool member '" +
+                                   std::string(key) + "'");
+  }
+  return v.boolean();
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned char>(c));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNumberExact(double v) {
+  if (!std::isfinite(v)) return "null";
+  // Shortest representation that round-trips: try increasing precision.
+  char buf[40];
+  for (int precision : {15, 16, 17}) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+}  // namespace ftrepair

@@ -1,0 +1,87 @@
+#ifndef FTREPAIR_COMMON_JSON_H_
+#define FTREPAIR_COMMON_JSON_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ftrepair {
+
+/// \brief A parsed JSON document (RFC 8259 subset: everything the
+/// pipeline's own writers emit).
+///
+/// The pipeline has always *written* JSON (metrics snapshots, Chrome
+/// traces, and now explain reports); the replay verifier is the first
+/// consumer that must *read* one back, so parsing lives here rather
+/// than behind an external dependency. Numbers are doubles (the
+/// writers only emit doubles and counters well inside 2^53), object
+/// keys keep insertion order, and duplicate keys resolve to the last
+/// occurrence — matching every serializer in this codebase.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Parses one complete JSON document; trailing non-whitespace is an
+  /// error. The parser is recursive with an explicit depth cap (256)
+  /// so adversarial inputs fail cleanly instead of overflowing the
+  /// stack.
+  static Result<JsonValue> Parse(std::string_view text);
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool boolean() const { return bool_; }
+  double number() const { return number_; }
+  const std::string& str() const { return string_; }
+  const std::vector<JsonValue>& array() const { return array_; }
+  const std::vector<std::pair<std::string, JsonValue>>& object() const {
+    return object_;
+  }
+
+  /// Member lookup; null when `key` is absent or this is not an object.
+  /// (A literal JSON null member and an absent member are
+  /// indistinguishable through this accessor — use Has to separate.)
+  const JsonValue& Get(std::string_view key) const;
+  bool Has(std::string_view key) const;
+
+  /// Typed member lookups for schema-checking consumers: error Statuses
+  /// name the key and the type mismatch.
+  Result<double> GetNumber(std::string_view key) const;
+  Result<std::string> GetString(std::string_view key) const;
+  Result<bool> GetBool(std::string_view key) const;
+
+  static JsonValue Null() { return JsonValue(); }
+
+ private:
+  friend class JsonParser;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+/// Escapes `s` for embedding inside a JSON string literal (quotes,
+/// backslashes, and control characters; non-ASCII bytes pass through
+/// untouched). The shared counterpart of the private helpers the
+/// metrics and trace writers grew independently.
+std::string JsonEscape(std::string_view s);
+
+/// Renders a double as a JSON number that round-trips bit-exactly
+/// through JsonValue::Parse (shortest form via %.17g; non-finite
+/// values — which JSON cannot carry — render as null).
+std::string JsonNumberExact(double v);
+
+}  // namespace ftrepair
+
+#endif  // FTREPAIR_COMMON_JSON_H_

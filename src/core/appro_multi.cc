@@ -42,7 +42,10 @@ Result<MultiFDSolution> SolveApproMulti(const ComponentContext& context,
     }
   }
   auto result = AssignTargets(context, chosen, model, options, stats);
-  if (result.ok() && truncated) result.value().truncated = true;
+  if (result.ok()) {
+    result.value().rung = SolverRung::kAppro;
+    if (truncated) result.value().truncated = true;
+  }
   return result;
 }
 

@@ -316,7 +316,10 @@ Result<MultiFDSolution> SolveExpansionMulti(const ComponentContext& context,
     // re-derive the solution through Appro-M for consistency.
     return SolveApproMulti(context, model, options, stats);
   }
-  return AssignTargets(context, search.best_chosen, model, options, stats);
+  auto result = AssignTargets(context, search.best_chosen, model, options,
+                              stats);
+  if (result.ok()) result.value().rung = SolverRung::kExact;
+  return result;
 }
 
 }  // namespace ftrepair

@@ -302,6 +302,7 @@ Result<SingleFDSolution> SolveExpansionSingle(const ViolationGraph& graph,
   // frontier proportional to the largest conflict cluster instead of
   // the whole instance.
   SingleFDSolution solution;
+  solution.rung = SolverRung::kExact;
   int n = graph.num_patterns();
   solution.repair_target.assign(static_cast<size_t>(n), -1);
   for (const std::vector<int>& component : graph.ConnectedComponents()) {

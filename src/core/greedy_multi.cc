@@ -346,7 +346,10 @@ Result<MultiFDSolution> SolveGreedyMulti(const ComponentContext& context,
   }
   auto result = AssignTargets(context, state.chosen_list, model, options,
                               stats);
-  if (result.ok() && truncated) result.value().truncated = true;
+  if (result.ok()) {
+    result.value().rung = SolverRung::kGreedy;
+    if (truncated) result.value().truncated = true;
+  }
   return result;
 }
 

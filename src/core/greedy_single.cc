@@ -16,6 +16,7 @@ SingleFDSolution SolveGreedySingle(const ViolationGraph& graph,
                                    const MemoryBudget* memory) {
   FTR_TRACE_SPAN("greedy.solve_single");
   SingleFDSolution solution;
+  solution.rung = SolverRung::kGreedy;
   int n = graph.num_patterns();
   solution.repair_target.assign(static_cast<size_t>(n), -1);
   if (n == 0) return solution;

@@ -143,6 +143,7 @@ Result<MultiFDSolution> AssignTargets(
   solution.component_cols = context.component_cols;
   solution.sigma_patterns = context.sigma_patterns;
   solution.targets.assign(context.sigma_patterns.size(), {});
+  solution.target_costs.assign(context.sigma_patterns.size(), 0.0);
   solution.chosen = chosen;
   solution.cost = 0;
 
@@ -171,6 +172,31 @@ Result<MultiFDSolution> AssignTargets(
     if (!all_member) dirty.push_back(i);
   }
   if (dirty.empty()) return solution;
+
+  if (options.provenance) {
+    // Capture each dirty Sigma-pattern's implicating violation edges
+    // now: the component context (and its graphs) is gone by the time
+    // the solution is applied, so the lineage must ride the solution.
+    // edge.fd is the component-local FD index; the apply layer remaps
+    // it to the global FD table.
+    solution.prov_edges.assign(context.sigma_patterns.size(), {});
+    for (size_t i : dirty) {
+      std::vector<ProvenanceEdge>& edges = solution.prov_edges[i];
+      for (size_t k = 0; k < num_fds; ++k) {
+        int phi = context.phi_of_sigma[k][i];
+        for (const ViolationGraph::Edge& e :
+             context.graphs[k].Neighbors(phi)) {
+          ProvenanceEdge edge;
+          edge.fd = static_cast<int>(k);
+          edge.peer = e.to;
+          edge.peer_values = context.graphs[k].pattern(e.to).values;
+          edge.proj_dist = e.proj_dist;
+          edge.unit_cost = e.unit_cost;
+          edges.push_back(std::move(edge));
+        }
+      }
+    }
+  }
 
   auto tree_result = TargetTree::Build(inputs, context.component_cols,
                                        options.max_tree_nodes,
@@ -238,6 +264,7 @@ Result<MultiFDSolution> AssignTargets(
             continue;  // leave this pattern unrepaired
           }
           solution.targets[i] = std::move(r.query.target);
+          solution.target_costs[i] = r.query.cost;
           solution.cost += context.sigma_patterns[i].count() * r.query.cost;
         }
         return solution;
@@ -267,6 +294,7 @@ Result<MultiFDSolution> AssignTargets(
           continue;  // leave this pattern unrepaired
         }
         solution.targets[i] = std::move(query.target);
+        solution.target_costs[i] = query.cost;
         solution.cost += context.sigma_patterns[i].count() * query.cost;
       }
       return solution;
@@ -321,6 +349,7 @@ Result<MultiFDSolution> AssignTargets(
           continue;
         }
         solution.targets[i] = std::move(r.target);
+        solution.target_costs[i] = r.cost;
         solution.cost += context.sigma_patterns[i].count() * r.cost;
       }
       return solution;
@@ -344,6 +373,7 @@ Result<MultiFDSolution> AssignTargets(
         solution.truncated = true;  // budget ran out before any leaf
         continue;
       }
+      solution.target_costs[i] = cost;
       solution.cost += context.sigma_patterns[i].count() * cost;
     }
   } else {
@@ -360,6 +390,7 @@ Result<MultiFDSolution> AssignTargets(
                                       context.sigma_patterns[i].values,
                                       context.component_cols, model, &cost);
       solution.targets[i] = targets[t];
+      solution.target_costs[i] = cost;
       solution.cost += context.sigma_patterns[i].count() * cost;
     }
   }

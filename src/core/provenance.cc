@@ -1,0 +1,431 @@
+#include "core/provenance.h"
+
+#include <cmath>
+#include <sstream>
+#include <unordered_map>
+
+#include "common/json.h"
+#include "common/metrics.h"
+#include "common/strings.h"
+#include "core/repair_types.h"
+#include "data/table.h"
+#include "metric/projection.h"
+
+namespace ftrepair {
+
+const char* SolverRungName(SolverRung rung) {
+  switch (rung) {
+    case SolverRung::kNone:
+      return "none";
+    case SolverRung::kExact:
+      return "exact";
+    case SolverRung::kGreedy:
+      return "greedy";
+    case SolverRung::kAppro:
+      return "appro";
+    case SolverRung::kConstant:
+      return "constant";
+  }
+  return "?";
+}
+
+namespace {
+
+// One JSON value per cell Value: the JSON type carries the Value type
+// (null / string / number), and numbers render round-trip exact.
+std::string ValueJson(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kString:
+      return "\"" + JsonEscape(v.str()) + "\"";
+    case ValueType::kNumber:
+      return JsonNumberExact(v.num());
+  }
+  return "null";
+}
+
+std::string ValuesJson(const std::vector<Value>& values) {
+  std::string out = "[";
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out += ",";
+    out += ValueJson(values[i]);
+  }
+  return out + "]";
+}
+
+std::string IntsJson(const std::vector<int>& values) {
+  std::string out = "[";
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(values[i]);
+  }
+  return out + "]";
+}
+
+void AppendDegradationJson(const DegradationEvent& event, std::string* out) {
+  *out += "{\"component\":\"" + JsonEscape(event.component) +
+          "\",\"stage\":\"" + JsonEscape(event.stage) + "\",\"cause\":\"" +
+          DegradationCauseName(event.cause) + "\",\"reason\":\"" +
+          JsonEscape(event.reason) +
+          "\",\"elapsed_ms\":" + JsonNumberExact(event.elapsed_ms) + "}";
+}
+
+void AppendDecisionJson(const RepairProvenance& prov,
+                        const RepairDecision& d, size_t index,
+                        std::string* out) {
+  *out += "{\"index\":" + std::to_string(index) +
+          ",\"component\":" + std::to_string(d.component) +
+          ",\"fd\":" + std::to_string(d.fd) + ",\"rung\":\"" +
+          SolverRungName(d.rung) + "\"";
+  *out += ",\"source_pattern\":" + std::to_string(d.source_pattern) +
+          ",\"target_pattern\":" + std::to_string(d.target_pattern);
+  *out += ",\"cols\":" + IntsJson(d.cols);
+  *out += ",\"source_values\":" + ValuesJson(d.source_values);
+  *out += ",\"target_values\":" + ValuesJson(d.target_values);
+  *out += ",\"rows\":" + IntsJson(d.rows);
+  *out += ",\"unit_cost\":" + JsonNumberExact(d.unit_cost);
+  *out += ",\"degradations_before\":" + std::to_string(d.degradations_before);
+  *out += ",\"edges\":[";
+  for (size_t e = 0; e < d.edges.size(); ++e) {
+    const ProvenanceEdge& edge = d.edges[e];
+    if (e > 0) *out += ",";
+    *out += "{\"fd\":" + std::to_string(edge.fd) +
+            ",\"peer\":" + std::to_string(edge.peer) +
+            ",\"peer_values\":" + ValuesJson(edge.peer_values) +
+            ",\"proj_dist\":" + JsonNumberExact(edge.proj_dist) +
+            ",\"unit_cost\":" + JsonNumberExact(edge.unit_cost) + "}";
+  }
+  *out += "]}";
+  (void)prov;
+}
+
+std::string TruncateForDisplay(const std::string& s, size_t max_len = 40) {
+  if (s.size() <= max_len) return s;
+  return s.substr(0, max_len - 1) + "…";
+}
+
+}  // namespace
+
+void FinalizeLedger(const Table& input, const DistanceModel& model,
+                    RepairResult* result) {
+  RepairProvenance& prov = result->provenance;
+  if (!prov.enabled) return;
+  const std::vector<CellChange>& changes = result->changes;
+  // Every change appended by an apply path under provenance carries a
+  // decision annotation; defensively pad (never truncate) so the
+  // parallel arrays stay aligned even if a future writer forgets.
+  prov.change_decision.resize(changes.size(), -1);
+  prov.change_cost.assign(changes.size(), 0.0);
+  prov.ledger_total = 0;
+  // Per-cell running distance-to-input, so chained re-repairs (CFD
+  // constant pinning then variable repair) telescope exactly.
+  std::unordered_map<int64_t, double> running;
+  running.reserve(changes.size());
+  const int64_t ncols = input.num_columns();
+  static Histogram* change_cost_hist =
+      Metrics().GetHistogram("ftrepair.provenance.change_cost");
+  for (size_t i = 0; i < changes.size(); ++i) {
+    const CellChange& change = changes[i];
+    const Value& original = input.cell(change.row, change.col);
+    int64_t key = static_cast<int64_t>(change.row) * ncols + change.col;
+    auto it = running.find(key);
+    double before = it != running.end()
+                        ? it->second
+                        : model.CellDistance(change.col, original,
+                                             change.old_value);
+    double after = model.CellDistance(change.col, original, change.new_value);
+    prov.change_cost[i] = after - before;
+    prov.ledger_total += prov.change_cost[i];
+    running[key] = after;
+    change_cost_hist->Observe(prov.change_cost[i]);
+  }
+  static Counter* decisions =
+      Metrics().GetCounter("ftrepair.provenance.decisions");
+  static Counter* annotated =
+      Metrics().GetCounter("ftrepair.provenance.changes_annotated");
+  decisions->Increment(prov.decisions.size());
+  annotated->Increment(changes.size());
+}
+
+std::string ExplainReportJson(const Table& input,
+                              const RepairResult& result) {
+  const RepairProvenance& prov = result.provenance;
+  const RepairStats& stats = result.stats;
+  std::string out;
+  out.reserve(4096 + result.changes.size() * 96);
+  out += "{\"schema_version\":" + std::to_string(kExplainSchemaVersion);
+  out += ",\"generator\":\"ftrepair\"";
+  out += ",\"algorithm\":\"" + JsonEscape(prov.algorithm) + "\"";
+  out += ",\"input\":{\"rows\":" + std::to_string(input.num_rows()) +
+         ",\"columns\":[";
+  for (int c = 0; c < input.num_columns(); ++c) {
+    if (c > 0) out += ",";
+    out += "\"" + JsonEscape(input.schema().column(c).name) + "\"";
+  }
+  out += "]}";
+  out += ",\"fds\":[";
+  for (size_t f = 0; f < prov.fds.size(); ++f) {
+    const ProvenanceFD& fd = prov.fds[f];
+    if (f > 0) out += ",";
+    out += "{\"name\":\"" + JsonEscape(fd.name) + "\",\"lhs\":" +
+           IntsJson(fd.lhs) + ",\"rhs\":" + IntsJson(fd.rhs) +
+           ",\"tau\":" + JsonNumberExact(fd.tau) +
+           ",\"w_l\":" + JsonNumberExact(fd.w_l) +
+           ",\"w_r\":" + JsonNumberExact(fd.w_r) + "}";
+  }
+  out += "]";
+  out += ",\"components\":[";
+  for (size_t c = 0; c < prov.components.size(); ++c) {
+    if (c > 0) out += ",";
+    out += "{\"name\":\"" + JsonEscape(prov.components[c].name) +
+           "\",\"fds\":" + IntsJson(prov.components[c].fds) + "}";
+  }
+  out += "]";
+  out += ",\"stats\":{";
+  out += "\"repair_cost\":" + JsonNumberExact(stats.repair_cost);
+  out += ",\"cells_changed\":" + std::to_string(stats.cells_changed);
+  out += ",\"tuples_changed\":" + std::to_string(stats.tuples_changed);
+  out += ",\"ft_violations_before\":" +
+         std::to_string(stats.ft_violations_before);
+  out += ",\"ft_violations_after\":" +
+         std::to_string(stats.ft_violations_after);
+  out += ",\"violation_stats_computed\":";
+  out += prov.violation_stats_computed ? "true" : "false";
+  out += ",\"violation_stats_exact\":";
+  out += prov.violation_stats_exact ? "true" : "false";
+  out += ",\"degraded\":";
+  out += stats.degraded() ? "true" : "false";
+  out += ",\"trusted_conflicts\":" + std::to_string(stats.trusted_conflicts);
+  out += ",\"join_empty\":";
+  out += stats.join_empty ? "true" : "false";
+  out += "}";
+  out += ",\"ledger\":{\"total\":" + JsonNumberExact(prov.ledger_total) +
+         ",\"repair_cost\":" + JsonNumberExact(stats.repair_cost) +
+         ",\"reconciled\":";
+  out += std::fabs(prov.ledger_total - stats.repair_cost) <= 1e-9 ? "true"
+                                                                  : "false";
+  out += "}";
+  out += ",\"memory\":{\"limited\":";
+  out += prov.memory_limited ? "true" : "false";
+  out += ",\"soft_latched\":";
+  out += prov.memory_soft_latched ? "true" : "false";
+  out += ",\"exhausted\":";
+  out += prov.memory_exhausted ? "true" : "false";
+  out += ",\"peak_bytes\":" + std::to_string(prov.memory_peak_bytes) + "}";
+  out += ",\"degradations\":[";
+  for (size_t i = 0; i < stats.degradations.size(); ++i) {
+    if (i > 0) out += ",";
+    AppendDegradationJson(stats.degradations[i], &out);
+  }
+  out += "]";
+  out += ",\"decisions\":[";
+  for (size_t i = 0; i < prov.decisions.size(); ++i) {
+    if (i > 0) out += ",";
+    AppendDecisionJson(prov, prov.decisions[i], i, &out);
+  }
+  out += "]";
+  out += ",\"changes\":[";
+  for (size_t i = 0; i < result.changes.size(); ++i) {
+    const CellChange& change = result.changes[i];
+    if (i > 0) out += ",";
+    out += "{\"row\":" + std::to_string(change.row) +
+           ",\"col\":" + std::to_string(change.col) + ",\"column\":\"" +
+           JsonEscape(input.schema().column(change.col).name) + "\"";
+    out += ",\"old\":" + ValueJson(change.old_value);
+    out += ",\"new\":" + ValueJson(change.new_value);
+    int decision = i < prov.change_decision.size()
+                       ? prov.change_decision[i]
+                       : -1;
+    double cost =
+        i < prov.change_cost.size() ? prov.change_cost[i] : 0.0;
+    out += ",\"decision\":" + std::to_string(decision);
+    out += ",\"cost_delta\":" + JsonNumberExact(cost) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string AuditLogNdjson(const RepairResult& result) {
+  const RepairProvenance& prov = result.provenance;
+  const RepairStats& stats = result.stats;
+  std::string out;
+  out += "{\"event\":\"run_start\",\"schema_version\":" +
+         std::to_string(kExplainSchemaVersion) + ",\"algorithm\":\"" +
+         JsonEscape(prov.algorithm) +
+         "\",\"fds\":" + std::to_string(prov.fds.size()) +
+         ",\"components\":" + std::to_string(prov.components.size()) +
+         "}\n";
+  bool soft_emitted = false;
+  size_t next_degradation = 0;
+  auto emit_degradations_until = [&](size_t bound) {
+    for (; next_degradation < bound &&
+           next_degradation < stats.degradations.size();
+         ++next_degradation) {
+      const DegradationEvent& event = stats.degradations[next_degradation];
+      if (!soft_emitted && event.cause == DegradationCause::kMemorySoft) {
+        // The soft watermark crossing is observed through the first
+        // degradation it provokes; record the crossing itself as a
+        // first-class event ahead of its response.
+        out += "{\"event\":\"watermark\",\"kind\":\"soft\",\"elapsed_ms\":" +
+               JsonNumberExact(event.elapsed_ms) + "}\n";
+        soft_emitted = true;
+      }
+      out += "{\"event\":\"degradation\",";
+      std::string body;
+      AppendDegradationJson(event, &body);
+      out += body.substr(1);  // merge into the event object
+      out += "\n";
+    }
+  };
+  for (size_t i = 0; i < prov.decisions.size(); ++i) {
+    const RepairDecision& d = prov.decisions[i];
+    emit_degradations_until(
+        static_cast<size_t>(d.degradations_before > 0 ? d.degradations_before
+                                                      : 0));
+    const std::string component =
+        d.component >= 0 &&
+                static_cast<size_t>(d.component) < prov.components.size()
+            ? prov.components[static_cast<size_t>(d.component)].name
+            : "";
+    const std::string fd_name =
+        d.fd >= 0 && static_cast<size_t>(d.fd) < prov.fds.size()
+            ? prov.fds[static_cast<size_t>(d.fd)].name
+            : "";
+    out += "{\"event\":\"decision\",\"index\":" + std::to_string(i) +
+           ",\"component\":\"" + JsonEscape(component) + "\",\"fd\":\"" +
+           JsonEscape(fd_name) + "\",\"rung\":\"" + SolverRungName(d.rung) +
+           "\",\"source_pattern\":" + std::to_string(d.source_pattern) +
+           ",\"target_pattern\":" + std::to_string(d.target_pattern) +
+           ",\"rows\":" + std::to_string(d.rows.size()) +
+           ",\"edges\":" + std::to_string(d.edges.size()) +
+           ",\"unit_cost\":" + JsonNumberExact(d.unit_cost) +
+           ",\"grouped_cost\":" +
+           JsonNumberExact(static_cast<double>(d.rows.size()) * d.unit_cost) +
+           "}\n";
+  }
+  emit_degradations_until(stats.degradations.size());
+  if (prov.memory_exhausted) {
+    out += "{\"event\":\"watermark\",\"kind\":\"hard\",\"peak_bytes\":" +
+           std::to_string(prov.memory_peak_bytes) + "}\n";
+  }
+  out += "{\"event\":\"run_end\",\"cells_changed\":" +
+         std::to_string(stats.cells_changed) +
+         ",\"repair_cost\":" + JsonNumberExact(stats.repair_cost) +
+         ",\"ledger_total\":" + JsonNumberExact(prov.ledger_total) +
+         ",\"reconciled\":";
+  out += std::fabs(prov.ledger_total - stats.repair_cost) <= 1e-9 ? "true"
+                                                                  : "false";
+  out += "}\n";
+  return out;
+}
+
+std::string ExplainCellText(const Schema& schema, const RepairResult& result,
+                            int row, int col) {
+  const RepairProvenance& prov = result.provenance;
+  std::ostringstream out;
+  if (col < 0 || col >= schema.num_columns()) {
+    return "explain: column " + std::to_string(col) +
+           " is outside the schema\n";
+  }
+  const std::string& col_name = schema.column(col).name;
+  // The *last* change to the cell is the final word; earlier links of a
+  // chain (CFD re-repairs) are listed as history.
+  std::vector<size_t> chain;
+  for (size_t i = 0; i < result.changes.size(); ++i) {
+    if (result.changes[i].row == row && result.changes[i].col == col) {
+      chain.push_back(i);
+    }
+  }
+  if (chain.empty()) {
+    out << "cell (" << row << ", " << col_name
+        << "): not changed by this repair";
+    // Was the cell part of a kept (chosen) pattern or simply clean?
+    for (const RepairDecision& d : prov.decisions) {
+      for (int r : d.rows) {
+        if (r != row) continue;
+        for (int c : d.cols) {
+          if (c != col) continue;
+          out << "\n  note: row " << row
+              << " carried a repaired pattern, but this cell already "
+                 "matched the target value";
+        }
+      }
+    }
+    out << "\n";
+    return out.str();
+  }
+  for (size_t link = 0; link < chain.size(); ++link) {
+    size_t i = chain[link];
+    const CellChange& change = result.changes[i];
+    out << "cell (" << row << ", " << col_name << "): '"
+        << TruncateForDisplay(change.old_value.ToString()) << "' -> '"
+        << TruncateForDisplay(change.new_value.ToString()) << "'";
+    if (chain.size() > 1) {
+      out << "  [change " << (link + 1) << " of " << chain.size() << "]";
+    }
+    out << "\n";
+    double cost =
+        i < prov.change_cost.size() ? prov.change_cost[i] : 0.0;
+    out << "  cost contribution (Eq. 4): " << FormatDouble(cost) << "\n";
+    int di = i < prov.change_decision.size() ? prov.change_decision[i] : -1;
+    if (di < 0 || static_cast<size_t>(di) >= prov.decisions.size()) {
+      out << "  (no decision lineage recorded)\n";
+      continue;
+    }
+    const RepairDecision& d = prov.decisions[static_cast<size_t>(di)];
+    const std::string component =
+        d.component >= 0 &&
+                static_cast<size_t>(d.component) < prov.components.size()
+            ? prov.components[static_cast<size_t>(d.component)].name
+            : "?";
+    out << "  decision #" << di << " in component [" << component
+        << "], solved by the " << SolverRungName(d.rung) << " rung\n";
+    out << "  pattern #" << d.source_pattern << " (";
+    for (size_t v = 0; v < d.source_values.size(); ++v) {
+      if (v > 0) out << ", ";
+      out << "'" << TruncateForDisplay(d.source_values[v].ToString()) << "'";
+    }
+    out << ") x" << d.rows.size() << " repaired to ";
+    if (d.target_pattern >= 0) {
+      out << "pattern #" << d.target_pattern << " ";
+    } else {
+      out << "joined target ";
+    }
+    out << "(";
+    for (size_t v = 0; v < d.target_values.size(); ++v) {
+      if (v > 0) out << ", ";
+      out << "'" << TruncateForDisplay(d.target_values[v].ToString()) << "'";
+    }
+    out << "), unit cost " << FormatDouble(d.unit_cost) << "\n";
+    if (d.edges.empty()) {
+      if (d.rung == SolverRung::kConstant) {
+        out << "  implicated by a CFD tableau constant (no violation "
+               "edges)\n";
+      } else {
+        out << "  no implicating violation edges recorded\n";
+      }
+    } else {
+      out << "  implicated by " << d.edges.size()
+          << " FT-violation edge(s):\n";
+      for (const ProvenanceEdge& edge : d.edges) {
+        const ProvenanceFD* fd =
+            edge.fd >= 0 && static_cast<size_t>(edge.fd) < prov.fds.size()
+                ? &prov.fds[static_cast<size_t>(edge.fd)]
+                : nullptr;
+        out << "    [" << (fd != nullptr ? fd->name : "?") << "] vs (";
+        for (size_t v = 0; v < edge.peer_values.size(); ++v) {
+          if (v > 0) out << ", ";
+          out << "'" << TruncateForDisplay(edge.peer_values[v].ToString())
+              << "'";
+        }
+        out << "): proj distance " << FormatDouble(edge.proj_dist);
+        if (fd != nullptr) out << " <= tau " << FormatDouble(fd->tau);
+        out << ", unit cost " << FormatDouble(edge.unit_cost) << "\n";
+      }
+    }
+  }
+  return out.str();
+}
+
+}  // namespace ftrepair

@@ -1,0 +1,194 @@
+#ifndef FTREPAIR_CORE_PROVENANCE_H_
+#define FTREPAIR_CORE_PROVENANCE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "constraint/fd.h"
+#include "data/value.h"
+
+namespace ftrepair {
+
+/// The explain-report JSON schema version (`"schema_version"` in every
+/// report and audit-log record). Bump on any incompatible change; the
+/// replay verifier rejects versions it does not know.
+inline constexpr int kExplainSchemaVersion = 1;
+
+/// Which solver rung actually produced a repair decision — the
+/// *effective* rung after any degradation-ladder steps, not the rung
+/// the caller requested. kConstant is the CFD constant-pinning path
+/// (no solver involved: the tableau constant dictates the target).
+enum class SolverRung : uint8_t {
+  kNone = 0,
+  kExact,
+  kGreedy,
+  kAppro,
+  kConstant,
+};
+
+const char* SolverRungName(SolverRung rung);
+
+/// \brief One FT-violation edge that implicated a repaired pattern —
+/// the "why was this cell suspect" half of a decision.
+///
+/// `fd` indexes RepairProvenance::fds; `peer_values` is the peer
+/// pattern's projection over that FD's attrs, self-contained so the
+/// replay verifier can recompute `proj_dist` (Eq. 2) and `unit_cost`
+/// (Eq. 3) without re-deriving pattern ids.
+struct ProvenanceEdge {
+  int fd = -1;
+  /// Peer pattern id within the decision's violation graph (component-
+  /// local; informational — verification runs on the values).
+  int peer = -1;
+  std::vector<Value> peer_values;
+  double proj_dist = 0;
+  double unit_cost = 0;
+};
+
+/// \brief One solver decision: "repair pattern u to target v" — the
+/// unit of the audit trail (§3's grouped repair step). Every annotated
+/// CellChange points at exactly one of these.
+struct RepairDecision {
+  /// Index into RepairProvenance::components.
+  int component = -1;
+  /// Index into RepairProvenance::fds for single-FD decisions and CFD
+  /// units; -1 for multi-FD decisions (whose targets span the
+  /// component's column union — the implicating FDs are on the edges).
+  int fd = -1;
+  SolverRung rung = SolverRung::kNone;
+  /// Pattern ids within the decision's graph (component-local;
+  /// source_pattern is the repaired pattern, target_pattern the chosen
+  /// member it repairs toward, -1 when the target is a joined value
+  /// vector rather than an existing pattern).
+  int source_pattern = -1;
+  int target_pattern = -1;
+  /// Table columns this decision writes (fd.attrs() for single-FD,
+  /// the component column union for multi-FD, the constant columns for
+  /// CFD pinning) and the source/target projections over them.
+  std::vector<int> cols;
+  std::vector<Value> source_values;
+  std::vector<Value> target_values;
+  /// Rows carrying the source pattern (trusted rows among them are
+  /// never written; the per-change records are authoritative for what
+  /// actually changed).
+  std::vector<int> rows;
+  /// Per-tuple repair cost of this decision as priced by the solver
+  /// (Eq. 3 between source and target over `cols`); the grouped cost
+  /// of §3 is rows.size() * unit_cost.
+  double unit_cost = 0;
+  /// Number of DegradationEvents recorded before this decision, i.e.
+  /// its position in the interleaved audit stream.
+  int degradations_before = 0;
+  /// The violation edges that implicated the source pattern.
+  std::vector<ProvenanceEdge> edges;
+};
+
+/// An FD as the provenance layer saw it: resolved threshold and
+/// weights included, so the report is self-contained for replay.
+struct ProvenanceFD {
+  std::string name;
+  std::vector<int> lhs;
+  std::vector<int> rhs;
+  double tau = 0;
+  double w_l = 0;
+  double w_r = 0;
+};
+
+/// One solve unit in merge order: a connected FD component of
+/// Repairer::Repair, or one (CFD, tableau-row) unit of RepairCFDs.
+struct ProvenanceComponent {
+  std::string name;
+  /// Indexes into RepairProvenance::fds.
+  std::vector<int> fds;
+};
+
+/// \brief Pipeline-wide repair provenance: every decision, every
+/// annotated cell change, and the cost ledger that reconciles
+/// RepairStats::repair_cost as the exact sum of per-change
+/// contributions.
+///
+/// Collected only when RepairOptions::provenance is set (near-zero
+/// cost otherwise: one branch per apply call). Collection preserves
+/// the deterministic replay merge: decisions are recorded during the
+/// serial component-order merge (FD path) or in per-unit buffers
+/// remapped in unit order (CFD path), so the provenance — like the
+/// repair itself — is bit-identical at every thread count.
+struct RepairProvenance {
+  bool enabled = false;
+  /// The algorithm that was *requested* ("Expansion", "Greedy", ...);
+  /// per-decision rungs record what actually ran.
+  std::string algorithm;
+  std::vector<ProvenanceFD> fds;
+  std::vector<ProvenanceComponent> components;
+  /// In repair (merge) order.
+  std::vector<RepairDecision> decisions;
+  /// Parallel to RepairResult::changes: index into `decisions`.
+  std::vector<int> change_decision;
+  /// Parallel to RepairResult::changes: this change's contribution to
+  /// the Eq. 4 repair cost, telescoped against the *input* table —
+  /// dist(input, new) - dist(input, old) — so re-repaired cells (CFD
+  /// chains) sum to exactly dist(input, final).
+  std::vector<double> change_cost;
+  /// Sum of change_cost — reconciles against RepairStats::repair_cost.
+  double ledger_total = 0;
+  /// Memory-governance surface of the run (for watermark audit
+  /// records); all zero when no MemoryBudget was installed.
+  bool memory_limited = false;
+  bool memory_soft_latched = false;
+  bool memory_exhausted = false;
+  uint64_t memory_peak_bytes = 0;
+
+  /// Whether FT-violation counts were computed, and whether they are
+  /// exact (no "violation-stats" truncation degradations) — the replay
+  /// verifier only cross-checks exact counts.
+  bool violation_stats_computed = false;
+  bool violation_stats_exact = false;
+};
+
+/// \brief Recording destination threaded through the apply layer.
+///
+/// `prov == nullptr` disables collection (the fast path). `component`
+/// and `fd` locate the decision being applied inside the provenance
+/// tables; `degradations_before` is the number of DegradationEvents
+/// already merged, stamping each decision's audit-stream position.
+struct ProvenanceScope {
+  RepairProvenance* prov = nullptr;
+  int component = -1;
+  int fd = -1;
+  int degradations_before = 0;
+};
+
+struct RepairResult;  // core/repair_types.h (which includes this header)
+class Table;          // data/table.h
+class DistanceModel;  // metric/projection.h
+class Schema;         // data/schema.h
+
+/// Computes the per-change cost contributions and the ledger total for
+/// `result` (no-op when provenance is disabled). Each contribution is
+/// telescoped against `input` — dist(input, new) - dist(input, old) —
+/// so the ledger total equals TableRepairCost(input, repaired) up to
+/// floating-point reassociation. `model` must be the DistanceModel of
+/// the input table (the one the repair priced changes with).
+void FinalizeLedger(const Table& input, const DistanceModel& model,
+                    RepairResult* result);
+
+/// Renders the full machine-readable explain report (versioned schema,
+/// see docs/OBSERVABILITY.md "Provenance & explain"). Requires
+/// provenance to have been collected.
+std::string ExplainReportJson(const Table& input, const RepairResult& result);
+
+/// Renders the audit-log NDJSON event stream: one record per decision,
+/// degradation, and watermark crossing, interleaved in repair order.
+std::string AuditLogNdjson(const RepairResult& result);
+
+/// Human-readable single-cell "why": which FD implicated (row, col),
+/// which violation edges drove it, which solver rung chose the target,
+/// and what the change contributed to the repair cost. Also renders a
+/// useful answer for cells that were *not* changed.
+std::string ExplainCellText(const Schema& schema, const RepairResult& result,
+                            int row, int col);
+
+}  // namespace ftrepair
+
+#endif  // FTREPAIR_CORE_PROVENANCE_H_

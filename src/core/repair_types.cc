@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <set>
 
+#include "common/budget.h"
+#include "common/resource.h"
 #include "common/trace.h"
 
 namespace ftrepair {
@@ -17,6 +19,35 @@ const char* RepairAlgorithmName(RepairAlgorithm algorithm) {
       return "ApproJoin";
   }
   return "?";
+}
+
+const char* DegradationCauseName(DegradationCause cause) {
+  switch (cause) {
+    case DegradationCause::kUnknown:
+      return "unknown";
+    case DegradationCause::kDeadline:
+      return "deadline";
+    case DegradationCause::kMemorySoft:
+      return "memory_soft";
+    case DegradationCause::kMemoryHard:
+      return "memory_hard";
+    case DegradationCause::kSearchValve:
+      return "search_valve";
+  }
+  return "?";
+}
+
+DegradationCause ClassifyDegradationCause(const Budget* budget,
+                                          const MemoryBudget* memory) {
+  // Hard-memory latching dominates: once charges fail, everything
+  // downstream trips regardless of the clock.
+  if (MemExhausted(memory)) return DegradationCause::kMemoryHard;
+  if (budget != nullptr &&
+      (budget->cancelled() || (budget->limited() && budget->RemainingMs() <= 0))) {
+    return DegradationCause::kDeadline;
+  }
+  if (MemSoftExceeded(memory)) return DegradationCause::kMemorySoft;
+  return DegradationCause::kSearchValve;
 }
 
 double RepairOptions::TauFor(const FD& fd) const {
@@ -64,13 +95,43 @@ void RepairStats::Merge(const RepairStats& other) {
 void ApplySingleFDSolution(const ViolationGraph& graph, const FD& fd,
                            const SingleFDSolution& solution, Table* table,
                            std::vector<CellChange>* changes,
-                           const std::unordered_set<int>* trusted) {
+                           const std::unordered_set<int>* trusted,
+                           const ProvenanceScope& scope) {
   FTR_TRACE_SPAN("repair.apply_single", {{"fd", fd.name()}});
+  RepairProvenance* prov = scope.prov;
   for (int i = 0; i < graph.num_patterns(); ++i) {
     int target = solution.repair_target[static_cast<size_t>(i)];
     if (target < 0) continue;
     const Pattern& src = graph.pattern(i);
     const Pattern& dst = graph.pattern(target);
+    int decision_index = -1;
+    if (prov != nullptr) {
+      decision_index = static_cast<int>(prov->decisions.size());
+      RepairDecision d;
+      d.component = scope.component;
+      d.fd = scope.fd;
+      d.rung = solution.rung;
+      d.source_pattern = i;
+      d.target_pattern = target;
+      d.cols.assign(fd.attrs().begin(), fd.attrs().end());
+      d.source_values = src.values;
+      d.target_values = dst.values;
+      d.rows = src.rows;
+      d.degradations_before = scope.degradations_before;
+      for (const ViolationGraph::Edge& e : graph.Neighbors(i)) {
+        // Both single-FD solvers pick repair targets from the neighbor
+        // scan, so the edge to `target` is always present.
+        if (e.to == target) d.unit_cost = e.unit_cost;
+        ProvenanceEdge edge;
+        edge.fd = scope.fd;
+        edge.peer = e.to;
+        edge.peer_values = graph.pattern(e.to).values;
+        edge.proj_dist = e.proj_dist;
+        edge.unit_cost = e.unit_cost;
+        d.edges.push_back(std::move(edge));
+      }
+      prov->decisions.push_back(std::move(d));
+    }
     for (int row : src.rows) {
       if (trusted != nullptr && trusted->count(row)) continue;
       for (int p = 0; p < fd.num_attrs(); ++p) {
@@ -80,6 +141,9 @@ void ApplySingleFDSolution(const ViolationGraph& graph, const FD& fd,
         if (*cell != new_value) {
           if (changes != nullptr) {
             changes->push_back(CellChange{row, col, *cell, new_value});
+            if (prov != nullptr) {
+              prov->change_decision.push_back(decision_index);
+            }
           }
           *cell = new_value;
         }
@@ -90,12 +154,48 @@ void ApplySingleFDSolution(const ViolationGraph& graph, const FD& fd,
 
 void ApplyMultiFDSolution(const MultiFDSolution& solution, Table* table,
                           std::vector<CellChange>* changes,
-                          const std::unordered_set<int>* trusted) {
+                          const std::unordered_set<int>* trusted,
+                          const ProvenanceScope& scope) {
   FTR_TRACE_SPAN("repair.apply_multi");
+  RepairProvenance* prov = scope.prov;
   for (size_t i = 0; i < solution.sigma_patterns.size(); ++i) {
     const std::vector<Value>& target = solution.targets[i];
     if (target.empty()) continue;
     const Pattern& src = solution.sigma_patterns[i];
+    int decision_index = -1;
+    if (prov != nullptr) {
+      decision_index = static_cast<int>(prov->decisions.size());
+      RepairDecision d;
+      d.component = scope.component;
+      d.fd = -1;  // multi-FD target: the implicating FDs live on edges
+      d.rung = solution.rung;
+      d.source_pattern = static_cast<int>(i);
+      d.target_pattern = -1;  // joined value vector, not a pattern id
+      d.cols = solution.component_cols;
+      d.source_values = src.values;
+      d.target_values = target;
+      d.rows = src.rows;
+      d.unit_cost =
+          i < solution.target_costs.size() ? solution.target_costs[i] : 0.0;
+      d.degradations_before = scope.degradations_before;
+      if (i < solution.prov_edges.size()) {
+        d.edges = solution.prov_edges[i];
+        // AssignTargets records edge.fd as the component-local FD
+        // index; remap to the global FD table.
+        const std::vector<int>* fd_map = nullptr;
+        if (scope.component >= 0 &&
+            static_cast<size_t>(scope.component) < prov->components.size()) {
+          fd_map = &prov->components[static_cast<size_t>(scope.component)].fds;
+        }
+        for (ProvenanceEdge& edge : d.edges) {
+          if (fd_map != nullptr && edge.fd >= 0 &&
+              static_cast<size_t>(edge.fd) < fd_map->size()) {
+            edge.fd = (*fd_map)[static_cast<size_t>(edge.fd)];
+          }
+        }
+      }
+      prov->decisions.push_back(std::move(d));
+    }
     for (int row : src.rows) {
       if (trusted != nullptr && trusted->count(row)) continue;
       for (size_t p = 0; p < solution.component_cols.size(); ++p) {
@@ -104,6 +204,9 @@ void ApplyMultiFDSolution(const MultiFDSolution& solution, Table* table,
         if (*cell != target[p]) {
           if (changes != nullptr) {
             changes->push_back(CellChange{row, col, *cell, target[p]});
+            if (prov != nullptr) {
+              prov->change_decision.push_back(decision_index);
+            }
           }
           *cell = target[p];
         }

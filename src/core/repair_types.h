@@ -11,6 +11,7 @@
 #include "common/resource.h"
 #include "common/status.h"
 #include "constraint/fd.h"
+#include "core/provenance.h"
 #include "data/table.h"
 #include "detect/pattern.h"
 #include "detect/violation_graph.h"
@@ -113,6 +114,14 @@ struct RepairOptions {
   /// DegradationEvent in RepairStats. Null means unlimited.
   const Budget* budget = nullptr;
 
+  /// Collect full repair provenance into RepairResult::provenance:
+  /// per-decision lineage (implicating violation edges, solver rung,
+  /// chosen target), per-change cost contributions, and the cost
+  /// ledger. Off by default; when off the only overhead is one null
+  /// check per apply call, and the repair output (table, changes,
+  /// stats) is bit-identical either way.
+  bool provenance = false;
+
   /// Optional memory governance (not owned), shared across every
   /// phase and thread of the run. Structures that grow with input
   /// size charge their growth here; crossing the soft watermark
@@ -136,6 +145,36 @@ struct RepairOptions {
 /// target search returned partial assignments, or a component/stat was
 /// skipped outright. Callers inspect RepairStats::degradations to see
 /// exactly what was sacrificed and why.
+/// \brief Stable machine-readable cause of a degradation step.
+///
+/// `DegradationEvent::reason` carries the raw triggering status
+/// message, which embeds run-specific numbers (byte counts, elapsed
+/// times) — useless as a log-dedup or alerting key. The cause code
+/// names the resource that tripped, is stable across runs, and is
+/// what the audit log and the `ftrepair.degradations` metric labels
+/// should be grouped by.
+enum class DegradationCause : uint8_t {
+  kUnknown = 0,
+  /// The wall-clock Budget (deadline or cancellation) ran out.
+  kDeadline,
+  /// Resident memory crossed the soft watermark (valves halved,
+  /// exact pre-stepped to greedy).
+  kMemorySoft,
+  /// The hard memory limit latched; charges fail.
+  kMemoryHard,
+  /// A search safety valve fired (max_frontier / max_sets_per_fd /
+  /// max_combinations / max_target_visits) with both budgets healthy.
+  kSearchValve,
+};
+
+const char* DegradationCauseName(DegradationCause cause);
+
+/// Classifies the cause of a just-observed exhaustion from the budget
+/// states: deadline and hard-memory trips are attributed to their
+/// budget, anything else (a valve, a hard cap) to kSearchValve.
+DegradationCause ClassifyDegradationCause(const Budget* budget,
+                                          const MemoryBudget* memory);
+
 struct DegradationEvent {
   /// FD name (single-FD component), "+"-joined FD names (multi-FD
   /// component), or a pipeline stage like "violation-stats".
@@ -144,6 +183,8 @@ struct DegradationEvent {
   /// "greedy->partial", "partial-targets", "skip" (detect-only),
   /// "partial-graph".
   std::string stage;
+  /// Stable cause code (see DegradationCause) — the dedup/alerting key.
+  DegradationCause cause = DegradationCause::kUnknown;
   /// Human-readable cause (usually the triggering status message).
   std::string reason;
   /// Wall-clock ms since the repair call started when this was recorded.
@@ -229,6 +270,9 @@ struct RepairResult {
   Table repaired;
   std::vector<CellChange> changes;
   RepairStats stats;
+  /// Full decision lineage and cost ledger; collected only when
+  /// RepairOptions::provenance is set (enabled == false otherwise).
+  RepairProvenance provenance;
 };
 
 /// \brief Solution of a single-FD instance over a ViolationGraph.
@@ -243,6 +287,10 @@ struct SingleFDSolution {
   double cost = 0;
   uint64_t nodes_expanded = 0;
   uint64_t nodes_pruned = 0;
+  /// The solver that produced this solution (stamped by the solver
+  /// itself, so post-degradation solutions carry the rung that
+  /// actually ran, not the one requested).
+  SolverRung rung = SolverRung::kNone;
   /// True when the budget ran out mid-solve: patterns with
   /// repair_target -1 outside the chosen set are left unrepaired
   /// (detect-only remainder) and excluded from `cost`.
@@ -252,11 +300,15 @@ struct SingleFDSolution {
 /// Writes `solution` into `table`: every row of a repaired pattern gets
 /// the target pattern's values on `fd.attrs()`. Appends the individual
 /// cell changes to `changes` when non-null. Rows in `trusted` (may be
-/// null) are never written.
+/// null) are never written. When `scope.prov` is non-null, records one
+/// RepairDecision per repaired pattern (with its implicating edge set
+/// from `graph`) and annotates every appended change with its decision
+/// index — recording never alters the writes themselves.
 void ApplySingleFDSolution(const ViolationGraph& graph, const FD& fd,
                            const SingleFDSolution& solution, Table* table,
                            std::vector<CellChange>* changes,
-                           const std::unordered_set<int>* trusted = nullptr);
+                           const std::unordered_set<int>* trusted = nullptr,
+                           const ProvenanceScope& scope = {});
 
 /// Marks the patterns that carry at least one row from `trusted_rows`.
 std::vector<bool> TrustedPatternMask(
@@ -275,6 +327,18 @@ struct MultiFDSolution {
   /// component context's graphs), for inspection and tests.
   std::vector<std::vector<int>> chosen;
   double cost = 0;
+  /// Per-Sigma-pattern unit cost of the assigned target (0 for
+  /// patterns that keep their values): targets[i] costs
+  /// sigma_patterns[i].count() * target_costs[i], and `cost` is their
+  /// sum. Always filled by AssignTargets.
+  std::vector<double> target_costs;
+  /// The solver that produced this solution (see SingleFDSolution).
+  SolverRung rung = SolverRung::kNone;
+  /// Per-Sigma-pattern implicating violation edges (edge.fd is the
+  /// component-local FD index). Filled by AssignTargets only under
+  /// RepairOptions::provenance — the component context's graphs are
+  /// gone by apply time, so the lineage must ride the solution.
+  std::vector<std::vector<ProvenanceEdge>> prov_edges;
   /// True when the budget ran out while assigning targets: Sigma-
   /// patterns with an empty target that are not fully chosen were left
   /// unrepaired (detect-only remainder).
@@ -282,10 +346,13 @@ struct MultiFDSolution {
 };
 
 /// Writes `solution` into `table`, appending cell changes. Rows in
-/// `trusted` (may be null) are never written.
+/// `trusted` (may be null) are never written. `scope` as in
+/// ApplySingleFDSolution; multi-FD decisions take their edge lineage
+/// from MultiFDSolution::prov_edges.
 void ApplyMultiFDSolution(const MultiFDSolution& solution, Table* table,
                           std::vector<CellChange>* changes,
-                          const std::unordered_set<int>* trusted = nullptr);
+                          const std::unordered_set<int>* trusted = nullptr,
+                          const ProvenanceScope& scope = {});
 
 /// Sorted union of the attrs() of the given FDs.
 std::vector<int> ComponentColumns(const std::vector<const FD*>& fds);

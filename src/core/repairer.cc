@@ -32,10 +32,11 @@ namespace {
 // read, safe from any thread).
 void StageDegradation(RepairStats* stats, const Timer& clock,
                       std::string component, std::string stage,
-                      std::string reason) {
+                      DegradationCause cause, std::string reason) {
   DegradationEvent event;
   event.component = std::move(component);
   event.stage = std::move(stage);
+  event.cause = cause;
   event.reason = std::move(reason);
   event.elapsed_ms = clock.Millis();
   stats->degradations.push_back(std::move(event));
@@ -45,8 +46,13 @@ void StageDegradation(RepairStats* stats, const Timer& clock,
 // counter bump, one trace instant. Call on the coordinating thread.
 void EmitDegradation(const DegradationEvent& event) {
   FTR_LOG(kInfo) << "degradation [" << event.component << "] "
-                 << event.stage << ": " << event.reason;
+                 << event.stage << " (" << DegradationCauseName(event.cause)
+                 << "): " << event.reason;
   Metrics().GetCounter("ftrepair.degradations", "stage", event.stage)
+      ->Increment();
+  Metrics()
+      .GetCounter("ftrepair.degradations_by_cause", "cause",
+                  DegradationCauseName(event.cause))
       ->Increment();
   Tracer::Instance().RecordInstant("repair.degradation",
                                    {{"component", event.component},
@@ -60,9 +66,9 @@ void EmitDegradation(const DegradationEvent& event) {
 // non-decreasing in record order.
 void RecordDegradation(RepairStats* stats, const Timer& clock,
                        std::string component, std::string stage,
-                       std::string reason) {
+                       DegradationCause cause, std::string reason) {
   StageDegradation(stats, clock, std::move(component), std::move(stage),
-                   std::move(reason));
+                   cause, std::move(reason));
   EmitDegradation(stats->degradations.back());
 }
 
@@ -87,11 +93,13 @@ RepairOptions SoftDegradedOptions(const RepairOptions& opts,
   tightened.max_target_visits =
       std::max<uint64_t>(1, opts.max_target_visits / 2);
   StageDegradation(stats, repair_clock, component, "soft-valves",
+                   DegradationCause::kMemorySoft,
                    "resident memory crossed the soft watermark; search "
                    "and state caps halved");
   if (opts.algorithm == RepairAlgorithm::kExact) {
     tightened.algorithm = RepairAlgorithm::kGreedy;
     StageDegradation(stats, repair_clock, component, "exact->greedy",
+                     DegradationCause::kMemorySoft,
                      "resident memory crossed the soft watermark; "
                      "skipping the exact solve");
   }
@@ -264,6 +272,8 @@ void SolveComponent(const Table& table, const std::vector<FD>& named,
       }
       // Detect-only: the component's tuples keep their values.
       StageDegradation(&out->stats, repair_clock, fd.name(), "skip",
+                       ClassifyDegradationCause(opts_in.budget,
+                                                opts_in.memory),
                        ResourceCheck(opts_in.budget, opts_in.memory,
                                      "repair pipeline")
                            .message());
@@ -290,6 +300,7 @@ void SolveComponent(const Table& table, const std::vector<FD>& named,
       }
       StageDegradation(&out->stats, repair_clock, fd.name(),
                        "partial-graph",
+                       ClassifyDegradationCause(opts.budget, opts.memory),
                        "resources exhausted while building the violation "
                        "graph; undetected violations stay unrepaired");
     }
@@ -322,7 +333,9 @@ void SolveComponent(const Table& table, const std::vector<FD>& named,
       } else if (exact.status().IsResourceExhausted() &&
                  opts.fall_back_to_greedy) {
         StageDegradation(&out->stats, repair_clock, fd.name(),
-                         "exact->greedy", exact.status().message());
+                         "exact->greedy",
+                         ClassifyDegradationCause(opts.budget, opts.memory),
+                         exact.status().message());
       } else {
         out->status = exact.status();
         return;
@@ -340,6 +353,7 @@ void SolveComponent(const Table& table, const std::vector<FD>& named,
         }
         StageDegradation(
             &out->stats, repair_clock, fd.name(), "greedy->partial",
+            ClassifyDegradationCause(opts.budget, opts.memory),
             "resources exhausted while growing the greedy set; uncovered "
             "patterns stay unrepaired");
       }
@@ -361,6 +375,8 @@ void SolveComponent(const Table& table, const std::vector<FD>& named,
         return;
       }
       StageDegradation(&out->stats, repair_clock, name, "skip",
+                       ClassifyDegradationCause(opts_in.budget,
+                                                opts_in.memory),
                        ResourceCheck(opts_in.budget, opts_in.memory,
                                      "repair pipeline")
                            .message());
@@ -389,6 +405,7 @@ void SolveComponent(const Table& table, const std::vector<FD>& named,
         return;
       }
       StageDegradation(&out->stats, repair_clock, name, "partial-graph",
+                       ClassifyDegradationCause(opts.budget, opts.memory),
                        "resources exhausted while building the violation "
                        "graphs; undetected violations stay unrepaired");
     }
@@ -440,10 +457,12 @@ void SolveComponent(const Table& table, const std::vector<FD>& named,
       if (rung < 2) {
         StageDegradation(&out->stats, repair_clock, name,
                          std::string(kRungs[rung]) + "->" + kRungs[rung + 1],
+                         ClassifyDegradationCause(opts.budget, opts.memory),
                          solved.status().message());
       } else {
         // Bottom of the ladder: detect-only for this component.
         StageDegradation(&out->stats, repair_clock, name, "skip",
+                         ClassifyDegradationCause(opts.budget, opts.memory),
                          solved.status().message());
       }
       ++rung;
@@ -459,6 +478,7 @@ void SolveComponent(const Table& table, const std::vector<FD>& named,
         return;
       }
       StageDegradation(&out->stats, repair_clock, name, "partial-targets",
+                       ClassifyDegradationCause(opts.budget, opts.memory),
                        "resources exhausted while assigning targets; "
                        "remaining patterns stay unrepaired");
     }
@@ -531,6 +551,7 @@ Result<RepairResult> Repairer::Repair(const Table& table,
     if (truncated) {
       RecordDegradation(&result.stats, repair_clock, "violation-stats",
                         "partial-graph",
+                        ClassifyDegradationCause(opts.budget, opts.memory),
                         "resources exhausted while counting FT-violations; "
                         "ft_violations_before is a lower bound");
     }
@@ -538,6 +559,32 @@ Result<RepairResult> Repairer::Repair(const Table& table,
 
   FDGraph fd_graph(named);
   const std::vector<std::vector<int>>& components = fd_graph.Components();
+
+  if (opts.provenance) {
+    RepairProvenance& prov = result.provenance;
+    prov.enabled = true;
+    prov.algorithm = RepairAlgorithmName(opts.algorithm);
+    prov.violation_stats_computed = opts.compute_violation_stats;
+    for (const FD& fd : named) {
+      ProvenanceFD pfd;
+      pfd.name = fd.name();
+      pfd.lhs = fd.lhs();
+      pfd.rhs = fd.rhs();
+      pfd.tau = opts.TauFor(fd);
+      pfd.w_l = opts.w_l;
+      pfd.w_r = opts.w_r;
+      prov.fds.push_back(std::move(pfd));
+    }
+    for (const std::vector<int>& component : components) {
+      ProvenanceComponent pc;
+      pc.fds = component;
+      for (int idx : component) {
+        if (!pc.name.empty()) pc.name += "+";
+        pc.name += named[static_cast<size_t>(idx)].name();
+      }
+      prov.components.push_back(std::move(pc));
+    }
+  }
 
   // Solve phase. Components are independent by construction (Theorem
   // 5: they touch disjoint attribute sets and each reads only the
@@ -579,7 +626,8 @@ Result<RepairResult> Repairer::Repair(const Table& table,
                                          .elapsed_ms;
   const std::unordered_set<int>* trusted =
       opts.trusted_rows.empty() ? nullptr : &opts.trusted_rows;
-  for (ComponentOutcome& out : outcomes) {
+  for (size_t c = 0; c < outcomes.size(); ++c) {
+    ComponentOutcome& out = outcomes[c];
     if (!out.status.ok()) return out.status;
     for (DegradationEvent& event : out.stats.degradations) {
       event.elapsed_ms = std::max(event.elapsed_ms, last_degradation_ms);
@@ -587,13 +635,21 @@ Result<RepairResult> Repairer::Repair(const Table& table,
       EmitDegradation(event);
     }
     result.stats.Merge(out.stats);
+    ProvenanceScope scope;
+    if (opts.provenance) {
+      scope.prov = &result.provenance;
+      scope.component = static_cast<int>(c);
+      scope.fd = out.apply_single ? components[c][0] : -1;
+      scope.degradations_before =
+          static_cast<int>(result.stats.degradations.size());
+    }
     PhaseTimer phase(&result.stats.phases.apply_ms);
     if (out.apply_single) {
       ApplySingleFDSolution(out.graph, *out.fd, out.single, &result.repaired,
-                            &result.changes, trusted);
+                            &result.changes, trusted, scope);
     } else if (out.apply_multi) {
       ApplyMultiFDSolution(out.multi, &result.repaired, &result.changes,
-                           trusted);
+                           trusted, scope);
     }
   }
 
@@ -615,8 +671,10 @@ Result<RepairResult> Repairer::Repair(const Table& table,
       if (truncated) {
         RecordDegradation(&result.stats, repair_clock, "violation-stats",
                           "partial-graph",
-                          "resources exhausted while recounting FT-violations; "
-                          "ft_violations_after is a lower bound");
+                          ClassifyDegradationCause(opts.budget, opts.memory),
+                          "resources exhausted while recounting "
+                          "FT-violations; ft_violations_after is a lower "
+                          "bound");
       }
     }
     result.stats.repair_cost = TableRepairCost(table, result.repaired, model);
@@ -625,6 +683,23 @@ Result<RepairResult> Repairer::Repair(const Table& table,
   std::unordered_set<int> touched;
   for (const CellChange& change : result.changes) touched.insert(change.row);
   result.stats.tuples_changed = static_cast<int>(touched.size());
+  if (opts.provenance) {
+    RepairProvenance& prov = result.provenance;
+    bool stats_truncated = false;
+    for (const DegradationEvent& event : result.stats.degradations) {
+      stats_truncated =
+          stats_truncated || event.component == "violation-stats";
+    }
+    prov.violation_stats_exact =
+        prov.violation_stats_computed && !stats_truncated;
+    if (opts.memory != nullptr) {
+      prov.memory_limited = opts.memory->limited();
+      prov.memory_soft_latched = opts.memory->SoftExceeded();
+      prov.memory_exhausted = opts.memory->Exhausted();
+      prov.memory_peak_bytes = opts.memory->peak_bytes();
+    }
+    FinalizeLedger(table, model, &result);
+  }
   result.stats.phases.total_ms = repair_clock.Millis();
   ExportRepairMetrics(result.stats);
   if (opts.memory != nullptr) ExportMemoryMetrics(*opts.memory);
@@ -657,6 +732,9 @@ struct CfdUnitOutcome {
   Status status = Status::OK();
   std::vector<CellChange> changes;
   RepairStats stats;
+  /// Unit-local provenance (decision indices and degradations_before
+  /// are unit-relative; the merge rebases them onto the global tables).
+  RepairProvenance prov;
 };
 
 }  // namespace
@@ -700,6 +778,32 @@ Result<RepairResult> Repairer::RepairCFDs(const Table& table,
   }
   std::vector<CfdUnitOutcome> outcomes(num_units);
 
+  if (opts.provenance) {
+    RepairProvenance& prov = result.provenance;
+    prov.enabled = true;
+    prov.algorithm = RepairAlgorithmName(opts.algorithm);
+    for (size_t i = 0; i < named.size(); ++i) {
+      ProvenanceFD pfd;
+      pfd.name = named[i].name();
+      pfd.lhs = named[i].lhs();
+      pfd.rhs = named[i].rhs();
+      pfd.tau = opts.TauFor(named[i]);
+      pfd.w_l = opts.w_l;
+      pfd.w_r = opts.w_r;
+      prov.fds.push_back(std::move(pfd));
+    }
+    // One provenance component per (CFD, tableau row) unit, in the
+    // same flattened order as `outcomes`.
+    for (size_t i = 0; i < cfds.size(); ++i) {
+      for (size_t p = 0; p < cfds[i].tableau().size(); ++p) {
+        ProvenanceComponent pc;
+        pc.name = named[i].name() + "#" + std::to_string(p);
+        pc.fds = {static_cast<int>(i)};
+        prov.components.push_back(std::move(pc));
+      }
+    }
+  }
+
   // CFDs whose embedded FDs share an attribute must stay sequential:
   // later tableau rows re-read cells earlier rows wrote (matching,
   // scoping and graph building all run against the evolving output
@@ -734,6 +838,7 @@ Result<RepairResult> Repairer::RepairCFDs(const Table& table,
         return;
       }
       StageDegradation(&out->stats, repair_clock, unit_name, "skip",
+                       ClassifyDegradationCause(opts.budget, opts.memory),
                        ResourceCheck(opts.budget, opts.memory, "CFD repair")
                            .message());
       return;
@@ -750,12 +855,38 @@ Result<RepairResult> Repairer::RepairCFDs(const Table& table,
     // rows are never written; a trusted row disagreeing with a tableau
     // constant is a trusted conflict (the master data contradicts the
     // rule), surfaced instead of silently "repaired".
+    const int unit_component = static_cast<int>(
+        unit_base[static_cast<size_t>(ci)] + static_cast<size_t>(p));
     for (int r : cfd.ConstantViolations(result.repaired, p)) {
       if (trusted != nullptr && trusted->count(r) > 0) {
         ++out->stats.trusted_conflicts;
         continue;
       }
       const PatternRow& pat = cfd.tableau()[static_cast<size_t>(p)];
+      int decision_index = -1;
+      if (opts.provenance) {
+        // One kConstant decision per pinned row: no solver and no
+        // violation edges — the tableau constant dictates the target.
+        RepairDecision d;
+        d.component = unit_component;
+        d.fd = ci;
+        d.rung = SolverRung::kConstant;
+        d.rows = {r};
+        d.degradations_before =
+            static_cast<int>(out->stats.degradations.size());
+        for (int i = fd.lhs_size(); i < fd.num_attrs(); ++i) {
+          const auto& constant = pat[static_cast<size_t>(i)];
+          if (!constant.has_value()) continue;
+          int col = fd.attrs()[static_cast<size_t>(i)];
+          const Value& current = result.repaired.cell(r, col);
+          d.cols.push_back(col);
+          d.source_values.push_back(current);
+          d.target_values.push_back(*constant);
+          d.unit_cost += model.CellDistance(col, current, *constant);
+        }
+        decision_index = static_cast<int>(out->prov.decisions.size());
+        out->prov.decisions.push_back(std::move(d));
+      }
       for (int i = fd.lhs_size(); i < fd.num_attrs(); ++i) {
         const auto& constant = pat[static_cast<size_t>(i)];
         if (!constant.has_value()) continue;
@@ -763,6 +894,9 @@ Result<RepairResult> Repairer::RepairCFDs(const Table& table,
         Value* cell = result.repaired.mutable_cell(r, col);
         if (*cell != *constant) {
           out->changes.push_back(CellChange{r, col, *cell, *constant});
+          if (opts.provenance) {
+            out->prov.change_decision.push_back(decision_index);
+          }
           *cell = *constant;
         }
       }
@@ -785,6 +919,7 @@ Result<RepairResult> Repairer::RepairCFDs(const Table& table,
       }
       StageDegradation(&out->stats, repair_clock, unit_name,
                        "partial-graph",
+                       ClassifyDegradationCause(ropts.budget, ropts.memory),
                        "resources exhausted while building the violation "
                        "graph; undetected violations stay unrepaired");
     }
@@ -812,7 +947,9 @@ Result<RepairResult> Repairer::RepairCFDs(const Table& table,
       } else if (exact.status().IsResourceExhausted() &&
                  ropts.fall_back_to_greedy) {
         StageDegradation(&out->stats, repair_clock, unit_name,
-                         "exact->greedy", exact.status().message());
+                         "exact->greedy",
+                         ClassifyDegradationCause(ropts.budget, ropts.memory),
+                         exact.status().message());
       } else {
         out->status = exact.status();
         return;
@@ -830,15 +967,24 @@ Result<RepairResult> Repairer::RepairCFDs(const Table& table,
         }
         StageDegradation(
             &out->stats, repair_clock, unit_name, "greedy->partial",
+            ClassifyDegradationCause(ropts.budget, ropts.memory),
             "resources exhausted while growing the greedy set; uncovered "
             "patterns stay unrepaired");
       }
     }
     out->stats.phases.solve_ms += solve_timer.Millis();
     {
+      ProvenanceScope scope;
+      if (opts.provenance) {
+        scope.prov = &out->prov;
+        scope.component = unit_component;
+        scope.fd = ci;
+        scope.degradations_before =
+            static_cast<int>(out->stats.degradations.size());
+      }
       PhaseTimer phase(&out->stats.phases.apply_ms);
       ApplySingleFDSolution(graph, fd, solution, &result.repaired,
-                            &out->changes, trusted);
+                            &out->changes, trusted, scope);
     }
     ComponentMsHistogram()->Observe(unit_timer.Millis());
   };
@@ -871,6 +1017,7 @@ Result<RepairResult> Repairer::RepairCFDs(const Table& table,
   double last_degradation_ms = 0.0;
   for (CfdUnitOutcome& out : outcomes) {
     if (!out.status.ok()) return out.status;
+    size_t degradations_base = result.stats.degradations.size();
     for (DegradationEvent& event : out.stats.degradations) {
       event.elapsed_ms = std::max(event.elapsed_ms, last_degradation_ms);
       last_degradation_ms = event.elapsed_ms;
@@ -879,6 +1026,19 @@ Result<RepairResult> Repairer::RepairCFDs(const Table& table,
     result.stats.Merge(out.stats);
     result.changes.insert(result.changes.end(), out.changes.begin(),
                           out.changes.end());
+    if (opts.provenance) {
+      // Rebase the unit-local decision indices and audit-stream
+      // positions onto the global tables, in unit order.
+      RepairProvenance& prov = result.provenance;
+      int decision_base = static_cast<int>(prov.decisions.size());
+      for (RepairDecision& d : out.prov.decisions) {
+        d.degradations_before += static_cast<int>(degradations_base);
+        prov.decisions.push_back(std::move(d));
+      }
+      for (int cd : out.prov.change_decision) {
+        prov.change_decision.push_back(cd >= 0 ? cd + decision_base : -1);
+      }
+    }
   }
 
   {
@@ -889,6 +1049,15 @@ Result<RepairResult> Repairer::RepairCFDs(const Table& table,
   std::unordered_set<int> touched;
   for (const CellChange& change : result.changes) touched.insert(change.row);
   result.stats.tuples_changed = static_cast<int>(touched.size());
+  if (opts.provenance) {
+    if (opts.memory != nullptr) {
+      result.provenance.memory_limited = opts.memory->limited();
+      result.provenance.memory_soft_latched = opts.memory->SoftExceeded();
+      result.provenance.memory_exhausted = opts.memory->Exhausted();
+      result.provenance.memory_peak_bytes = opts.memory->peak_bytes();
+    }
+    FinalizeLedger(table, model, &result);
+  }
   result.stats.phases.total_ms = repair_clock.Millis();
   ExportRepairMetrics(result.stats);
   if (opts.memory != nullptr) ExportMemoryMetrics(*opts.memory);

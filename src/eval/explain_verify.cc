@@ -1,0 +1,446 @@
+#include "eval/explain_verify.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "common/json.h"
+#include "core/provenance.h"
+#include "core/repair_types.h"
+#include "detect/detector.h"
+#include "detect/violation_graph.h"
+#include "metric/projection.h"
+
+namespace ftrepair {
+
+namespace {
+
+constexpr size_t kMaxErrors = 32;
+
+void AddError(ExplainVerifyReport* report, std::string message) {
+  if (report->errors.size() >= kMaxErrors) {
+    report->errors_truncated = true;
+    return;
+  }
+  report->errors.push_back(std::move(message));
+}
+
+// Inverse of the writer's Value encoding: the JSON type carries the
+// Value type.
+Result<Value> ValueFromJson(const JsonValue& j) {
+  switch (j.type()) {
+    case JsonValue::Type::kNull:
+      return Value();
+    case JsonValue::Type::kString:
+      return Value(j.str());
+    case JsonValue::Type::kNumber:
+      return Value(j.number());
+    default:
+      return Status::InvalidArgument(
+          "expected null/string/number for a cell value");
+  }
+}
+
+Result<std::vector<Value>> ValuesFromJson(const JsonValue& j,
+                                          const char* what) {
+  if (!j.is_array()) {
+    return Status::InvalidArgument(std::string(what) + " is not an array");
+  }
+  std::vector<Value> out;
+  out.reserve(j.array().size());
+  for (const JsonValue& v : j.array()) {
+    FTR_ASSIGN_OR_RETURN(Value value, ValueFromJson(v));
+    out.push_back(std::move(value));
+  }
+  return out;
+}
+
+Result<std::vector<int>> IntsFromJson(const JsonValue& j, const char* what) {
+  if (!j.is_array()) {
+    return Status::InvalidArgument(std::string(what) + " is not an array");
+  }
+  std::vector<int> out;
+  out.reserve(j.array().size());
+  for (const JsonValue& v : j.array()) {
+    if (!v.is_number()) {
+      return Status::InvalidArgument(std::string(what) +
+                                     " holds a non-number");
+    }
+    out.push_back(static_cast<int>(v.number()));
+  }
+  return out;
+}
+
+// One FD of the report, reconstructed for recomputation.
+struct ReportFD {
+  FD fd;
+  double tau = 0;
+  double w_l = 0;
+  double w_r = 0;
+};
+
+std::string Ordinal(size_t i) { return "#" + std::to_string(i); }
+
+}  // namespace
+
+Result<ExplainVerifyReport> VerifyExplainReport(const Table& input,
+                                                std::string_view report_json,
+                                                double tolerance) {
+  FTR_ASSIGN_OR_RETURN(JsonValue root, JsonValue::Parse(report_json));
+  if (!root.is_object()) {
+    return Status::InvalidArgument("explain report is not a JSON object");
+  }
+  FTR_ASSIGN_OR_RETURN(double version, root.GetNumber("schema_version"));
+  if (static_cast<int>(version) != kExplainSchemaVersion) {
+    return Status::InvalidArgument(
+        "unknown explain schema version " +
+        std::to_string(static_cast<int>(version)) + " (verifier knows " +
+        std::to_string(kExplainSchemaVersion) + ")");
+  }
+
+  // Shape checks against the claimed input.
+  const JsonValue& jinput = root.Get("input");
+  FTR_ASSIGN_OR_RETURN(double rows, jinput.GetNumber("rows"));
+  if (static_cast<int>(rows) != input.num_rows()) {
+    return Status::InvalidArgument(
+        "report claims " + std::to_string(static_cast<int>(rows)) +
+        " input rows, table has " + std::to_string(input.num_rows()));
+  }
+  const JsonValue& jcols = jinput.Get("columns");
+  if (!jcols.is_array() ||
+      static_cast<int>(jcols.array().size()) != input.num_columns()) {
+    return Status::InvalidArgument("report column list does not match the "
+                                   "input schema width");
+  }
+  for (int c = 0; c < input.num_columns(); ++c) {
+    const JsonValue& name = jcols.array()[static_cast<size_t>(c)];
+    if (!name.is_string() ||
+        name.str() != input.schema().column(c).name) {
+      return Status::InvalidArgument("report column " + std::to_string(c) +
+                                     " does not match the input schema");
+    }
+  }
+
+  // Reconstruct the FD set with its resolved thresholds and weights.
+  const JsonValue& jfds = root.Get("fds");
+  if (!jfds.is_array()) {
+    return Status::InvalidArgument("report has no fds array");
+  }
+  std::vector<ReportFD> fds;
+  for (size_t f = 0; f < jfds.array().size(); ++f) {
+    const JsonValue& jfd = jfds.array()[f];
+    FTR_ASSIGN_OR_RETURN(std::vector<int> lhs,
+                         IntsFromJson(jfd.Get("lhs"), "fd lhs"));
+    FTR_ASSIGN_OR_RETURN(std::vector<int> rhs,
+                         IntsFromJson(jfd.Get("rhs"), "fd rhs"));
+    FTR_ASSIGN_OR_RETURN(std::string name, jfd.GetString("name"));
+    FTR_ASSIGN_OR_RETURN(FD fd, FD::Make(lhs, rhs, name));
+    ReportFD rfd{std::move(fd), 0, 0, 0};
+    FTR_ASSIGN_OR_RETURN(rfd.tau, jfd.GetNumber("tau"));
+    FTR_ASSIGN_OR_RETURN(rfd.w_l, jfd.GetNumber("w_l"));
+    FTR_ASSIGN_OR_RETURN(rfd.w_r, jfd.GetNumber("w_r"));
+    fds.push_back(std::move(rfd));
+  }
+
+  DistanceModel model(input);
+  ExplainVerifyReport report;
+
+  // Parse decisions up front; changes refer into them.
+  struct ParsedDecision {
+    int fd = -1;
+    std::string rung;
+    std::vector<int> cols;
+    std::vector<Value> source_values;
+    std::vector<Value> target_values;
+    std::vector<int> rows;
+    double unit_cost = 0;
+  };
+  const JsonValue& jdecisions = root.Get("decisions");
+  if (!jdecisions.is_array()) {
+    return Status::InvalidArgument("report has no decisions array");
+  }
+  std::vector<ParsedDecision> decisions;
+  decisions.reserve(jdecisions.array().size());
+  for (size_t i = 0; i < jdecisions.array().size(); ++i) {
+    const JsonValue& jd = jdecisions.array()[i];
+    ParsedDecision d;
+    FTR_ASSIGN_OR_RETURN(double fd_idx, jd.GetNumber("fd"));
+    d.fd = static_cast<int>(fd_idx);
+    FTR_ASSIGN_OR_RETURN(d.rung, jd.GetString("rung"));
+    FTR_ASSIGN_OR_RETURN(d.cols, IntsFromJson(jd.Get("cols"),
+                                              "decision cols"));
+    FTR_ASSIGN_OR_RETURN(
+        d.source_values,
+        ValuesFromJson(jd.Get("source_values"), "decision source_values"));
+    FTR_ASSIGN_OR_RETURN(
+        d.target_values,
+        ValuesFromJson(jd.Get("target_values"), "decision target_values"));
+    FTR_ASSIGN_OR_RETURN(d.rows, IntsFromJson(jd.Get("rows"),
+                                              "decision rows"));
+    FTR_ASSIGN_OR_RETURN(d.unit_cost, jd.GetNumber("unit_cost"));
+    if (d.cols.size() != d.source_values.size() ||
+        d.cols.size() != d.target_values.size()) {
+      return Status::InvalidArgument("decision " + Ordinal(i) +
+                                     " cols/values lengths disagree");
+    }
+    decisions.push_back(std::move(d));
+  }
+
+  // 1. Per-decision recomputation: unit cost from the self-contained
+  // value vectors (Eq. 3), edges from the peer values (Eq. 2/3).
+  for (size_t i = 0; i < decisions.size(); ++i) {
+    const ParsedDecision& d = decisions[i];
+    const JsonValue& jd = jdecisions.array()[i];
+    double expected_unit = 0;
+    if (d.fd >= 0 && d.rung != "constant") {
+      // Single-FD decision: cols are exactly the FD's attrs.
+      if (d.fd >= static_cast<int>(fds.size())) {
+        AddError(&report, "decision " + Ordinal(i) +
+                              " references unknown fd " +
+                              std::to_string(d.fd));
+        continue;
+      }
+      const ReportFD& rfd = fds[static_cast<size_t>(d.fd)];
+      if (d.cols != rfd.fd.attrs()) {
+        AddError(&report, "decision " + Ordinal(i) +
+                              " cols do not match its FD's attributes");
+        continue;
+      }
+      expected_unit = ViolationGraph::UnitCost(d.source_values,
+                                               d.target_values, rfd.fd,
+                                               model);
+    } else {
+      // Multi-FD or constant-pinning decision: plain per-column sum.
+      for (size_t p = 0; p < d.cols.size(); ++p) {
+        expected_unit += model.CellDistance(d.cols[p], d.source_values[p],
+                                            d.target_values[p]);
+      }
+    }
+    if (std::fabs(expected_unit - d.unit_cost) > tolerance) {
+      AddError(&report, "decision " + Ordinal(i) + " claims unit cost " +
+                            std::to_string(d.unit_cost) +
+                            ", recomputed " + std::to_string(expected_unit));
+    }
+    ++report.decisions_checked;
+
+    // Edges: recompute Eq. 2 / Eq. 3 between the decision's source
+    // projection and the edge's peer values; a violation edge must sit
+    // at or below its FD's tau.
+    std::unordered_map<int, size_t> col_pos;
+    for (size_t p = 0; p < d.cols.size(); ++p) col_pos[d.cols[p]] = p;
+    const JsonValue& jedges = jd.Get("edges");
+    if (!jedges.is_array()) {
+      return Status::InvalidArgument("decision " + Ordinal(i) +
+                                     " has no edges array");
+    }
+    for (size_t e = 0; e < jedges.array().size(); ++e) {
+      const JsonValue& je = jedges.array()[e];
+      FTR_ASSIGN_OR_RETURN(double efd, je.GetNumber("fd"));
+      FTR_ASSIGN_OR_RETURN(double proj_dist, je.GetNumber("proj_dist"));
+      FTR_ASSIGN_OR_RETURN(double unit_cost, je.GetNumber("unit_cost"));
+      FTR_ASSIGN_OR_RETURN(
+          std::vector<Value> peer,
+          ValuesFromJson(je.Get("peer_values"), "edge peer_values"));
+      int fd_idx = static_cast<int>(efd);
+      if (fd_idx < 0 || fd_idx >= static_cast<int>(fds.size())) {
+        AddError(&report, "decision " + Ordinal(i) + " edge " + Ordinal(e) +
+                              " references unknown fd " +
+                              std::to_string(fd_idx));
+        continue;
+      }
+      const ReportFD& rfd = fds[static_cast<size_t>(fd_idx)];
+      if (peer.size() != rfd.fd.attrs().size()) {
+        AddError(&report, "decision " + Ordinal(i) + " edge " + Ordinal(e) +
+                              " peer width does not match its FD");
+        continue;
+      }
+      // Project the decision's source values onto this FD's attrs.
+      std::vector<Value> src_proj;
+      src_proj.reserve(rfd.fd.attrs().size());
+      bool projected = true;
+      for (int col : rfd.fd.attrs()) {
+        auto it = col_pos.find(col);
+        if (it == col_pos.end()) {
+          projected = false;
+          break;
+        }
+        src_proj.push_back(d.source_values[it->second]);
+      }
+      if (!projected) {
+        AddError(&report, "decision " + Ordinal(i) + " edge " + Ordinal(e) +
+                              " FD attribute outside the decision columns");
+        continue;
+      }
+      double expected_proj = ViolationGraph::ProjDistance(
+          src_proj, peer, rfd.fd, model, rfd.w_l, rfd.w_r);
+      double expected_edge_unit =
+          ViolationGraph::UnitCost(src_proj, peer, rfd.fd, model);
+      if (std::fabs(expected_proj - proj_dist) > tolerance) {
+        AddError(&report, "decision " + Ordinal(i) + " edge " + Ordinal(e) +
+                              " claims proj distance " +
+                              std::to_string(proj_dist) + ", recomputed " +
+                              std::to_string(expected_proj));
+      }
+      if (std::fabs(expected_edge_unit - unit_cost) > tolerance) {
+        AddError(&report, "decision " + Ordinal(i) + " edge " + Ordinal(e) +
+                              " claims unit cost " +
+                              std::to_string(unit_cost) + ", recomputed " +
+                              std::to_string(expected_edge_unit));
+      }
+      if (expected_proj > rfd.tau + tolerance) {
+        AddError(&report, "decision " + Ordinal(i) + " edge " + Ordinal(e) +
+                              " is not an FT-violation: proj distance " +
+                              std::to_string(expected_proj) +
+                              " exceeds tau " + std::to_string(rfd.tau));
+      }
+      ++report.edges_checked;
+    }
+  }
+
+  // 2. Replay the change log against the input: every old value must
+  // match the evolving cell, every claimed cost delta must telescope
+  // against the input, and every change must land inside its decision.
+  const JsonValue& jchanges = root.Get("changes");
+  if (!jchanges.is_array()) {
+    return Status::InvalidArgument("report has no changes array");
+  }
+  Table repaired = input;
+  std::unordered_map<int64_t, double> running;
+  const int64_t ncols = input.num_columns();
+  double ledger_sum = 0;
+  for (size_t i = 0; i < jchanges.array().size(); ++i) {
+    const JsonValue& jc = jchanges.array()[i];
+    FTR_ASSIGN_OR_RETURN(double jrow, jc.GetNumber("row"));
+    FTR_ASSIGN_OR_RETURN(double jcol, jc.GetNumber("col"));
+    FTR_ASSIGN_OR_RETURN(double jdecision, jc.GetNumber("decision"));
+    FTR_ASSIGN_OR_RETURN(double cost_delta, jc.GetNumber("cost_delta"));
+    FTR_ASSIGN_OR_RETURN(Value old_value, ValueFromJson(jc.Get("old")));
+    FTR_ASSIGN_OR_RETURN(Value new_value, ValueFromJson(jc.Get("new")));
+    int row = static_cast<int>(jrow);
+    int col = static_cast<int>(jcol);
+    int decision = static_cast<int>(jdecision);
+    if (row < 0 || row >= input.num_rows() || col < 0 ||
+        col >= input.num_columns()) {
+      return Status::InvalidArgument("change " + Ordinal(i) +
+                                     " is outside the table");
+    }
+    if (repaired.cell(row, col) != old_value) {
+      AddError(&report, "change " + Ordinal(i) +
+                            " old value does not match the replayed cell (" +
+                            std::to_string(row) + ", " +
+                            std::to_string(col) + ")");
+    }
+    const Value& original = input.cell(row, col);
+    int64_t key = static_cast<int64_t>(row) * ncols + col;
+    auto it = running.find(key);
+    double before = it != running.end()
+                        ? it->second
+                        : model.CellDistance(col, original, old_value);
+    double after = model.CellDistance(col, original, new_value);
+    if (std::fabs((after - before) - cost_delta) > tolerance) {
+      AddError(&report, "change " + Ordinal(i) + " claims cost delta " +
+                            std::to_string(cost_delta) + ", recomputed " +
+                            std::to_string(after - before));
+    }
+    running[key] = after;
+    ledger_sum += cost_delta;
+    *repaired.mutable_cell(row, col) = new_value;
+
+    if (decision >= 0) {
+      if (decision >= static_cast<int>(decisions.size())) {
+        AddError(&report, "change " + Ordinal(i) +
+                              " references unknown decision " +
+                              std::to_string(decision));
+      } else {
+        const ParsedDecision& d = decisions[static_cast<size_t>(decision)];
+        bool row_ok = false;
+        for (int r : d.rows) row_ok = row_ok || r == row;
+        if (!row_ok) {
+          AddError(&report, "change " + Ordinal(i) + " row " +
+                                std::to_string(row) +
+                                " is not covered by decision " +
+                                std::to_string(decision));
+        }
+        bool col_ok = false;
+        for (size_t p = 0; p < d.cols.size(); ++p) {
+          if (d.cols[p] != col) continue;
+          col_ok = true;
+          if (d.target_values[p] != new_value) {
+            AddError(&report,
+                     "change " + Ordinal(i) +
+                         " writes a value its decision did not target");
+          }
+        }
+        if (!col_ok) {
+          AddError(&report, "change " + Ordinal(i) + " column " +
+                                std::to_string(col) +
+                                " is not covered by decision " +
+                                std::to_string(decision));
+        }
+      }
+    } else {
+      AddError(&report, "change " + Ordinal(i) + " carries no decision");
+    }
+    ++report.changes_checked;
+  }
+
+  // 3. Ledger reconciliation: report total vs replayed sum vs reported
+  // repair cost vs an independent Eq. 4 recomputation.
+  const JsonValue& jledger = root.Get("ledger");
+  FTR_ASSIGN_OR_RETURN(double ledger_total, jledger.GetNumber("total"));
+  const JsonValue& jstats = root.Get("stats");
+  FTR_ASSIGN_OR_RETURN(double repair_cost, jstats.GetNumber("repair_cost"));
+  if (std::fabs(ledger_total - ledger_sum) > tolerance) {
+    AddError(&report, "ledger total " + std::to_string(ledger_total) +
+                          " does not match the replayed sum " +
+                          std::to_string(ledger_sum));
+  }
+  if (std::fabs(ledger_total - repair_cost) > tolerance) {
+    AddError(&report, "ledger total " + std::to_string(ledger_total) +
+                          " does not reconcile with repair cost " +
+                          std::to_string(repair_cost));
+  }
+  double recomputed_cost = TableRepairCost(input, repaired, model);
+  if (std::fabs(recomputed_cost - repair_cost) > tolerance) {
+    AddError(&report, "reported repair cost " + std::to_string(repair_cost) +
+                          " does not match the Eq. 4 recomputation " +
+                          std::to_string(recomputed_cost));
+  }
+
+  // 4. FT-violation recount on the input and the reconstructed table —
+  // only when the report claims exact counts.
+  FTR_ASSIGN_OR_RETURN(bool stats_computed,
+                       jstats.GetBool("violation_stats_computed"));
+  FTR_ASSIGN_OR_RETURN(bool stats_exact,
+                       jstats.GetBool("violation_stats_exact"));
+  if (stats_computed && stats_exact) {
+    FTR_ASSIGN_OR_RETURN(double before,
+                         jstats.GetNumber("ft_violations_before"));
+    FTR_ASSIGN_OR_RETURN(double after,
+                         jstats.GetNumber("ft_violations_after"));
+    uint64_t count_before = 0;
+    uint64_t count_after = 0;
+    for (const ReportFD& rfd : fds) {
+      FTOptions ft;
+      ft.w_l = rfd.w_l;
+      ft.w_r = rfd.w_r;
+      ft.tau = rfd.tau;
+      count_before += CountFTViolations(input, rfd.fd, model, ft);
+      count_after += CountFTViolations(repaired, rfd.fd, model, ft);
+    }
+    if (count_before != static_cast<uint64_t>(before)) {
+      AddError(&report, "ft_violations_before recounts to " +
+                            std::to_string(count_before) + ", report says " +
+                            std::to_string(static_cast<uint64_t>(before)));
+    }
+    if (count_after != static_cast<uint64_t>(after)) {
+      AddError(&report, "ft_violations_after recounts to " +
+                            std::to_string(count_after) + ", report says " +
+                            std::to_string(static_cast<uint64_t>(after)));
+    }
+    report.violations_recounted = true;
+  }
+
+  return report;
+}
+
+}  // namespace ftrepair

@@ -1,0 +1,62 @@
+#ifndef FTREPAIR_EVAL_EXPLAIN_VERIFY_H_
+#define FTREPAIR_EVAL_EXPLAIN_VERIFY_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "data/table.h"
+
+namespace ftrepair {
+
+/// \brief Outcome of independently replaying an explain report.
+///
+/// `errors` holds one human-readable line per claim that failed to
+/// verify (capped; `errors_truncated` flags overflow). An empty list
+/// means every recomputed quantity matched the report.
+struct ExplainVerifyReport {
+  int decisions_checked = 0;
+  int edges_checked = 0;
+  int changes_checked = 0;
+  /// FT-violation counts were recomputed and cross-checked (only done
+  /// when the report claims exact counts).
+  bool violations_recounted = false;
+  std::vector<std::string> errors;
+  bool errors_truncated = false;
+
+  bool ok() const { return errors.empty() && !errors_truncated; }
+};
+
+/// \brief Replay-verifies an explain report against the input table it
+/// claims to describe.
+///
+/// The verifier shares no state with the repair run that produced the
+/// report: it re-derives every checkable claim from the report's own
+/// self-contained value vectors plus `input` —
+///   * the change log replays cleanly (each old value matches the
+///     evolving cell, each claimed cost delta telescopes against the
+///     input within `tolerance`),
+///   * the ledger total equals both the sum of the deltas and the
+///     reported repair cost, and the reported repair cost equals an
+///     independent Eq. 4 recomputation on the reconstructed table,
+///   * every decision's unit cost re-derives from its source/target
+///     values (Eq. 3), every violation edge's projection distance and
+///     unit cost re-derive from the peer values (Eq. 2/3) and respect
+///     the FD's tau,
+///   * every change points at a decision that covers its row and
+///     column and targets exactly the value written,
+///   * when the report claims exact violation stats, the FT-violation
+///     counts recount to the reported before/after numbers on the
+///     input and the reconstructed repaired table.
+///
+/// Structural problems (unparsable JSON, unknown schema version, shape
+/// mismatches against `input`) return an error Status; semantic
+/// mismatches are collected into ExplainVerifyReport::errors.
+Result<ExplainVerifyReport> VerifyExplainReport(const Table& input,
+                                                std::string_view report_json,
+                                                double tolerance = 1e-9);
+
+}  // namespace ftrepair
+
+#endif  // FTREPAIR_EVAL_EXPLAIN_VERIFY_H_

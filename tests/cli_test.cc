@@ -97,6 +97,26 @@ TEST_F(CliTest, ParseTrustedRows) {
           .ok());
 }
 
+TEST_F(CliTest, ParseExplainFlags) {
+  auto options = ParseCliArgs(
+      {"--input", "x", "--fds", "f", "--explain-json", "e.json",
+       "--audit-log=a.ndjson", "--explain", "5,1"});
+  ASSERT_TRUE(options.ok()) << options.status().ToString();
+  EXPECT_EQ(options.value().explain_json_path, "e.json");
+  EXPECT_EQ(options.value().audit_log_path, "a.ndjson");
+  EXPECT_EQ(options.value().explain_row, 5);
+  EXPECT_EQ(options.value().explain_col, 1);
+  // Unset by default: -1 means "no --explain requested".
+  auto plain = ParseCliArgs({"--input", "x", "--fds", "f"});
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain.value().explain_row, -1);
+  for (const char* bad : {"5", "5,", "a,b", "1.5,2", "-1,2", "5,1,2"}) {
+    EXPECT_FALSE(
+        ParseCliArgs({"--input", "x", "--fds", "f", "--explain", bad}).ok())
+        << "--explain " << bad << " should be rejected";
+  }
+}
+
 TEST_F(CliTest, ParseRejectsBadValues) {
   EXPECT_FALSE(ParseCliArgs({"--input", "x", "--fds", "f", "--tau"}).ok());
   EXPECT_FALSE(
@@ -233,8 +253,11 @@ TEST_F(CliTest, VerbosePrintsChanges) {
   ASSERT_TRUE(parsed.ok());
   std::ostringstream out;
   ASSERT_TRUE(RunCli(parsed.value(), out).ok());
-  EXPECT_NE(out.str().find("'Masers' -> 'Masters'"), std::string::npos)
-      << out.str();
+  // The change log is a table with column names and old/new values.
+  EXPECT_NE(out.str().find("cell changes"), std::string::npos) << out.str();
+  EXPECT_NE(out.str().find("Education"), std::string::npos) << out.str();
+  EXPECT_NE(out.str().find("Masers"), std::string::npos) << out.str();
+  EXPECT_NE(out.str().find("Masters"), std::string::npos) << out.str();
 }
 
 TEST_F(CliTest, MissingFilesSurfaceIOErrors) {

@@ -1,0 +1,601 @@
+// Provenance & explain suite: the cost ledger reconciles Eq. 4 exactly
+// on every dataset x algorithm x thread count, the repair output is
+// bit-identical with provenance on vs off, every explain report
+// replay-verifies (including degraded and CFD runs), the audit stream
+// is well-formed NDJSON in repair order, and the stats merge operators
+// behave like the deterministic replay merge assumes (associative,
+// commutative in the counters, order-preserving in the events).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/budget.h"
+#include "common/json.h"
+#include "common/resource.h"
+#include "constraint/cfd.h"
+#include "core/provenance.h"
+#include "core/repairer.h"
+#include "eval/explain_verify.h"
+#include "gen/error_injector.h"
+#include "gen/hosp_gen.h"
+#include "gen/tax_gen.h"
+#include "test_util.h"
+
+namespace ftrepair {
+namespace {
+
+using testing_util::CitizensDirty;
+using testing_util::CitizensFDs;
+using testing_util::CitizensTruth;
+
+constexpr double kLedgerTolerance = 1e-9;
+
+RepairOptions CitizensOptions(RepairAlgorithm algorithm) {
+  RepairOptions options;
+  options.algorithm = algorithm;
+  options.tau_by_fd = {{"phi1", 0.30}, {"phi2", 0.5}, {"phi3", 0.5}};
+  return options;
+}
+
+struct GeneratedCase {
+  Table dirty;
+  std::vector<FD> fds;
+  RepairOptions options;
+};
+
+GeneratedCase MakeGenerated(bool hosp) {
+  Dataset dataset =
+      hosp ? std::move(GenerateHosp({.num_rows = 300, .seed = 7}))
+                 .ValueOrDie()
+           : std::move(GenerateTax({.num_rows = 300, .seed = 11}))
+                 .ValueOrDie();
+  NoiseOptions noise;
+  noise.error_rate = 0.05;
+  noise.seed = 42;
+  GeneratedCase c{std::move(InjectErrors(dataset.clean, dataset.fds, noise,
+                                         nullptr))
+                      .ValueOrDie(),
+                  dataset.fds,
+                  {}};
+  c.options.w_l = dataset.recommended_w_l;
+  c.options.w_r = dataset.recommended_w_r;
+  for (const auto& [name, tau] : dataset.recommended_tau) {
+    c.options.tau_by_fd[name] = tau;
+  }
+  return c;
+}
+
+void ExpectLedgerReconciles(const Table& dirty, const std::vector<FD>& fds,
+                            RepairOptions options) {
+  options.provenance = true;
+  Repairer repairer(options);
+  auto result = repairer.Repair(dirty, fds);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const RepairProvenance& prov = result.value().provenance;
+  ASSERT_TRUE(prov.enabled);
+  EXPECT_NEAR(prov.ledger_total, result.value().stats.repair_cost,
+              kLedgerTolerance);
+  ASSERT_EQ(prov.change_decision.size(), result.value().changes.size());
+  ASSERT_EQ(prov.change_cost.size(), result.value().changes.size());
+  double replayed = 0;
+  for (size_t i = 0; i < result.value().changes.size(); ++i) {
+    EXPECT_GE(prov.change_decision[i], 0)
+        << "change " << i << " has no owning decision";
+    replayed += prov.change_cost[i];
+  }
+  EXPECT_NEAR(replayed, result.value().stats.repair_cost, kLedgerTolerance);
+}
+
+TEST(ProvenanceLedgerTest, ReconcilesOnCitizensAllAlgorithmsAllThreads) {
+  Table dirty = CitizensDirty();
+  std::vector<FD> fds = CitizensFDs(dirty.schema());
+  for (RepairAlgorithm algorithm :
+       {RepairAlgorithm::kExact, RepairAlgorithm::kGreedy,
+        RepairAlgorithm::kApproJoin}) {
+    for (int threads : {1, 2, 4, 8}) {
+      SCOPED_TRACE(std::string(RepairAlgorithmName(algorithm)) + " x " +
+                   std::to_string(threads) + " threads");
+      RepairOptions options = CitizensOptions(algorithm);
+      options.threads = threads;
+      ExpectLedgerReconciles(dirty, fds, options);
+    }
+  }
+}
+
+TEST(ProvenanceLedgerTest, ReconcilesOnHosp) {
+  GeneratedCase c = MakeGenerated(/*hosp=*/true);
+  for (RepairAlgorithm algorithm :
+       {RepairAlgorithm::kExact, RepairAlgorithm::kGreedy,
+        RepairAlgorithm::kApproJoin}) {
+    for (int threads : {1, 4}) {
+      SCOPED_TRACE(std::string(RepairAlgorithmName(algorithm)) + " x " +
+                   std::to_string(threads) + " threads");
+      RepairOptions options = c.options;
+      options.algorithm = algorithm;
+      options.threads = threads;
+      ExpectLedgerReconciles(c.dirty, c.fds, options);
+    }
+  }
+}
+
+TEST(ProvenanceLedgerTest, ReconcilesOnTax) {
+  GeneratedCase c = MakeGenerated(/*hosp=*/false);
+  for (RepairAlgorithm algorithm :
+       {RepairAlgorithm::kExact, RepairAlgorithm::kGreedy,
+        RepairAlgorithm::kApproJoin}) {
+    for (int threads : {1, 4}) {
+      SCOPED_TRACE(std::string(RepairAlgorithmName(algorithm)) + " x " +
+                   std::to_string(threads) + " threads");
+      RepairOptions options = c.options;
+      options.algorithm = algorithm;
+      options.threads = threads;
+      ExpectLedgerReconciles(c.dirty, c.fds, options);
+    }
+  }
+}
+
+// Recording provenance must not perturb the repair itself: the repaired
+// table, the change log, and the cost must be bit-identical with the
+// layer on vs off, at every thread count.
+TEST(ProvenanceTest, OutputBitIdenticalWithProvenanceOnVsOff) {
+  GeneratedCase c = MakeGenerated(/*hosp=*/true);
+  for (int threads : {1, 2, 4, 8}) {
+    SCOPED_TRACE(std::to_string(threads) + " threads");
+    RepairOptions options = c.options;
+    options.threads = threads;
+    options.provenance = false;
+    auto off = Repairer(options).Repair(c.dirty, c.fds);
+    options.provenance = true;
+    auto on = Repairer(options).Repair(c.dirty, c.fds);
+    ASSERT_TRUE(off.ok()) << off.status().ToString();
+    ASSERT_TRUE(on.ok()) << on.status().ToString();
+    EXPECT_EQ(off.value().stats.repair_cost, on.value().stats.repair_cost);
+    ASSERT_EQ(off.value().changes.size(), on.value().changes.size());
+    for (size_t i = 0; i < off.value().changes.size(); ++i) {
+      const CellChange& a = off.value().changes[i];
+      const CellChange& b = on.value().changes[i];
+      EXPECT_EQ(a.row, b.row);
+      EXPECT_EQ(a.col, b.col);
+      EXPECT_EQ(a.old_value, b.old_value);
+      EXPECT_EQ(a.new_value, b.new_value);
+    }
+    ASSERT_EQ(off.value().repaired.num_rows(), on.value().repaired.num_rows());
+    for (int r = 0; r < off.value().repaired.num_rows(); ++r) {
+      for (int col = 0; col < off.value().repaired.num_columns(); ++col) {
+        EXPECT_EQ(off.value().repaired.cell(r, col),
+                  on.value().repaired.cell(r, col))
+            << "cell (" << r << ", " << col << ")";
+      }
+    }
+  }
+}
+
+TEST(ExplainReportTest, ReportVerifiesOnCitizens) {
+  Table dirty = CitizensDirty();
+  std::vector<FD> fds = CitizensFDs(dirty.schema());
+  RepairOptions options = CitizensOptions(RepairAlgorithm::kGreedy);
+  options.provenance = true;
+  auto result = Repairer(options).Repair(dirty, fds);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  std::string report = ExplainReportJson(dirty, result.value());
+
+  auto verified = VerifyExplainReport(dirty, report);
+  ASSERT_TRUE(verified.ok()) << verified.status().ToString();
+  for (const std::string& error : verified.value().errors) {
+    ADD_FAILURE() << error;
+  }
+  EXPECT_GT(verified.value().decisions_checked, 0);
+  EXPECT_GT(verified.value().edges_checked, 0);
+  EXPECT_GT(verified.value().changes_checked, 0);
+  EXPECT_TRUE(verified.value().violations_recounted);
+}
+
+TEST(ExplainReportTest, ReportVerifiesAcrossAlgorithmsAndThreads) {
+  GeneratedCase c = MakeGenerated(/*hosp=*/true);
+  for (RepairAlgorithm algorithm :
+       {RepairAlgorithm::kExact, RepairAlgorithm::kGreedy,
+        RepairAlgorithm::kApproJoin}) {
+    for (int threads : {1, 4}) {
+      SCOPED_TRACE(std::string(RepairAlgorithmName(algorithm)) + " x " +
+                   std::to_string(threads) + " threads");
+      RepairOptions options = c.options;
+      options.algorithm = algorithm;
+      options.threads = threads;
+      options.provenance = true;
+      auto result = Repairer(options).Repair(c.dirty, c.fds);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      std::string report = ExplainReportJson(c.dirty, result.value());
+      auto verified = VerifyExplainReport(c.dirty, report);
+      ASSERT_TRUE(verified.ok()) << verified.status().ToString();
+      for (const std::string& error : verified.value().errors) {
+        ADD_FAILURE() << error;
+      }
+    }
+  }
+}
+
+// A degraded run (deadline already expired at entry) still produces a
+// self-consistent report: detect-only remainders contribute no phantom
+// decisions and the ledger stays reconciled.
+TEST(ExplainReportTest, ReportVerifiesOnDegradedRun) {
+  Table dirty = CitizensDirty();
+  std::vector<FD> fds = CitizensFDs(dirty.schema());
+  RepairOptions options = CitizensOptions(RepairAlgorithm::kExact);
+  options.provenance = true;
+  Budget budget(0);  // expired before the first poll
+  options.budget = &budget;
+  auto result = Repairer(options).Repair(dirty, fds);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_TRUE(result.value().stats.degraded());
+  for (const DegradationEvent& event : result.value().stats.degradations) {
+    EXPECT_EQ(event.cause, DegradationCause::kDeadline)
+        << "stage " << event.stage << " classified as "
+        << DegradationCauseName(event.cause);
+  }
+  std::string report = ExplainReportJson(dirty, result.value());
+  auto verified = VerifyExplainReport(dirty, report);
+  ASSERT_TRUE(verified.ok()) << verified.status().ToString();
+  for (const std::string& error : verified.value().errors) {
+    ADD_FAILURE() << error;
+  }
+}
+
+TEST(ExplainReportTest, ReportVerifiesOnCfdRun) {
+  Table dirty = CitizensDirty();
+  Schema schema = dirty.schema();
+  FD fd = std::move(FD::Make({schema.IndexOf("City")},
+                             {schema.IndexOf("State")}, "phi2"))
+              .ValueOrDie();
+  std::vector<PatternRow> tableau;
+  tableau.push_back({Value("New York"), Value("NY")});
+  tableau.push_back({std::nullopt, std::nullopt});
+  CFD cfd = std::move(CFD::Make(fd, std::move(tableau), "c1")).ValueOrDie();
+  RepairOptions options;
+  options.tau_by_fd = {{"phi2", 0.5}};
+  options.provenance = true;
+  auto result = Repairer(options).RepairCFDs(dirty, {cfd});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const RepairProvenance& prov = result.value().provenance;
+  EXPECT_NEAR(prov.ledger_total, result.value().stats.repair_cost,
+              kLedgerTolerance);
+  // The constant rule pins (New York -> NY) directly: that path must be
+  // attributed to the kConstant rung, not to a graph solver.
+  bool saw_constant = false;
+  for (const RepairDecision& decision : prov.decisions) {
+    saw_constant = saw_constant || decision.rung == SolverRung::kConstant;
+  }
+  EXPECT_TRUE(saw_constant);
+  std::string report = ExplainReportJson(dirty, result.value());
+  auto verified = VerifyExplainReport(dirty, report);
+  ASSERT_TRUE(verified.ok()) << verified.status().ToString();
+  for (const std::string& error : verified.value().errors) {
+    ADD_FAILURE() << error;
+  }
+}
+
+// Replaying a report against a table it does not describe must fail:
+// the verifier derives truth from the input, not from the report.
+TEST(ExplainReportTest, VerifierRejectsMismatchedInput) {
+  Table dirty = CitizensDirty();
+  std::vector<FD> fds = CitizensFDs(dirty.schema());
+  RepairOptions options = CitizensOptions(RepairAlgorithm::kGreedy);
+  options.provenance = true;
+  auto result = Repairer(options).Repair(dirty, fds);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  std::string report = ExplainReportJson(dirty, result.value());
+  auto verified = VerifyExplainReport(CitizensTruth(), report);
+  ASSERT_TRUE(verified.ok()) << verified.status().ToString();
+  EXPECT_FALSE(verified.value().ok())
+      << "verifier accepted a report against the wrong input table";
+}
+
+TEST(ExplainReportTest, VerifierRejectsUnknownSchemaVersion) {
+  Table dirty = CitizensDirty();
+  std::vector<FD> fds = CitizensFDs(dirty.schema());
+  RepairOptions options = CitizensOptions(RepairAlgorithm::kGreedy);
+  options.provenance = true;
+  auto result = Repairer(options).Repair(dirty, fds);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  std::string report = ExplainReportJson(dirty, result.value());
+  const std::string versioned =
+      "\"schema_version\":" + std::to_string(kExplainSchemaVersion);
+  size_t at = report.find(versioned);
+  ASSERT_NE(at, std::string::npos);
+  report.replace(at, versioned.size(), "\"schema_version\":999");
+  auto verified = VerifyExplainReport(dirty, report);
+  EXPECT_FALSE(verified.ok());
+}
+
+TEST(AuditLogTest, StreamIsWellFormedAndOrdered) {
+  Table dirty = CitizensDirty();
+  std::vector<FD> fds = CitizensFDs(dirty.schema());
+  RepairOptions options = CitizensOptions(RepairAlgorithm::kGreedy);
+  options.provenance = true;
+  auto result = Repairer(options).Repair(dirty, fds);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  std::string ndjson = AuditLogNdjson(result.value());
+  std::istringstream lines(ndjson);
+  std::string line;
+  std::vector<std::string> events;
+  int decisions = 0;
+  int degradations = 0;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty());
+    auto parsed = JsonValue::Parse(line);
+    ASSERT_TRUE(parsed.ok())
+        << parsed.status().ToString() << " in line: " << line;
+    auto event = parsed.value().GetString("event");
+    ASSERT_TRUE(event.ok());
+    events.push_back(event.value());
+    if (event.value() == "decision") ++decisions;
+    if (event.value() == "degradation") ++degradations;
+  }
+  ASSERT_GE(events.size(), 2u);
+  EXPECT_EQ(events.front(), "run_start");
+  EXPECT_EQ(events.back(), "run_end");
+  EXPECT_EQ(static_cast<size_t>(decisions),
+            result.value().provenance.decisions.size());
+  EXPECT_EQ(static_cast<size_t>(degradations),
+            result.value().stats.degradations.size());
+}
+
+TEST(AuditLogTest, DegradationsInterleaveBeforeRunEnd) {
+  Table dirty = CitizensDirty();
+  std::vector<FD> fds = CitizensFDs(dirty.schema());
+  RepairOptions options = CitizensOptions(RepairAlgorithm::kExact);
+  options.provenance = true;
+  Budget budget(0);
+  options.budget = &budget;
+  auto result = Repairer(options).Repair(dirty, fds);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_TRUE(result.value().stats.degraded());
+  std::string ndjson = AuditLogNdjson(result.value());
+  EXPECT_NE(ndjson.find("\"event\":\"degradation\""), std::string::npos);
+  EXPECT_NE(ndjson.find("\"cause\":\"deadline\""), std::string::npos);
+  std::istringstream lines(ndjson);
+  std::string line;
+  int count = 0;
+  while (std::getline(lines, line)) {
+    auto parsed = JsonValue::Parse(line);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    ++count;
+  }
+  EXPECT_GE(count, 3);  // run_start + at least one degradation + run_end
+}
+
+TEST(ExplainCellTest, ExplainsChangedAndUnchangedCells) {
+  Table dirty = CitizensDirty();
+  std::vector<FD> fds = CitizensFDs(dirty.schema());
+  RepairOptions options = CitizensOptions(RepairAlgorithm::kGreedy);
+  options.provenance = true;
+  auto result = Repairer(options).Repair(dirty, fds);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_FALSE(result.value().changes.empty());
+  const CellChange& change = result.value().changes.front();
+  std::string text =
+      ExplainCellText(dirty.schema(), result.value(), change.row, change.col);
+  EXPECT_NE(text.find("->"), std::string::npos) << text;
+  EXPECT_NE(text.find("decision"), std::string::npos) << text;
+  EXPECT_NE(text.find(dirty.schema().column(change.col).name),
+            std::string::npos)
+      << text;
+  // Row 0 (Janaina) is clean in Table 1.
+  std::string clean = ExplainCellText(dirty.schema(), result.value(), 0, 0);
+  EXPECT_NE(clean.find("not changed"), std::string::npos) << clean;
+  std::string bad_col =
+      ExplainCellText(dirty.schema(), result.value(), 0, 99);
+  EXPECT_NE(bad_col.find("outside the schema"), std::string::npos);
+}
+
+TEST(DegradationCauseTest, NamesAreStableAndDistinct) {
+  EXPECT_STREQ(DegradationCauseName(DegradationCause::kUnknown), "unknown");
+  EXPECT_STREQ(DegradationCauseName(DegradationCause::kDeadline),
+               "deadline");
+  EXPECT_STREQ(DegradationCauseName(DegradationCause::kMemorySoft),
+               "memory_soft");
+  EXPECT_STREQ(DegradationCauseName(DegradationCause::kMemoryHard),
+               "memory_hard");
+  EXPECT_STREQ(DegradationCauseName(DegradationCause::kSearchValve),
+               "search_valve");
+}
+
+TEST(DegradationCauseTest, ClassifierPrioritizesHardMemory) {
+  MemoryBudget tiny(1);  // 1 byte: any charge exhausts it
+  (void)tiny.TryCharge(1024);
+  Budget expired(0);
+  // Hard memory wins over an expired deadline; an expired deadline wins
+  // over a merely-soft signal; no signal means the search valve fired.
+  if (tiny.Exhausted()) {
+    EXPECT_EQ(ClassifyDegradationCause(&expired, &tiny),
+              DegradationCause::kMemoryHard);
+  }
+  EXPECT_EQ(ClassifyDegradationCause(&expired, nullptr),
+            DegradationCause::kDeadline);
+  EXPECT_EQ(ClassifyDegradationCause(nullptr, nullptr),
+            DegradationCause::kSearchValve);
+}
+
+// ---- Satellite: merge-operator laws the parallel solve relies on ----
+
+RepairStats MakeStats(int k) {
+  RepairStats s;
+  s.ft_violations_before = 10u + static_cast<uint64_t>(k);
+  s.ft_violations_after = static_cast<uint64_t>(k);
+  s.repair_cost = 0.25 * k;
+  s.cells_changed = k;
+  s.tuples_changed = 2 * k;
+  s.expansion_nodes = 3u * static_cast<uint64_t>(k);
+  s.expansion_pruned = static_cast<uint64_t>(k) + 1u;
+  s.combinations_examined = 5u * static_cast<uint64_t>(k);
+  s.combinations_pruned = static_cast<uint64_t>(k);
+  s.target_nodes_visited = 7u * static_cast<uint64_t>(k);
+  s.target_nodes_pruned = static_cast<uint64_t>(k);
+  s.targets_materialized = static_cast<uint64_t>(k) * 2u;
+  s.join_empty = (k % 2) == 0;
+  s.trusted_conflicts = static_cast<uint64_t>(k);
+  DegradationEvent event;
+  event.component = "c" + std::to_string(k);
+  event.stage = "exact->greedy";
+  event.cause = DegradationCause::kSearchValve;
+  event.reason = "synthetic";
+  event.elapsed_ms = k;
+  s.degradations.push_back(event);
+  s.phases.detect_ms = k;
+  s.phases.graph_ms = 2.0 * k;
+  s.phases.solve_ms = 3.0 * k;
+  s.phases.targets_ms = 4.0 * k;
+  s.phases.apply_ms = 5.0 * k;
+  s.phases.stats_ms = 6.0 * k;
+  s.phases.total_ms = 21.0 * k;
+  return s;
+}
+
+void ExpectNumericFieldsEq(const RepairStats& a, const RepairStats& b) {
+  EXPECT_EQ(a.ft_violations_before, b.ft_violations_before);
+  EXPECT_EQ(a.ft_violations_after, b.ft_violations_after);
+  EXPECT_DOUBLE_EQ(a.repair_cost, b.repair_cost);
+  EXPECT_EQ(a.cells_changed, b.cells_changed);
+  EXPECT_EQ(a.tuples_changed, b.tuples_changed);
+  EXPECT_EQ(a.expansion_nodes, b.expansion_nodes);
+  EXPECT_EQ(a.expansion_pruned, b.expansion_pruned);
+  EXPECT_EQ(a.combinations_examined, b.combinations_examined);
+  EXPECT_EQ(a.combinations_pruned, b.combinations_pruned);
+  EXPECT_EQ(a.target_nodes_visited, b.target_nodes_visited);
+  EXPECT_EQ(a.target_nodes_pruned, b.target_nodes_pruned);
+  EXPECT_EQ(a.targets_materialized, b.targets_materialized);
+  EXPECT_EQ(a.join_empty, b.join_empty);
+  EXPECT_EQ(a.trusted_conflicts, b.trusted_conflicts);
+  EXPECT_DOUBLE_EQ(a.phases.detect_ms, b.phases.detect_ms);
+  EXPECT_DOUBLE_EQ(a.phases.graph_ms, b.phases.graph_ms);
+  EXPECT_DOUBLE_EQ(a.phases.solve_ms, b.phases.solve_ms);
+  EXPECT_DOUBLE_EQ(a.phases.targets_ms, b.phases.targets_ms);
+  EXPECT_DOUBLE_EQ(a.phases.apply_ms, b.phases.apply_ms);
+  EXPECT_DOUBLE_EQ(a.phases.stats_ms, b.phases.stats_ms);
+  EXPECT_DOUBLE_EQ(a.phases.total_ms, b.phases.total_ms);
+}
+
+TEST(StatsMergeTest, MergeIsAssociative) {
+  RepairStats left = MakeStats(1);
+  {
+    RepairStats bc = MakeStats(2);
+    bc.Merge(MakeStats(3));
+    left.Merge(bc);
+  }
+  RepairStats right = MakeStats(1);
+  right.Merge(MakeStats(2));
+  right.Merge(MakeStats(3));
+  ExpectNumericFieldsEq(left, right);
+  // Events concatenate identically under either association.
+  ASSERT_EQ(left.degradations.size(), right.degradations.size());
+  for (size_t i = 0; i < left.degradations.size(); ++i) {
+    EXPECT_EQ(left.degradations[i].component,
+              right.degradations[i].component);
+  }
+}
+
+TEST(StatsMergeTest, NumericFieldsCommuteEventsPreserveOrder) {
+  RepairStats ab = MakeStats(1);
+  ab.Merge(MakeStats(2));
+  RepairStats ba = MakeStats(2);
+  ba.Merge(MakeStats(1));
+  // The replay merge always merges in component order, so full
+  // commutativity is not required — but the counters must commute (they
+  // are sums) while the event log is explicitly order-preserving.
+  ExpectNumericFieldsEq(ab, ba);
+  ASSERT_EQ(ab.degradations.size(), 2u);
+  EXPECT_EQ(ab.degradations[0].component, "c1");
+  EXPECT_EQ(ab.degradations[1].component, "c2");
+  EXPECT_EQ(ba.degradations[0].component, "c2");
+  EXPECT_EQ(ba.degradations[1].component, "c1");
+}
+
+TEST(StatsMergeTest, DefaultStatsAreMergeIdentity) {
+  RepairStats merged;
+  merged.Merge(MakeStats(4));
+  ExpectNumericFieldsEq(merged, MakeStats(4));
+  EXPECT_EQ(merged.degradations.size(), 1u);
+}
+
+TEST(PhaseTimingsMergeTest, MergeIsAssociativeAndCommutative) {
+  PhaseTimings a;
+  a.detect_ms = 1;
+  a.solve_ms = 2;
+  a.total_ms = 3;
+  PhaseTimings b;
+  b.graph_ms = 4;
+  b.apply_ms = 5;
+  b.total_ms = 6;
+  PhaseTimings c;
+  c.targets_ms = 7;
+  c.stats_ms = 8;
+  c.total_ms = 9;
+
+  PhaseTimings left = a;
+  {
+    PhaseTimings bc = b;
+    bc.Merge(c);
+    left.Merge(bc);
+  }
+  PhaseTimings right = a;
+  right.Merge(b);
+  right.Merge(c);
+  PhaseTimings swapped = c;
+  swapped.Merge(b);
+  swapped.Merge(a);
+  for (const PhaseTimings& other : {right, swapped}) {
+    EXPECT_DOUBLE_EQ(left.detect_ms, other.detect_ms);
+    EXPECT_DOUBLE_EQ(left.graph_ms, other.graph_ms);
+    EXPECT_DOUBLE_EQ(left.solve_ms, other.solve_ms);
+    EXPECT_DOUBLE_EQ(left.targets_ms, other.targets_ms);
+    EXPECT_DOUBLE_EQ(left.apply_ms, other.apply_ms);
+    EXPECT_DOUBLE_EQ(left.stats_ms, other.stats_ms);
+    EXPECT_DOUBLE_EQ(left.total_ms, other.total_ms);
+  }
+}
+
+// ---- The in-repo JSON parser feeding the replay verifier ----
+
+TEST(JsonParserTest, ParsesTheBasicShapes) {
+  auto doc = JsonValue::Parse(
+      R"({"a": 1.5, "b": [true, false, null], "c": {"nested": "x"}})");
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_DOUBLE_EQ(doc.value().GetNumber("a").ValueOrDie(), 1.5);
+  ASSERT_TRUE(doc.value().Get("b").is_array());
+  EXPECT_EQ(doc.value().Get("b").array().size(), 3u);
+  EXPECT_TRUE(doc.value().Get("b").array()[0].boolean());
+  EXPECT_TRUE(doc.value().Get("b").array()[2].is_null());
+  EXPECT_EQ(doc.value().Get("c").GetString("nested").ValueOrDie(), "x");
+  EXPECT_FALSE(doc.value().Has("missing"));
+  EXPECT_TRUE(doc.value().Get("missing").is_null());
+}
+
+TEST(JsonParserTest, DecodesEscapesAndSurrogatePairs) {
+  auto doc = JsonValue::Parse(R"(["a\"b\\c\n", "\u0041", "\ud83d\ude00"])");
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc.value().array()[0].str(), "a\"b\\c\n");
+  EXPECT_EQ(doc.value().array()[1].str(), "A");
+  EXPECT_EQ(doc.value().array()[2].str(), "\xF0\x9F\x98\x80");
+}
+
+TEST(JsonParserTest, RejectsMalformedDocuments) {
+  EXPECT_FALSE(JsonValue::Parse("{").ok());
+  EXPECT_FALSE(JsonValue::Parse("[1, 2,]").ok());
+  EXPECT_FALSE(JsonValue::Parse("{} trailing").ok());
+  EXPECT_FALSE(JsonValue::Parse("nul").ok());
+  EXPECT_FALSE(JsonValue::Parse("\"unterminated").ok());
+}
+
+TEST(JsonParserTest, NumberExactRoundTrips) {
+  for (double v : {0.1, 1.0 / 3.0, 1e-9, 123456789.123456789, -0.0, 2e300}) {
+    auto doc = JsonValue::Parse(JsonNumberExact(v));
+    ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+    EXPECT_EQ(doc.value().number(), v) << JsonNumberExact(v);
+  }
+}
+
+}  // namespace
+}  // namespace ftrepair

@@ -1,0 +1,121 @@
+#!/usr/bin/env bash
+# End-to-end check of the provenance/explain surface: builds the CLI and
+# the replay verifier, runs a repair with --explain-json and
+# --audit-log, validates the report schema and the NDJSON stream, and
+# replays the report with ftrepair_verify (which recomputes every cost
+# and violation claim from scratch and fails on any mismatch).
+# Usage: tools/explain_check.sh [build-dir]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+
+cmake -B "${build_dir}" -S "${repo_root}" >/dev/null
+cmake --build "${build_dir}" -j "$(nproc)" \
+  --target ftrepair_cli --target ftrepair_verify >/dev/null
+
+work_dir="$(mktemp -d)"
+trap 'rm -rf "${work_dir}"' EXIT
+
+# The paper's running example: single-FD (phi1) and multi-FD (phi2+phi3
+# share City) components, so both provenance paths are exercised.
+cat > "${work_dir}/dirty.csv" <<'EOF'
+Name,Education,Level,City,Street,District,State
+Janaina,Bachelors,3,New York,Main,Manhattan,NY
+Aloke,Bachelors,3,New York,Main,Manhattan,NY
+Jieyu,Bachelors,3,New York,Western,Queens,NY
+Paulo,Masters,4,New York,Western,Queens,MA
+Zoe,Masters,4,Boston,Main,Manhattan,NY
+Gara,Masers,4,Boston,Main,Financial,MA
+Mitchell,HS-grad,9,Boston,Main,Financial,MA
+Pavol,Masters,3,Boton,Arlingto,Brookside,MA
+Thilo,Bachelors,1,Boston,Arlingto,Brookside,MA
+Nenad,Bachelers,3,Boston,Arlingto,Brookside,NY
+EOF
+cat > "${work_dir}/fds.txt" <<'EOF'
+phi1: Education -> Level
+phi2: City -> State
+phi3: City, Street -> District
+EOF
+
+explain_json="${work_dir}/explain.json"
+audit_log="${work_dir}/audit.ndjson"
+
+"${build_dir}/tools/ftrepair" \
+  --input "${work_dir}/dirty.csv" \
+  --fds "${work_dir}/fds.txt" \
+  --tau-fd phi1=0.30 --tau-fd phi2=0.5 --tau-fd phi3=0.5 \
+  --wl 0.5 --wr 0.5 \
+  --explain-json="${explain_json}" \
+  --audit-log="${audit_log}" \
+  --explain 5,1 >/dev/null
+
+for f in "${explain_json}" "${audit_log}"; do
+  if [[ ! -s "${f}" ]]; then
+    echo "FAIL: ${f} missing or empty" >&2
+    exit 1
+  fi
+done
+
+python3 - "${explain_json}" "${audit_log}" <<'EOF'
+import json
+import sys
+
+explain_path, audit_path = sys.argv[1], sys.argv[2]
+
+with open(explain_path) as f:
+    report = json.load(f)  # raises on invalid JSON
+
+if report.get("schema_version") != 1:
+    sys.exit(f"FAIL: unexpected schema_version {report.get('schema_version')}")
+for key in ("generator", "algorithm", "input", "fds", "components",
+            "stats", "ledger", "memory", "degradations", "decisions",
+            "changes"):
+    if key not in report:
+        sys.exit(f"FAIL: explain report lacks '{key}'")
+if not report["decisions"]:
+    sys.exit("FAIL: explain report has no decisions")
+if not report["changes"]:
+    sys.exit("FAIL: explain report has no changes")
+ledger = report["ledger"]
+if not ledger.get("reconciled"):
+    sys.exit(f"FAIL: ledger does not reconcile: {ledger}")
+if abs(ledger["total"] - report["stats"]["repair_cost"]) > 1e-9:
+    sys.exit("FAIL: ledger total != stats.repair_cost")
+replayed = sum(c["cost_delta"] for c in report["changes"])
+if abs(replayed - ledger["total"]) > 1e-9:
+    sys.exit("FAIL: per-change deltas do not sum to the ledger total")
+for change in report["changes"]:
+    if change["decision"] < 0 or change["decision"] >= len(report["decisions"]):
+        sys.exit(f"FAIL: change points at missing decision: {change}")
+for decision in report["decisions"]:
+    if decision["rung"] not in ("exact", "greedy", "appro", "constant"):
+        sys.exit(f"FAIL: unknown solver rung: {decision['rung']}")
+    if len(decision["cols"]) != len(decision["target_values"]):
+        sys.exit(f"FAIL: decision cols/values disagree: {decision}")
+
+events = []
+with open(audit_path) as f:
+    for line in f:
+        events.append(json.loads(line))  # raises on invalid NDJSON
+if not events or events[0]["event"] != "run_start":
+    sys.exit("FAIL: audit log does not start with run_start")
+if events[-1]["event"] != "run_end":
+    sys.exit("FAIL: audit log does not end with run_end")
+decisions = [e for e in events if e["event"] == "decision"]
+if len(decisions) != len(report["decisions"]):
+    sys.exit(
+        f"FAIL: audit log has {len(decisions)} decisions, "
+        f"report has {len(report['decisions'])}"
+    )
+
+print(
+    f"OK: {len(report['decisions'])} decisions, "
+    f"{len(report['changes'])} changes, {len(events)} audit events"
+)
+EOF
+
+"${build_dir}/tools/ftrepair_verify" \
+  --input "${work_dir}/dirty.csv" --report "${explain_json}"
+
+echo "explain_check: PASS"
