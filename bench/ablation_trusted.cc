@@ -45,7 +45,7 @@ int main() {
         for (int r = 0; r < rows; r += stride) {
           options.trusted_rows.insert(r);
           for (int c = 0; c < input.num_columns(); ++c) {
-            *input.mutable_cell(r, c) = truth.cell(r, c);
+            input.SetCell(r, c, truth.cell(r, c));
           }
         }
       }

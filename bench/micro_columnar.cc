@@ -1,0 +1,112 @@
+// Micro-benchmarks of the columnar (dictionary-code) detect paths
+// against the row/value paths they shadow, on HOSP slices up to 50k
+// rows. Both sides of every pair produce bit-identical output (see
+// tests/columnar_test.cc and PERFORMANCE.md, "Dictionary-join
+// equivalence"); the delta here is the point of the layer.
+
+#include <benchmark/benchmark.h>
+
+#include "data/csv.h"
+#include "detect/pattern.h"
+#include "detect/violation_graph.h"
+#include "gen/error_injector.h"
+#include "gen/hosp_gen.h"
+
+namespace {
+
+using namespace ftrepair;
+
+constexpr int kMaxRows = 50000;
+
+const Dataset& SharedDataset() {
+  static const Dataset* kDataset = new Dataset(
+      std::move(GenerateHosp({.num_rows = kMaxRows, .seed = 7}))
+          .ValueOrDie());
+  return *kDataset;
+}
+
+const Table& DirtyTable() {
+  static const Table* kTable = [] {
+    NoiseOptions noise;
+    noise.error_rate = 0.04;
+    return new Table(std::move(InjectErrors(SharedDataset().clean,
+                                            SharedDataset().fds, noise,
+                                            nullptr))
+                         .ValueOrDie());
+  }();
+  return *kTable;
+}
+
+// Pattern grouping: code-vector keys vs value-vector keys.
+void BM_BuildPatternsCoded(benchmark::State& state) {
+  const Dataset& ds = SharedDataset();
+  Table slice = DirtyTable().Head(static_cast<int>(state.range(0)));
+  const FD& fd = ds.fds[2];  // ZipCode -> City
+  bool coded = state.range(1) != 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BuildPatterns(slice, fd.attrs(), coded));
+  }
+}
+BENCHMARK(BM_BuildPatternsCoded)
+    ->ArgsProduct({{10000, kMaxRows}, {0, 1}});
+
+// The detect phase proper: violation-graph build with the interned
+// fast paths (code-keyed identical check, coded bucket join, per-pair
+// distance memoization) on vs off.
+void BM_ViolationGraphInterned(benchmark::State& state) {
+  const Dataset& ds = SharedDataset();
+  Table slice = DirtyTable().Head(static_cast<int>(state.range(0)));
+  const FD& fd = ds.fds[2];
+  DistanceModel model(slice);
+  FTOptions opts{ds.recommended_w_l, ds.recommended_w_r,
+                 ds.recommended_tau.at(fd.name())};
+  opts.interned = state.range(1) != 0;
+  std::vector<Pattern> patterns =
+      BuildPatterns(slice, fd.attrs(), opts.interned);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ViolationGraph::Build(patterns, fd, model, opts));
+  }
+}
+BENCHMARK(BM_ViolationGraphInterned)
+    ->ArgsProduct({{10000, kMaxRows}, {0, 1}})
+    ->Unit(benchmark::kMillisecond);
+
+// End-to-end detect phase (grouping + graph build) over every HOSP FD:
+// what `--columnar on|off` actually toggles ahead of the solvers.
+void BM_DetectPhaseColumnar(benchmark::State& state) {
+  const Dataset& ds = SharedDataset();
+  Table slice = DirtyTable().Head(static_cast<int>(state.range(0)));
+  bool columnar = state.range(1) != 0;
+  DistanceModel model(slice);
+  for (auto _ : state) {
+    uint64_t edges = 0;
+    for (const FD& fd : ds.fds) {
+      FTOptions opts{ds.recommended_w_l, ds.recommended_w_r,
+                     ds.recommended_tau.at(fd.name())};
+      opts.interned = columnar;
+      std::vector<Pattern> patterns =
+          BuildPatterns(slice, fd.attrs(), columnar);
+      edges += ViolationGraph::Build(patterns, fd, model, opts).num_edges();
+    }
+    benchmark::DoNotOptimize(edges);
+  }
+}
+BENCHMARK(BM_DetectPhaseColumnar)
+    ->ArgsProduct({{10000, kMaxRows}, {0, 1}})
+    ->Unit(benchmark::kMillisecond);
+
+// Streaming CSV ingest of the 50k-row dirty table (from a string, so
+// the numbers are parse + intern, not disk).
+void BM_CsvIngest(benchmark::State& state) {
+  static const std::string* kText =
+      new std::string(WriteCsvString(DirtyTable()));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ReadCsvString(*kText));
+  }
+}
+BENCHMARK(BM_CsvIngest)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

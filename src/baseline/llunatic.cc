@@ -49,13 +49,13 @@ Result<RepairResult> LlunaticRepair(const Table& table,
           for (int row : cls.rhs_rows[g]) {
             for (int p = 0; p < fd.rhs_size(); ++p) {
               int col = fd.rhs()[static_cast<size_t>(p)];
-              Value* cell = result.repaired.mutable_cell(row, col);
+              const Value& cell = result.repaired.cell(row, col);
               const Value& target =
                   dominant ? cls.rhs_values[majority][static_cast<size_t>(p)]
                            : LlunValue();
-              if (*cell != target) {
-                result.changes.push_back(CellChange{row, col, *cell, target});
-                *cell = target;
+              if (cell != target) {
+                result.changes.push_back(CellChange{row, col, cell, target});
+                result.repaired.SetCell(row, col, target);
                 changed = true;
               }
             }

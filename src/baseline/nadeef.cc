@@ -25,11 +25,12 @@ Result<RepairResult> NadeefRepair(const Table& table,
           for (int row : cls.rhs_rows[g]) {
             for (int p = 0; p < fd.rhs_size(); ++p) {
               int col = fd.rhs()[static_cast<size_t>(p)];
-              Value* cell = result.repaired.mutable_cell(row, col);
-              if (*cell != target[static_cast<size_t>(p)]) {
+              const Value& cell = result.repaired.cell(row, col);
+              if (cell != target[static_cast<size_t>(p)]) {
                 result.changes.push_back(CellChange{
-                    row, col, *cell, target[static_cast<size_t>(p)]});
-                *cell = target[static_cast<size_t>(p)];
+                    row, col, cell, target[static_cast<size_t>(p)]});
+                result.repaired.SetCell(row, col,
+                                        target[static_cast<size_t>(p)]);
                 changed = true;
               }
             }

@@ -52,11 +52,12 @@ Result<RepairResult> UrmRepair(const Table& table, const std::vector<FD>& fds,
       for (int row : patterns[d].rows) {
         for (int p = 0; p < fd.num_attrs(); ++p) {
           int col = fd.attrs()[static_cast<size_t>(p)];
-          Value* cell = result.repaired.mutable_cell(row, col);
-          if (*cell != target.values[static_cast<size_t>(p)]) {
+          const Value& cell = result.repaired.cell(row, col);
+          if (cell != target.values[static_cast<size_t>(p)]) {
             result.changes.push_back(CellChange{
-                row, col, *cell, target.values[static_cast<size_t>(p)]});
-            *cell = target.values[static_cast<size_t>(p)];
+                row, col, cell, target.values[static_cast<size_t>(p)]});
+            result.repaired.SetCell(row, col,
+                                    target.values[static_cast<size_t>(p)]);
           }
         }
       }

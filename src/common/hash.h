@@ -1,0 +1,31 @@
+#ifndef FTREPAIR_COMMON_HASH_H_
+#define FTREPAIR_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ftrepair {
+
+/// 64-bit finalizer (splitmix64): a full-avalanche mix, so every input
+/// bit affects every output bit.
+inline uint64_t HashMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Boost-style mix-then-combine of one element hash into a running
+/// seed. Unlike the FNV-ish `h ^= e; h *= prime` fold this avalanches
+/// each element before combining, so the low bits of the result depend
+/// on *all* bits of every element — the plain fold is closed under
+/// mod 2^k, which makes unordered_map bucket indices (low bits) collide
+/// systematically whenever element hashes agree in their low bits.
+inline size_t HashCombine(size_t seed, size_t value) {
+  return seed ^ (static_cast<size_t>(HashMix64(value)) +
+                 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+}  // namespace ftrepair
+
+#endif  // FTREPAIR_COMMON_HASH_H_

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/hash.h"
 #include "common/trace.h"
 #include "detect/pattern.h"
 #include "detect/violation_graph.h"
@@ -14,13 +15,14 @@ namespace ftrepair {
 
 namespace {
 
-// Hash of a value sequence (order-dependent).
+// Hash of a value sequence (order-dependent, mix-then-combine — the
+// keys below are only hashes, verified by actual value agreement, so
+// collision quality is purely a performance matter; see common/hash.h).
 size_t HashValues(const std::vector<Value>& values,
                   const std::vector<int>& indices) {
   size_t h = 14695981039346656037ULL;
   for (int i : indices) {
-    h ^= values[static_cast<size_t>(i)].Hash();
-    h *= 1099511628211ULL;
+    h = HashCombine(h, values[static_cast<size_t>(i)].Hash());
   }
   return h;
 }
@@ -32,8 +34,7 @@ size_t LazyTargetSearch::BackKey(const Level& level,
   size_t h = 14695981039346656037ULL;
   for (int a : level.back_attr) {
     int pos = level.attr_pos[static_cast<size_t>(a)];
-    h ^= assignment[static_cast<size_t>(pos)].Hash();
-    h *= 1099511628211ULL;
+    h = HashCombine(h, assignment[static_cast<size_t>(pos)].Hash());
   }
   return h;
 }
@@ -149,12 +150,12 @@ Result<LazyTargetSearch> LazyTargetSearch::Build(
             .assign(distinct.begin(), distinct.end());
       }
     }
-    // Index elements by their back-shared projection.
+    // Index elements by their back-shared projection (same combine as
+    // BackKey — the lookups must land in the same buckets).
     for (size_t e = 0; e < level.elements.size(); ++e) {
       size_t h = 14695981039346656037ULL;
       for (int a : level.back_attr) {
-        h ^= level.elements[e][static_cast<size_t>(a)].Hash();
-        h *= 1099511628211ULL;
+        h = HashCombine(h, level.elements[e][static_cast<size_t>(a)].Hash());
       }
       level.index[h].push_back(static_cast<int>(e));
     }

@@ -18,16 +18,22 @@ ComponentContext BuildComponentContext(const Table& table,
   ComponentContext ctx;
   ctx.fds = fds;
   ctx.component_cols = ComponentColumns(fds);
-  ctx.sigma_patterns = options.group_tuples
-                           ? BuildPatterns(table, ctx.component_cols)
-                           : std::vector<Pattern>{};
+  ctx.sigma_patterns =
+      options.group_tuples
+          ? BuildPatterns(table, ctx.component_cols, options.columnar)
+          : std::vector<Pattern>{};
   if (!options.group_tuples) {
     // Ablation: one pattern per row.
     for (int r = 0; r < table.num_rows(); ++r) {
-      std::vector<Value> proj;
-      proj.reserve(ctx.component_cols.size());
-      for (int c : ctx.component_cols) proj.push_back(table.cell(r, c));
-      ctx.sigma_patterns.push_back(Pattern{std::move(proj), {r}});
+      Pattern p;
+      p.values.reserve(ctx.component_cols.size());
+      for (int c : ctx.component_cols) p.values.push_back(table.cell(r, c));
+      if (options.columnar) {
+        p.codes.reserve(ctx.component_cols.size());
+        for (int c : ctx.component_cols) p.codes.push_back(table.code(r, c));
+      }
+      p.rows.push_back(r);
+      ctx.sigma_patterns.push_back(std::move(p));
     }
   }
 
@@ -49,19 +55,29 @@ ComponentContext BuildComponentContext(const Table& table,
     std::unordered_map<std::vector<Value>, int, ProjectionHash> index;
     ctx.phi_of_sigma[k].resize(ctx.sigma_patterns.size());
     for (size_t i = 0; i < ctx.sigma_patterns.size(); ++i) {
+      const Pattern& sigma = ctx.sigma_patterns[i];
       std::vector<Value> proj;
       proj.reserve(fd.attrs().size());
       for (int c : fd.attrs()) {
-        proj.push_back(
-            ctx.sigma_patterns[i]
-                .values[static_cast<size_t>(col_to_pos.at(c))]);
+        proj.push_back(sigma.values[static_cast<size_t>(col_to_pos.at(c))]);
       }
       auto it = index.find(proj);
       int phi_id;
       if (it == index.end()) {
         phi_id = static_cast<int>(phi_patterns.size());
         index.emplace(proj, phi_id);
-        phi_patterns.push_back(Pattern{std::move(proj), {}});
+        Pattern phi;
+        phi.values = std::move(proj);
+        if (sigma.has_codes()) {
+          // The phi-projection is a positional sub-projection, so its
+          // codes are the matching sub-selection of the sigma codes.
+          phi.codes.reserve(fd.attrs().size());
+          for (int c : fd.attrs()) {
+            phi.codes.push_back(
+                sigma.codes[static_cast<size_t>(col_to_pos.at(c))]);
+          }
+        }
+        phi_patterns.push_back(std::move(phi));
         ctx.sigma_of_phi[k].emplace_back();
       } else {
         phi_id = it->second;

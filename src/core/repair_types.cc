@@ -59,7 +59,17 @@ double RepairOptions::TauFor(const FD& fd) const {
 }
 
 FTOptions RepairOptions::FTFor(const FD& fd) const {
-  return FTOptions{w_l, w_r, TauFor(fd), threads, detect_index, memory};
+  // Named assignment, not positional aggregate init: FTOptions keeps
+  // growing and a positional list silently reshuffles on insertion.
+  FTOptions ft;
+  ft.w_l = w_l;
+  ft.w_r = w_r;
+  ft.tau = TauFor(fd);
+  ft.threads = threads;
+  ft.index = detect_index;
+  ft.memory = memory;
+  ft.interned = columnar;
+  return ft;
 }
 
 void PhaseTimings::Merge(const PhaseTimings& other) {
@@ -136,16 +146,16 @@ void ApplySingleFDSolution(const ViolationGraph& graph, const FD& fd,
       if (trusted != nullptr && trusted->count(row)) continue;
       for (int p = 0; p < fd.num_attrs(); ++p) {
         int col = fd.attrs()[static_cast<size_t>(p)];
-        Value* cell = table->mutable_cell(row, col);
+        const Value& cell = table->cell(row, col);
         const Value& new_value = dst.values[static_cast<size_t>(p)];
-        if (*cell != new_value) {
+        if (cell != new_value) {
           if (changes != nullptr) {
-            changes->push_back(CellChange{row, col, *cell, new_value});
+            changes->push_back(CellChange{row, col, cell, new_value});
             if (prov != nullptr) {
               prov->change_decision.push_back(decision_index);
             }
           }
-          *cell = new_value;
+          table->SetCell(row, col, new_value);
         }
       }
     }
@@ -200,15 +210,15 @@ void ApplyMultiFDSolution(const MultiFDSolution& solution, Table* table,
       if (trusted != nullptr && trusted->count(row)) continue;
       for (size_t p = 0; p < solution.component_cols.size(); ++p) {
         int col = solution.component_cols[p];
-        Value* cell = table->mutable_cell(row, col);
-        if (*cell != target[p]) {
+        const Value& cell = table->cell(row, col);
+        if (cell != target[p]) {
           if (changes != nullptr) {
-            changes->push_back(CellChange{row, col, *cell, target[p]});
+            changes->push_back(CellChange{row, col, cell, target[p]});
             if (prov != nullptr) {
               prov->change_decision.push_back(decision_index);
             }
           }
-          *cell = target[p];
+          table->SetCell(row, col, target[p]);
         }
       }
     }

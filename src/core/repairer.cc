@@ -179,15 +179,20 @@ std::string ComponentName(const std::vector<const FD*>& fds) {
 }
 
 std::vector<Pattern> PatternsFor(const Table& table, const FD& fd,
-                                 bool group_tuples) {
-  if (group_tuples) return BuildPatterns(table, fd.attrs());
+                                 bool group_tuples, bool columnar) {
+  if (group_tuples) return BuildPatterns(table, fd.attrs(), columnar);
   std::vector<Pattern> out;
   out.reserve(static_cast<size_t>(table.num_rows()));
   for (int r = 0; r < table.num_rows(); ++r) {
-    std::vector<Value> proj;
-    proj.reserve(fd.attrs().size());
-    for (int c : fd.attrs()) proj.push_back(table.cell(r, c));
-    out.push_back(Pattern{std::move(proj), {r}});
+    Pattern p;
+    p.values.reserve(fd.attrs().size());
+    for (int c : fd.attrs()) p.values.push_back(table.cell(r, c));
+    if (columnar) {
+      p.codes.reserve(fd.attrs().size());
+      for (int c : fd.attrs()) p.codes.push_back(table.code(r, c));
+    }
+    p.rows.push_back(r);
+    out.push_back(std::move(p));
   }
   return out;
 }
@@ -289,7 +294,7 @@ void SolveComponent(const Table& table, const std::vector<FD>& named,
     const RepairOptions& opts = soften ? degraded : opts_in;
     Timer graph_timer;
     out->graph = ViolationGraph::Build(
-        PatternsFor(table, fd, opts.group_tuples), fd, model,
+        PatternsFor(table, fd, opts.group_tuples, opts.columnar), fd, model,
         opts.FTFor(fd), opts.budget);
     out->stats.phases.graph_ms += graph_timer.Millis();
     if (out->graph.truncated()) {
@@ -891,13 +896,13 @@ Result<RepairResult> Repairer::RepairCFDs(const Table& table,
         const auto& constant = pat[static_cast<size_t>(i)];
         if (!constant.has_value()) continue;
         int col = fd.attrs()[static_cast<size_t>(i)];
-        Value* cell = result.repaired.mutable_cell(r, col);
-        if (*cell != *constant) {
-          out->changes.push_back(CellChange{r, col, *cell, *constant});
+        const Value& cell = result.repaired.cell(r, col);
+        if (cell != *constant) {
+          out->changes.push_back(CellChange{r, col, cell, *constant});
           if (opts.provenance) {
             out->prov.change_decision.push_back(decision_index);
           }
-          *cell = *constant;
+          result.repaired.SetCell(r, col, *constant);
         }
       }
     }
@@ -908,8 +913,9 @@ Result<RepairResult> Repairer::RepairCFDs(const Table& table,
     if (scope.size() < 2) return;
     Timer graph_timer;
     ViolationGraph graph = ViolationGraph::Build(
-        BuildPatternsForRows(result.repaired, fd.attrs(), scope), fd,
-        model, ropts.FTFor(named_fd), ropts.budget);
+        BuildPatternsForRows(result.repaired, fd.attrs(), scope,
+                             ropts.columnar),
+        fd, model, ropts.FTFor(named_fd), ropts.budget);
     out->stats.phases.graph_ms += graph_timer.Millis();
     if (graph.truncated()) {
       if (!ropts.fall_back_to_greedy) {

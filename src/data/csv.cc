@@ -3,7 +3,8 @@
 #include <algorithm>
 #include <fstream>
 #include <limits>
-#include <sstream>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "common/env.h"
@@ -11,84 +12,11 @@
 #include "common/strings.h"
 #include "common/timer.h"
 #include "common/trace.h"
+#include "data/dictionary.h"
 
 namespace ftrepair {
 
 namespace {
-
-// Raw record split: never fails; structural problems are reported as
-// flags so the policy layer can decide what to do with each record.
-struct RawRecords {
-  std::vector<std::vector<std::string>> records;
-  /// Per record: it contained at least one NUL byte.
-  std::vector<bool> has_nul;
-  /// The text ended inside a quoted field (affects the last record).
-  bool unterminated = false;
-};
-
-// Splits CSV text into records of raw fields, honoring quotes.
-RawRecords ParseRecords(const std::string& text) {
-  RawRecords out;
-  std::vector<std::string> current;
-  std::string field;
-  bool in_quotes = false;
-  bool field_started = false;
-  bool record_has_nul = false;
-  size_t i = 0;
-  auto end_field = [&]() {
-    current.push_back(field);
-    field.clear();
-    field_started = false;
-  };
-  auto end_record = [&]() {
-    end_field();
-    out.records.push_back(std::move(current));
-    out.has_nul.push_back(record_has_nul);
-    current.clear();
-    record_has_nul = false;
-  };
-  while (i < text.size()) {
-    char c = text[i];
-    if (c == '\0') record_has_nul = true;
-    if (in_quotes) {
-      if (c == '"') {
-        if (i + 1 < text.size() && text[i + 1] == '"') {
-          field += '"';
-          i += 2;
-        } else {
-          in_quotes = false;
-          ++i;
-        }
-      } else {
-        field += c;
-        ++i;
-      }
-    } else {
-      if (c == '"' && !field_started && field.empty()) {
-        in_quotes = true;
-        field_started = true;
-        ++i;
-      } else if (c == ',') {
-        end_field();
-        ++i;
-      } else if (c == '\r') {
-        ++i;  // tolerate CRLF
-      } else if (c == '\n') {
-        end_record();
-        ++i;
-      } else {
-        field += c;
-        field_started = true;
-        ++i;
-      }
-    }
-  }
-  out.unterminated = in_quotes;
-  if (in_quotes || field_started || !field.empty() || !current.empty()) {
-    end_record();
-  }
-  return out;
-}
 
 // Fault seam: FTREPAIR_FAULT_CSV_BAD_ROW=N forces 0-based data row N
 // to be treated as malformed (tests drive every policy through it).
@@ -109,14 +37,23 @@ long FaultRowFromEnv() {
   return static_cast<long>(value);
 }
 
-// Approximate resident footprint of one parsed data row: per-cell
-// Value overhead plus the raw field bytes.
-uint64_t ApproxRowBytes(const std::vector<std::string>& fields) {
-  uint64_t bytes = 0;
-  for (const std::string& f : fields) {
-    bytes += sizeof(Value) + f.size();
+// Fault seam: FTREPAIR_FAULT_CSV_IO_AFTER_BYTES=N simulates a device
+// error after the file read has consumed N bytes (tests cover the
+// silent-truncation path without needing a real failing device).
+long long FaultIoBytesFromEnv() {
+  uint64_t value = 0;
+  if (!EnvU64("FTREPAIR_FAULT_CSV_IO_AFTER_BYTES",
+              "a non-negative byte count", &value)) {
+    return -1;
   }
-  return bytes;
+  if (value >
+      static_cast<uint64_t>(std::numeric_limits<long long>::max())) {
+    WarnMalformedEnv("FTREPAIR_FAULT_CSV_IO_AFTER_BYTES",
+                     std::to_string(value).c_str(),
+                     "a byte count that fits in long long");
+    return -1;
+  }
+  return static_cast<long long>(value);
 }
 
 void StripNuls(std::vector<std::string>* fields) {
@@ -124,6 +61,312 @@ void StripNuls(std::vector<std::string>* fields) {
     f.erase(std::remove(f.begin(), f.end(), '\0'), f.end());
   }
 }
+
+// Distinct raw field strings of one column, in first-occurrence order.
+// Kept rows store raw codes into this interner; the typed dictionary
+// is derived once at the end of the stream.
+struct RawColumn {
+  std::unordered_map<std::string, uint32_t> index;
+  std::vector<std::string> entries;
+};
+
+// Streaming CSV scanner + policy layer. Feed() consumes input in
+// arbitrary chunk splits (quote state, CR-LF lookahead, and the
+// pending ""-escape carry across boundaries); Finish() applies the
+// end-of-stream error precedence and materializes the table.
+//
+// Error precedence replicates the historical whole-text reader: a
+// memory failure surfaces first (it used to fail on the up-front text
+// charge), then missing header, then strict unterminated-quote, then
+// header NUL, then header-only unterminated, then the first bad data
+// row (strict). After the first fatal condition the scanner keeps
+// consuming input structurally (to learn whether the text ends inside
+// a quote) but stops buffering and interning ("drain" mode).
+class CsvStreamReader {
+ public:
+  CsvStreamReader(const CsvOptions& options, CsvReadReport* report)
+      : options_(options),
+        report_(report),
+        strict_(options.bad_rows == BadRowPolicy::kStrict),
+        fault_row_(FaultRowFromEnv()) {}
+
+  void Feed(std::string_view chunk) {
+    for (char c : chunk) Consume(c);
+  }
+
+  Result<Table> Finish() {
+    if (pending_quote_) {
+      // EOF right after a quote inside a quoted field: closing quote.
+      pending_quote_ = false;
+      in_quotes_ = false;
+    }
+    bool unterminated = in_quotes_;
+    if (in_quotes_ || field_started_ || !field_.empty() ||
+        !current_.empty()) {
+      EndRecord(unterminated);
+    }
+    if (!memory_error_.ok()) return memory_error_;
+    if (!have_header_) {
+      return Status::IOError("CSV input has no header row");
+    }
+    if (strict_ && unterminated) {
+      return Status::IOError("unterminated quoted CSV field");
+    }
+    if (!header_nul_error_.ok()) return header_nul_error_;
+    if (unterminated && data_records_ == 0) {
+      return Status::IOError("unterminated quoted CSV field");
+    }
+    if (!first_row_error_.ok()) return first_row_error_;
+    return BuildTable();
+  }
+
+ private:
+  void Consume(char c) {
+    if (pending_quote_) {
+      pending_quote_ = false;
+      if (c == '"') {
+        if (!drain_) field_ += '"';
+        return;
+      }
+      in_quotes_ = false;  // the pending quote closed the field
+      // fall through: process c outside quotes
+    }
+    if (pending_cr_) {
+      pending_cr_ = false;
+      if (c == '\n') return;  // CRLF: the '\r' already ended the record
+    }
+    if (c == '\0') record_has_nul_ = true;
+    if (in_quotes_) {
+      if (c == '"') {
+        pending_quote_ = true;  // escape or closing — next char decides
+      } else if (!drain_) {
+        field_ += c;
+      }
+      return;
+    }
+    if (c == '"' && !field_started_ && field_.empty()) {
+      in_quotes_ = true;
+      field_started_ = true;
+    } else if (c == ',') {
+      EndField();
+    } else if (c == '\r') {
+      // Bare '\r' terminates a record (classic Mac line endings); a
+      // following '\n' (CRLF) is folded into the same terminator.
+      EndRecord(false);
+      pending_cr_ = true;
+    } else if (c == '\n') {
+      EndRecord(false);
+    } else {
+      if (!drain_) field_ += c;
+      field_started_ = true;
+    }
+  }
+
+  void EndField() {
+    current_.push_back(std::move(field_));
+    field_.clear();
+    field_started_ = false;
+  }
+
+  void EndRecord(bool unterminated) {
+    if (current_.empty() && field_.empty() && !field_started_) {
+      // Fully blank record (empty line): a separator, not a data row.
+      // Skipped in every policy; does not consume a data-row index.
+      record_has_nul_ = false;
+      return;
+    }
+    EndField();
+    std::vector<std::string> record = std::move(current_);
+    current_.clear();
+    bool has_nul = record_has_nul_;
+    record_has_nul_ = false;
+    if (drain_) return;  // structure-only: a fatal error is already set
+    if (!have_header_) {
+      AcceptHeader(std::move(record), has_nul);
+    } else {
+      AcceptDataRecord(std::move(record), has_nul, unterminated);
+    }
+  }
+
+  void AcceptHeader(std::vector<std::string> record, bool has_nul) {
+    have_header_ = true;
+    if (has_nul) {
+      // The header must be sound in every policy: without a
+      // trustworthy width and column names, per-row salvage has
+      // nothing to salvage toward. kPadRagged strips the NULs instead.
+      if (options_.bad_rows != BadRowPolicy::kPadRagged) {
+        header_nul_error_ = Status::IOError("CSV header contains NUL bytes");
+        drain_ = true;
+        return;
+      }
+      StripNuls(&record);
+    }
+    header_ = std::move(record);
+    raw_.resize(header_.size());
+    raw_codes_.resize(header_.size());
+  }
+
+  void AcceptDataRecord(std::vector<std::string> record, bool has_nul,
+                        bool unterminated) {
+    size_t data_row = data_records_++;
+    size_t width = header_.size();
+    std::vector<RowError> row_errors;
+    if (record.size() != width) {
+      row_errors.push_back(RowError{
+          data_row, RowErrorKind::kRagged,
+          "CSV row " + std::to_string(data_row + 1) + " has " +
+              std::to_string(record.size()) + " fields, expected " +
+              std::to_string(width)});
+    }
+    if (has_nul) {
+      row_errors.push_back(RowError{data_row, RowErrorKind::kEmbeddedNul,
+                                    "CSV row " +
+                                        std::to_string(data_row + 1) +
+                                        " contains NUL bytes"});
+    }
+    if (unterminated) {
+      row_errors.push_back(
+          RowError{data_row, RowErrorKind::kUnterminatedQuote,
+                   "unterminated quoted CSV field"});
+    }
+    if (fault_row_ >= 0 && data_row == static_cast<size_t>(fault_row_)) {
+      row_errors.push_back(
+          RowError{data_row, RowErrorKind::kInjectedFault,
+                   "row forced bad by FTREPAIR_FAULT_CSV_BAD_ROW"});
+    }
+    if (row_errors.empty()) {
+      ++report_->rows_kept;
+      StoreRow(std::move(record));
+      return;
+    }
+    if (strict_) {
+      first_row_error_ = Status::IOError(row_errors.front().message);
+      drain_ = true;
+      return;
+    }
+    for (RowError& e : row_errors) report_->errors.push_back(std::move(e));
+    if (options_.bad_rows == BadRowPolicy::kSkipBadRows) {
+      ++report_->rows_dropped;
+      return;
+    }
+    // kPadRagged: salvage in place — strip NULs, pad short rows with
+    // empty fields, truncate long ones.
+    StripNuls(&record);
+    record.resize(width);
+    ++report_->rows_padded;
+    ++report_->rows_kept;
+    StoreRow(std::move(record));
+  }
+
+  void StoreRow(std::vector<std::string> record) {
+    size_t width = header_.size();
+    if (!MemCharge(options_.memory, width * sizeof(uint32_t),
+                   MemPhase::kIngest)) {
+      OutOfMemory();
+      return;
+    }
+    for (size_t c = 0; c < width; ++c) {
+      RawColumn& col = raw_[c];
+      auto it = col.index.find(record[c]);
+      if (it == col.index.end()) {
+        // New distinct value: the only point where cell text survives
+        // the scan, so the only point that charges string bytes.
+        if (!MemCharge(options_.memory,
+                       sizeof(Value) + record[c].size(),
+                       MemPhase::kIngest)) {
+          OutOfMemory();
+          return;
+        }
+        uint32_t code = static_cast<uint32_t>(col.entries.size());
+        col.entries.push_back(record[c]);
+        it = col.index.emplace(std::move(record[c]), code).first;
+      }
+      raw_codes_[c].push_back(it->second);
+    }
+    ++rows_stored_;
+  }
+
+  void OutOfMemory() {
+    memory_error_ = options_.memory->Check("csv ingest");
+    // Roll back this row's partial code pushes so every column stays
+    // rows_stored_ long (the table build never runs, but keep the
+    // invariant anyway).
+    for (std::vector<uint32_t>& codes : raw_codes_) {
+      if (codes.size() > rows_stored_) codes.resize(rows_stored_);
+    }
+    drain_ = true;
+  }
+
+  Result<Table> BuildTable() {
+    size_t width = header_.size();
+    // Infer per-column types over kept rows only (equivalently: over
+    // each column's distinct entries): numeric iff every non-empty
+    // cell parses.
+    std::vector<Column> columns;
+    columns.reserve(width);
+    std::vector<std::vector<uint32_t>> remap(width);
+    std::vector<ColumnDictionary> dicts(width);
+    for (size_t c = 0; c < width; ++c) {
+      bool any_value = false;
+      bool numeric = true;
+      for (const std::string& entry : raw_[c].entries) {
+        std::string_view cell = Trim(entry);
+        if (cell.empty()) continue;
+        any_value = true;
+        double d;
+        if (!ParseDouble(cell, &d)) numeric = false;
+      }
+      ValueType type =
+          (any_value && numeric) ? ValueType::kNumber : ValueType::kString;
+      columns.push_back(Column{std::string(Trim(header_[c])), type});
+      // Typed dictionary: raw entries intern in first-occurrence order,
+      // which is exactly the order a row-by-row AppendRow scan would
+      // have interned them, so the codes match the row path's. Distinct
+      // raw spellings of one typed value ("1" / "1.0" / " 1") merge.
+      remap[c].reserve(raw_[c].entries.size());
+      for (const std::string& entry : raw_[c].entries) {
+        remap[c].push_back(dicts[c].Intern(Value::Parse(entry, type)));
+      }
+    }
+    std::vector<std::vector<uint32_t>> codes(width);
+    for (size_t c = 0; c < width; ++c) {
+      codes[c].reserve(raw_codes_[c].size());
+      for (uint32_t raw : raw_codes_[c]) {
+        codes[c].push_back(remap[c][raw]);
+      }
+    }
+    return Table::FromColumns(Schema(std::move(columns)), std::move(dicts),
+                              std::move(codes));
+  }
+
+  const CsvOptions& options_;
+  CsvReadReport* report_;
+  const bool strict_;
+  const long fault_row_;
+
+  // Scanner state (carried across Feed chunks).
+  std::string field_;
+  std::vector<std::string> current_;
+  bool in_quotes_ = false;
+  bool field_started_ = false;
+  bool pending_cr_ = false;
+  bool pending_quote_ = false;
+  bool record_has_nul_ = false;
+
+  // Policy state.
+  bool have_header_ = false;
+  bool drain_ = false;
+  std::vector<std::string> header_;
+  size_t data_records_ = 0;
+  size_t rows_stored_ = 0;
+  Status memory_error_ = Status::OK();
+  Status header_nul_error_ = Status::OK();
+  Status first_row_error_ = Status::OK();
+
+  // Kept-row storage: per-column raw interner + per-column code runs.
+  std::vector<RawColumn> raw_;
+  std::vector<std::vector<uint32_t>> raw_codes_;
+};
 
 bool NeedsQuoting(const std::string& s) {
   return s.find_first_of(",\"\n\r") != std::string::npos;
@@ -138,6 +381,20 @@ std::string QuoteField(const std::string& s) {
   }
   out += '"';
   return out;
+}
+
+void RecordIngestMetrics(const CsvReadReport& report, double millis) {
+  static Counter* rows_read = Metrics().GetCounter("ftrepair.ingest.rows_read");
+  static Counter* rows_dropped =
+      Metrics().GetCounter("ftrepair.ingest.rows_dropped");
+  static Counter* rows_padded =
+      Metrics().GetCounter("ftrepair.ingest.rows_padded");
+  static Histogram* read_ms =
+      Metrics().GetHistogram("ftrepair.ingest.read_ms");
+  rows_read->Increment(report.rows_kept);
+  rows_dropped->Increment(report.rows_dropped);
+  rows_padded->Increment(report.rows_padded);
+  read_ms->Observe(millis);
 }
 
 }  // namespace
@@ -165,142 +422,66 @@ Result<Table> ReadCsvString(const std::string& text,
   if (report == nullptr) report = &local_report;
   *report = CsvReadReport{};
 
-  RawRecords raw = ParseRecords(text);
-  if (options.memory != nullptr) {
-    // The record split holds roughly one copy of the input text.
-    FTR_RETURN_NOT_OK(
-        options.memory->Charge(text.size(), "csv ingest", MemPhase::kIngest));
+  CsvStreamReader reader(options, report);
+  size_t chunk = options.chunk_bytes > 0 ? options.chunk_bytes : 1;
+  // Feed zero-copy windows of the caller's text; chunking here only
+  // exercises the boundary-carrying state machine.
+  for (size_t off = 0; off < text.size(); off += chunk) {
+    reader.Feed(
+        std::string_view(text).substr(off, std::min(chunk, text.size() - off)));
   }
-  bool strict = options.bad_rows == BadRowPolicy::kStrict;
-  if (raw.records.empty()) {
-    return Status::IOError("CSV input has no header row");
-  }
-  if (strict && raw.unterminated) {
-    return Status::IOError("unterminated quoted CSV field");
-  }
-  // The header must be sound in every policy: without a trustworthy
-  // width and column names, per-row salvage has nothing to salvage
-  // toward. (Exception: kPadRagged strips NULs from header names.)
-  if (raw.has_nul[0]) {
-    if (options.bad_rows != BadRowPolicy::kPadRagged) {
-      return Status::IOError("CSV header contains NUL bytes");
-    }
-    StripNuls(&raw.records[0]);
-  }
-  if (raw.unterminated && raw.records.size() == 1) {
-    return Status::IOError("unterminated quoted CSV field");
-  }
-  const std::vector<std::string>& header = raw.records[0];
-  size_t width = header.size();
-  long fault_row = FaultRowFromEnv();
-
-  // Policy pass: decide keep / salvage / drop per data record.
-  std::vector<bool> keep(raw.records.size(), true);
-  for (size_t r = 1; r < raw.records.size(); ++r) {
-    size_t data_row = r - 1;
-    std::vector<RowError> row_errors;
-    if (raw.records[r].size() != width) {
-      row_errors.push_back(RowError{
-          data_row, RowErrorKind::kRagged,
-          "CSV row " + std::to_string(r) + " has " +
-              std::to_string(raw.records[r].size()) + " fields, expected " +
-              std::to_string(width)});
-    }
-    if (raw.has_nul[r]) {
-      row_errors.push_back(RowError{data_row, RowErrorKind::kEmbeddedNul,
-                                    "CSV row " + std::to_string(r) +
-                                        " contains NUL bytes"});
-    }
-    if (raw.unterminated && r == raw.records.size() - 1) {
-      row_errors.push_back(
-          RowError{data_row, RowErrorKind::kUnterminatedQuote,
-                   "unterminated quoted CSV field"});
-    }
-    if (fault_row >= 0 && data_row == static_cast<size_t>(fault_row)) {
-      row_errors.push_back(RowError{
-          data_row, RowErrorKind::kInjectedFault,
-          "row forced bad by FTREPAIR_FAULT_CSV_BAD_ROW"});
-    }
-    if (row_errors.empty()) {
-      ++report->rows_kept;
-      continue;
-    }
-    if (strict) {
-      return Status::IOError(row_errors.front().message);
-    }
-    for (RowError& e : row_errors) report->errors.push_back(std::move(e));
-    if (options.bad_rows == BadRowPolicy::kSkipBadRows) {
-      keep[r] = false;
-      ++report->rows_dropped;
-      continue;
-    }
-    // kPadRagged: salvage in place — strip NULs, pad short rows with
-    // empty fields, truncate long ones.
-    StripNuls(&raw.records[r]);
-    raw.records[r].resize(width);
-    ++report->rows_padded;
-    ++report->rows_kept;
-  }
-
-  // Infer per-column types over *kept* rows only: numeric iff every
-  // non-empty cell parses.
-  std::vector<bool> numeric(width, true);
-  std::vector<bool> any_value(width, false);
-  for (size_t r = 1; r < raw.records.size(); ++r) {
-    if (!keep[r]) continue;
-    for (size_t c = 0; c < width; ++c) {
-      std::string_view cell = Trim(raw.records[r][c]);
-      if (cell.empty()) continue;
-      any_value[c] = true;
-      double d;
-      if (!ParseDouble(cell, &d)) numeric[c] = false;
-    }
-  }
-
-  std::vector<Column> columns;
-  columns.reserve(width);
-  for (size_t c = 0; c < width; ++c) {
-    ValueType type = (any_value[c] && numeric[c]) ? ValueType::kNumber
-                                                  : ValueType::kString;
-    columns.push_back(Column{std::string(Trim(header[c])), type});
-  }
-  Table table{Schema(std::move(columns))};
-  for (size_t r = 1; r < raw.records.size(); ++r) {
-    if (!keep[r]) continue;
-    if (!MemCharge(options.memory, ApproxRowBytes(raw.records[r]),
-                   MemPhase::kIngest)) {
-      return options.memory->Check("csv ingest");
-    }
-    Row row;
-    row.reserve(width);
-    for (size_t c = 0; c < width; ++c) {
-      row.push_back(Value::Parse(raw.records[r][c], table.schema().column(
-                                                    static_cast<int>(c)).type));
-    }
-    FTR_RETURN_NOT_OK(table.AppendRow(std::move(row)));
-  }
-  static Counter* rows_read = Metrics().GetCounter("ftrepair.ingest.rows_read");
-  static Counter* rows_dropped =
-      Metrics().GetCounter("ftrepair.ingest.rows_dropped");
-  static Counter* rows_padded =
-      Metrics().GetCounter("ftrepair.ingest.rows_padded");
-  static Histogram* read_ms =
-      Metrics().GetHistogram("ftrepair.ingest.read_ms");
-  rows_read->Increment(report->rows_kept);
-  rows_dropped->Increment(report->rows_dropped);
-  rows_padded->Increment(report->rows_padded);
-  read_ms->Observe(read_timer.Millis());
-  return table;
+  Result<Table> result = reader.Finish();
+  if (result.ok()) RecordIngestMetrics(*report, read_timer.Millis());
+  return result;
 }
 
 Result<Table> ReadCsvFile(const std::string& path,
                           const CsvOptions& options,
                           CsvReadReport* report) {
+  FTR_TRACE_SPAN("ingest.read_csv");
+  Timer read_timer;
+  CsvReadReport local_report;
+  if (report == nullptr) report = &local_report;
+  *report = CsvReadReport{};
+
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IOError("cannot open '" + path + "' for reading");
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  return ReadCsvString(buf.str(), options, report);
+
+  size_t chunk = options.chunk_bytes > 0 ? options.chunk_bytes : 1;
+  // The chunk buffer is the only allocation the file read adds on top
+  // of the streaming parser; charge it once, release it when done.
+  if (!MemCharge(options.memory, chunk, MemPhase::kIngest)) {
+    return options.memory->Check("csv ingest");
+  }
+  std::vector<char> buf(chunk);
+  CsvStreamReader reader(options, report);
+  long long fault_after = FaultIoBytesFromEnv();
+  long long total_read = 0;
+  Status io_error = Status::OK();
+  while (in) {
+    in.read(buf.data(), static_cast<std::streamsize>(buf.size()));
+    std::streamsize got = in.gcount();
+    if (got <= 0) break;
+    total_read += got;
+    if (fault_after >= 0 && total_read >= fault_after) {
+      io_error = Status::IOError(
+          "I/O error reading '" + path + "' (fault injected after " +
+          std::to_string(total_read) + " bytes)");
+      break;
+    }
+    reader.Feed(std::string_view(buf.data(), static_cast<size_t>(got)));
+  }
+  // A stream that stopped for any reason other than clean EOF read a
+  // truncated prefix; parsing it as if it were the file would silently
+  // drop the tail, so surface the I/O error instead.
+  if (io_error.ok() && (in.bad() || (in.fail() && !in.eof()))) {
+    io_error = Status::IOError("I/O error while reading '" + path + "'");
+  }
+  if (options.memory != nullptr) options.memory->Release(chunk);
+  if (!io_error.ok()) return io_error;
+  Result<Table> result = reader.Finish();
+  if (result.ok()) RecordIngestMetrics(*report, read_timer.Millis());
+  return result;
 }
 
 std::string WriteCsvString(const Table& table) {
@@ -312,9 +493,16 @@ std::string WriteCsvString(const Table& table) {
   }
   out += '\n';
   for (int r = 0; r < table.num_rows(); ++r) {
+    size_t line_start = out.size();
     for (int c = 0; c < schema.num_columns(); ++c) {
       if (c > 0) out += ',';
       out += QuoteField(table.cell(r, c).ToString());
+    }
+    if (out.size() == line_start) {
+      // A single null cell would serialize as an empty line, which
+      // readers (ours included) treat as a blank separator, not a row.
+      // Quote it so the record survives the round trip.
+      out += "\"\"";
     }
     out += '\n';
   }

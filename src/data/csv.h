@@ -17,6 +17,16 @@ namespace ftrepair {
 /// Reading infers schema from a header row: columns whose every
 /// non-empty cell parses as a number become kNumber, others kString.
 /// Quoted fields with embedded commas/quotes/newlines are supported.
+/// Record terminators are "\n", "\r\n", and bare "\r" (classic Mac);
+/// a "\r" inside a quoted field is literal content. Fully blank
+/// records (empty lines) are skipped silently in every policy — they
+/// are separators, not data rows — and do not consume a data-row
+/// index.
+///
+/// The reader is streaming: input is scanned in chunks and fields are
+/// interned straight into per-column dictionaries, so peak memory
+/// tracks the *distinct* cell values plus one code per cell, never a
+/// second copy of the whole text.
 
 /// What to do with a malformed data row (wrong field count, embedded
 /// NUL bytes, or a final record with an unterminated quote).
@@ -35,10 +45,17 @@ enum class BadRowPolicy {
 /// Ingestion policy knobs.
 struct CsvOptions {
   BadRowPolicy bad_rows = BadRowPolicy::kStrict;
-  /// Optional memory governance (not owned). The read charges the raw
-  /// text size plus per-row storage against it (MemPhase::kIngest) and
-  /// fails with ResourceExhausted when the budget runs out.
+  /// Optional memory governance (not owned). The read charges, as the
+  /// input streams in (MemPhase::kIngest): each new distinct cell
+  /// value entering a column dictionary, one code per kept cell, and
+  /// (file reads) the chunk buffer. It fails with ResourceExhausted
+  /// when the budget runs out mid-stream.
   const MemoryBudget* memory = nullptr;
+  /// Scan-chunk size in bytes (clamped to >= 1). Purely a memory/
+  /// syscall knob — every chunking of the same input parses
+  /// identically (the scanner carries quote/CR state across chunk
+  /// boundaries). Tests shrink it to force boundary crossings.
+  size_t chunk_bytes = 64 * 1024;
 };
 
 /// Why a data row was dropped or salvaged.

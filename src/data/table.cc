@@ -1,7 +1,8 @@
 #include "data/table.h"
 
 #include <algorithm>
-#include <unordered_set>
+#include <string>
+#include <utility>
 
 namespace ftrepair {
 
@@ -11,27 +12,79 @@ Status Table::AppendRow(Row row) {
         "row arity " + std::to_string(row.size()) + " != schema arity " +
         std::to_string(schema_.num_columns()));
   }
-  rows_.push_back(std::move(row));
+  for (size_t c = 0; c < row.size(); ++c) {
+    codes_[c].push_back(dicts_[c].Intern(std::move(row[c])));
+  }
+  ++num_rows_;
   return Status::OK();
 }
 
+Row Table::row(int i) const {
+  Row out;
+  out.reserve(static_cast<size_t>(num_columns()));
+  for (int c = 0; c < num_columns(); ++c) out.push_back(cell(i, c));
+  return out;
+}
+
+Result<Table> Table::FromColumns(Schema schema,
+                                 std::vector<ColumnDictionary> dicts,
+                                 std::vector<std::vector<uint32_t>> codes) {
+  size_t width = static_cast<size_t>(schema.num_columns());
+  if (dicts.size() != width || codes.size() != width) {
+    return Status::InvalidArgument("columnar parts do not match schema arity");
+  }
+  size_t rows = width == 0 ? 0 : codes[0].size();
+  for (size_t c = 0; c < width; ++c) {
+    if (codes[c].size() != rows) {
+      return Status::InvalidArgument("ragged columnar code vectors");
+    }
+    for (uint32_t code : codes[c]) {
+      if (code >= dicts[c].size()) {
+        return Status::InvalidArgument("code out of dictionary range");
+      }
+    }
+  }
+  Table out(std::move(schema));
+  out.dicts_ = std::move(dicts);
+  out.codes_ = std::move(codes);
+  out.num_rows_ = static_cast<int>(rows);
+  return out;
+}
+
+std::vector<char> Table::UsedCodes(int col) const {
+  const ColumnDictionary& dict = dicts_[static_cast<size_t>(col)];
+  std::vector<char> used(static_cast<size_t>(dict.size()), 0);
+  for (uint32_t code : codes_[static_cast<size_t>(col)]) {
+    used[static_cast<size_t>(code)] = 1;
+  }
+  return used;
+}
+
 std::vector<Value> Table::ActiveDomain(int col) const {
-  std::unordered_set<Value, ValueHash> seen;
+  // Distinct-by-code == distinct-by-value (interning is a bijection),
+  // and the final sort makes the pre-sort order irrelevant, so this
+  // matches the historical row scan exactly — without hashing a single
+  // Value.
+  const ColumnDictionary& dict = dicts_[static_cast<size_t>(col)];
+  std::vector<char> used = UsedCodes(col);
   std::vector<Value> out;
-  for (const Row& r : rows_) {
-    const Value& v = r[static_cast<size_t>(col)];
-    if (v.is_null()) continue;
-    if (seen.insert(v).second) out.push_back(v);
+  for (uint32_t code = 1; code < dict.size(); ++code) {
+    if (used[static_cast<size_t>(code)]) out.push_back(dict.value(code));
   }
   std::sort(out.begin(), out.end());
   return out;
 }
 
 bool Table::NumericRange(int col, double* min_out, double* max_out) const {
+  // Min/max over the distinct referenced values equals min/max over
+  // the row multiset.
+  const ColumnDictionary& dict = dicts_[static_cast<size_t>(col)];
+  std::vector<char> used = UsedCodes(col);
   bool any = false;
   double mn = 0, mx = 0;
-  for (const Row& r : rows_) {
-    const Value& v = r[static_cast<size_t>(col)];
+  for (uint32_t code = 1; code < dict.size(); ++code) {
+    if (!used[static_cast<size_t>(code)]) continue;
+    const Value& v = dict.value(code);
     if (!v.is_number()) continue;
     if (!any) {
       mn = mx = v.num();
@@ -49,10 +102,14 @@ bool Table::NumericRange(int col, double* min_out, double* max_out) const {
 }
 
 Table Table::Head(int n) const {
+  // Re-interns the surviving prefix so the copy's dictionaries hold
+  // codes in the same first-occurrence order a fresh build would
+  // assign (and carry no entries referenced only by dropped rows).
   Table out(schema_);
   int limit = std::min(n, num_rows());
   for (int i = 0; i < limit; ++i) {
-    out.rows_.push_back(rows_[static_cast<size_t>(i)]);
+    Status s = out.AppendRow(row(i));
+    (void)s;  // same schema: arity always matches
   }
   return out;
 }

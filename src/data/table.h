@@ -1,9 +1,11 @@
 #ifndef FTREPAIR_DATA_TABLE_H_
 #define FTREPAIR_DATA_TABLE_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "common/status.h"
+#include "data/dictionary.h"
 #include "data/schema.h"
 #include "data/value.h"
 
@@ -12,32 +14,74 @@ namespace ftrepair {
 /// A row is an ordered vector of cells matching the table schema.
 using Row = std::vector<Value>;
 
-/// \brief In-memory row-oriented relation instance.
+/// \brief In-memory columnar relation instance.
 ///
+/// Storage is dictionary-encoded: each column holds one
+/// ColumnDictionary interning its distinct Values plus a dense
+/// uint32_t code per row (null = code 0). The row-oriented accessors
+/// (cell / row / AppendRow) are a compatibility facade over that
+/// layout, so existing consumers keep working, while the hot detect
+/// paths (pattern grouping, bucket joins, distance memoization)
+/// operate on the code vectors directly via column_codes() /
+/// dictionary().
+///
+/// `cell()` returns a reference into the column dictionary; it stays
+/// valid for the Table's lifetime (dictionaries never shrink and their
+/// storage is reference-stable), including across AppendRow/SetCell.
 /// The repair algorithms read tables and produce modified copies; a
 /// Table never aliases another Table's storage.
 class Table {
  public:
   Table() = default;
-  explicit Table(Schema schema) : schema_(std::move(schema)) {}
+  explicit Table(Schema schema) : schema_(std::move(schema)) {
+    dicts_.resize(static_cast<size_t>(schema_.num_columns()));
+    codes_.resize(static_cast<size_t>(schema_.num_columns()));
+  }
 
   const Schema& schema() const { return schema_; }
-  int num_rows() const { return static_cast<int>(rows_.size()); }
+  int num_rows() const { return num_rows_; }
   int num_columns() const { return schema_.num_columns(); }
 
   /// Appends a row; errors if the arity does not match the schema.
   Status AppendRow(Row row);
 
-  const Row& row(int i) const { return rows_[static_cast<size_t>(i)]; }
+  /// Materializes row `i` as a value vector (by value: the cells live
+  /// dictionary-encoded, there is no stored Row to reference).
+  Row row(int i) const;
+
   const Value& cell(int row, int col) const {
-    return rows_[static_cast<size_t>(row)][static_cast<size_t>(col)];
-  }
-  /// Mutable cell access (used when applying repairs).
-  Value* mutable_cell(int row, int col) {
-    return &rows_[static_cast<size_t>(row)][static_cast<size_t>(col)];
+    return dicts_[static_cast<size_t>(col)].value(
+        codes_[static_cast<size_t>(col)][static_cast<size_t>(row)]);
   }
 
-  const std::vector<Row>& rows() const { return rows_; }
+  /// Overwrites one cell (used when applying repairs). Takes the value
+  /// by copy on purpose: the argument may alias a dictionary entry of
+  /// this very table (e.g. `t.SetCell(r, c, t.cell(r2, c))`).
+  void SetCell(int row, int col, Value v) {
+    codes_[static_cast<size_t>(col)][static_cast<size_t>(row)] =
+        dicts_[static_cast<size_t>(col)].Intern(std::move(v));
+  }
+
+  /// Dictionary code of a cell (null = ColumnDictionary::kNullCode).
+  uint32_t code(int row, int col) const {
+    return codes_[static_cast<size_t>(col)][static_cast<size_t>(row)];
+  }
+  /// The per-row code vector of `col` (the columnar hot path).
+  const std::vector<uint32_t>& column_codes(int col) const {
+    return codes_[static_cast<size_t>(col)];
+  }
+  /// The interning dictionary of `col`.
+  const ColumnDictionary& dictionary(int col) const {
+    return dicts_[static_cast<size_t>(col)];
+  }
+
+  /// Assembles a table directly from columnar parts (the streaming CSV
+  /// reader materializes fields straight into dictionary codes and
+  /// hands them over here without re-interning). Validates arity,
+  /// uniform code-vector length and code range.
+  static Result<Table> FromColumns(Schema schema,
+                                   std::vector<ColumnDictionary> dicts,
+                                   std::vector<std::vector<uint32_t>> codes);
 
   /// Distinct non-null values of column `col` (the *active domain*,
   /// §2.2 close-world model), in deterministic order.
@@ -52,8 +96,16 @@ class Table {
   Table Head(int n) const;
 
  private:
+  /// Marks which dictionary codes of `col` are referenced by some row.
+  /// SetCell can strand dictionary entries (the old value's code may no
+  /// longer appear in the code vector), so domain/range scans must walk
+  /// the codes actually in use, never the raw dictionary.
+  std::vector<char> UsedCodes(int col) const;
+
   Schema schema_;
-  std::vector<Row> rows_;
+  std::vector<ColumnDictionary> dicts_;
+  std::vector<std::vector<uint32_t>> codes_;  // [col][row]
+  int num_rows_ = 0;
 };
 
 }  // namespace ftrepair

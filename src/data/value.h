@@ -2,6 +2,7 @@
 #define FTREPAIR_DATA_VALUE_H_
 
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <string_view>
 
@@ -15,6 +16,19 @@ enum class ValueType : uint8_t { kNull = 0, kString = 1, kNumber = 2 };
 /// Values are small, regular (copyable/movable/hashable/comparable) and
 /// compare by (type, content). Numbers compare by exact double equality —
 /// the generators and parsers only produce round-trippable numerics.
+///
+/// Numeric payloads are canonicalized at construction so that equal
+/// Values always carry identical bit patterns (the hash/equality
+/// contract any unordered container keyed on ValueHash depends on):
+///   * -0.0 is stored as +0.0 — IEEE compares them equal, but their
+///     payload bytes differ, which would split one key across buckets.
+///   * Every NaN is stored as the one quiet NaN
+///     std::numeric_limits<double>::quiet_NaN(), and two NaN Values
+///     compare equal to each other (and order after every other
+///     number). IEEE NaN self-inequality would otherwise make a NaN
+///     key unfindable. NaN cannot enter through parsing — ParseDouble
+///     accepts only finite doubles — but the programmatic
+///     Value(double) constructor is open to it.
 class Value {
  public:
   /// Null value.
@@ -23,8 +37,9 @@ class Value {
   explicit Value(std::string s)
       : type_(ValueType::kString), number_(0), string_(std::move(s)) {}
   explicit Value(const char* s) : Value(std::string(s)) {}
-  /// Numeric value.
-  explicit Value(double v) : type_(ValueType::kNumber), number_(v) {}
+  /// Numeric value (canonicalized, see class comment).
+  explicit Value(double v)
+      : type_(ValueType::kNumber), number_(CanonicalDouble(v)) {}
   explicit Value(int v) : Value(static_cast<double>(v)) {}
 
   ValueType type() const { return type_; }
@@ -53,13 +68,17 @@ class Value {
       case ValueType::kString:
         return a.string_ == b.string_;
       case ValueType::kNumber:
-        return a.number_ == b.number_;
+        // Canonicalized NaNs compare equal to each other (reflexivity
+        // keeps Value usable as a hash/map key).
+        return a.number_ == b.number_ ||
+               (a.number_ != a.number_ && b.number_ != b.number_);
     }
     return false;
   }
   friend bool operator!=(const Value& a, const Value& b) { return !(a == b); }
 
-  /// Total order used for deterministic tie-breaking: by type, then content.
+  /// Total order used for deterministic tie-breaking: by type, then
+  /// content. NaN numbers sort after every other number.
   friend bool operator<(const Value& a, const Value& b) {
     if (a.type_ != b.type_) return a.type_ < b.type_;
     switch (a.type_) {
@@ -68,15 +87,28 @@ class Value {
       case ValueType::kString:
         return a.string_ < b.string_;
       case ValueType::kNumber:
+        if (a.number_ != a.number_) return false;  // NaN is greatest
+        if (b.number_ != b.number_) return true;
         return a.number_ < b.number_;
     }
     return false;
   }
 
-  /// FNV-1a style hash over (type, content).
+  /// FNV-1a style hash over (type, content). Consistent with
+  /// operator== because numeric payloads are canonicalized: equal
+  /// numbers (including -0.0 vs 0.0 and NaN vs NaN) share one bit
+  /// pattern by construction.
   size_t Hash() const;
 
  private:
+  /// Collapses every zero to +0.0 and every NaN to the canonical quiet
+  /// NaN so equal numbers are bit-identical (see class comment).
+  static double CanonicalDouble(double v) {
+    if (v != v) return std::numeric_limits<double>::quiet_NaN();
+    if (v == 0.0) return 0.0;
+    return v;
+  }
+
   ValueType type_;
   double number_;
   std::string string_;

@@ -230,6 +230,61 @@ void BlockIndex::BuildExactJoin(const std::vector<Pattern>& patterns,
   ChargeIndexBytes(static_cast<uint64_t>(n_) * 3 * sizeof(int));
 }
 
+void BlockIndex::BuildExactJoinCoded(
+    const std::vector<Pattern>& patterns, const std::vector<int>& key_attrs,
+    const std::vector<bool>& key_by_tostring) {
+  bucket_of_.assign(static_cast<size_t>(n_), 0);
+  rank_in_bucket_.assign(static_cast<size_t>(n_), 0);
+  // Per key attribute: dictionary code -> dense equality-class id.
+  // Discrete attributes use the code itself (interning is a bijection,
+  // so code equality IS raw-value equality). Edit attributes must
+  // group by the ToString rendering instead: two distinct codes (say
+  // number 5 and string "5") can render identically and then have edit
+  // distance 0 — keying by raw code would split their bucket, missing
+  // pairs. The class maps are resolved once per distinct code, so the
+  // per-pattern key build never touches strings after warm-up.
+  struct ClassMap {
+    std::unordered_map<uint32_t, uint32_t> of_code;
+    std::unordered_map<std::string, uint32_t> of_render;  // tostring only
+  };
+  std::vector<ClassMap> classes(key_attrs.size());
+  std::unordered_map<std::vector<uint32_t>, int, CodeVectorHash> keys;
+  keys.reserve(static_cast<size_t>(n_));
+  std::vector<uint32_t> key;
+  for (int i = 0; i < n_; ++i) {
+    key.clear();
+    key.reserve(key_attrs.size());
+    for (size_t k = 0; k < key_attrs.size(); ++k) {
+      uint32_t code = patterns[static_cast<size_t>(i)]
+                          .codes[static_cast<size_t>(key_attrs[k])];
+      if (!key_by_tostring[k]) {
+        key.push_back(code);
+        continue;
+      }
+      ClassMap& cm = classes[k];
+      auto it = cm.of_code.find(code);
+      if (it == cm.of_code.end()) {
+        const Value& v = patterns[static_cast<size_t>(i)]
+                             .values[static_cast<size_t>(key_attrs[k])];
+        auto [rit, ignored] = cm.of_render.emplace(
+            ValueText(v), static_cast<uint32_t>(cm.of_render.size()));
+        it = cm.of_code.emplace(code, rit->second).first;
+      }
+      key.push_back(it->second);
+    }
+    auto [it, inserted] =
+        keys.emplace(key, static_cast<int>(exact_buckets_.size()));
+    if (inserted) exact_buckets_.emplace_back();
+    std::vector<int>& members = exact_buckets_[static_cast<size_t>(it->second)];
+    bucket_of_[static_cast<size_t>(i)] = it->second;
+    rank_in_bucket_[static_cast<size_t>(i)] = static_cast<int>(members.size());
+    members.push_back(i);
+  }
+  // Same accounting as the value-keyed join — the persistent output
+  // (bucket_of_ + rank_in_bucket_ + member ids) is shaped identically.
+  ChargeIndexBytes(static_cast<uint64_t>(n_) * 3 * sizeof(int));
+}
+
 void BlockIndex::BuildGramJoin(const std::vector<Pattern>& patterns) {
   (void)patterns;  // anchor data already lives in primary_
   std::unordered_map<int, int> bucket_of_len;
@@ -302,7 +357,18 @@ BlockIndex::BlockIndex(const std::vector<Pattern>& patterns, const FD& fd,
   for (int p : plan.secondary) secondary_.push_back(make_filter(p));
   if (plan.exact) {
     num_key_attrs_ = static_cast<int>(plan.key_attrs.size());
-    BuildExactJoin(patterns, plan.key_attrs, plan.key_by_tostring);
+    bool coded = opts.interned && !plan.key_attrs.empty();
+    for (const Pattern& p : patterns) {
+      if (!p.has_codes()) {
+        coded = false;
+        break;
+      }
+    }
+    if (coded) {
+      BuildExactJoinCoded(patterns, plan.key_attrs, plan.key_by_tostring);
+    } else {
+      BuildExactJoin(patterns, plan.key_attrs, plan.key_by_tostring);
+    }
   } else {
     gram_primary_ = plan.primary;
     primary_ = make_filter(plan.primary);

@@ -137,6 +137,14 @@ class BlockIndex {
   void BuildExactJoin(const std::vector<Pattern>& patterns,
                       const std::vector<int>& key_attrs,
                       const std::vector<bool>& key_by_tostring);
+  // Code-keyed variant (used when every pattern carries dictionary
+  // codes): buckets by per-attribute equality classes of the codes —
+  // the raw code for discrete attributes, the code's ToString
+  // rendering class for edit attributes — which partitions patterns
+  // exactly like the value keys, in the same first-appearance order.
+  void BuildExactJoinCoded(const std::vector<Pattern>& patterns,
+                           const std::vector<int>& key_attrs,
+                           const std::vector<bool>& key_by_tostring);
   void BuildGramJoin(const std::vector<Pattern>& patterns);
   bool SecondaryPrune(int i, int j) const;
   // Charges `bytes` of index structure against memory_ (when set),

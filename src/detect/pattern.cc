@@ -2,6 +2,8 @@
 
 #include <unordered_map>
 
+#include "common/hash.h"
+
 namespace ftrepair {
 
 std::string Pattern::ToString() const {
@@ -16,25 +18,31 @@ std::string Pattern::ToString() const {
 
 size_t ProjectionHash::operator()(const std::vector<Value>& v) const {
   size_t h = 14695981039346656037ULL;
-  for (const Value& val : v) {
-    h ^= val.Hash();
-    h *= 1099511628211ULL;
-  }
+  for (const Value& val : v) h = HashCombine(h, val.Hash());
+  return h;
+}
+
+size_t CodeVectorHash::operator()(const std::vector<uint32_t>& v) const {
+  size_t h = 14695981039346656037ULL;
+  for (uint32_t code : v) h = HashCombine(h, code);
   return h;
 }
 
 std::vector<Pattern> BuildPatterns(const Table& table,
-                                   const std::vector<int>& cols) {
+                                   const std::vector<int>& cols,
+                                   bool use_codes) {
   std::vector<int> all_rows(static_cast<size_t>(table.num_rows()));
   for (int i = 0; i < table.num_rows(); ++i) {
     all_rows[static_cast<size_t>(i)] = i;
   }
-  return BuildPatternsForRows(table, cols, all_rows);
+  return BuildPatternsForRows(table, cols, all_rows, use_codes);
 }
 
-std::vector<Pattern> BuildPatternsForRows(const Table& table,
-                                          const std::vector<int>& cols,
-                                          const std::vector<int>& row_ids) {
+namespace {
+
+std::vector<Pattern> BuildByValues(const Table& table,
+                                   const std::vector<int>& cols,
+                                   const std::vector<int>& row_ids) {
   std::vector<Pattern> patterns;
   std::unordered_map<std::vector<Value>, int, ProjectionHash> index;
   for (int r : row_ids) {
@@ -45,12 +53,55 @@ std::vector<Pattern> BuildPatternsForRows(const Table& table,
     if (it == index.end()) {
       int id = static_cast<int>(patterns.size());
       index.emplace(proj, id);
-      patterns.push_back(Pattern{std::move(proj), {r}});
+      patterns.push_back(Pattern{std::move(proj), {}, {r}});
     } else {
       patterns[static_cast<size_t>(it->second)].rows.push_back(r);
     }
   }
   return patterns;
+}
+
+std::vector<Pattern> BuildByCodes(const Table& table,
+                                  const std::vector<int>& cols,
+                                  const std::vector<int>& row_ids) {
+  std::vector<Pattern> patterns;
+  std::unordered_map<std::vector<uint32_t>, int, CodeVectorHash> index;
+  std::vector<uint32_t> proj;
+  for (int r : row_ids) {
+    proj.clear();
+    proj.reserve(cols.size());
+    for (int c : cols) proj.push_back(table.code(r, c));
+    auto it = index.find(proj);
+    if (it == index.end()) {
+      int id = static_cast<int>(patterns.size());
+      index.emplace(proj, id);
+      Pattern p;
+      p.codes = proj;
+      p.values.reserve(cols.size());
+      for (size_t k = 0; k < cols.size(); ++k) {
+        p.values.push_back(table.dictionary(cols[k]).value(proj[k]));
+      }
+      p.rows.push_back(r);
+      patterns.push_back(std::move(p));
+    } else {
+      patterns[static_cast<size_t>(it->second)].rows.push_back(r);
+    }
+  }
+  return patterns;
+}
+
+}  // namespace
+
+std::vector<Pattern> BuildPatternsForRows(const Table& table,
+                                          const std::vector<int>& cols,
+                                          const std::vector<int>& row_ids,
+                                          bool use_codes) {
+  // Same partition either way: per column, interning is a bijection
+  // between referenced values and codes, so two rows share a code
+  // vector iff they share a value vector. First-occurrence order and
+  // per-pattern row lists follow from the shared row scan.
+  return use_codes ? BuildByCodes(table, cols, row_ids)
+                   : BuildByValues(table, cols, row_ids);
 }
 
 }  // namespace ftrepair

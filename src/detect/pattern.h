@@ -1,6 +1,7 @@
 #ifndef FTREPAIR_DETECT_PATTERN_H_
 #define FTREPAIR_DETECT_PATTERN_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -18,11 +19,20 @@ namespace ftrepair {
 struct Pattern {
   /// Projected values, one per projection column (in projection order).
   std::vector<Value> values;
+  /// Dictionary codes of `values` in the source table's per-column
+  /// dictionaries (same layout as `values`). Filled by the table-backed
+  /// builders below; empty on hand-assembled patterns. Codes from the
+  /// same table compare like values: equal code == equal value.
+  std::vector<uint32_t> codes;
   /// Ids of the table rows carrying this projection.
   std::vector<int> rows;
 
   /// Multiplicity m of the grouped vertex.
   int count() const { return static_cast<int>(rows.size()); }
+
+  /// True when `codes` mirrors `values` (the columnar fast paths key
+  /// on it; value-based paths stay available either way).
+  bool has_codes() const { return codes.size() == values.size(); }
 
   /// Debug rendering "(v1, v2, ...) x count".
   std::string ToString() const;
@@ -30,17 +40,36 @@ struct Pattern {
 
 /// Groups all rows of `table` by their projection onto `cols`.
 /// Patterns are ordered by first row occurrence (deterministic).
+/// `use_codes` as in BuildPatternsForRows.
 std::vector<Pattern> BuildPatterns(const Table& table,
-                                   const std::vector<int>& cols);
+                                   const std::vector<int>& cols,
+                                   bool use_codes = true);
 
 /// Same, restricted to `row_ids` (used by CFD scopes).
+///
+/// `use_codes` selects the grouping key: the table's dictionary codes
+/// (default — one radix-style integer compare per row) or the
+/// materialized value vectors (the historical path, kept for the
+/// columnar<->row differential suites). Interning maps equal values to
+/// equal codes and distinct values to distinct codes, so both keys
+/// induce the same partition and the same first-occurrence order: the
+/// returned patterns are identical, except that the value path leaves
+/// `codes` empty.
 std::vector<Pattern> BuildPatternsForRows(const Table& table,
                                           const std::vector<int>& cols,
-                                          const std::vector<int>& row_ids);
+                                          const std::vector<int>& row_ids,
+                                          bool use_codes = true);
 
-/// Hash key for a projection value vector.
+/// Hash key for a projection value vector (boost-style mix-then-combine
+/// of the element hashes; see common/hash.h for why a plain XOR fold is
+/// not enough).
 struct ProjectionHash {
   size_t operator()(const std::vector<Value>& v) const;
+};
+
+/// Hash key for a projection code vector.
+struct CodeVectorHash {
+  size_t operator()(const std::vector<uint32_t>& v) const;
 };
 
 }  // namespace ftrepair

@@ -69,6 +69,60 @@ double LengthLowerBound(const Pattern& a, const Pattern& b, const FD& fd,
 // claim overhead vanishes.
 constexpr int kShardRows = 64;
 
+// ProjDistanceCutoff over coded patterns with a per-shard distance
+// memo. Same control flow, weights, and term order as the value
+// version; every term that enters `sum` is an exact cell distance (a
+// memo hit replays a previously computed exact value, a fresh capped
+// result only enters when unclipped, and the borderline fallback is
+// exact), so accepted sums are bit-identical to ProjDistanceCutoff.
+// Rejecting return values may differ but are all > tau, which is the
+// only property callers may rely on.
+double ProjDistanceCutoffMemo(const Pattern& a, const Pattern& b,
+                              const FD& fd, const DistanceModel& model,
+                              double w_l, double w_r, double tau,
+                              PairDistanceMemo* memo) {
+  double sum = 0;
+  int lhs = fd.lhs_size();
+  for (int p = 0; p < fd.num_attrs(); ++p) {
+    double w = p < lhs ? w_l : w_r;
+    if (w == 0.0) continue;  // w * d == +0.0 whatever d is
+    int col = fd.attrs()[static_cast<size_t>(p)];
+    const Value& va = a.values[static_cast<size_t>(p)];
+    const Value& vb = b.values[static_cast<size_t>(p)];
+    uint32_t ca = a.codes[static_cast<size_t>(p)];
+    uint32_t cb = b.codes[static_cast<size_t>(p)];
+    double cap = (tau - sum) / w;
+    bool clipped = false;
+    double d = model.CellDistanceCappedInterned(
+        col, va, vb, ca, cb, cap, &clipped, static_cast<size_t>(p), memo);
+    if (clipped) {
+      double reject = sum + w * d;
+      if (reject > tau) return reject;
+      // Borderline (rounding ate the slack): fall back to exact.
+      d = model.CellDistanceInterned(col, va, vb, ca, cb,
+                                     static_cast<size_t>(p), memo);
+    }
+    sum += w * d;
+    if (sum > tau) return sum;  // later terms only grow the sum
+  }
+  return sum;
+}
+
+// UnitCost over coded patterns, sharing the shard memo (same slots as
+// the cutoff: slot p is attribute p's column). Bit-identical sums.
+double UnitCostMemo(const Pattern& a, const Pattern& b, const FD& fd,
+                    const DistanceModel& model, PairDistanceMemo* memo) {
+  double sum = 0;
+  for (int p = 0; p < fd.num_attrs(); ++p) {
+    int col = fd.attrs()[static_cast<size_t>(p)];
+    sum += model.CellDistanceInterned(
+        col, a.values[static_cast<size_t>(p)],
+        b.values[static_cast<size_t>(p)], a.codes[static_cast<size_t>(p)],
+        b.codes[static_cast<size_t>(p)], static_cast<size_t>(p), memo);
+  }
+  return sum;
+}
+
 // An edge discovered by one shard, recorded in (i, then j) order so the
 // merge can replay the exact serial adjacency push order.
 struct ShardEdge {
@@ -172,6 +226,43 @@ ViolationGraph ViolationGraph::Build(std::vector<Pattern> patterns,
   static Histogram* shard_ms =
       Metrics().GetHistogram("ftrepair.detect.shard_ms");
 
+  // The columnar fast paths need every pattern to carry codes (mixed
+  // inputs fall back wholesale so the two sides of a comparison always
+  // key the same way).
+  bool use_codes = opts.interned && n > 0;
+  for (const Pattern& p : g.patterns_) {
+    if (!p.has_codes()) {
+      use_codes = false;
+      break;
+    }
+  }
+
+  // The memo only pays when a (code, code) pair recurs. Patterns are
+  // *distinct* FD projections, so an attribute whose codes are nearly
+  // unique across patterns (typically the LHS key itself) never repeats
+  // a pair — every probe there would be a guaranteed miss. Disable such
+  // slots up front: each code must recur >= 4x on average for the slot
+  // to stay on. Computed once before sharding, so the mask — and hence
+  // every emitted distance — is identical at every thread count (and
+  // identical to memo-off anyway, since memoized values are exact).
+  std::vector<bool> memo_slot_on;
+  if (use_codes) {
+    memo_slot_on.assign(static_cast<size_t>(fd.num_attrs()), false);
+    std::vector<uint32_t> distinct;
+    for (int p = 0; p < fd.num_attrs(); ++p) {
+      distinct.clear();
+      distinct.reserve(static_cast<size_t>(n));
+      for (const Pattern& pat : g.patterns_) {
+        distinct.push_back(pat.codes[static_cast<size_t>(p)]);
+      }
+      std::sort(distinct.begin(), distinct.end());
+      distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                     distinct.end());
+      memo_slot_on[static_cast<size_t>(p)] =
+          distinct.size() * 4 <= static_cast<size_t>(n);
+    }
+  }
+
   DetectIndexMode mode = opts.index;
   if (mode == DetectIndexMode::kAuto) {
     mode = BlockIndex::Choose(g.patterns_, fd, model, opts);
@@ -189,7 +280,8 @@ ViolationGraph ViolationGraph::Build(std::vector<Pattern> patterns,
   // kernel — and candidates arrive in ascending j within ascending i,
   // so the surviving edges (and their doubles) are bit-identical
   // across modes; only how many candidates were *generated* differs.
-  auto verify_candidate = [&](ShardResult& r, int i, int j) {
+  auto verify_candidate = [&](ShardResult& r, int i, int j,
+                              PairDistanceMemo* memo) {
     if (!BudgetCharge(budget)) {
       r.truncated = true;
       return false;
@@ -197,7 +289,11 @@ ViolationGraph ViolationGraph::Build(std::vector<Pattern> patterns,
     ++r.candidates_generated;
     const Pattern& pi = g.patterns_[static_cast<size_t>(i)];
     const Pattern& pj = g.patterns_[static_cast<size_t>(j)];
-    if (pi.values == pj.values) {  // identical projections
+    // Identical projections: codes are a bijection onto the referenced
+    // values, so the code-vector compare answers exactly the value one.
+    bool identical =
+        memo != nullptr ? pi.codes == pj.codes : pi.values == pj.values;
+    if (identical) {
       ++r.candidates_filtered;
       return true;
     }
@@ -207,14 +303,19 @@ ViolationGraph ViolationGraph::Build(std::vector<Pattern> patterns,
       return true;
     }
     ++r.pairs_evaluated;
-    double proj = ProjDistanceCutoff(pi.values, pj.values, fd, model,
-                                     opts.w_l, opts.w_r, opts.tau);
+    double proj = memo != nullptr
+                      ? ProjDistanceCutoffMemo(pi, pj, fd, model, opts.w_l,
+                                               opts.w_r, opts.tau, memo)
+                      : ProjDistanceCutoff(pi.values, pj.values, fd, model,
+                                           opts.w_l, opts.w_r, opts.tau);
     if (proj > opts.tau) return true;
     if (!MemCharge(opts.memory, sizeof(ShardEdge), MemPhase::kGraph)) {
       r.truncated = true;  // per-shard edge scratch out of memory
       return false;
     }
-    double unit = UnitCost(pi.values, pj.values, fd, model);
+    double unit = memo != nullptr
+                      ? UnitCostMemo(pi, pj, fd, model, memo)
+                      : UnitCost(pi.values, pj.values, fd, model);
     r.edges.push_back(ShardEdge{i, j, proj, unit});
     return true;
   };
@@ -235,6 +336,22 @@ ViolationGraph ViolationGraph::Build(std::vector<Pattern> patterns,
       return;
     }
     Timer shard_timer;
+    // Shard-local distance memo for the coded path. Shard-local keeps
+    // thread-count invariance trivial (no cross-shard state), and the
+    // memoized values are exact, so hits only skip redundant kernels —
+    // the emitted edges are bit-identical to the memo-less build.
+    // Deliberately uncharged scratch: it is bounded by the shard's
+    // distinct code pairs, freed at shard end, and charging it would
+    // move the exhaustion trip points of governed runs that pin them.
+    std::unique_ptr<PairDistanceMemo> memo;
+    if (use_codes) {
+      memo = std::make_unique<PairDistanceMemo>(
+          static_cast<size_t>(fd.num_attrs()));
+      for (int p = 0; p < fd.num_attrs(); ++p) {
+        memo->SetSlotEnabled(static_cast<size_t>(p),
+                             memo_slot_on[static_cast<size_t>(p)]);
+      }
+    }
     if (index != nullptr) {
       BlockIndex::Scratch scratch;
       std::vector<int> candidates;
@@ -242,13 +359,13 @@ ViolationGraph ViolationGraph::Build(std::vector<Pattern> patterns,
         candidates.clear();
         index->AppendCandidates(i, &scratch, &candidates);
         for (int j : candidates) {
-          if (!verify_candidate(r, i, j)) break;
+          if (!verify_candidate(r, i, j, memo.get())) break;
         }
       }
     } else {
       for (int i = row_lo; i < row_hi && !r.truncated; ++i) {
         for (int j = i + 1; j < n; ++j) {
-          if (!verify_candidate(r, i, j)) break;
+          if (!verify_candidate(r, i, j, memo.get())) break;
         }
       }
     }

@@ -54,6 +54,13 @@ struct FTOptions {
   /// (MemPhase::kGraph / kIndex); on exhaustion the build truncates
   /// exactly like a spent wall-clock budget.
   const MemoryBudget* memory = nullptr;
+  /// Use the patterns' dictionary codes (when present) for the
+  /// identical-projection check, the tau = 0 exact bucket join, and
+  /// per-pair distance memoization. Purely a speed knob: the graph is
+  /// bit-identical either way (see PERFORMANCE.md, "Dictionary-join
+  /// equivalence"). Patterns without codes fall back to the value path
+  /// regardless of this flag.
+  bool interned = true;
 };
 
 /// Classical FD semantics expressed in FT terms (w_l=1, w_r=0, tau=0):

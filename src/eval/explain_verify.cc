@@ -343,7 +343,7 @@ Result<ExplainVerifyReport> VerifyExplainReport(const Table& input,
     }
     running[key] = after;
     ledger_sum += cost_delta;
-    *repaired.mutable_cell(row, col) = new_value;
+    repaired.SetCell(row, col, new_value);
 
     if (decision >= 0) {
       if (decision >= static_cast<int>(decisions.size())) {

@@ -138,13 +138,13 @@ Result<Table> InjectErrors(const Table& clean, const std::vector<FD>& fds,
         domains[static_cast<size_t>(key.col)];
     const Value& current = dirty.cell(key.row, key.col);
     if (domain.size() < 2) {
-      *dirty.mutable_cell(key.row, key.col) = MakeTypo(current, &rng);
+      dirty.SetCell(key.row, key.col, MakeTypo(current, &rng));
       return;
     }
     for (int attempt = 0; attempt < 64; ++attempt) {
       const Value& candidate = domain[rng.Index(domain.size())];
       if (candidate != current) {
-        *dirty.mutable_cell(key.row, key.col) = candidate;
+        dirty.SetCell(key.row, key.col, candidate);
         return;
       }
     }
@@ -166,7 +166,7 @@ Result<Table> InjectErrors(const Table& clean, const std::vector<FD>& fds,
     CellKey key;
     if (!pick_cell(all_cols, &key)) break;
     const Value& current = dirty.cell(key.row, key.col);
-    *dirty.mutable_cell(key.row, key.col) = MakeTypo(current, &rng);
+    dirty.SetCell(key.row, key.col, MakeTypo(current, &rng));
     ++local.typos;
   }
   local.cells_dirtied = local.lhs_errors + local.rhs_errors + local.typos;

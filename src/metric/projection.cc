@@ -89,6 +89,49 @@ double DistanceModel::CellDistanceCapped(int col, const Value& a,
   return static_cast<double>(cap_chars + 1) / static_cast<double>(max_len);
 }
 
+bool DistanceModel::MemoPays(int col, const Value& a, const Value& b) const {
+  // The memo costs one hash probe (and one insert on a miss). That
+  // only beats recomputation when the distance itself is a string
+  // kernel; discrete equality and the numeric subtraction are cheaper
+  // than the probe, so those columns bypass the memo entirely.
+  ColumnMetric metric = metrics_[static_cast<size_t>(col)];
+  if (metric == ColumnMetric::kAuto) return !(a.is_number() && b.is_number());
+  return metric != ColumnMetric::kDiscrete &&
+         metric != ColumnMetric::kEuclidean;
+}
+
+double DistanceModel::CellDistanceInterned(int col, const Value& a,
+                                           const Value& b, uint32_t ca,
+                                           uint32_t cb, size_t slot,
+                                           PairDistanceMemo* memo) const {
+  if (ca == cb) return 0.0;  // equal codes <=> equal values => dist 0
+  if (!MemoPays(col, a, b)) return CellDistance(col, a, b);
+  if (const double* hit = memo->Find(slot, ca, cb)) return *hit;
+  double d = CellDistance(col, a, b);
+  memo->Insert(slot, ca, cb, d);
+  return d;
+}
+
+double DistanceModel::CellDistanceCappedInterned(
+    int col, const Value& a, const Value& b, uint32_t ca, uint32_t cb,
+    double cap, bool* clipped, size_t slot, PairDistanceMemo* memo) const {
+  if (ca == cb) return 0.0;
+  if (!MemoPays(col, a, b)) {
+    return CellDistanceCapped(col, a, b, cap, clipped);
+  }
+  if (const double* hit = memo->Find(slot, ca, cb)) return *hit;
+  bool was_clipped = false;
+  double d = CellDistanceCapped(col, a, b, cap, &was_clipped);
+  if (was_clipped) {
+    // A clipped value is a lower bound tied to this cap — not safe to
+    // reuse under another cap, so it never enters the memo.
+    if (clipped != nullptr) *clipped = true;
+    return d;
+  }
+  memo->Insert(slot, ca, cb, d);
+  return d;
+}
+
 double DistanceModel::ProjectionDistance(const FD& fd, const Row& t1,
                                          const Row& t2, double w_l,
                                          double w_r) const {

@@ -28,19 +28,7 @@ namespace {
 
 using testing_util::CitizensDirty;
 using testing_util::CitizensFDs;
-
-// Scoped setenv/unsetenv so a failing assertion cannot leak the fault
-// seam into later tests.
-class ScopedEnv {
- public:
-  ScopedEnv(const char* name, const std::string& value) : name_(name) {
-    setenv(name, value.c_str(), 1);
-  }
-  ~ScopedEnv() { unsetenv(name_); }
-
- private:
-  const char* name_;
-};
+using testing_util::ScopedEnv;
 
 void ExpectCloseWorldValid(const Table& input, const RepairResult& result) {
   ASSERT_EQ(result.repaired.num_rows(), input.num_rows());

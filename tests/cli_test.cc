@@ -168,6 +168,23 @@ TEST_F(CliTest, ParseDeadlineAndBadRowPolicy) {
   EXPECT_EQ(strict.value().csv.bad_rows, BadRowPolicy::kStrict);
 }
 
+TEST_F(CliTest, ParseColumnarFlag) {
+  auto off = ParseCliArgs(
+      {"--input", "x", "--fds", "f", "--columnar", "off"});
+  ASSERT_TRUE(off.ok()) << off.status().ToString();
+  EXPECT_FALSE(off.value().repair.columnar);
+  auto on = ParseCliArgs({"--input", "x", "--fds", "f", "--columnar=on"});
+  ASSERT_TRUE(on.ok());
+  EXPECT_TRUE(on.value().repair.columnar);
+  // Default is on.
+  auto plain = ParseCliArgs({"--input", "x", "--fds", "f"});
+  ASSERT_TRUE(plain.ok());
+  EXPECT_TRUE(plain.value().repair.columnar);
+  EXPECT_FALSE(
+      ParseCliArgs({"--input", "x", "--fds", "f", "--columnar", "maybe"})
+          .ok());
+}
+
 TEST_F(CliTest, UnknownTauFdNameRejected) {
   auto parsed = ParseCliArgs(
       {"--input", input_path_, "--fds", fds_path_, "--tau-fd",

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/hash.h"
 #include "common/logging.h"
 #include "common/rng.h"
 #include "common/status.h"
@@ -169,6 +170,38 @@ TEST(RngTest, ShufflePreservesElements) {
   std::multiset<int> a(v.begin(), v.end());
   std::multiset<int> b(orig.begin(), orig.end());
   EXPECT_EQ(a, b);
+}
+
+TEST(HashTest, Mix64Avalanches) {
+  // Single-bit input flips must change roughly half the output bits.
+  uint64_t base = HashMix64(0x1234567890abcdefULL);
+  for (int bit = 0; bit < 64; ++bit) {
+    uint64_t flipped = HashMix64(0x1234567890abcdefULL ^ (1ULL << bit));
+    int diff = __builtin_popcountll(base ^ flipped);
+    EXPECT_GT(diff, 12) << "bit " << bit;
+    EXPECT_LT(diff, 52) << "bit " << bit;
+  }
+}
+
+TEST(HashTest, CombineIsOrderSensitive) {
+  size_t ab = HashCombine(HashCombine(0, 17), 42);
+  size_t ba = HashCombine(HashCombine(0, 42), 17);
+  EXPECT_NE(ab, ba);
+}
+
+TEST(HashTest, CombineDispersesLowBitsOfHighBitInputs) {
+  // Collision-shape regression for the old `h ^= e; h *= prime` fold:
+  // that fold is closed under mod 2^k, so element hashes that agree in
+  // their low k bits produce combined hashes that agree in their low k
+  // bits — and unordered_map bucket indices are exactly those low bits.
+  // Feed 256 elements that are identical mod 2^16 and require the
+  // combined hashes to scatter mod 2^16 anyway.
+  std::set<size_t> low_bits;
+  for (uint64_t i = 0; i < 256; ++i) {
+    size_t h = HashCombine(0, static_cast<size_t>(0xbeefULL | (i << 32)));
+    low_bits.insert(h & 0xffff);
+  }
+  EXPECT_GT(low_bits.size(), 250u);
 }
 
 TEST(TimerTest, MeasuresNonNegative) {

@@ -116,5 +116,135 @@ TEST(CsvTest, MissingFileIsIOError) {
   EXPECT_TRUE(result.status().IsIOError());
 }
 
+// ---- Blank records (regression: used to be strict ragged-row errors) ----
+
+TEST(CsvTest, BlankLinesAreSkippedInStrictMode) {
+  // Interior, consecutive, and trailing blank lines are separators,
+  // not zero-field data rows; strict mode used to reject them.
+  Table t =
+      std::move(ReadCsvString("a,b\n\n1,2\n\n\n3,4\n\n")).ValueOrDie();
+  EXPECT_EQ(t.num_rows(), 2);
+  EXPECT_EQ(t.cell(0, 0), Value(1.0));
+  EXPECT_EQ(t.cell(1, 1), Value(4.0));
+}
+
+TEST(CsvTest, BlankLinesDontConsumeDataRowIndices) {
+  // The bad row is the 0-based *data* row 1 ("x"), not the physical
+  // line: blank lines in between must not shift error attribution.
+  CsvOptions options;
+  options.bad_rows = BadRowPolicy::kSkipBadRows;
+  CsvReadReport report;
+  Table t = std::move(ReadCsvString("a,b\n\n1,2\n\nx\n3,4\n", options,
+                                    &report))
+                .ValueOrDie();
+  EXPECT_EQ(t.num_rows(), 2);
+  ASSERT_EQ(report.errors.size(), 1u);
+  EXPECT_EQ(report.errors[0].row, 1u);
+  EXPECT_EQ(report.errors[0].kind, RowErrorKind::kRagged);
+}
+
+TEST(CsvTest, CrlfBlankLinesAreSkippedToo) {
+  Table t = std::move(ReadCsvString("a,b\r\n\r\n1,2\r\n\r\n")).ValueOrDie();
+  EXPECT_EQ(t.num_rows(), 1);
+}
+
+TEST(CsvTest, QuotedEmptyFieldIsARecordNotABlankLine) {
+  // `""` on its own line is one empty (null) field — quoting is how a
+  // writer says "this really is a row".
+  Table t = std::move(ReadCsvString("a\n\"\"\nx\n")).ValueOrDie();
+  ASSERT_EQ(t.num_rows(), 2);
+  EXPECT_TRUE(t.cell(0, 0).is_null());
+  EXPECT_EQ(t.cell(1, 0), Value("x"));
+}
+
+TEST(CsvTest, SingleColumnNullRowsSurviveRoundTrip) {
+  // Regression: a lone null cell used to serialize as an empty line,
+  // which re-reads as a blank separator and drops the row.
+  Table t(Schema({{"a", ValueType::kString}}));
+  ASSERT_TRUE(t.AppendRow({Value()}).ok());
+  ASSERT_TRUE(t.AppendRow({Value("x")}).ok());
+  Table parsed = std::move(ReadCsvString(WriteCsvString(t))).ValueOrDie();
+  ASSERT_EQ(parsed.num_rows(), 2);
+  EXPECT_TRUE(parsed.cell(0, 0).is_null());
+}
+
+// ---- Classic Mac line endings (regression: '\r' was stripped, fusing
+// every record into one giant row) ----
+
+TEST(CsvTest, BareCarriageReturnTerminatesRecords) {
+  Table t = std::move(ReadCsvString("a,b\r1,2\r3,4\r")).ValueOrDie();
+  ASSERT_EQ(t.num_rows(), 2);
+  EXPECT_EQ(t.cell(0, 0), Value(1.0));
+  EXPECT_EQ(t.cell(1, 1), Value(4.0));
+}
+
+TEST(CsvTest, CarriageReturnInsideQuotesIsLiteral) {
+  Table t = std::move(ReadCsvString("a\n\"x\ry\"\n")).ValueOrDie();
+  ASSERT_EQ(t.num_rows(), 1);
+  EXPECT_EQ(t.cell(0, 0), Value("x\ry"));
+}
+
+TEST(CsvTest, MixedTerminatorsParseConsistently) {
+  Table t = std::move(ReadCsvString("a\r\n1\r2\n3\r\n")).ValueOrDie();
+  ASSERT_EQ(t.num_rows(), 3);
+  EXPECT_EQ(t.cell(0, 0), Value(1.0));
+  EXPECT_EQ(t.cell(2, 0), Value(3.0));
+}
+
+// ---- Chunked scanning: every chunking parses identically ----
+
+TEST(CsvTest, ChunkBoundariesInsideQuotesAndEscapesAreInvisible) {
+  // Quotes, "" escapes, CRLF pairs and multi-byte cells all straddle
+  // chunk boundaries when the chunk is one byte.
+  const std::string text =
+      "name,notes\r\n\"Doe, John\",\"said \"\"hi\"\"\"\r\n\"line1\nline2\",last\r\n";
+  Table whole = std::move(ReadCsvString(text)).ValueOrDie();
+  for (size_t chunk : {1u, 2u, 3u, 7u}) {
+    CsvOptions options;
+    options.chunk_bytes = chunk;
+    Table chunked = std::move(ReadCsvString(text, options)).ValueOrDie();
+    ASSERT_EQ(chunked.num_rows(), whole.num_rows()) << "chunk=" << chunk;
+    for (int r = 0; r < whole.num_rows(); ++r) {
+      for (int c = 0; c < whole.num_columns(); ++c) {
+        EXPECT_EQ(chunked.cell(r, c), whole.cell(r, c))
+            << "chunk=" << chunk << " r=" << r << " c=" << c;
+      }
+    }
+  }
+}
+
+// ---- Numeric canonicalization through ingest ----
+
+TEST(CsvTest, NegativeZeroCellEqualsPositiveZero) {
+  // Regression: "-0" parsed to IEEE -0.0, which compared == to 0.0 but
+  // hashed differently, splitting dictionary/pattern groups that the
+  // equality-based solvers then merged — an invariant violation.
+  Table t = std::move(ReadCsvString("a,b\n-0,p\n0,q\n0.0,r\n")).ValueOrDie();
+  ASSERT_EQ(t.schema().column(0).type, ValueType::kNumber);
+  EXPECT_EQ(t.cell(0, 0), t.cell(1, 0));
+  EXPECT_EQ(t.cell(0, 0).Hash(), t.cell(1, 0).Hash());
+  // All three spellings intern to one dictionary code.
+  EXPECT_EQ(t.code(0, 0), t.code(1, 0));
+  EXPECT_EQ(t.code(0, 0), t.code(2, 0));
+}
+
+// ---- Truncated file reads (regression: silently parsed the prefix) ----
+
+TEST(CsvTest, TruncatedFileReadIsIOErrorNotSilentPrefix) {
+  Table original = testing_util::CitizensDirty();
+  std::string path = ::testing::TempDir() + "/ftrepair_csv_trunc.csv";
+  ASSERT_TRUE(WriteCsvFile(original, path).ok());
+  {
+    testing_util::ScopedEnv fault("FTREPAIR_FAULT_CSV_IO_AFTER_BYTES", "10");
+    auto result = ReadCsvFile(path);
+    ASSERT_FALSE(result.ok());
+    EXPECT_TRUE(result.status().IsIOError());
+    EXPECT_NE(result.status().message().find("I/O error"), std::string::npos);
+  }
+  // Seam disarmed: the same file reads fine.
+  EXPECT_TRUE(ReadCsvFile(path).ok());
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace ftrepair

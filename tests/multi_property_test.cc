@@ -40,7 +40,7 @@ struct Instance {
       int c = static_cast<int>(rng.Index(3));
       int e = static_cast<int>(rng.Index(static_cast<size_t>(entities)));
       const char* prefix = c == 0 ? "aa" : c == 1 ? "bb" : "cc";
-      *table.mutable_cell(r, c) = Value(prefix + std::to_string(e));
+      table.SetCell(r, c, Value(prefix + std::to_string(e)));
     }
   }
 };

@@ -54,7 +54,9 @@ TEST(PatternTest, EmptyRowsGiveNoPatterns) {
 }
 
 TEST(PatternTest, ToStringShowsValuesAndCount) {
-  Pattern p{{Value("Boston"), Value("MA")}, {4, 7}};
+  Pattern p;
+  p.values = {Value("Boston"), Value("MA")};
+  p.rows = {4, 7};
   EXPECT_EQ(p.ToString(), "(Boston, MA) x2");
 }
 

@@ -82,7 +82,7 @@ TEST(RepairerTest, ChangesListMatchesTableDiff) {
   Table replay = dirty;
   for (const CellChange& change : result.changes) {
     EXPECT_EQ(replay.cell(change.row, change.col), change.old_value);
-    *replay.mutable_cell(change.row, change.col) = change.new_value;
+    replay.SetCell(change.row, change.col, change.new_value);
   }
   for (int r = 0; r < dirty.num_rows(); ++r) {
     for (int c = 0; c < dirty.num_columns(); ++c) {

@@ -50,7 +50,7 @@ TEST(TableTest, CellAccessAndMutation) {
   EXPECT_EQ(t.num_columns(), 7);
   EXPECT_EQ(t.cell(0, 0), Value("Janaina"));
   EXPECT_EQ(t.cell(5, 1), Value("Masers"));
-  *t.mutable_cell(5, 1) = Value("Masters");
+  t.SetCell(5, 1, Value("Masters"));
   EXPECT_EQ(t.cell(5, 1), Value("Masters"));
 }
 
@@ -90,7 +90,7 @@ TEST(TableTest, HeadTruncatesAndCopies) {
   // Beyond size: full copy.
   EXPECT_EQ(t.Head(100).num_rows(), 10);
   // Mutating the head must not touch the original.
-  *head.mutable_cell(0, 0) = Value("X");
+  head.SetCell(0, 0, Value("X"));
   EXPECT_EQ(t.cell(0, 0), Value("Janaina"));
 }
 

@@ -2,6 +2,7 @@
 #define FTREPAIR_TESTS_TEST_UTIL_H_
 
 #include <cctype>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -12,6 +13,19 @@
 
 namespace ftrepair {
 namespace testing_util {
+
+/// Scoped setenv/unsetenv so a failing assertion cannot leak a fault
+/// seam into later tests.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const std::string& value) : name_(name) {
+    setenv(name, value.c_str(), 1);
+  }
+  ~ScopedEnv() { unsetenv(name_); }
+
+ private:
+  const char* name_;
+};
 
 /// Schema of the paper's running example (Table 1): US citizens.
 inline Schema CitizensSchema() {
@@ -105,7 +119,7 @@ inline Table RandomFDTable(int num_rows, int num_cols, int num_keys,
     Value v = c == 0 ? Value("key" + std::to_string(key))
                      : Value("val" + std::to_string(key) + "c" +
                              std::to_string(c));
-    *table.mutable_cell(r, c) = v;
+    table.SetCell(r, c, v);
   }
   return table;
 }

@@ -1,3 +1,5 @@
+#include <cmath>
+#include <limits>
 #include <unordered_set>
 
 #include <gtest/gtest.h>
@@ -67,6 +69,40 @@ TEST(ValueTest, HashConsistentWithEquality) {
   EXPECT_EQ(Value(1.5).Hash(), Value(1.5).Hash());
   // "3" as string and 3 as number must hash differently (type-tagged).
   EXPECT_NE(Value("3").Hash(), Value(3.0).Hash());
+}
+
+TEST(ValueTest, NegativeZeroCanonicalizesToPositiveZero) {
+  // Regression: IEEE -0.0 == 0.0 but their bit patterns differ, so a
+  // byte-based hash split them into distinct buckets while equality
+  // merged them — breaking the hash/equality contract every dictionary
+  // and pattern-grouping map depends on.
+  Value neg(-0.0);
+  Value pos(0.0);
+  EXPECT_EQ(neg, pos);
+  EXPECT_EQ(neg.Hash(), pos.Hash());
+  EXPECT_FALSE(std::signbit(neg.num()));
+  EXPECT_EQ(neg.ToString(), pos.ToString());
+  std::unordered_set<Value, ValueHash> set;
+  set.insert(neg);
+  EXPECT_EQ(set.count(pos), 1u);
+  // Parsing "-0" (e.g. a CSV cell) canonicalizes too.
+  EXPECT_EQ(Value::Parse("-0", ValueType::kNumber).Hash(), pos.Hash());
+}
+
+TEST(ValueTest, NaNValuesAreSelfEqualAndHashable) {
+  // NaN != NaN under IEEE; as a *key* that would make a NaN Value
+  // unfindable in any container that stored it. Values canonicalize
+  // every NaN to one quiet NaN and compare it equal to itself.
+  Value a(std::numeric_limits<double>::quiet_NaN());
+  Value b(-std::numeric_limits<double>::signaling_NaN());
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+  std::unordered_set<Value, ValueHash> set;
+  set.insert(a);
+  EXPECT_EQ(set.count(b), 1u);
+  // NaN sorts after every other number, deterministically.
+  EXPECT_TRUE(Value(1e300) < a);
+  EXPECT_FALSE(a < a);
 }
 
 TEST(ValueTest, HashDispersesInContainers) {

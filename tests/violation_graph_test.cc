@@ -88,7 +88,10 @@ TEST(ViolationGraphTest, IdenticalProjectionsNeverEdge) {
   for (int r = 0; r < t.num_rows(); ++r) {
     std::vector<Value> proj;
     for (int c : fds[0].attrs()) proj.push_back(t.cell(r, c));
-    per_row.push_back(Pattern{std::move(proj), {r}});
+    Pattern p;
+    p.values = std::move(proj);
+    p.rows.push_back(r);
+    per_row.push_back(std::move(p));
   }
   ViolationGraph g = ViolationGraph::Build(std::move(per_row), fds[0], model,
                                            FTOptions{0.5, 0.5, 0.35});

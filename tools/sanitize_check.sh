@@ -47,7 +47,7 @@ if [[ "${mode}" == "thread" ]]; then
   # shared-memory-budget charging (the chaos/ladder sweeps), and the
   # relaxed-atomic metrics/trace registries.
   ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)" \
-    -R 'ThreadPool|Parallel|ViolationGraph|BlockIndex|Detector|Budget|Metrics|Trace|Repairer|Greedy|Expansion|Multi|TargetTree|Trusted|Chaos|Memory|Ladder|Provenance|ExplainReport|AuditLog'
+    -R 'ThreadPool|Parallel|ViolationGraph|BlockIndex|Detector|Budget|Metrics|Trace|Repairer|Greedy|Expansion|Multi|TargetTree|Trusted|Chaos|Memory|Ladder|Provenance|ExplainReport|AuditLog|Columnar|StreamingIngest'
 else
   export ASAN_OPTIONS="detect_leaks=1:abort_on_error=1"
   export UBSAN_OPTIONS="print_stacktrace=1"
