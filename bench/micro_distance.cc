@@ -1,14 +1,31 @@
 // Micro-benchmarks of the distance kernels everything else is built on
 // (google-benchmark).
+//
+// The kernel A/B suites (BM_*Kernel*) drive the fixed entry points of
+// both edit-distance kernels — scalar banded DP vs Myers bit-parallel
+// — across string lengths straddling the one-word/multi-word boundary,
+// plus the detect phase end-to-end under either kernel and a thread
+// sweep for the multi-core protocol (tools/bench_multicore.sh records
+// these into BENCH_distance_kernels.json). Kernel arg convention:
+// 0 = scalar, 1 = bitparallel.
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include <benchmark/benchmark.h>
 
 #include "common/rng.h"
+#include "detect/block_index.h"
+#include "detect/pattern.h"
+#include "detect/violation_graph.h"
+#include "gen/error_injector.h"
+#include "gen/hosp_gen.h"
 #include "metric/distance.h"
 
 namespace {
+
+using namespace ftrepair;
 
 std::string RandomString(ftrepair::Rng* rng, size_t len) {
   std::string s;
@@ -16,6 +33,16 @@ std::string RandomString(ftrepair::Rng* rng, size_t len) {
     s += static_cast<char>('a' + rng->Index(26));
   }
   return s;
+}
+
+// `a` with a few random byte edits: realistic near-duplicate pairs so
+// bounded kernels see small true distances, not the ~len of two
+// independent random strings.
+std::string Mutate(ftrepair::Rng* rng, std::string a, int edits) {
+  for (int i = 0; i < edits && !a.empty(); ++i) {
+    a[rng->Index(a.size())] = static_cast<char>('a' + rng->Index(26));
+  }
+  return a;
 }
 
 void BM_EditDistance(benchmark::State& state) {
@@ -58,6 +85,175 @@ void BM_TokenJaccard(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TokenJaccard);
+
+// ---- Kernel A/B: scalar vs bit-parallel -----------------------------
+
+void BM_EditDistanceKernel(benchmark::State& state) {
+  ftrepair::Rng rng(1);
+  size_t len = static_cast<size_t>(state.range(0));
+  bool bitparallel = state.range(1) != 0;
+  std::string a = RandomString(&rng, len);
+  std::string b = Mutate(&rng, a, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bitparallel ? EditDistanceBitParallel(a, b)
+                                         : EditDistanceScalar(a, b));
+  }
+}
+BENCHMARK(BM_EditDistanceKernel)
+    ->ArgsProduct({{8, 16, 32, 63, 64, 65, 128, 256}, {0, 1}});
+
+void BM_BoundedEditDistanceKernel(benchmark::State& state) {
+  ftrepair::Rng rng(1);
+  size_t len = static_cast<size_t>(state.range(0));
+  size_t cap = static_cast<size_t>(state.range(1));
+  bool bitparallel = state.range(2) != 0;
+  std::string a = RandomString(&rng, len);
+  std::string b = Mutate(&rng, a, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bitparallel
+                                 ? BoundedEditDistanceBitParallel(a, b, cap)
+                                 : BoundedEditDistanceScalar(a, b, cap));
+  }
+}
+BENCHMARK(BM_BoundedEditDistanceKernel)
+    ->ArgsProduct({{8, 16, 64, 128}, {1, 3, 8}, {0, 1}});
+
+// ---- Scratch-row fix: per-call allocation vs thread-local reuse -----
+
+// The pre-fix scalar kernel, verbatim: a fresh heap row per call.
+// Kept here (not in the library) so the allocation cost stays measured.
+size_t EditDistanceAllocRow(std::string_view a, std::string_view b) {
+  if (a.size() < b.size()) std::swap(a, b);
+  if (b.empty()) return a.size();
+  std::vector<size_t> row(b.size() + 1);
+  for (size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (size_t i = 1; i <= a.size(); ++i) {
+    size_t diag = row[0];
+    row[0] = i;
+    for (size_t j = 1; j <= b.size(); ++j) {
+      size_t above = row[j];
+      size_t sub = diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+      row[j] = std::min({above + 1, row[j - 1] + 1, sub});
+      diag = above;
+    }
+  }
+  return row[b.size()];
+}
+
+void BM_EditDistanceRowAlloc(benchmark::State& state) {
+  ftrepair::Rng rng(1);
+  size_t len = static_cast<size_t>(state.range(0));
+  bool scratch = state.range(1) != 0;  // 0 = per-call alloc, 1 = thread-local
+  std::string a = RandomString(&rng, len);
+  std::string b = Mutate(&rng, a, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scratch ? EditDistanceScalar(a, b)
+                                     : EditDistanceAllocRow(a, b));
+  }
+}
+BENCHMARK(BM_EditDistanceRowAlloc)->ArgsProduct({{8, 16, 64}, {0, 1}});
+
+// ---- SIMD bigram screen vs scalar reference -------------------------
+
+void BM_ScreenSharedCounts(benchmark::State& state) {
+  ftrepair::Rng rng(3);
+  int n = static_cast<int>(state.range(0));
+  bool simd = state.range(1) != 0;
+  const uint32_t threshold = 4;
+  std::vector<uint32_t> counts(static_cast<size_t>(n));
+  for (uint32_t& c : counts) {
+    c = static_cast<uint32_t>(rng.Uniform(2 * threshold + 2));
+  }
+  std::vector<int> out;
+  out.reserve(counts.size());
+  for (auto _ : state) {
+    out.clear();
+    if (simd) {
+      ScreenSharedCounts(counts.data(), n, threshold, &out);
+    } else {
+      ScreenSharedCountsScalar(counts.data(), n, threshold, &out);
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_ScreenSharedCounts)->ArgsProduct({{64, 1024, 16384}, {0, 1}});
+
+// ---- Detect phase under either kernel (50k-row HOSP) ----------------
+
+constexpr int kMaxRows = 50000;
+
+const Dataset& SharedDataset() {
+  static const Dataset* kDataset = new Dataset(
+      std::move(GenerateHosp({.num_rows = kMaxRows, .seed = 7}))
+          .ValueOrDie());
+  return *kDataset;
+}
+
+const Table& DirtyTable() {
+  static const Table* kTable = [] {
+    NoiseOptions noise;
+    noise.error_rate = 0.04;
+    return new Table(std::move(InjectErrors(SharedDataset().clean,
+                                            SharedDataset().fds, noise,
+                                            nullptr))
+                         .ValueOrDie());
+  }();
+  return *kTable;
+}
+
+// Process-wide kernel pin for the pipeline benches, restored on exit.
+class ScopedKernel {
+ public:
+  explicit ScopedKernel(bool bitparallel) {
+    SetDistanceKernel(bitparallel ? DistanceKernel::kBitParallel
+                                  : DistanceKernel::kScalar);
+  }
+  ~ScopedKernel() { SetDistanceKernel(DistanceKernel::kAuto); }
+};
+
+// End-to-end detect phase (grouping + graph build) over every HOSP FD
+// — the workload `--distance-kernel` actually moves.
+void BM_DetectPhaseKernel(benchmark::State& state) {
+  const Dataset& ds = SharedDataset();
+  Table slice = DirtyTable().Head(static_cast<int>(state.range(0)));
+  ScopedKernel kernel(state.range(1) != 0);
+  DistanceModel model(slice);
+  for (auto _ : state) {
+    uint64_t edges = 0;
+    for (const FD& fd : ds.fds) {
+      FTOptions opts{ds.recommended_w_l, ds.recommended_w_r,
+                     ds.recommended_tau.at(fd.name())};
+      std::vector<Pattern> patterns = BuildPatterns(slice, fd.attrs(), true);
+      edges += ViolationGraph::Build(patterns, fd, model, opts).num_edges();
+    }
+    benchmark::DoNotOptimize(edges);
+  }
+}
+BENCHMARK(BM_DetectPhaseKernel)
+    ->ArgsProduct({{10000, kMaxRows}, {0, 1}})
+    ->Unit(benchmark::kMillisecond);
+
+// Thread-scaling curve of the graph build under either kernel: the
+// multi-core protocol's payload (single-core boxes record a flat
+// curve; bench_multicore.sh refuses to record it — see
+// docs/PERFORMANCE.md, "Measuring on multiple cores").
+void BM_ViolationGraphKernelThreads(benchmark::State& state) {
+  const Dataset& ds = SharedDataset();
+  Table slice = DirtyTable().Head(kMaxRows);
+  ScopedKernel kernel(state.range(1) != 0);
+  const FD& fd = ds.fds[2];  // ZipCode -> City
+  DistanceModel model(slice);
+  FTOptions opts{ds.recommended_w_l, ds.recommended_w_r,
+                 ds.recommended_tau.at(fd.name())};
+  opts.threads = static_cast<int>(state.range(0));
+  std::vector<Pattern> patterns = BuildPatterns(slice, fd.attrs(), true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ViolationGraph::Build(patterns, fd, model, opts));
+  }
+}
+BENCHMARK(BM_ViolationGraphKernelThreads)
+    ->ArgsProduct({{1, 2, 4, 8}, {0, 1}})
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -65,6 +65,11 @@ Options:
                       per-pair distance memoization); purely a speed
                       knob — either setting yields bit-identical
                       repairs                       (default: on)
+  --distance-kernel K auto | scalar | bitparallel: edit-distance
+                      implementation (scalar banded DP vs Myers'
+                      bit-parallel); auto = bitparallel. A/B knob —
+                      every kernel yields bit-identical repairs
+                                                    (default: auto)
   --verbose           print every cell change
   --summary           print changes aggregated by (column, old, new)
   --help              this text
@@ -211,6 +216,12 @@ Result<CliOptions> ParseCliArgs(const std::vector<std::string>& args) {
       } else {
         return Status::InvalidArgument("unknown --detect-index '" + name +
                                        "' (auto | allpairs | blocked)");
+      }
+    } else if (arg == "--distance-kernel") {
+      FTR_ASSIGN_OR_RETURN(std::string name, next());
+      if (!ParseDistanceKernel(name, &options.distance_kernel)) {
+        return Status::InvalidArgument("unknown --distance-kernel '" + name +
+                                       "' (want auto | scalar | bitparallel)");
       }
     } else if (arg == "--columnar") {
       FTR_ASSIGN_OR_RETURN(std::string mode, next());
@@ -651,6 +662,7 @@ Status RunCli(const CliOptions& options, std::ostream& out) {
     return Status::OK();
   }
   if (options.log_level_set) SetLogLevel(options.log_level);
+  SetDistanceKernel(options.distance_kernel);
   const bool tracing = !options.trace_json_path.empty();
   if (tracing) Tracer::Instance().Enable();
   Status status = RunCliInner(options, out);

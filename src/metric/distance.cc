@@ -1,7 +1,10 @@
 #include "metric/distance.h"
 
 #include <algorithm>
+#include <array>
+#include <atomic>
 #include <cmath>
+#include <cstdint>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -9,10 +12,237 @@
 
 namespace ftrepair {
 
+namespace {
+
+std::atomic<DistanceKernel> g_distance_kernel{DistanceKernel::kAuto};
+
+// Scratch row of the scalar DP kernels. Thread-local so the detect
+// hot loop never heap-allocates per call and concurrent builders never
+// share state (TSan-clean by construction).
+std::vector<size_t>& ScalarRow() {
+  thread_local std::vector<size_t> row;
+  return row;
+}
+
+// Thread-local state of the Myers kernels. Invariant between calls:
+// `peq1` and `peqw` are all-zero — each call records the pattern bytes
+// it sets in `touched` and zeroes exactly those entries before
+// returning, so a fresh call never reads a stale mask for a text byte
+// absent from its own pattern (which would corrupt EQ lookups), and
+// the multi-word table survives stride (word-count) changes between
+// calls without a full wipe.
+struct MyersScratch {
+  std::array<uint64_t, 256> peq1;       // single-word PEQ
+  std::vector<uint64_t> peqw;           // multi-word PEQ, peqw[c * words + w]
+  std::array<bool, 256> seen;           // multi-word dedup of touched bytes
+  std::vector<unsigned char> touched;   // pattern bytes set this call
+  std::vector<uint64_t> vp;             // multi-word vertical deltas
+  std::vector<uint64_t> vn;
+  MyersScratch() {
+    peq1.fill(0);
+    seen.fill(false);
+  }
+};
+
+MyersScratch& Myers() {
+  thread_local MyersScratch scratch;
+  return scratch;
+}
+
+// One-word Myers/Hyyrö kernel: pattern rows live in one 64-bit word
+// (m <= 64), the text is consumed column by column. Requires
+// 1 <= pattern.size() <= 64, pattern.size() <= text.size(), and
+// cap <= text.size() (callers clamp, which also rules out overflow in
+// the early-exit arithmetic). Returns min(exact distance, cap + 1).
+size_t MyersOneWord(std::string_view text, std::string_view pattern,
+                    size_t cap) {
+  MyersScratch& s = Myers();
+  const size_t m = pattern.size();
+  const size_t n = text.size();
+  s.touched.clear();
+  for (size_t r = 0; r < m; ++r) {
+    unsigned char c = static_cast<unsigned char>(pattern[r]);
+    if (s.peq1[c] == 0) s.touched.push_back(c);
+    s.peq1[c] |= uint64_t{1} << r;
+  }
+  uint64_t vp = m == 64 ? ~uint64_t{0} : (uint64_t{1} << m) - 1;
+  uint64_t vn = 0;
+  size_t score = m;
+  const uint64_t hibit = uint64_t{1} << (m - 1);
+  size_t result = 0;
+  bool clipped = false;
+  for (size_t j = 0; j < n; ++j) {
+    uint64_t eq = s.peq1[static_cast<unsigned char>(text[j])];
+    uint64_t x = eq | vn;
+    uint64_t d0 = (((eq & vp) + vp) ^ vp) | x;
+    uint64_t hp = vn | ~(d0 | vp);
+    uint64_t hn = d0 & vp;
+    if (hp & hibit) {
+      ++score;
+    } else if (hn & hibit) {
+      --score;
+    }
+    hp = (hp << 1) | 1;  // the shift-in encodes the D[0][j] = j boundary
+    hn <<= 1;
+    vp = hn | ~(d0 | hp);
+    vn = d0 & hp;
+    // The final score is reached from here by at most one decrement
+    // per remaining column, so a score this far above cap cannot
+    // recover: clip now.
+    if (score > cap + (n - 1 - j)) {
+      result = cap + 1;
+      clipped = true;
+      break;
+    }
+  }
+  if (!clipped) result = score <= cap ? score : cap + 1;
+  for (unsigned char c : s.touched) s.peq1[c] = 0;
+  return result;
+}
+
+// Multi-word Myers kernel for patterns above 64 rows: blocks of 64
+// rows each, carries flow strictly upward between blocks — the
+// addition carry via two-step overflow detection, the HP/HN shift
+// carries via the top bit of the block below (block 0 shifts in the
+// D[0][j] = j boundary). Bits above row m-1 in the top block start as
+// garbage and stay there harmlessly: no recurrence moves information
+// downward. Same contract as MyersOneWord.
+size_t MyersMultiWord(std::string_view text, std::string_view pattern,
+                      size_t cap) {
+  MyersScratch& s = Myers();
+  const size_t m = pattern.size();
+  const size_t n = text.size();
+  const size_t words = (m + 63) / 64;
+  if (s.peqw.size() < words * 256) s.peqw.resize(words * 256, 0);
+  s.touched.clear();
+  for (size_t r = 0; r < m; ++r) {
+    unsigned char c = static_cast<unsigned char>(pattern[r]);
+    if (!s.seen[c]) {
+      s.seen[c] = true;
+      s.touched.push_back(c);
+    }
+    s.peqw[c * words + r / 64] |= uint64_t{1} << (r % 64);
+  }
+  s.vp.assign(words, ~uint64_t{0});
+  s.vn.assign(words, 0);
+  size_t score = m;
+  const size_t last = words - 1;
+  const unsigned hi_shift = static_cast<unsigned>((m - 1) % 64);
+  size_t result = 0;
+  bool clipped = false;
+  for (size_t j = 0; j < n; ++j) {
+    const uint64_t* eq_row =
+        &s.peqw[static_cast<size_t>(static_cast<unsigned char>(text[j])) *
+                words];
+    uint64_t add_carry = 0;
+    uint64_t hp_in = 1;  // block 0 shifts in the D[0][j] = j boundary
+    uint64_t hn_in = 0;
+    for (size_t w = 0; w < words; ++w) {
+      uint64_t eq = eq_row[w];
+      uint64_t pv = s.vp[w];
+      uint64_t mv = s.vn[w];
+      uint64_t x = eq | mv;
+      uint64_t ep = eq & pv;
+      uint64_t sum = ep + pv;
+      uint64_t c1 = sum < ep ? 1 : 0;
+      uint64_t sum2 = sum + add_carry;
+      uint64_t c2 = sum2 < sum ? 1 : 0;
+      add_carry = c1 | c2;  // both carries cannot fire on one word
+      uint64_t d0 = (sum2 ^ pv) | x;
+      uint64_t hp = mv | ~(d0 | pv);
+      uint64_t hn = d0 & pv;
+      if (w == last) {
+        score += (hp >> hi_shift) & 1;
+        score -= (hn >> hi_shift) & 1;
+      }
+      uint64_t hp_sh = (hp << 1) | hp_in;
+      uint64_t hn_sh = (hn << 1) | hn_in;
+      hp_in = hp >> 63;
+      hn_in = hn >> 63;
+      s.vp[w] = hn_sh | ~(d0 | hp_sh);
+      s.vn[w] = d0 & hp_sh;
+    }
+    if (score > cap + (n - 1 - j)) {
+      result = cap + 1;
+      clipped = true;
+      break;
+    }
+  }
+  if (!clipped) result = score <= cap ? score : cap + 1;
+  for (unsigned char c : s.touched) {
+    s.seen[c] = false;
+    std::fill_n(s.peqw.begin() + static_cast<ptrdiff_t>(c * words), words,
+                uint64_t{0});
+  }
+  return result;
+}
+
+// Dispatch on pattern width. `text` must be the longer string and
+// `pattern` non-empty; `cap <= text.size()`.
+size_t MyersBounded(std::string_view text, std::string_view pattern,
+                    size_t cap) {
+  return pattern.size() <= 64 ? MyersOneWord(text, pattern, cap)
+                              : MyersMultiWord(text, pattern, cap);
+}
+
+}  // namespace
+
+void SetDistanceKernel(DistanceKernel kernel) {
+  g_distance_kernel.store(kernel, std::memory_order_relaxed);
+}
+
+DistanceKernel ConfiguredDistanceKernel() {
+  return g_distance_kernel.load(std::memory_order_relaxed);
+}
+
+DistanceKernel EffectiveDistanceKernel() {
+  DistanceKernel k = ConfiguredDistanceKernel();
+  return k == DistanceKernel::kAuto ? DistanceKernel::kBitParallel : k;
+}
+
+const char* DistanceKernelName(DistanceKernel kernel) {
+  switch (kernel) {
+    case DistanceKernel::kScalar:
+      return "scalar";
+    case DistanceKernel::kBitParallel:
+      return "bitparallel";
+    case DistanceKernel::kAuto:
+      break;
+  }
+  return "auto";
+}
+
+bool ParseDistanceKernel(std::string_view name, DistanceKernel* out) {
+  if (name == "auto") {
+    *out = DistanceKernel::kAuto;
+  } else if (name == "scalar") {
+    *out = DistanceKernel::kScalar;
+  } else if (name == "bitparallel") {
+    *out = DistanceKernel::kBitParallel;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 size_t EditDistance(std::string_view a, std::string_view b) {
+  return EffectiveDistanceKernel() == DistanceKernel::kScalar
+             ? EditDistanceScalar(a, b)
+             : EditDistanceBitParallel(a, b);
+}
+
+size_t BoundedEditDistance(std::string_view a, std::string_view b,
+                           size_t cap) {
+  return EffectiveDistanceKernel() == DistanceKernel::kScalar
+             ? BoundedEditDistanceScalar(a, b, cap)
+             : BoundedEditDistanceBitParallel(a, b, cap);
+}
+
+size_t EditDistanceScalar(std::string_view a, std::string_view b) {
   if (a.size() < b.size()) std::swap(a, b);  // b is the shorter
   if (b.empty()) return a.size();
-  std::vector<size_t> row(b.size() + 1);
+  std::vector<size_t>& row = ScalarRow();
+  row.resize(b.size() + 1);
   for (size_t j = 0; j <= b.size(); ++j) row[j] = j;
   for (size_t i = 1; i <= a.size(); ++i) {
     size_t diag = row[0];
@@ -27,13 +257,18 @@ size_t EditDistance(std::string_view a, std::string_view b) {
   return row[b.size()];
 }
 
-size_t BoundedEditDistance(std::string_view a, std::string_view b,
-                           size_t cap) {
+size_t BoundedEditDistanceScalar(std::string_view a, std::string_view b,
+                                 size_t cap) {
   if (a.size() < b.size()) std::swap(a, b);
   if (a.size() - b.size() > cap) return cap + 1;
+  // A cap at or above the longer length never clips (the distance is
+  // at most max(len)): the unbounded kernel is both cheaper and immune
+  // to the cap + 1 sentinel wrapping on huge caps.
+  if (cap >= a.size()) return EditDistanceScalar(a, b);
   if (b.empty()) return a.size();
   const size_t kInf = cap + 1;
-  std::vector<size_t> row(b.size() + 1, kInf);
+  std::vector<size_t>& row = ScalarRow();
+  row.assign(b.size() + 1, kInf);
   for (size_t j = 0; j <= std::min(b.size(), cap); ++j) row[j] = j;
   for (size_t i = 1; i <= a.size(); ++i) {
     // Band: only columns with |i - j| <= cap can stay <= cap.
@@ -68,6 +303,26 @@ size_t BoundedEditDistance(std::string_view a, std::string_view b,
   return std::min(row[b.size()], kInf);
 }
 
+size_t EditDistanceBitParallel(std::string_view a, std::string_view b) {
+  if (a.size() < b.size()) std::swap(a, b);  // a = text, b = pattern
+  if (b.empty()) return a.size();
+  // cap = text length never clips: the distance is at most a.size().
+  return MyersBounded(a, b, a.size());
+}
+
+size_t BoundedEditDistanceBitParallel(std::string_view a, std::string_view b,
+                                      size_t cap) {
+  if (a.size() < b.size()) std::swap(a, b);
+  if (a.size() - b.size() > cap) return cap + 1;
+  if (b.empty()) return a.size();
+  // Clamping to the text length keeps the kernel's early-exit
+  // arithmetic overflow-free and never changes the result: a cap at or
+  // above max(len) cannot clip, so the clamped run returns the exact
+  // distance, which is <= cap.
+  size_t eff_cap = std::min(cap, a.size());
+  return MyersBounded(a, b, eff_cap);
+}
+
 double NormalizedEditDistance(std::string_view a, std::string_view b) {
   size_t max_len = std::max(a.size(), b.size());
   if (max_len == 0) return 0.0;
@@ -83,13 +338,18 @@ double EditDistanceLengthLowerBound(size_t len_a, size_t len_b) {
 }
 
 double TokenJaccardDistance(std::string_view a, std::string_view b) {
-  auto tokenize = [](std::string_view s) {
+  // Locale-independent whitespace (isspace would be UB on high bytes).
+  auto is_space = [](char c) {
+    return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f' ||
+           c == '\v';
+  };
+  auto tokenize = [&is_space](std::string_view s) {
     std::unordered_set<std::string> tokens;
     size_t i = 0;
     while (i < s.size()) {
-      while (i < s.size() && s[i] == ' ') ++i;
+      while (i < s.size() && is_space(s[i])) ++i;
       size_t start = i;
-      while (i < s.size() && s[i] != ' ') ++i;
+      while (i < s.size() && !is_space(s[i])) ++i;
       if (i > start) tokens.emplace(s.substr(start, i - start));
     }
     return tokens;

@@ -1,0 +1,371 @@
+// Distance-kernel equivalence suite.
+//
+// The edit-distance kernels (scalar banded DP, Myers bit-parallel
+// one-word and multi-word) are interchangeable speed layers: every
+// kernel must return the same integer on every input, including the
+// BoundedEditDistance `cap + 1` sentinel. The fuzz harness here drives
+// random byte strings — high bytes and embedded NULs included, so
+// signed-char PEQ indexing can never land — across lengths straddling
+// the one-word/multi-word boundary {0, 1, 63, 64, 65, 128} and caps
+// {0, 1, len-1, len, huge}, asserting
+//
+//   BoundedEditDistance(a, b, cap) == min(EditDistance(a, b), cap + 1)
+//
+// for every kernel and scalar == bitparallel throughout. The repair
+// grid then fingerprints entire RepairResults across
+// {kernel} x {solver} x {threads} on Citizens/HOSP/Tax/random, the
+// same bit-identity oracle the columnar suite uses. The SIMD screen
+// of the blocking index gets the same treatment against its scalar
+// reference.
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "constraint/fd_parser.h"
+#include "core/repairer.h"
+#include "data/csv.h"
+#include "common/strings.h"
+#include "detect/block_index.h"
+#include "gen/error_injector.h"
+#include "gen/hosp_gen.h"
+#include "gen/tax_gen.h"
+#include "metric/distance.h"
+#include "test_util.h"
+
+namespace ftrepair {
+namespace {
+
+using testing_util::CitizensDirty;
+using testing_util::CitizensFDs;
+using testing_util::RandomFDTable;
+
+constexpr size_t kHugeCap = std::numeric_limits<size_t>::max();
+
+// Restores the process-wide kernel setting on scope exit so a failing
+// assertion cannot leak a fixed kernel into later tests.
+class ScopedKernel {
+ public:
+  explicit ScopedKernel(DistanceKernel kernel) { SetDistanceKernel(kernel); }
+  ~ScopedKernel() { SetDistanceKernel(DistanceKernel::kAuto); }
+};
+
+std::string RandomBytes(Rng* rng, size_t len, bool full_alphabet) {
+  std::string s;
+  s.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    if (full_alphabet) {
+      // Full byte range: exercises high bytes (>= 0x80) and NULs.
+      s.push_back(static_cast<char>(rng->Uniform(256)));
+    } else {
+      // Tiny alphabet: forces interesting match structure.
+      s.push_back(static_cast<char>('a' + rng->Uniform(3)));
+    }
+  }
+  return s;
+}
+
+// All four kernel entry points on one (a, b, cap) triple.
+void ExpectKernelsAgree(const std::string& a, const std::string& b,
+                        size_t cap) {
+  size_t exact = EditDistanceScalar(a, b);
+  ASSERT_EQ(EditDistanceBitParallel(a, b), exact)
+      << "len_a=" << a.size() << " len_b=" << b.size();
+  size_t expected = exact <= cap ? exact : cap + 1;
+  ASSERT_EQ(BoundedEditDistanceScalar(a, b, cap), expected)
+      << "len_a=" << a.size() << " len_b=" << b.size() << " cap=" << cap;
+  ASSERT_EQ(BoundedEditDistanceBitParallel(a, b, cap), expected)
+      << "len_a=" << a.size() << " len_b=" << b.size() << " cap=" << cap;
+}
+
+class DistanceKernelFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DistanceKernelFuzzTest, BoundedMatchesMinOfExactForEveryKernel) {
+  Rng rng(GetParam() * 7919 + 1);
+  // Lengths straddling the one-word/multi-word boundary, plus deeper
+  // multi-word shapes (128 -> 2 words, 193 -> 4, 300 -> 5).
+  const size_t lengths[] = {0, 1, 2, 7, 31, 63, 64, 65, 66, 100, 128, 193, 300};
+  for (size_t len_a : lengths) {
+    for (int rep = 0; rep < 4; ++rep) {
+      bool full = rep % 2 == 0;
+      size_t len_b = rng.Uniform(static_cast<uint64_t>(len_a) + 4);
+      std::string a = RandomBytes(&rng, len_a, full);
+      std::string b = RandomBytes(&rng, len_b, full);
+      // Correlated pair: mutate a few positions of `a` so small true
+      // distances (where the cap semantics bite) actually occur.
+      if (len_a > 0 && rep % 2 == 1) {
+        b = a;
+        for (int m = 0; m < 3 && !b.empty(); ++m) {
+          b[rng.Index(b.size())] = static_cast<char>(rng.Uniform(256));
+        }
+      }
+      size_t len = std::max(a.size(), b.size());
+      std::vector<size_t> caps = {0, 1, len, len + 3, kHugeCap,
+                                  rng.Uniform(static_cast<uint64_t>(len) + 2)};
+      if (len > 0) caps.push_back(len - 1);
+      for (size_t cap : caps) {
+        ExpectKernelsAgree(a, b, cap);
+        if (::testing::Test::HasFatalFailure()) return;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DistanceKernelFuzzTest,
+                         ::testing::Range(uint64_t{1}, uint64_t{9}));
+
+TEST(DistanceKernelTest, HighByteAndEmbeddedNulStrings) {
+  // PEQ tables must index by unsigned char: these inputs make a
+  // signed-char index negative (0xe9, 0xc3, 0xa9) or zero ('\0').
+  std::string nul_a("a\0b", 3);
+  std::string nul_b("a\0c", 3);
+  std::string nul_run("\0\0\0", 3);
+  struct Case {
+    std::string a, b;
+    size_t expected;
+  };
+  const Case cases[] = {
+      {"caf\xc3\xa9", "cafe", 2},          // UTF-8 é vs e
+      {"\xe9\xe9\xe9", "\xe9\xe9", 1},     // Latin-1 high bytes
+      {"\x80\x81\x82", "\x80\x81\x82", 0},
+      {"\xff", "\x7f", 1},                 // 0xff vs 0x7f collide mod 128
+      {nul_a, nul_b, 1},
+      {nul_run, "", 3},
+      {std::string(70, '\xfe') + nul_a, std::string(70, '\xfe') + nul_b, 1},
+  };
+  for (const Case& c : cases) {
+    EXPECT_EQ(EditDistanceScalar(c.a, c.b), c.expected);
+    EXPECT_EQ(EditDistanceBitParallel(c.a, c.b), c.expected);
+    for (size_t cap : {size_t{0}, size_t{1}, size_t{4}, kHugeCap}) {
+      size_t expected = c.expected <= cap ? c.expected : cap + 1;
+      EXPECT_EQ(BoundedEditDistanceScalar(c.a, c.b, cap), expected);
+      EXPECT_EQ(BoundedEditDistanceBitParallel(c.a, c.b, cap), expected);
+    }
+  }
+}
+
+TEST(DistanceKernelTest, CapSentinelSemantics) {
+  // cap + 1 means "greater than cap" for every kernel; a cap at or
+  // above max(len) can never clip, even at the huge end of size_t.
+  EXPECT_EQ(BoundedEditDistanceScalar("kitten", "sitting", 2), size_t{3});
+  EXPECT_EQ(BoundedEditDistanceBitParallel("kitten", "sitting", 2), size_t{3});
+  EXPECT_EQ(BoundedEditDistanceScalar("kitten", "sitting", kHugeCap),
+            size_t{3});
+  EXPECT_EQ(BoundedEditDistanceBitParallel("kitten", "sitting", kHugeCap),
+            size_t{3});
+  EXPECT_EQ(BoundedEditDistanceScalar("abc", "xyz", 0), size_t{1});
+  EXPECT_EQ(BoundedEditDistanceBitParallel("abc", "xyz", 0), size_t{1});
+}
+
+TEST(DistanceKernelTest, DispatchHonorsProcessSetting) {
+  ASSERT_EQ(ConfiguredDistanceKernel(), DistanceKernel::kAuto);
+  EXPECT_EQ(EffectiveDistanceKernel(), DistanceKernel::kBitParallel);
+  {
+    ScopedKernel guard(DistanceKernel::kScalar);
+    EXPECT_EQ(EffectiveDistanceKernel(), DistanceKernel::kScalar);
+    EXPECT_EQ(EditDistance("kitten", "sitting"), size_t{3});
+  }
+  {
+    ScopedKernel guard(DistanceKernel::kBitParallel);
+    EXPECT_EQ(EffectiveDistanceKernel(), DistanceKernel::kBitParallel);
+    EXPECT_EQ(EditDistance("kitten", "sitting"), size_t{3});
+    EXPECT_EQ(BoundedEditDistance("kitten", "sitting", 1), size_t{2});
+  }
+  EXPECT_EQ(ConfiguredDistanceKernel(), DistanceKernel::kAuto);
+}
+
+TEST(DistanceKernelTest, NamesRoundTrip) {
+  for (DistanceKernel k : {DistanceKernel::kAuto, DistanceKernel::kScalar,
+                           DistanceKernel::kBitParallel}) {
+    DistanceKernel parsed = DistanceKernel::kAuto;
+    EXPECT_TRUE(ParseDistanceKernel(DistanceKernelName(k), &parsed));
+    EXPECT_EQ(parsed, k);
+  }
+  DistanceKernel parsed = DistanceKernel::kAuto;
+  EXPECT_FALSE(ParseDistanceKernel("simd", &parsed));
+}
+
+// ---- SIMD screen vs scalar reference --------------------------------
+
+class SimdScreenTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SimdScreenTest, MatchesScalarReference) {
+  Rng rng(GetParam() * 104729 + 3);
+  // Sizes crossing every vector width (4 and 8 lanes) plus ragged tails.
+  const int sizes[] = {0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31, 33, 100, 257};
+  for (int n : sizes) {
+    std::vector<uint32_t> counts(static_cast<size_t>(n));
+    uint32_t threshold = static_cast<uint32_t>(1 + rng.Uniform(6));
+    for (uint32_t& c : counts) {
+      // Cluster values tightly around the threshold so both compare
+      // outcomes occur in every lane position.
+      c = static_cast<uint32_t>(rng.Uniform(2 * threshold + 2));
+    }
+    if (n > 0) {
+      // Pin extremes into random slots.
+      counts[rng.Index(counts.size())] = 0;
+      counts[rng.Index(counts.size())] =
+          std::numeric_limits<uint32_t>::max();
+    }
+    std::vector<int> simd;
+    std::vector<int> scalar;
+    ScreenSharedCounts(counts.data(), n, threshold, &simd);
+    ScreenSharedCountsScalar(counts.data(), n, threshold, &scalar);
+    ASSERT_EQ(simd, scalar) << "n=" << n << " t=" << threshold
+                            << " path=" << SimdScreenPathName();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimdScreenTest,
+                         ::testing::Range(uint64_t{1}, uint64_t{5}));
+
+TEST(SimdScreenTest, ReportsAPathName) {
+  const std::string name = SimdScreenPathName();
+  EXPECT_TRUE(name == "avx2" || name == "sse4.2" || name == "neon" ||
+              name == "scalar")
+      << name;
+}
+
+// ---- Whole-pipeline bit identity across kernels ---------------------
+
+std::string Fingerprint(const RepairResult& result) {
+  std::string fp = WriteCsvString(result.repaired);
+  fp += "|changes:";
+  for (const CellChange& c : result.changes) {
+    fp += std::to_string(c.row) + "," + std::to_string(c.col) + ":" +
+          c.old_value.ToString() + "->" + c.new_value.ToString() + ";";
+  }
+  fp += "|cost:" + FormatDouble(result.stats.repair_cost);
+  fp += "|cells:" + std::to_string(result.stats.cells_changed);
+  fp += "|tuples:" + std::to_string(result.stats.tuples_changed);
+  fp += "|before:" + std::to_string(result.stats.ft_violations_before);
+  fp += "|after:" + std::to_string(result.stats.ft_violations_after);
+  return fp;
+}
+
+// Runs {scalar, bitparallel} x {1, 2, 4, 8 threads} for one repair
+// instance and asserts a single fingerprint.
+void ExpectKernelInvariant(const Table& table, const std::vector<FD>& fds,
+                           RepairOptions base) {
+  std::string reference;
+  for (DistanceKernel kernel :
+       {DistanceKernel::kScalar, DistanceKernel::kBitParallel}) {
+    ScopedKernel guard(kernel);
+    for (int threads : {1, 2, 4, 8}) {
+      RepairOptions options = base;
+      options.threads = threads;
+      auto result = Repairer(options).Repair(table, fds);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      std::string fp = Fingerprint(result.value());
+      if (reference.empty()) {
+        reference = fp;
+      } else {
+        ASSERT_EQ(fp, reference) << "kernel=" << DistanceKernelName(kernel)
+                                 << " threads=" << threads;
+      }
+    }
+  }
+}
+
+RepairOptions BaseOptions(RepairAlgorithm algorithm, double tau) {
+  RepairOptions options;
+  options.algorithm = algorithm;
+  options.default_tau = tau;
+  return options;
+}
+
+TEST(DistanceKernelDifferentialTest, CitizensAllSolvers) {
+  Table t = CitizensDirty();
+  std::vector<FD> fds = CitizensFDs(t.schema());
+  for (RepairAlgorithm algorithm :
+       {RepairAlgorithm::kExact, RepairAlgorithm::kGreedy,
+        RepairAlgorithm::kApproJoin}) {
+    ExpectKernelInvariant(t, fds, BaseOptions(algorithm, 0.4));
+  }
+}
+
+TEST(DistanceKernelDifferentialTest, RandomCorporaAllSolvers) {
+  Table small = RandomFDTable(40, 3, 5, 10, /*seed=*/21);
+  auto small_fds =
+      std::move(ParseFDList("f1: c0 -> c1\nf2: c0 -> c2\n", small.schema()))
+          .ValueOrDie();
+  ExpectKernelInvariant(small, small_fds,
+                        BaseOptions(RepairAlgorithm::kExact, 0.35));
+  Table t = RandomFDTable(200, 4, 12, 30, /*seed=*/3);
+  auto fds = std::move(ParseFDList("f1: c0 -> c1\nf2: c0 -> c2\nf3: c3 -> c1\n",
+                                   t.schema()))
+                 .ValueOrDie();
+  for (RepairAlgorithm algorithm :
+       {RepairAlgorithm::kGreedy, RepairAlgorithm::kApproJoin}) {
+    ExpectKernelInvariant(t, fds, BaseOptions(algorithm, 0.35));
+  }
+}
+
+// Dirty slice of a generated dataset with its recommended weights.
+Table DirtySlice(const Dataset& dataset, int rows) {
+  NoiseOptions noise;
+  noise.error_rate = 0.04;
+  Table dirty =
+      std::move(InjectErrors(dataset.clean, dataset.fds, noise, nullptr))
+          .ValueOrDie();
+  return dirty.Head(rows);
+}
+
+void ExpectKernelInvariantOnDataset(const Dataset& dataset, int rows,
+                                    RepairAlgorithm algorithm) {
+  RepairOptions base;
+  base.algorithm = algorithm;
+  base.w_l = dataset.recommended_w_l;
+  base.w_r = dataset.recommended_w_r;
+  base.tau_by_fd = dataset.recommended_tau;
+  ExpectKernelInvariant(DirtySlice(dataset, rows), dataset.fds, base);
+}
+
+TEST(DistanceKernelDifferentialTest, HospAllSolvers) {
+  Dataset hosp =
+      std::move(GenerateHosp({.num_rows = 600, .seed = 7})).ValueOrDie();
+  ExpectKernelInvariantOnDataset(hosp, 24, RepairAlgorithm::kExact);
+  ExpectKernelInvariantOnDataset(hosp, 600, RepairAlgorithm::kGreedy);
+  ExpectKernelInvariantOnDataset(hosp, 600, RepairAlgorithm::kApproJoin);
+}
+
+TEST(DistanceKernelDifferentialTest, TaxAllSolvers) {
+  Dataset tax =
+      std::move(GenerateTax({.num_rows = 500, .seed = 11})).ValueOrDie();
+  ExpectKernelInvariantOnDataset(tax, 24, RepairAlgorithm::kExact);
+  ExpectKernelInvariantOnDataset(tax, 500, RepairAlgorithm::kGreedy);
+  ExpectKernelInvariantOnDataset(tax, 500, RepairAlgorithm::kApproJoin);
+}
+
+// ---- Jaccard whitespace fix: seed corpora are provably unaffected ---
+
+// TokenJaccardDistance now splits on any whitespace instead of ' '
+// alone. The repair delta on the seed corpora is *provably* zero:
+// their cells contain no tab/newline/CR/FF/VT bytes, so the old and
+// new tokenizers emit identical token sets on every cell. This test
+// is that proof, kept green against generator drift.
+TEST(DistanceKernelDifferentialTest, SeedCorporaHaveNoNonSpaceWhitespace) {
+  auto scan = [](const Table& table, const std::string& label) {
+    for (int r = 0; r < table.num_rows(); ++r) {
+      for (int c = 0; c < table.num_columns(); ++c) {
+        std::string s = table.cell(r, c).ToString();
+        EXPECT_EQ(s.find_first_of("\t\n\r\f\v"), std::string::npos)
+            << label << " cell(" << r << ", " << c << ")";
+      }
+    }
+  };
+  scan(CitizensDirty(), "citizens");
+  Dataset hosp =
+      std::move(GenerateHosp({.num_rows = 1000, .seed = 7})).ValueOrDie();
+  scan(DirtySlice(hosp, 1000), "hosp");
+  Dataset tax =
+      std::move(GenerateTax({.num_rows = 1000, .seed = 11})).ValueOrDie();
+  scan(DirtySlice(tax, 1000), "tax");
+}
+
+}  // namespace
+}  // namespace ftrepair

@@ -136,6 +136,18 @@ TEST(JaccardTest, TokenSets) {
   EXPECT_DOUBLE_EQ(TokenJaccardDistance("  a   b ", "a b"), 0.0);
 }
 
+TEST(JaccardTest, AnyWhitespaceSeparates) {
+  // Tabs, newlines, CR, FF and VT all split tokens — a tab-separated
+  // pair must not glue into one token and inflate the distance.
+  EXPECT_DOUBLE_EQ(TokenJaccardDistance("a\tb", "a b"), 0.0);
+  EXPECT_DOUBLE_EQ(TokenJaccardDistance("a\nb\r\nc", "c b a"), 0.0);
+  EXPECT_DOUBLE_EQ(TokenJaccardDistance("x\vy\fz", "x y z"), 0.0);
+  EXPECT_DOUBLE_EQ(TokenJaccardDistance("\t\n ", ""), 0.0);
+  EXPECT_DOUBLE_EQ(TokenJaccardDistance("a\tb", "a"), 0.5);
+  // High bytes are never whitespace (and must not trip isspace UB).
+  EXPECT_DOUBLE_EQ(TokenJaccardDistance("\xa0", "\xa0"), 0.0);
+}
+
 TEST(JaroTest, KnownValues) {
   EXPECT_DOUBLE_EQ(JaroDistance("abc", "abc"), 0.0);
   EXPECT_DOUBLE_EQ(JaroDistance("", ""), 0.0);

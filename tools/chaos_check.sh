@@ -14,8 +14,10 @@ tsan_dir="${2:-${repo_root}/build-chaos-tsan}"
 
 # The chaos surface: MemoryBudget unit semantics, the fault sweeps,
 # ladder completeness, bit-identity, and the deadline-budget ladder
-# suite that shares the degradation machinery.
-chaos_regex='Chaos|Memory|Ladder|Budget'
+# suite that shares the degradation machinery — plus the
+# distance-kernel fuzz/differential suites and the SIMD screen
+# differentials, so a kernel swap can never slip past the sanitizers.
+chaos_regex='Chaos|Memory|Ladder|Budget|DistanceKernel|SimdScreen'
 
 run_mode() {
   local mode="$1" build_dir="$2"
@@ -25,7 +27,8 @@ run_mode() {
     -DFTREPAIR_SANITIZE="${mode}" \
     -DFTREPAIR_BUILD_BENCHMARKS=OFF \
     -DFTREPAIR_BUILD_EXAMPLES=OFF
-  cmake --build "${build_dir}" -j "$(nproc)" --target chaos_test budget_test
+  cmake --build "${build_dir}" -j "$(nproc)" \
+    --target chaos_test budget_test distance_kernel_test
   if [[ "${mode}" == "thread" ]]; then
     export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
   else
