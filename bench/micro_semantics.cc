@@ -1,0 +1,97 @@
+// Cross-semantics benchmark (google-benchmark): the full Repairer
+// pipeline on a 10k-row dirty HOSP instance under each registered
+// repair semantics, reporting wall time plus the decision counters
+// (cells changed, repair cost) that separate the modes — recorded into
+// BENCH_semantics.json by tools/bench_semantics.sh.
+
+#include <string>
+
+#include <benchmark/benchmark.h>
+
+#include "core/repairer.h"
+#include "gen/error_injector.h"
+#include "gen/hosp_gen.h"
+
+namespace {
+
+using namespace ftrepair;
+
+struct Fixture {
+  Dataset dataset;
+  Table dirty;
+
+  Fixture()
+      : dataset(std::move(GenerateHosp({.num_rows = 10000, .seed = 7}))
+                    .ValueOrDie()),
+        dirty(MakeDirty()) {}
+
+  Table MakeDirty() {
+    NoiseOptions noise;
+    noise.error_rate = 0.04;
+    noise.seed = 42;
+    return std::move(InjectErrors(dataset.clean, dataset.fds, noise,
+                                  nullptr))
+        .ValueOrDie();
+  }
+
+  RepairOptions Options(const std::string& semantics) const {
+    RepairOptions options;
+    options.semantics = semantics;
+    options.algorithm = RepairAlgorithm::kGreedy;
+    options.w_l = dataset.recommended_w_l;
+    options.w_r = dataset.recommended_w_r;
+    options.tau_by_fd = dataset.recommended_tau;
+    if (semantics == "soft-fd") {
+      // Uniformly soft constraints: every FD at confidence 0.9, so the
+      // revert filter prices each repair instead of rubber-stamping.
+      for (const FD& fd : dataset.fds) {
+        options.confidence_by_fd[fd.name()] = 0.9;
+      }
+    }
+    return options;
+  }
+};
+
+Fixture& SharedFixture() {
+  static Fixture* kFixture = new Fixture();
+  return *kFixture;
+}
+
+void RunSemantics(benchmark::State& state, const std::string& semantics) {
+  Fixture& fixture = SharedFixture();
+  RepairOptions options = fixture.Options(semantics);
+  int cells = 0;
+  double cost = 0;
+  for (auto _ : state) {
+    auto result = Repairer(options).Repair(fixture.dirty, fixture.dataset.fds);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    cells = result.value().stats.cells_changed;
+    cost = result.value().stats.repair_cost;
+    benchmark::DoNotOptimize(result.value().repaired);
+  }
+  state.counters["cells_changed"] = cells;
+  state.counters["repair_cost"] = cost;
+  state.counters["rows"] = static_cast<double>(fixture.dirty.num_rows());
+}
+
+void BM_RepairSemanticsFtCost(benchmark::State& state) {
+  RunSemantics(state, "ft-cost");
+}
+BENCHMARK(BM_RepairSemanticsFtCost)->Unit(benchmark::kMillisecond);
+
+void BM_RepairSemanticsSoftFd(benchmark::State& state) {
+  RunSemantics(state, "soft-fd");
+}
+BENCHMARK(BM_RepairSemanticsSoftFd)->Unit(benchmark::kMillisecond);
+
+void BM_RepairSemanticsCardinality(benchmark::State& state) {
+  RunSemantics(state, "cardinality");
+}
+BENCHMARK(BM_RepairSemanticsCardinality)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

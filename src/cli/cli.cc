@@ -11,6 +11,7 @@
 #include "constraint/fd_parser.h"
 #include "core/provenance.h"
 #include "core/repairer.h"
+#include "core/semantics.h"
 #include "data/csv.h"
 #include "detect/detector.h"
 #include "detect/threshold.h"
@@ -35,6 +36,16 @@ Options:
   --changes PATH      write the cell changes as CSV (row, column, old, new)
   --truth PATH        ground-truth CSV; prints precision/recall
   --algorithm NAME    exact | greedy | appro        (default: greedy)
+  --semantics NAME    ft-cost | soft-fd | cardinality: what counts as a
+                      violation and what a repair minimizes (the Eq. 4
+                      cost, the confidence-weighted cost, or the number
+                      of changed cells)             (default: ft-cost)
+  --confidence NAME=C soft-fd: override one FD's confidence, C in
+                      (0, 1]; 1 = hard (repeatable). FDs can also carry
+                      "@ C" in the --fds file
+  --cfds PATH         repair against CFDs instead of --fds; one per
+                      line: "name: FD | lhsvals -> rhsvals | ..." with
+                      '_' as the tableau wildcard (ft-cost only)
   --tau VALUE         fault-tolerance threshold     (default: 0.4)
   --tau-fd NAME=V     per-FD threshold override (repeatable)
   --wl VALUE          Eq. 2 LHS weight              (default: 0.7)
@@ -175,6 +186,26 @@ Result<CliOptions> ParseCliArgs(const std::vector<std::string>& args) {
         return Status::InvalidArgument("unknown --algorithm '" + name +
                                        "' (exact | greedy | appro)");
       }
+    } else if (arg == "--semantics") {
+      FTR_ASSIGN_OR_RETURN(std::string name, next());
+      // Resolve eagerly so a typo fails here with the mode list instead
+      // of deep inside the repair run.
+      FTR_RETURN_NOT_OK(SemanticsRegistry::Instance().Resolve(name).status());
+      options.repair.semantics = name;
+    } else if (arg == "--confidence") {
+      FTR_ASSIGN_OR_RETURN(std::string text, next());
+      size_t eq = text.find('=');
+      double confidence = 0;
+      if (eq == std::string::npos || eq == 0 ||
+          !ParseDouble(std::string_view(text).substr(eq + 1), &confidence) ||
+          !(confidence > 0.0 && confidence <= 1.0)) {
+        return Status::InvalidArgument(
+            "--confidence expects NAME=VALUE with VALUE in (0, 1], got '" +
+            text + "'");
+      }
+      options.repair.confidence_by_fd[text.substr(0, eq)] = confidence;
+    } else if (arg == "--cfds") {
+      FTR_ASSIGN_OR_RETURN(options.cfds_path, next());
     } else if (arg == "--tau") {
       FTR_ASSIGN_OR_RETURN(std::string text, next());
       FTR_ASSIGN_OR_RETURN(options.repair.default_tau,
@@ -334,8 +365,13 @@ Result<CliOptions> ParseCliArgs(const std::vector<std::string>& args) {
   if (options.input_path.empty()) {
     return Status::InvalidArgument("--input is required\n" + CliUsage());
   }
-  if (options.fds_path.empty() && !options.discover && !options.profile) {
-    return Status::InvalidArgument("--fds is required\n" + CliUsage());
+  if (options.fds_path.empty() && options.cfds_path.empty() &&
+      !options.discover && !options.profile) {
+    return Status::InvalidArgument("--fds (or --cfds) is required\n" +
+                                   CliUsage());
+  }
+  if (!options.fds_path.empty() && !options.cfds_path.empty()) {
+    return Status::InvalidArgument("--fds and --cfds are mutually exclusive");
   }
   return options;
 }
@@ -450,39 +486,63 @@ Status RunCliInner(const CliOptions& options, std::ostream& out) {
   if (options.profile) return RunProfile(dirty, out);
   if (options.discover) return RunDiscover(dirty, options, out);
 
-  std::ifstream fd_stream(options.fds_path);
+  const bool cfd_mode = !options.cfds_path.empty();
+  const std::string& rules_path =
+      cfd_mode ? options.cfds_path : options.fds_path;
+  std::ifstream fd_stream(rules_path);
   if (!fd_stream) {
-    return Status::IOError("cannot open '" + options.fds_path + "'");
+    return Status::IOError("cannot open '" + rules_path + "'");
   }
   std::ostringstream fd_text;
   fd_text << fd_stream.rdbuf();
-  FTR_ASSIGN_OR_RETURN(std::vector<FD> fds,
-                       ParseFDList(fd_text.str(), dirty.schema()));
-  if (fds.empty()) {
-    return Status::InvalidArgument("'" + options.fds_path +
-                                   "' contains no FDs");
+  std::vector<FD> fds;
+  std::vector<CFD> cfds;
+  if (cfd_mode) {
+    FTR_ASSIGN_OR_RETURN(cfds, ParseCFDList(fd_text.str(), dirty.schema()));
+    if (cfds.empty()) {
+      return Status::InvalidArgument("'" + rules_path +
+                                     "' contains no CFDs");
+    }
+    // The embedded FDs drive the by-name override checks below.
+    for (const CFD& cfd : cfds) fds.push_back(cfd.fd());
+  } else {
+    FTR_ASSIGN_OR_RETURN(fds, ParseFDList(fd_text.str(), dirty.schema()));
+    if (fds.empty()) {
+      return Status::InvalidArgument("'" + rules_path + "' contains no FDs");
+    }
   }
-  // Every --tau-fd override must name a parsed FD; a silent typo would
-  // quietly repair with the default threshold instead.
-  for (const auto& [name, tau] : options.repair.tau_by_fd) {
-    (void)tau;
+  // Every by-name override must name a parsed FD; a silent typo would
+  // quietly repair with the default instead.
+  auto check_fd_name = [&](const char* flag,
+                           const std::string& name) -> Status {
     bool known = false;
     for (const FD& fd : fds) known = known || fd.name() == name;
-    if (!known) {
-      std::string known_names;
-      for (const FD& fd : fds) {
-        if (!known_names.empty()) known_names += ", ";
-        known_names += fd.name();
-      }
-      return Status::NotFound("--tau-fd references unknown FD '" + name +
-                              "'; FDs in '" + options.fds_path +
-                              "': " + known_names);
+    if (known) return Status::OK();
+    std::string known_names;
+    for (const FD& fd : fds) {
+      if (!known_names.empty()) known_names += ", ";
+      known_names += fd.name();
     }
+    return Status::NotFound(std::string(flag) + " references unknown FD '" +
+                            name + "'; FDs in '" + rules_path +
+                            "': " + known_names);
+  };
+  for (const auto& [name, tau] : options.repair.tau_by_fd) {
+    (void)tau;
+    FTR_RETURN_NOT_OK(check_fd_name("--tau-fd", name));
+  }
+  for (const auto& [name, confidence] : options.repair.confidence_by_fd) {
+    (void)confidence;
+    FTR_RETURN_NOT_OK(check_fd_name("--confidence", name));
   }
 
   out << "ftrepair: " << dirty.num_rows() << " rows, "
-      << dirty.num_columns() << " columns, " << fds.size() << " FDs ("
+      << dirty.num_columns() << " columns, " << fds.size()
+      << (cfd_mode ? " CFDs (" : " FDs (")
       << RepairAlgorithmName(options.repair.algorithm) << ")\n";
+  if (options.repair.semantics != "ft-cost") {
+    out << "semantics: " << options.repair.semantics << "\n";
+  }
 
   if (options.explain_row >= 0 &&
       options.explain_col >= static_cast<int>(dirty.num_columns())) {
@@ -511,7 +571,10 @@ Status RunCliInner(const CliOptions& options, std::ostream& out) {
     out << "memory budget: " << options.memory_budget_mb << " MB\n";
   }
   Repairer repairer(repair_options);
-  FTR_ASSIGN_OR_RETURN(RepairResult result, repairer.Repair(dirty, fds));
+  Result<RepairResult> repaired_or = cfd_mode
+                                         ? repairer.RepairCFDs(dirty, cfds)
+                                         : repairer.Repair(dirty, fds);
+  FTR_ASSIGN_OR_RETURN(RepairResult result, std::move(repaired_or));
   out << "repaired " << result.stats.cells_changed << " cells in "
       << result.stats.tuples_changed << " tuples (" << timer.Seconds()
       << "s)\n";

@@ -18,6 +18,7 @@ namespace ftrepair {
 struct CliOptions {
   std::string input_path;       // --input (required)
   std::string fds_path;         // --fds (required unless --discover/--profile)
+  std::string cfds_path;        // --cfds (CFD repair instead of --fds)
   bool help = false;            // --help: print usage, do nothing else
   bool discover = false;        // --discover: print vetted FDs, no repair
   bool profile = false;         // --profile: print column profiles, no repair

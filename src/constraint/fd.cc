@@ -3,12 +3,19 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "common/strings.h"
+
 namespace ftrepair {
 
 Result<FD> FD::Make(std::vector<int> lhs, std::vector<int> rhs,
-                    std::string name) {
+                    std::string name, double confidence) {
   if (lhs.empty()) return Status::InvalidArgument("FD has empty LHS");
   if (rhs.empty()) return Status::InvalidArgument("FD has empty RHS");
+  if (!(confidence > 0.0 && confidence <= 1.0)) {
+    return Status::InvalidArgument(
+        "FD confidence " + std::to_string(confidence) +
+        " outside (0, 1]");
+  }
   std::unordered_set<int> seen;
   for (int c : lhs) {
     if (c < 0) return Status::InvalidArgument("negative column index in FD");
@@ -29,6 +36,7 @@ Result<FD> FD::Make(std::vector<int> lhs, std::vector<int> rhs,
   fd.attrs_ = fd.lhs_;
   fd.attrs_.insert(fd.attrs_.end(), fd.rhs_.begin(), fd.rhs_.end());
   fd.name_ = std::move(name);
+  fd.confidence_ = confidence;
   return fd;
 }
 
@@ -80,6 +88,7 @@ std::string FD::ToSpec(const Schema& schema) const {
     if (i > 0) out += ", ";
     out += schema.column(rhs_[i]).name;
   }
+  if (confidence_ < 1.0) out += " @ " + FormatDouble(confidence_);
   return out;
 }
 

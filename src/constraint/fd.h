@@ -17,15 +17,22 @@ class FD {
  public:
   FD() = default;
   /// Validated constructor: lhs/rhs must be non-empty, disjoint and
-  /// duplicate-free.
+  /// duplicate-free; `confidence` must lie in (0, 1].
   static Result<FD> Make(std::vector<int> lhs, std::vector<int> rhs,
-                         std::string name = "");
+                         std::string name = "", double confidence = 1.0);
 
   const std::vector<int>& lhs() const { return lhs_; }
   const std::vector<int>& rhs() const { return rhs_; }
   /// X ∪ Y in projection order (X first).
   const std::vector<int>& attrs() const { return attrs_; }
   const std::string& name() const { return name_; }
+  /// Soft-FD confidence in (0, 1]: the probability the dependency
+  /// actually holds (Carmeli et al., "Database Repairing with Soft
+  /// Functional Dependencies"). 1.0 (the default) is a hard FD; the
+  /// soft-fd repair semantics turns lower confidences into finite
+  /// violation penalties. Ignored by the ft-cost and cardinality
+  /// semantics.
+  double confidence() const { return confidence_; }
 
   int lhs_size() const { return static_cast<int>(lhs_.size()); }
   int rhs_size() const { return static_cast<int>(rhs_.size()); }
@@ -54,6 +61,7 @@ class FD {
   std::vector<int> rhs_;
   std::vector<int> attrs_;
   std::string name_;
+  double confidence_ = 1.0;
 };
 
 }  // namespace ftrepair

@@ -39,11 +39,30 @@ Result<FD> ParseFD(std::string_view text, const Schema& schema) {
     return Status::InvalidArgument("FD '" + std::string(text) +
                                    "' has no '->'");
   }
+  // Optional trailing "@ confidence" (soft FD): "City -> State @ 0.9".
+  double confidence = 1.0;
+  std::string_view rhs_text = body.substr(arrow + 2);
+  size_t at = rhs_text.rfind('@');
+  if (at != std::string_view::npos) {
+    std::string_view conf_text = Trim(rhs_text.substr(at + 1));
+    if (!ParseDouble(conf_text, &confidence)) {
+      return Status::InvalidArgument(
+          "FD '" + std::string(text) + "' has a malformed confidence '" +
+          std::string(conf_text) + "' (want a number in (0, 1])");
+    }
+    if (!(confidence > 0.0 && confidence <= 1.0)) {
+      return Status::InvalidArgument(
+          "FD '" + std::string(text) + "' has confidence " +
+          std::string(conf_text) + " outside (0, 1]");
+    }
+    rhs_text = rhs_text.substr(0, at);
+  }
   FTR_ASSIGN_OR_RETURN(std::vector<int> lhs,
                        ParseAttrList(body.substr(0, arrow), schema));
   FTR_ASSIGN_OR_RETURN(std::vector<int> rhs,
-                       ParseAttrList(body.substr(arrow + 2), schema));
-  return FD::Make(std::move(lhs), std::move(rhs), std::move(name));
+                       ParseAttrList(rhs_text, schema));
+  return FD::Make(std::move(lhs), std::move(rhs), std::move(name),
+                  confidence);
 }
 
 Result<std::vector<FD>> ParseFDList(std::string_view text,
@@ -60,6 +79,100 @@ Result<std::vector<FD>> ParseFDList(std::string_view text,
     fds.push_back(std::move(fd));
   }
   return fds;
+}
+
+namespace {
+
+// One tableau cell: '_' is the wildcard, anything else a constant
+// typed by the schema column.
+Result<std::optional<Value>> ParseTableauCell(std::string_view text, int col,
+                                              const Schema& schema) {
+  std::string_view cell = Trim(text);
+  if (cell.empty()) {
+    return Status::InvalidArgument("empty tableau cell (use '_' for the "
+                                   "wildcard)");
+  }
+  if (cell == "_") return std::optional<Value>();
+  if (schema.column(col).type == ValueType::kNumber) {
+    double number = 0;
+    if (!ParseDouble(cell, &number)) {
+      return Status::InvalidArgument(
+          "tableau constant '" + std::string(cell) + "' is not a number "
+          "(column '" + schema.column(col).name + "' is numeric)");
+    }
+    return std::optional<Value>(Value(number));
+  }
+  return std::optional<Value>(Value(std::string(cell)));
+}
+
+// One "lhsvals -> rhsvals" tableau row over `fd.attrs()`.
+Result<PatternRow> ParseTableauRow(std::string_view text, const FD& fd,
+                                   const Schema& schema) {
+  size_t arrow = text.find("->");
+  if (arrow == std::string_view::npos) {
+    return Status::InvalidArgument("tableau row '" + std::string(text) +
+                                   "' has no '->'");
+  }
+  std::vector<std::string> lhs = Split(Trim(text.substr(0, arrow)), ',');
+  std::vector<std::string> rhs = Split(Trim(text.substr(arrow + 2)), ',');
+  if (static_cast<int>(lhs.size()) != fd.lhs_size() ||
+      static_cast<int>(rhs.size()) != fd.rhs_size()) {
+    return Status::InvalidArgument(
+        "tableau row '" + std::string(text) + "' has " +
+        std::to_string(lhs.size()) + "->" + std::to_string(rhs.size()) +
+        " cells; the embedded FD needs " + std::to_string(fd.lhs_size()) +
+        "->" + std::to_string(fd.rhs_size()));
+  }
+  PatternRow row;
+  row.reserve(static_cast<size_t>(fd.num_attrs()));
+  for (size_t i = 0; i < lhs.size(); ++i) {
+    FTR_ASSIGN_OR_RETURN(
+        std::optional<Value> cell,
+        ParseTableauCell(lhs[i], fd.lhs()[i], schema));
+    row.push_back(std::move(cell));
+  }
+  for (size_t i = 0; i < rhs.size(); ++i) {
+    FTR_ASSIGN_OR_RETURN(
+        std::optional<Value> cell,
+        ParseTableauCell(rhs[i], fd.rhs()[i], schema));
+    row.push_back(std::move(cell));
+  }
+  return row;
+}
+
+}  // namespace
+
+Result<CFD> ParseCFD(std::string_view text, const Schema& schema) {
+  std::vector<std::string> segments = Split(Trim(text), '|');
+  if (segments.size() < 2) {
+    return Status::InvalidArgument(
+        "CFD '" + std::string(text) +
+        "' has no tableau (want 'FD | lhsvals -> rhsvals | ...')");
+  }
+  FTR_ASSIGN_OR_RETURN(FD fd, ParseFD(segments[0], schema));
+  std::vector<PatternRow> tableau;
+  for (size_t s = 1; s < segments.size(); ++s) {
+    FTR_ASSIGN_OR_RETURN(PatternRow row,
+                         ParseTableauRow(segments[s], fd, schema));
+    tableau.push_back(std::move(row));
+  }
+  std::string name = fd.name();
+  return CFD::Make(std::move(fd), std::move(tableau), std::move(name));
+}
+
+Result<std::vector<CFD>> ParseCFDList(std::string_view text,
+                                      const Schema& schema) {
+  std::vector<CFD> cfds;
+  for (const std::string& line : Split(text, '\n')) {
+    std::string_view body = line;
+    size_t hash = body.find('#');
+    if (hash != std::string_view::npos) body = body.substr(0, hash);
+    body = Trim(body);
+    if (body.empty()) continue;
+    FTR_ASSIGN_OR_RETURN(CFD cfd, ParseCFD(body, schema));
+    cfds.push_back(std::move(cfd));
+  }
+  return cfds;
 }
 
 }  // namespace ftrepair

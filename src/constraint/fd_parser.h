@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "constraint/cfd.h"
 #include "constraint/fd.h"
 #include "data/schema.h"
 
@@ -13,14 +14,28 @@ namespace ftrepair {
 
 /// Parses a textual FD against `schema`.
 ///
-/// Grammar: `[name ':'] attr (',' attr)* '->' attr (',' attr)*`
-/// e.g. "phi2: City -> State" or "City, Street -> District".
+/// Grammar: `[name ':'] attr (',' attr)* '->' attr (',' attr)*
+///           ['@' confidence]`
+/// e.g. "phi2: City -> State", "City, Street -> District" or the soft
+/// form "zip2city: Zip -> City @ 0.9" (confidence in (0, 1], default 1).
 Result<FD> ParseFD(std::string_view text, const Schema& schema);
 
 /// Parses one FD per non-empty line; everything from '#' to the end of
 /// a line is a comment.
 Result<std::vector<FD>> ParseFDList(std::string_view text,
                                     const Schema& schema);
+
+/// Parses a textual CFD: an embedded FD followed by one or more
+/// '|'-separated tableau rows, each `lhsvals '->' rhsvals` with '_' as
+/// the wildcard, e.g.
+///   `cphi: City, Street -> District | NYC, _ -> _ | Boston, Main -> Fin`
+/// Values are typed by the schema column (numbers must parse as
+/// numbers).
+Result<CFD> ParseCFD(std::string_view text, const Schema& schema);
+
+/// Parses one CFD per non-empty line ('#' comments as in ParseFDList).
+Result<std::vector<CFD>> ParseCFDList(std::string_view text,
+                                      const Schema& schema);
 
 }  // namespace ftrepair
 

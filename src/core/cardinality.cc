@@ -1,0 +1,74 @@
+#include "core/cardinality.h"
+
+#include <algorithm>
+
+namespace ftrepair {
+
+SingleFDSolution SolveCardinalityMajority(const ViolationGraph& graph,
+                                          const std::vector<bool>* forced,
+                                          uint64_t* trusted_conflicts) {
+  SingleFDSolution solution;
+  solution.rung = SolverRung::kCardinality;
+  const int n = graph.num_patterns();
+  solution.repair_target.assign(static_cast<size_t>(n), -1);
+  for (const std::vector<int>& component : graph.ConnectedComponents()) {
+    if (component.size() <= 1) {
+      // Isolated pattern: its block is already consistent.
+      for (int p : component) solution.chosen_set.push_back(p);
+      continue;
+    }
+    // Target selection: the lowest-id forced pattern when trusted rows
+    // pin the block, else the row-count majority (ties to lowest id).
+    int target = -1;
+    uint64_t forced_count = 0;
+    if (forced != nullptr) {
+      for (int p : component) {
+        if (!(*forced)[static_cast<size_t>(p)]) continue;
+        ++forced_count;
+        if (target < 0 || p < target) target = p;
+      }
+    }
+    if (forced_count > 1) {
+      // Distinct patterns over one LHS block disagree pairwise on the
+      // RHS, so every forced pair is a conflict.
+      if (trusted_conflicts != nullptr) {
+        *trusted_conflicts += forced_count * (forced_count - 1) / 2;
+      }
+    }
+    if (target < 0) {
+      size_t best_rows = 0;
+      for (int p : component) {
+        size_t rows = graph.pattern(p).rows.size();
+        if (target < 0 || rows > best_rows ||
+            (rows == best_rows && p < target)) {
+          best_rows = rows;
+          target = p;
+        }
+      }
+    }
+    for (int p : component) {
+      if (p == target ||
+          (forced != nullptr && (*forced)[static_cast<size_t>(p)])) {
+        solution.chosen_set.push_back(p);
+        continue;
+      }
+      // Price the move over the clique edge to the target. A truncated
+      // graph may lack the edge; such patterns stay unrepaired (the
+      // pipeline already staged a partial-graph degradation).
+      bool priced = false;
+      for (const ViolationGraph::Edge& e : graph.Neighbors(p)) {
+        if (e.to != target) continue;
+        solution.repair_target[static_cast<size_t>(p)] = target;
+        solution.cost +=
+            static_cast<double>(graph.pattern(p).rows.size()) * e.unit_cost;
+        priced = true;
+        break;
+      }
+      if (!priced) solution.chosen_set.push_back(p);
+    }
+  }
+  std::sort(solution.chosen_set.begin(), solution.chosen_set.end());
+  return solution;
+}
+
+}  // namespace ftrepair

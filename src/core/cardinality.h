@@ -1,0 +1,44 @@
+#ifndef FTREPAIR_CORE_CARDINALITY_H_
+#define FTREPAIR_CORE_CARDINALITY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/repair_types.h"
+#include "detect/violation_graph.h"
+
+namespace ftrepair {
+
+/// \brief The cardinality semantics' poly-time exact solver: per-block
+/// majority vote.
+///
+/// Preconditions (established by the pipeline's cardinality overrides
+/// and the caller's dispatch): `graph` was built with classical
+/// detection (tau = 0, w_l = 1, w_r = 0) over an indicator-metric
+/// DistanceModel, and the FD has exactly one RHS attribute. Under those
+/// settings every connected component is a clique of patterns sharing
+/// one LHS value block, and each repaired row changes exactly one cell
+/// — so keeping the pattern with the most rows (the majority) and
+/// repairing every other pattern toward it changes
+/// `block_rows - majority_rows` cells, which meets the lower bound
+/// (any consistent repair of the block must touch at least that many
+/// rows, one cell minimum each). Components with more than one RHS
+/// attribute or spanning multiple FDs are NOT majority-optimal (moving
+/// a row's LHS can be cheaper than rewriting its RHS vector); the
+/// pipeline routes those to the regular search solvers instead.
+///
+/// `forced` (nullable) marks patterns carrying trusted rows: forced
+/// patterns are never repaired, non-forced patterns repair toward the
+/// lowest-id forced pattern, and f > 1 forced patterns in one block
+/// contribute f*(f-1)/2 pairwise conflicts to `trusted_conflicts`
+/// (master data contradicting itself — surfaced, not "repaired").
+///
+/// Deterministic: majority ties break toward the lowest pattern id.
+/// Never truncates — the scan is linear in patterns + edges.
+SingleFDSolution SolveCardinalityMajority(const ViolationGraph& graph,
+                                          const std::vector<bool>* forced,
+                                          uint64_t* trusted_conflicts);
+
+}  // namespace ftrepair
+
+#endif  // FTREPAIR_CORE_CARDINALITY_H_

@@ -1,0 +1,33 @@
+#ifndef FTREPAIR_CORE_PIPELINE_H_
+#define FTREPAIR_CORE_PIPELINE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "constraint/fd.h"
+#include "core/repair_types.h"
+#include "core/semantics.h"
+#include "data/table.h"
+
+namespace ftrepair {
+namespace internal {
+
+/// The shared FD-repair pipeline behind every RepairSemantics: detect,
+/// decompose into FD-graph components, solve concurrently, replay-merge
+/// in component order. `semantics` selects the strategy hooks — the
+/// cardinality overrides (classical detection, indicator metric, the
+/// majority solver on tractable components) and the soft-fd revert
+/// filter; SemanticsId::kFtCost runs the paper's pipeline unchanged.
+///
+/// Implemented in core/repairer.cc; called by the built-in semantics in
+/// core/semantics.cc. Not part of the public API surface — embedders go
+/// through Repairer, which dispatches via the registry.
+Result<RepairResult> RunRepairPipeline(const Table& table,
+                                       const std::vector<FD>& fds,
+                                       const RepairOptions& options,
+                                       SemanticsId semantics);
+
+}  // namespace internal
+}  // namespace ftrepair
+
+#endif  // FTREPAIR_CORE_PIPELINE_H_

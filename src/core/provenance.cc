@@ -25,6 +25,8 @@ const char* SolverRungName(SolverRung rung) {
       return "appro";
     case SolverRung::kConstant:
       return "constant";
+    case SolverRung::kCardinality:
+      return "cardinality";
   }
   return "?";
 }
@@ -157,6 +159,7 @@ std::string ExplainReportJson(const Table& input,
   out += "{\"schema_version\":" + std::to_string(kExplainSchemaVersion);
   out += ",\"generator\":\"ftrepair\"";
   out += ",\"algorithm\":\"" + JsonEscape(prov.algorithm) + "\"";
+  out += ",\"semantics\":\"" + JsonEscape(prov.semantics) + "\"";
   out += ",\"input\":{\"rows\":" + std::to_string(input.num_rows()) +
          ",\"columns\":[";
   for (int c = 0; c < input.num_columns(); ++c) {
@@ -172,7 +175,8 @@ std::string ExplainReportJson(const Table& input,
            IntsJson(fd.lhs) + ",\"rhs\":" + IntsJson(fd.rhs) +
            ",\"tau\":" + JsonNumberExact(fd.tau) +
            ",\"w_l\":" + JsonNumberExact(fd.w_l) +
-           ",\"w_r\":" + JsonNumberExact(fd.w_r) + "}";
+           ",\"w_r\":" + JsonNumberExact(fd.w_r) +
+           ",\"confidence\":" + JsonNumberExact(fd.confidence) + "}";
   }
   out += "]";
   out += ",\"components\":[";
@@ -252,7 +256,8 @@ std::string AuditLogNdjson(const RepairResult& result) {
   std::string out;
   out += "{\"event\":\"run_start\",\"schema_version\":" +
          std::to_string(kExplainSchemaVersion) + ",\"algorithm\":\"" +
-         JsonEscape(prov.algorithm) +
+         JsonEscape(prov.algorithm) + "\",\"semantics\":\"" +
+         JsonEscape(prov.semantics) +
          "\",\"fds\":" + std::to_string(prov.fds.size()) +
          ",\"components\":" + std::to_string(prov.components.size()) +
          "}\n";

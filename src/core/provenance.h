@@ -25,6 +25,10 @@ enum class SolverRung : uint8_t {
   kGreedy,
   kAppro,
   kConstant,
+  /// The cardinality semantics' poly-time exact majority solver
+  /// (core/cardinality.h) — engaged on single-FD single-RHS-attribute
+  /// components where per-block majority is provably cell-minimal.
+  kCardinality,
 };
 
 const char* SolverRungName(SolverRung rung);
@@ -93,6 +97,8 @@ struct ProvenanceFD {
   double tau = 0;
   double w_l = 0;
   double w_r = 0;
+  /// Effective soft-FD confidence (1.0 outside the soft-fd semantics).
+  double confidence = 1.0;
 };
 
 /// One solve unit in merge order: a connected FD component of
@@ -119,6 +125,12 @@ struct RepairProvenance {
   /// The algorithm that was *requested* ("Expansion", "Greedy", ...);
   /// per-decision rungs record what actually ran.
   std::string algorithm;
+  /// The repair semantics that produced this run ("ft-cost",
+  /// "soft-fd", "cardinality"). The replay verifier uses it to
+  /// reconstruct the run's distance model: the cardinality semantics
+  /// prices every change with indicator (discrete) distances, so
+  /// replaying its unit costs with the default metrics would fail.
+  std::string semantics = "ft-cost";
   std::vector<ProvenanceFD> fds;
   std::vector<ProvenanceComponent> components;
   /// In repair (merge) order.

@@ -72,6 +72,14 @@ FTOptions RepairOptions::FTFor(const FD& fd) const {
   return ft;
 }
 
+double RepairOptions::ConfidenceFor(const FD& fd) const {
+  if (!fd.name().empty()) {
+    auto it = confidence_by_fd.find(fd.name());
+    if (it != confidence_by_fd.end()) return it->second;
+  }
+  return fd.confidence();
+}
+
 void PhaseTimings::Merge(const PhaseTimings& other) {
   detect_ms += other.detect_ms;
   graph_ms += other.graph_ms;

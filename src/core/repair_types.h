@@ -36,6 +36,25 @@ const char* RepairAlgorithmName(RepairAlgorithm algorithm);
 
 /// Tunables of the cost-based repair model.
 struct RepairOptions {
+  /// Which repair semantics the Repairer dispatches to, resolved
+  /// against the SemanticsRegistry (core/semantics.h):
+  ///   "ft-cost"     -- the paper's min-cost FT-consistent repair (the
+  ///                    default; exactly the historical pipeline).
+  ///   "soft-fd"     -- confidence-weighted soft FDs: repairs whose
+  ///                    cost exceeds the confidence-weighted violation
+  ///                    penalty are not worth making and are skipped.
+  ///   "cardinality" -- minimum number of changed cells (classical FD
+  ///                    semantics, indicator distances; poly-time
+  ///                    exact majority solver where it is provably
+  ///                    optimal, the regular search elsewhere).
+  /// Unknown names fail with InvalidArgument listing the registry.
+  std::string semantics = "ft-cost";
+
+  /// Per-FD confidence overrides for the soft-fd semantics, keyed by
+  /// FD name; FDs not listed keep FD::confidence(). Values must lie in
+  /// (0, 1]. Ignored by the other semantics.
+  std::unordered_map<std::string, double> confidence_by_fd;
+
   /// Eq. 2 weights; the paper's default is w_l = w_r = 0.5.
   double w_l = 0.5;
   double w_r = 0.5;
@@ -142,6 +161,9 @@ struct RepairOptions {
   double TauFor(const FD& fd) const;
   /// FTOptions (weights + effective tau) for `fd`.
   FTOptions FTFor(const FD& fd) const;
+  /// Effective soft-FD confidence for `fd`: the confidence_by_fd
+  /// override when present, FD::confidence() otherwise.
+  double ConfidenceFor(const FD& fd) const;
 };
 
 /// \brief One step down the degradation ladder.

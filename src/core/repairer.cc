@@ -11,11 +11,15 @@
 #include "common/trace.h"
 #include "constraint/fd_graph.h"
 #include "core/appro_multi.h"
+#include "core/cardinality.h"
 #include "core/expansion_multi.h"
 #include "core/expansion_single.h"
 #include "core/greedy_multi.h"
 #include "core/greedy_single.h"
 #include "core/multi_common.h"
+#include "core/pipeline.h"
+#include "core/semantics.h"
+#include "core/soft_fd.h"
 #include "detect/detector.h"
 #include "detect/threshold.h"
 
@@ -263,7 +267,8 @@ struct ComponentOutcome {
 void SolveComponent(const Table& table, const std::vector<FD>& named,
                     const std::vector<int>& component,
                     const DistanceModel& model, const RepairOptions& opts_in,
-                    const Timer& repair_clock, ComponentOutcome* out) {
+                    SemanticsId semantics, const Timer& repair_clock,
+                    ComponentOutcome* out) {
   Timer component_timer;
   if (component.size() == 1) {
     const FD& fd = named[static_cast<size_t>(component[0])];
@@ -323,7 +328,17 @@ void SolveComponent(const Table& table, const std::vector<FD>& named,
     // *is* Greedy-S (a contractual aliasing, see DESIGN.md §4).
     bool have_solution = false;
     Timer solve_timer;
-    if (opts.algorithm == RepairAlgorithm::kExact) {
+    if (semantics == SemanticsId::kCardinality && fd.rhs_size() == 1) {
+      // Tractable cardinality component: one LHS block per clique, one
+      // cell per repaired row — per-block majority is exactly
+      // cell-minimal, no search needed. Wider RHS vectors fall through
+      // to the regular ladder (majority is not optimal there: moving a
+      // row's LHS can beat rewriting its RHS vector).
+      out->single = SolveCardinalityMajority(out->graph, forced,
+                                             &out->stats.trusted_conflicts);
+      have_solution = true;
+    }
+    if (!have_solution && opts.algorithm == RepairAlgorithm::kExact) {
       ExpansionConfig config;
       config.max_frontier = opts.max_frontier;
       config.forced = forced;
@@ -361,6 +376,13 @@ void SolveComponent(const Table& table, const std::vector<FD>& named,
             ClassifyDegradationCause(opts.budget, opts.memory),
             "resources exhausted while growing the greedy set; uncovered "
             "patterns stay unrepaired");
+      }
+    }
+    if (semantics == SemanticsId::kSoftFd) {
+      const double confidence = opts.ConfidenceFor(fd);
+      if (confidence < 1.0) {
+        FilterSingleFDSolutionSoft(out->graph, SoftFdPenaltyRate(confidence),
+                                   &out->single);
       }
     }
     out->stats.phases.solve_ms += solve_timer.Millis();
@@ -488,6 +510,21 @@ void SolveComponent(const Table& table, const std::vector<FD>& named,
                        "remaining patterns stay unrepaired");
     }
     out->multi = std::move(solved).value();
+    if (semantics == SemanticsId::kSoftFd) {
+      // The revert filter only runs on all-soft components: reverting
+      // inside a mixed component could strand a hard FD's violations.
+      bool all_soft = true;
+      std::vector<double> rates;
+      rates.reserve(component_fds.size());
+      for (const FD* component_fd : component_fds) {
+        const double confidence = opts.ConfidenceFor(*component_fd);
+        all_soft = all_soft && confidence < 1.0;
+        rates.push_back(SoftFdPenaltyRate(confidence));
+      }
+      if (all_soft) {
+        FilterMultiFDSolutionSoft(context, rates, &out->multi);
+      }
+    }
     out->apply_multi = true;
   }
   ComponentMsHistogram()->Observe(component_timer.Millis());
@@ -509,8 +546,12 @@ Status ValidateFDs(const Schema& schema, const std::vector<FD>& fds) {
   return Status::OK();
 }
 
-Result<RepairResult> Repairer::Repair(const Table& table,
-                                      const std::vector<FD>& fds) const {
+namespace internal {
+
+Result<RepairResult> RunRepairPipeline(const Table& table,
+                                       const std::vector<FD>& fds,
+                                       const RepairOptions& options,
+                                       SemanticsId semantics) {
   FTR_RETURN_NOT_OK(ValidateFDs(table.schema(), fds));
   // One clock for the whole call: every DegradationEvent::elapsed_ms
   // and PhaseTimings::total_ms read it, so they are mutually
@@ -519,25 +560,43 @@ Result<RepairResult> Repairer::Repair(const Table& table,
   FTR_TRACE_SPAN("repair.total",
                  {{"rows", std::to_string(table.num_rows())},
                   {"fds", std::to_string(fds.size())},
-                  {"algorithm", RepairAlgorithmName(options_.algorithm)}});
+                  {"semantics", SemanticsName(semantics)},
+                  {"algorithm", RepairAlgorithmName(options.algorithm)}});
 
   // Internal FD copies with guaranteed-unique names so per-FD taus can
-  // be resolved by name.
+  // be resolved by name (confidence rides along for soft-fd).
   std::vector<FD> named;
   named.reserve(fds.size());
   for (size_t i = 0; i < fds.size(); ++i) {
     if (fds[i].name().empty()) {
       FTR_ASSIGN_OR_RETURN(
           FD fd, FD::Make(fds[i].lhs(), fds[i].rhs(),
-                          "__fd" + std::to_string(i)));
+                          "__fd" + std::to_string(i), fds[i].confidence()));
       named.push_back(std::move(fd));
     } else {
       named.push_back(fds[i]);
     }
   }
 
+  RepairOptions opts = options;
+  if (semantics == SemanticsId::kCardinality) {
+    // Cardinality overrides: classical FD detection (a violation is an
+    // exact LHS match with any RHS disagreement) and indicator pricing,
+    // so repair cost == cells changed. Grouping is forced on — the
+    // majority solver reasons over pattern multiplicities.
+    opts.w_l = 1.0;
+    opts.w_r = 0.0;
+    opts.default_tau = 0.0;
+    opts.tau_by_fd.clear();
+    opts.auto_threshold = false;
+    opts.group_tuples = true;
+  }
   DistanceModel model(table);
-  RepairOptions opts = options_;
+  if (semantics == SemanticsId::kCardinality) {
+    for (int c = 0; c < table.num_columns(); ++c) {
+      model.SetColumnMetric(c, ColumnMetric::kDiscrete);
+    }
+  }
   ResolveAutoThresholds(table, named, model, &opts);
 
   RepairResult result;
@@ -569,6 +628,7 @@ Result<RepairResult> Repairer::Repair(const Table& table,
     RepairProvenance& prov = result.provenance;
     prov.enabled = true;
     prov.algorithm = RepairAlgorithmName(opts.algorithm);
+    prov.semantics = SemanticsName(semantics);
     prov.violation_stats_computed = opts.compute_violation_stats;
     for (const FD& fd : named) {
       ProvenanceFD pfd;
@@ -578,6 +638,8 @@ Result<RepairResult> Repairer::Repair(const Table& table,
       pfd.tau = opts.TauFor(fd);
       pfd.w_l = opts.w_l;
       pfd.w_r = opts.w_r;
+      pfd.confidence =
+          semantics == SemanticsId::kSoftFd ? opts.ConfidenceFor(fd) : 1.0;
       prov.fds.push_back(std::move(pfd));
     }
     for (const std::vector<int>& component : components) {
@@ -613,7 +675,7 @@ Result<RepairResult> Repairer::Repair(const Table& table,
     ParallelFor(
         static_cast<int>(components.size()), solve_parallelism, [&](int c) {
           SolveComponent(table, named, components[static_cast<size_t>(c)],
-                         model, opts, repair_clock,
+                         model, opts, semantics, repair_clock,
                          &outcomes[static_cast<size_t>(c)]);
         });
   }
@@ -711,6 +773,17 @@ Result<RepairResult> Repairer::Repair(const Table& table,
   return result;
 }
 
+}  // namespace internal
+
+Result<RepairResult> Repairer::Repair(const Table& table,
+                                      const std::vector<FD>& fds) const {
+  FTR_ASSIGN_OR_RETURN(
+      const RepairSemantics* semantics,
+      SemanticsRegistry::Instance().Resolve(options_.semantics));
+  FTR_RETURN_NOT_OK(semantics->Validate(options_, fds));
+  return semantics->Repair(table, fds, options_);
+}
+
 Result<RepairResult> Repairer::RepairAppended(
     const Table& table, int first_new_row,
     const std::vector<FD>& fds) const {
@@ -746,6 +819,15 @@ struct CfdUnitOutcome {
 
 Result<RepairResult> Repairer::RepairCFDs(const Table& table,
                                           const std::vector<CFD>& cfds) const {
+  FTR_ASSIGN_OR_RETURN(
+      const RepairSemantics* semantics,
+      SemanticsRegistry::Instance().Resolve(options_.semantics));
+  if (!semantics->supports_cfds()) {
+    return Status::InvalidArgument(
+        "semantics '" + std::string(semantics->name()) +
+        "' does not support CFDs (tableau constants are hard constraints); "
+        "use --semantics=ft-cost");
+  }
   Timer repair_clock;
   FTR_TRACE_SPAN("repair.cfd_total",
                  {{"rows", std::to_string(table.num_rows())},

@@ -141,7 +141,19 @@ Result<ExplainVerifyReport> VerifyExplainReport(const Table& input,
     fds.push_back(std::move(rfd));
   }
 
+  // The run's semantics dictates the distance model used for replay:
+  // "cardinality" prices every change with indicator (discrete)
+  // distances, so its unit costs only recompute under discrete metrics.
+  // Reports predating the field carry no "semantics" key — ft-cost.
+  std::string semantics = "ft-cost";
+  const JsonValue& jsemantics = root.Get("semantics");
+  if (jsemantics.is_string()) semantics = jsemantics.str();
   DistanceModel model(input);
+  if (semantics == "cardinality") {
+    for (int c = 0; c < input.num_columns(); ++c) {
+      model.SetColumnMetric(c, ColumnMetric::kDiscrete);
+    }
+  }
   ExplainVerifyReport report;
 
   // Parse decisions up front; changes refer into them.

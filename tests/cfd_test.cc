@@ -68,5 +68,69 @@ TEST(CFDTest, ConstantViolations) {
   EXPECT_TRUE(cfd.ConstantViolations(t, 1).empty());
 }
 
+TEST(CFDParserTest, ParsesEmbeddedFdAndTableau) {
+  Schema schema = CitizensSchema();
+  CFD cfd = std::move(ParseCFD(
+                          "cphi: City, Street -> District"
+                          " | New York, _ -> _ | Boston, Main -> Financial",
+                          schema))
+                .ValueOrDie();
+  EXPECT_EQ(cfd.name(), "cphi");
+  EXPECT_EQ(cfd.fd().lhs(),
+            (std::vector<int>{schema.IndexOf("City"),
+                              schema.IndexOf("Street")}));
+  EXPECT_EQ(cfd.fd().rhs(), (std::vector<int>{schema.IndexOf("District")}));
+  ASSERT_EQ(cfd.tableau().size(), 2u);
+  // Row 0: constant City, wildcard Street and District.
+  ASSERT_TRUE(cfd.tableau()[0][0].has_value());
+  EXPECT_EQ(cfd.tableau()[0][0]->ToString(), "New York");
+  EXPECT_FALSE(cfd.tableau()[0][1].has_value());
+  EXPECT_FALSE(cfd.tableau()[0][2].has_value());
+  // Row 1: all constants.
+  ASSERT_TRUE(cfd.tableau()[1][2].has_value());
+  EXPECT_EQ(cfd.tableau()[1][2]->ToString(), "Financial");
+}
+
+TEST(CFDParserTest, TypesTableauConstantsBySchemaColumn) {
+  Schema schema = CitizensSchema();
+  CFD cfd = std::move(ParseCFD("Education -> Level | Bachelors -> 3", schema))
+                .ValueOrDie();
+  ASSERT_TRUE(cfd.tableau()[0][1].has_value());
+  EXPECT_EQ(cfd.tableau()[0][1]->type(), ValueType::kNumber);
+  // A non-numeric constant for the numeric Level column must fail.
+  EXPECT_FALSE(ParseCFD("Education -> Level | Bachelors -> abc", schema).ok());
+}
+
+TEST(CFDParserTest, RejectsMalformedTableaux) {
+  Schema schema = CitizensSchema();
+  // No tableau at all.
+  EXPECT_FALSE(ParseCFD("City -> State", schema).ok());
+  // Arity mismatch against the embedded FD.
+  EXPECT_FALSE(ParseCFD("City -> State | NYC, Main -> NY", schema).ok());
+  // Tableau row missing the arrow.
+  EXPECT_FALSE(ParseCFD("City -> State | NYC NY", schema).ok());
+  // Empty tableau row.
+  EXPECT_FALSE(ParseCFD("City -> State | ", schema).ok());
+  // Broken embedded FD.
+  EXPECT_FALSE(ParseCFD("Nope -> State | _ -> _", schema).ok());
+}
+
+TEST(CFDParserTest, ListSkipsCommentsAndAggregatesErrors) {
+  Schema schema = CitizensSchema();
+  auto cfds = std::move(ParseCFDList(
+                            "# comment\n"
+                            "c1: City -> State | New York -> NY\n"
+                            "\n"
+                            "c2: Education -> Level | Masters -> 4\n",
+                            schema))
+                  .ValueOrDie();
+  ASSERT_EQ(cfds.size(), 2u);
+  EXPECT_EQ(cfds[0].name(), "c1");
+  EXPECT_EQ(cfds[1].name(), "c2");
+  EXPECT_FALSE(
+      ParseCFDList("c1: City -> State | New York -> NY\nbroken\n", schema)
+          .ok());
+}
+
 }  // namespace
 }  // namespace ftrepair

@@ -414,6 +414,114 @@ TEST_F(CliTest, DefaultReportIncludesPhaseTimings) {
   }
 }
 
+// Every mis-use of the semantics surface must die with ONE actionable
+// line — these pin the exact failure mode (parse-time vs run-time) and
+// that no message ever spans multiple lines.
+void ExpectSingleLine(const Status& status) {
+  EXPECT_EQ(status.message().find('\n'), std::string::npos)
+      << "multi-line CLI error: " << status.ToString();
+}
+
+TEST_F(CliTest, UnknownSemanticsRejectedAtParse) {
+  auto parsed = ParseCliArgs(
+      {"--input", input_path_, "--fds", fds_path_, "--semantics", "bogus"});
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_TRUE(parsed.status().IsInvalidArgument())
+      << parsed.status().ToString();
+  // The error names the offender and lists every registered semantics.
+  EXPECT_NE(parsed.status().message().find("unknown semantics 'bogus'"),
+            std::string::npos)
+      << parsed.status().ToString();
+  for (const char* known : {"ft-cost", "soft-fd", "cardinality"}) {
+    EXPECT_NE(parsed.status().message().find(known), std::string::npos)
+        << "missing " << known << " in " << parsed.status().ToString();
+  }
+  ExpectSingleLine(parsed.status());
+}
+
+TEST_F(CliTest, CardinalitySemanticsRejectsCfds) {
+  std::string cfds_path = dir_ + "/cli_card_cfds.txt";
+  {
+    std::ofstream cfds(cfds_path);
+    cfds << "c1: City -> State | Boston -> MA\n";
+  }
+  auto parsed = ParseCliArgs({"--input", input_path_, "--cfds", cfds_path,
+                              "--semantics", "cardinality"});
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  std::ostringstream out;
+  Status status = RunCli(parsed.value(), out);
+  std::remove(cfds_path.c_str());
+  ASSERT_FALSE(status.ok());
+  EXPECT_TRUE(status.IsInvalidArgument()) << status.ToString();
+  EXPECT_NE(status.message().find("does not support CFDs"),
+            std::string::npos)
+      << status.ToString();
+  // The message must point at the fix, not just the problem.
+  EXPECT_NE(status.message().find("--semantics=ft-cost"), std::string::npos)
+      << status.ToString();
+  ExpectSingleLine(status);
+}
+
+TEST_F(CliTest, MalformedConfidenceRejectedAtParse) {
+  for (const char* bad : {"phi2", "phi2=", "phi2=abc", "phi2=0", "phi2=2",
+                          "phi2=-0.5", "=0.5"}) {
+    auto parsed = ParseCliArgs({"--input", input_path_, "--fds", fds_path_,
+                                "--semantics", "soft-fd", "--confidence",
+                                bad});
+    ASSERT_FALSE(parsed.ok()) << "accepted --confidence " << bad;
+    EXPECT_TRUE(parsed.status().IsInvalidArgument())
+        << parsed.status().ToString();
+    EXPECT_NE(parsed.status().message().find("(0, 1]"), std::string::npos)
+        << parsed.status().ToString();
+    ExpectSingleLine(parsed.status());
+  }
+}
+
+TEST_F(CliTest, UnknownConfidenceFdNameRejected) {
+  auto parsed = ParseCliArgs({"--input", input_path_, "--fds", fds_path_,
+                              "--semantics", "soft-fd", "--confidence",
+                              "phantom=0.5"});
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  std::ostringstream out;
+  Status status = RunCli(parsed.value(), out);
+  EXPECT_TRUE(status.IsNotFound()) << status.ToString();
+  EXPECT_NE(status.message().find("phantom"), std::string::npos)
+      << status.ToString();
+  ExpectSingleLine(status);
+}
+
+TEST_F(CliTest, FdsAndCfdsMutuallyExclusive) {
+  auto parsed = ParseCliArgs(
+      {"--input", input_path_, "--fds", fds_path_, "--cfds", fds_path_});
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("mutually exclusive"),
+            std::string::npos)
+      << parsed.status().ToString();
+  ExpectSingleLine(parsed.status());
+}
+
+TEST_F(CliTest, SemanticsFlagRunsEndToEnd) {
+  auto card = ParseCliArgs({"--input", input_path_, "--fds", fds_path_,
+                            "--semantics", "cardinality"});
+  ASSERT_TRUE(card.ok()) << card.status().ToString();
+  std::ostringstream card_out;
+  ASSERT_TRUE(RunCli(card.value(), card_out).ok());
+  EXPECT_NE(card_out.str().find("semantics: cardinality"),
+            std::string::npos)
+      << card_out.str();
+
+  auto soft = ParseCliArgs({"--input", input_path_, "--fds", fds_path_,
+                            "--semantics", "soft-fd", "--confidence",
+                            "phi2=0.5", "--tau-fd", "phi1=0.30", "--tau-fd",
+                            "phi2=0.5", "--tau-fd", "phi3=0.5", "--wl",
+                            "0.5", "--wr", "0.5"});
+  ASSERT_TRUE(soft.ok()) << soft.status().ToString();
+  std::ostringstream soft_out;
+  ASSERT_TRUE(RunCli(soft.value(), soft_out).ok());
+  EXPECT_NE(soft_out.str().find("semantics: soft-fd"), std::string::npos)
+      << soft_out.str();
+}
+
 TEST_F(CliTest, SummaryModeAggregates) {
   auto parsed = ParseCliArgs(
       {"--input", input_path_, "--fds", fds_path_, "--summary", "--tau-fd",

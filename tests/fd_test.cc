@@ -71,6 +71,42 @@ TEST(FDParserTest, RejectsBadInput) {
   EXPECT_FALSE(ParseFD("City,,Street -> State", schema).ok());
 }
 
+TEST(FDParserTest, ConfidenceParsesAndRoundTrips) {
+  Schema schema = CitizensSchema();
+  FD soft =
+      std::move(ParseFD("zip2city: City -> State @ 0.9", schema)).ValueOrDie();
+  EXPECT_DOUBLE_EQ(soft.confidence(), 0.9);
+  // ToSpec renders the soft form back; re-parsing reproduces the FD.
+  std::string spec = soft.ToSpec(schema);
+  EXPECT_NE(spec.find("@ 0.9"), std::string::npos) << spec;
+  FD reparsed = std::move(ParseFD(spec, schema)).ValueOrDie();
+  EXPECT_DOUBLE_EQ(reparsed.confidence(), 0.9);
+  EXPECT_EQ(reparsed.lhs(), soft.lhs());
+  EXPECT_EQ(reparsed.rhs(), soft.rhs());
+  EXPECT_EQ(reparsed.name(), soft.name());
+
+  // Hard FDs (the default, confidence 1) render without the suffix.
+  FD hard = std::move(ParseFD("phi2: City -> State", schema)).ValueOrDie();
+  EXPECT_DOUBLE_EQ(hard.confidence(), 1.0);
+  EXPECT_EQ(hard.ToSpec(schema).find('@'), std::string::npos);
+  EXPECT_DOUBLE_EQ(
+      std::move(ParseFD("City -> State @ 1", schema)).ValueOrDie()
+          .confidence(),
+      1.0);
+}
+
+TEST(FDParserTest, RejectsBadConfidence) {
+  Schema schema = CitizensSchema();
+  EXPECT_FALSE(ParseFD("City -> State @ 0", schema).ok());
+  EXPECT_FALSE(ParseFD("City -> State @ -0.5", schema).ok());
+  EXPECT_FALSE(ParseFD("City -> State @ 1.5", schema).ok());
+  EXPECT_FALSE(ParseFD("City -> State @ abc", schema).ok());
+  EXPECT_FALSE(ParseFD("City -> State @", schema).ok());
+  EXPECT_FALSE(FD::Make({0}, {1}, "phi", 0.0).ok());
+  EXPECT_FALSE(FD::Make({0}, {1}, "phi", 2.0).ok());
+  EXPECT_TRUE(FD::Make({0}, {1}, "phi", 0.5).ok());
+}
+
 TEST(FDParserTest, ParsesListSkippingCommentsAndBlanks) {
   Schema schema = CitizensSchema();
   auto fds = std::move(ParseFDList("# comment\n\nphi1: Education -> Level\n"

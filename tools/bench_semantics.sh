@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Cross-semantics benchmark protocol: builds the bench suite
+# (RelWithDebInfo, same as every recorded BENCH_*.json) and records the
+# full-pipeline wall time and change-count/cost counters of
+# ft-cost vs soft-fd vs cardinality on the 10k-row dirty HOSP instance
+# into BENCH_semantics.json (3 repetitions, aggregates only — medians
+# are what the docs quote), following the bench_multicore.sh protocol.
+#
+# Usage: tools/bench_semantics.sh [build-dir] [output-json]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-${repo_root}/build-bench}"
+out_json="${2:-${repo_root}/BENCH_semantics.json}"
+
+reps=3
+min_time=0.05
+
+cmake -B "${build_dir}" -S "${repo_root}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DFTREPAIR_BUILD_BENCHMARKS=ON \
+  -DFTREPAIR_BUILD_EXAMPLES=OFF
+cmake --build "${build_dir}" -j "$(nproc)" --target micro_semantics
+
+"${build_dir}/bench/micro_semantics" \
+  --benchmark_filter='BM_RepairSemantics' \
+  --benchmark_repetitions="${reps}" \
+  --benchmark_report_aggregates_only=true \
+  --benchmark_min_time="${min_time}" \
+  --benchmark_format=json \
+  --benchmark_out="${out_json}" \
+  --benchmark_out_format=json
+
+echo "bench_semantics: wrote ${out_json}"

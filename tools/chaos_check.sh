@@ -16,8 +16,10 @@ tsan_dir="${2:-${repo_root}/build-chaos-tsan}"
 # ladder completeness, bit-identity, and the deadline-budget ladder
 # suite that shares the degradation machinery — plus the
 # distance-kernel fuzz/differential suites and the SIMD screen
-# differentials, so a kernel swap can never slip past the sanitizers.
-chaos_regex='Chaos|Memory|Ladder|Budget|DistanceKernel|SimdScreen'
+# differentials, so a kernel swap can never slip past the sanitizers,
+# and the repair-semantics property sweeps (cardinality majority,
+# soft-fd filters), whose pipelines ride the same degradation ladder.
+chaos_regex='Chaos|Memory|Ladder|Budget|DistanceKernel|SimdScreen|Semantics|Cardinality|SoftFd'
 
 run_mode() {
   local mode="$1" build_dir="$2"
@@ -28,7 +30,8 @@ run_mode() {
     -DFTREPAIR_BUILD_BENCHMARKS=OFF \
     -DFTREPAIR_BUILD_EXAMPLES=OFF
   cmake --build "${build_dir}" -j "$(nproc)" \
-    --target chaos_test budget_test distance_kernel_test
+    --target chaos_test budget_test distance_kernel_test semantics_test \
+             semantics_property_test
   if [[ "${mode}" == "thread" ]]; then
     export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
   else

@@ -45,11 +45,14 @@ if [[ "${mode}" == "thread" ]]; then
   # graph build (and everything exercising it), the per-component solve
   # fan-out and the solvers it runs concurrently, shared-budget and
   # shared-memory-budget charging (the chaos/ladder sweeps), the
-  # relaxed-atomic metrics/trace registries, and the distance-kernel
+  # relaxed-atomic metrics/trace registries, the distance-kernel
   # dispatch + thread-local kernel scratch (the kernel fuzz and
-  # cross-kernel repair grids) with the SIMD screen differentials.
+  # cross-kernel repair grids) with the SIMD screen differentials, and
+  # the semantics registry + per-semantics pipelines (the mutex-guarded
+  # singleton and the cross-semantics property sweeps run repairs at
+  # several thread counts).
   ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)" \
-    -R 'ThreadPool|Parallel|ViolationGraph|BlockIndex|Detector|Budget|Metrics|Trace|Repairer|Greedy|Expansion|Multi|TargetTree|Trusted|Chaos|Memory|Ladder|Provenance|ExplainReport|AuditLog|Columnar|StreamingIngest|DistanceKernel|SimdScreen'
+    -R 'ThreadPool|Parallel|ViolationGraph|BlockIndex|Detector|Budget|Metrics|Trace|Repairer|Greedy|Expansion|Multi|TargetTree|Trusted|Chaos|Memory|Ladder|Provenance|ExplainReport|AuditLog|Columnar|StreamingIngest|DistanceKernel|SimdScreen|Semantics|Cardinality|SoftFd'
 else
   export ASAN_OPTIONS="detect_leaks=1:abort_on_error=1"
   export UBSAN_OPTIONS="print_stacktrace=1"
